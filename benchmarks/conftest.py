@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Figure benchmarks register their regenerated tables here; a terminal
+summary hook prints them after the pytest-benchmark timing tables, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+both the timings and the figure data the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def register_report(title: str, body: str) -> None:
+    """Queue a rendered figure/table for the end-of-run summary."""
+    _REPORTS.append((title, body))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper figures")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(title)
+        terminalreporter.write_line("-" * len(title))
+        for line in body.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,86 @@
+"""Ablation benchmarks for the design choices listed in DESIGN.md.
+
+Each test measures one mechanism with pytest-benchmark *and* checks the
+directional claim that motivated the design choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.ablations import (
+    ablate_plan_cache,
+    ablate_pool_size,
+    ablate_sql_backend,
+    ablate_storage_backend,
+    ablate_transport_latency,
+    ablate_window_type,
+)
+from repro.metrics.report import format_table
+
+_collected = []
+_EXPECTED = 6
+
+
+def _record(result) -> None:
+    _collected.append(result)
+    if len(_collected) == _EXPECTED:
+        rows = [row for r in _collected for row in r.table_rows()]
+        register_report(
+            "Ablations (per-operation cost in ms, lower is better)",
+            format_table(("ablation", "variant", "ms"), rows),
+        )
+
+
+def test_storage_backends(benchmark) -> None:
+    result = benchmark.pedantic(ablate_storage_backend,
+                                rounds=1, iterations=1)
+    _record(result)
+    # Persistence must cost more than memory — that is why GSN makes it
+    # opt-in per sensor — but not catastrophically more.
+    assert result.variants["sqlite"] > result.variants["memory"]
+    assert result.variants["sqlite"] < 1_000 * result.variants["memory"]
+
+
+def test_window_types(benchmark) -> None:
+    result = benchmark.pedantic(ablate_window_type, rounds=1, iterations=1)
+    _record(result)
+    for variant, cost in result.variants.items():
+        assert cost < 1.0, f"{variant} window costs {cost} ms/element"
+
+
+def test_plan_cache(benchmark) -> None:
+    result = benchmark.pedantic(ablate_plan_cache, rounds=1, iterations=1)
+    _record(result)
+    assert result.variants["cache_on"] < result.variants["cache_off"], (
+        "cached compilation must beat recompiling every query"
+    )
+
+
+def test_pool_size(benchmark) -> None:
+    result = benchmark.pedantic(ablate_pool_size, rounds=1, iterations=1)
+    _record(result)
+    # Sanity only: all pool modes complete and stay in the same regime
+    # (the GIL makes threads a wash for CPU-bound pipelines).
+    values = list(result.variants.values())
+    assert all(v > 0 for v in values)
+    assert max(values) < 50 * min(values)
+
+
+def test_sql_backends(benchmark) -> None:
+    result = benchmark.pedantic(ablate_sql_backend, rounds=1, iterations=1)
+    _record(result)
+    # The scratch engine trades speed for self-containment; it must stay
+    # within a sane factor of SQLite on window-sized queries.
+    assert result.variants["scratch_engine"] < 500 * result.variants["sqlite"]
+
+
+def test_transport_latency(benchmark) -> None:
+    result = benchmark.pedantic(ablate_transport_latency,
+                                rounds=1, iterations=1)
+    _record(result)
+    # Delays must be *observable*, tracking the injected link latency.
+    assert result.variants["latency_0ms"] == 0.0
+    assert result.variants["latency_50ms"] == 50.0
+    assert result.variants["latency_200ms"] == 200.0

@@ -1,0 +1,95 @@
+"""Benchmark regenerating Figure 3: GSN node under time-triggered load.
+
+One benchmark per stream-element size from the paper (15 B, 50 B, 100 B,
+16 KB, 32 KB, 75 KB). Each runs the full interval sweep
+(10..1000 ms) on a scaled-down device fleet and asserts the paper's
+qualitative shape: processing time per element falls as the output
+interval grows and converges at low rates.
+
+The full-scale testbed (37 devices) is available via
+``python -m repro.experiments figure3``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.figure3 import PAPER_INTERVALS, run_figure3
+
+#: Scaled-down fleet so the whole suite stays in CI budgets; the interval
+#: sweep and element sizes are the paper's.
+BENCH_DEVICES = 8
+BENCH_DURATION_MS = 2_000
+
+SIZES = (15, 50, 100, 16_384, 32_768, 76_800)
+
+_series_accumulator = {}
+
+
+def _label(size: int) -> str:
+    return f"{size // 1024}KB" if size >= 1024 else f"{size}B"
+
+
+@pytest.mark.parametrize("size", SIZES, ids=_label)
+def test_figure3_series(benchmark, size: int) -> None:
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs={
+            "intervals": PAPER_INTERVALS,
+            "sizes": (size,),
+            "device_count": BENCH_DEVICES,
+            "duration_ms": BENCH_DURATION_MS,
+        },
+        rounds=1, iterations=1,
+    )
+    series = result.series[size]
+    _series_accumulator[size] = series
+
+    ys = series.ys()
+    assert len(ys) == len(PAPER_INTERVALS)
+    assert all(y > 0 for y in ys), "every cell processed elements"
+    # Paper shape: the 10 ms point is the most expensive; the tail is flat.
+    assert ys[0] == max(ys), (
+        f"processing cost must peak at the smallest interval, got {ys}"
+    )
+    tail = ys[-3:]
+    assert ys[0] > 2.0 * max(tail), (
+        f"cost must drop sharply as the interval grows, got {ys}"
+    )
+    # Convergence, robust to single wall-clock noise spikes: the tail's
+    # median stays within a small factor of its minimum.
+    median = sorted(tail)[len(tail) // 2]
+    assert median <= 5 * min(tail) or median < 1.0, (
+        f"tail must be near-constant (converged), got {tail}"
+    )
+
+    if len(_series_accumulator) == len(SIZES):
+        from repro.metrics.ascii_plot import plot_series
+        from repro.metrics.report import format_series_table
+        ordered = [_series_accumulator[s] for s in SIZES]
+        register_report(
+            "Figure 3 — GSN node under time-triggered load "
+            "(mean ms per data item)",
+            format_series_table("interval_ms", ordered)
+            + "\n\n"
+            + plot_series(ordered, x_label="output interval (ms)",
+                          y_label="ms/item", log_y=True),
+        )
+
+
+def test_figure3_size_ordering(benchmark) -> None:
+    """At relaxed rates, larger stream elements must cost more — the
+    vertical ordering of the paper's series."""
+    def run():
+        return run_figure3(intervals=(500, 1000), sizes=(100, 76_800),
+                           device_count=BENCH_DEVICES,
+                           duration_ms=BENCH_DURATION_MS)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    small = result.series[100].ys()
+    large = result.series[76_800].ys()
+    assert sum(large) > sum(small), (
+        f"75KB elements must cost more than 100B elements: "
+        f"{large} vs {small}"
+    )

@@ -1,0 +1,46 @@
+"""Benchmark regenerating Figure 4: query processing latency vs clients.
+
+Registers N random standing queries (N swept 0..500 as in the paper,
+SES = 32 KB) and measures the total time to evaluate the whole client set
+on one data arrival. Asserts the paper's qualitative shape: total time
+grows roughly linearly while the per-client cost stays bounded.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import register_report
+from repro.experiments.figure4 import run_figure4
+
+BENCH_CLIENT_COUNTS = (0, 50, 100, 200, 300, 400, 500)
+
+
+def test_figure4_sweep(benchmark) -> None:
+    result = benchmark.pedantic(
+        run_figure4,
+        kwargs={"client_counts": BENCH_CLIENT_COUNTS, "seed": 7},
+        rounds=1, iterations=1,
+    )
+    register_report(
+        "Figure 4 — query processing latency in a GSN node (SES=32KB)",
+        result.table() + "\n\n" + result.plot(),
+    )
+    assert result.shape_holds(), result.table()
+
+    points = dict(result.series.points)
+
+    # An arrival with no registered clients must cost ~nothing.
+    assert points[0] < 5.0, "zero-client round should be near-free"
+
+    # Paper: "the processing time per client while handling 500 clients is
+    # less than 1 millisecond" — ours must stay in the same regime.
+    assert points[500] / 500 < 5.0, (
+        f"per-client cost blew up: {points[500] / 500:.3f} ms"
+    )
+
+    # Overall upward trend in the steady (non-burst) rounds.
+    steady = [(c, t) for c, t in result.series.points
+              if c not in result.burst_rounds]
+    totals = [t for __, t in steady]
+    counts = [c for c, __ in steady]
+    assert totals[-1] > totals[0]
+    assert totals[counts.index(max(counts))] >= 0.5 * max(totals)

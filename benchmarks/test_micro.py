@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the hot paths the experiments stress.
+
+These timings give the per-operation baselines behind the figure-level
+results: SQL execution (scan/filter/aggregate/join), the full virtual-
+sensor pipeline per element, and the end-to-end throughput claim ("GSN
+can tolerate high rates").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.container import GSNContainer
+from repro.simulation.workload import payload_descriptor
+from repro.sqlengine.executor import Catalog, execute, execute_plan
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import plan_select
+from repro.sqlengine.relation import Relation
+
+
+@pytest.fixture(scope="module")
+def catalog() -> Catalog:
+    rows = [
+        {"id": i, "grp": i % 10, "value": (i * 37) % 1000,
+         "timed": 1_000_000 + i}
+        for i in range(5_000)
+    ]
+    left = Relation.from_dicts(("id", "grp", "value", "timed"), rows)
+    right = Relation.from_dicts(
+        ("grp", "label"),
+        [{"grp": g, "label": f"group-{g}"} for g in range(10)],
+    )
+    return Catalog({"t": left, "g": right})
+
+
+def test_sql_filter_scan(benchmark, catalog) -> None:
+    result = benchmark(
+        execute, "select id, value from t where value > 500", catalog
+    )
+    assert len(result) > 0
+
+
+def test_sql_aggregate(benchmark, catalog) -> None:
+    result = benchmark(
+        execute,
+        "select grp, count(*) as n, avg(value) as m from t group by grp",
+        catalog,
+    )
+    assert len(result) == 10
+
+
+def test_sql_hash_join(benchmark, catalog) -> None:
+    plan = plan_select(parse_select(
+        "select t.id, g.label from t join g on t.grp = g.grp "
+        "where t.value < 100"
+    ))
+    result = benchmark(execute_plan, plan, catalog)
+    assert len(result) > 0
+
+
+def test_sql_order_limit(benchmark, catalog) -> None:
+    result = benchmark(
+        execute, "select * from t order by value desc limit 50", catalog
+    )
+    assert len(result) == 50
+
+
+def test_plan_compile(benchmark) -> None:
+    sql = ("select grp, count(*) as n from t "
+           "where value between 10 and 900 and grp in (1, 2, 3) "
+           "group by grp having count(*) > 5 order by n desc")
+    plan = benchmark(lambda: plan_select(parse_select(sql)))
+    assert plan is not None
+
+
+def test_pipeline_element_cost(benchmark) -> None:
+    """Cost of one full pipeline pass (steps 1-5) on a running sensor."""
+    with GSNContainer("micro") as node:
+        node.deploy(payload_descriptor("s", 1, 100, 1_024, window="2s"))
+        node.run_for(2_000)  # warm the window
+        sensor = node.sensor("s")
+        wrapper = sensor.wrappers["src"]
+
+        def one_element():
+            wrapper.tick()
+
+        benchmark(one_element)
+        assert sensor.elements_produced > 0
+
+
+def test_node_throughput(benchmark) -> None:
+    """Elements/second one node sustains end to end — the "GSN can
+    tolerate high rates" claim in measurable form."""
+    def run() -> float:
+        with GSNContainer("throughput") as node:
+            node.deploy(payload_descriptor("s", 1, 10, 100, window="1s"))
+            node.run_for(5_000)
+            return node.sensor("s").elements_produced / 5.0
+
+    per_second = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert per_second >= 90, f"sustained only {per_second} elements/s"

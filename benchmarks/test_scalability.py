@@ -1,0 +1,80 @@
+"""Scalability benchmarks (the paper's design-goal claims).
+
+- sensors per node: per-element pipeline cost must stay ~flat as one
+  container hosts more virtual sensors;
+- peer-network chains: delivery must stay lossless as streams hop
+  across more nodes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import register_report
+from repro.experiments.scalability import (
+    sweep_network_size, sweep_sensors_per_node,
+)
+
+
+def test_sensors_per_node_flat(benchmark) -> None:
+    result = benchmark.pedantic(
+        sweep_sensors_per_node,
+        kwargs={"sensor_counts": (1, 4, 16, 64)},
+        rounds=1, iterations=1,
+    )
+    register_report("Scalability — sensors per node (mean ms/element)",
+                    result.table())
+    ys = result.series.ys()
+    assert all(y > 0 for y in ys)
+    # Flat within a small factor: hosting 64 sensors must not make each
+    # element more than ~4x as expensive as hosting one.
+    assert max(ys) <= 4.0 * min(ys), f"per-element cost not flat: {ys}"
+
+
+def test_overlay_hops_logarithmic(benchmark) -> None:
+    """Distributed-directory routing must scale O(log n) in peers."""
+    import math
+
+    from repro.network.overlay import ChordRing, ring_hash
+
+    def sweep():
+        means = {}
+        for peers in (8, 32, 128, 512):
+            ring = ChordRing()
+            nodes = [ring.join(f"peer-{i}") for i in range(peers)]
+            ring.total_hops = 0
+            ring.lookups_routed = 0
+            for start in nodes[:32]:
+                for probe in range(16):
+                    ring.route(start, ring_hash(f"probe-{probe}"))
+            means[peers] = ring.total_hops / ring.lookups_routed
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    register_report(
+        "Scalability — overlay routing (mean hops per lookup)",
+        "\n".join(f"  {peers:>4} peers: {hops:.2f} hops"
+                  for peers, hops in means.items()),
+    )
+    for peers, hops in means.items():
+        assert hops <= 1.5 * math.log2(peers), (
+            f"{peers} peers: {hops:.2f} hops exceeds O(log n)"
+        )
+    # Growing the ring 64x must grow hops by far less than 64x.
+    assert means[512] <= 4 * means[8]
+
+
+def test_network_chain_lossless(benchmark) -> None:
+    result, deliveries = benchmark.pedantic(
+        sweep_network_size,
+        kwargs={"node_counts": (2, 4, 8)},
+        rounds=1, iterations=1,
+    )
+    register_report(
+        "Scalability — peer chains (elements reaching the chain tail)",
+        result.table() + f"\nbus deliveries: {deliveries}",
+    )
+    tails = result.series.ys()
+    # Same element count must reach the tail regardless of chain length.
+    assert len(set(tails)) == 1, f"chain length changed delivery: {tails}"
+    assert tails[0] > 0
+    # Traffic grows with chain length (each hop forwards).
+    assert deliveries == sorted(deliveries)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""A small "Sensor Internet": deriving new sensors from remote ones.
+
+The paper's vision: "a new sensor network which is based on the data
+produced by other (heterogeneous) sensor networks can be created by just
+providing some declarative configurations and without any software
+programming efforts."
+
+Three organizations run their own GSN nodes on one peer network:
+
+- ``campus-a`` runs a mote network publishing temperature (location bc143),
+- ``campus-b`` runs a mote network publishing temperature (location bc180),
+- ``weather-hub`` owns no hardware at all: it deploys a *derived* virtual
+  sensor whose two input streams are remote wrappers, discovered purely by
+  predicates (``type=mote`` + ``location=...``), and joins them in SQL.
+
+Run:  python examples/sensor_internet_join.py
+"""
+
+from repro import GSNContainer, PeerNetwork
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.simulation.networks import mote_descriptor
+
+#: The derived sensor: no hardware, only logical addressing + SQL.
+CAMPUS_COMPARISON = """
+<virtual-sensor name="campus-comparison">
+  <output-structure>
+    <field name="temp_a" type="integer"/>
+    <field name="temp_b" type="integer"/>
+    <field name="spread" type="integer"/>
+  </output-structure>
+  <storage permanent-storage="true" size="1h"/>
+  <addressing>
+    <predicate key="type" val="derived"/>
+    <predicate key="coverage" val="both-campuses"/>
+  </addressing>
+  <input-stream name="both">
+    <stream-source alias="a" storage-size="10s">
+      <address wrapper="remote">
+        <predicate key="type" val="mote"/>
+        <predicate key="location" val="bc143"/>
+      </address>
+      <query>select avg(temperature) as t from WRAPPER</query>
+    </stream-source>
+    <stream-source alias="b" storage-size="10s">
+      <address wrapper="remote">
+        <predicate key="type" val="mote"/>
+        <predicate key="location" val="bc180"/>
+      </address>
+      <query>select avg(temperature) as t from WRAPPER</query>
+    </stream-source>
+    <query>
+      select a.t as temp_a, b.t as temp_b,
+             a.t - b.t as spread
+      from a, b
+    </query>
+  </input-stream>
+</virtual-sensor>
+"""
+
+
+def main() -> None:
+    clock = VirtualClock()
+    scheduler = EventScheduler(clock)
+    internet = PeerNetwork(scheduler=scheduler, latency_ms=5)
+
+    campus_a = GSNContainer("campus-a", network=internet,
+                            clock=clock, scheduler=scheduler)
+    campus_b = GSNContainer("campus-b", network=internet,
+                            clock=clock, scheduler=scheduler)
+    hub = GSNContainer("weather-hub", network=internet,
+                       clock=clock, scheduler=scheduler)
+    try:
+        # Each campus deploys its own motes, in its own container.
+        campus_a.deploy(mote_descriptor("roof-mote", node_id=11,
+                                        interval_ms=1000, location="bc143",
+                                        temperature_base=14.0))  # outdoors
+        campus_b.deploy(mote_descriptor("lab-mote", node_id=27,
+                                        interval_ms=1500, location="bc180",
+                                        temperature_base=23.0))  # indoors
+
+        # The hub discovers both by predicates and joins them — it never
+        # names a host, a port, or a wrapper implementation.
+        hub.deploy(CAMPUS_COMPARISON)
+
+        scheduler.run_for(30_000)
+
+        print("derived stream on the hub (last rows):")
+        print(hub.query(
+            "select * from vs_campus_comparison order by timed desc limit 5"
+        ).pretty())
+
+        print("\nlargest spread observed:")
+        print(hub.query(
+            "select max(spread) as max_spread, min(spread) as min_spread "
+            "from vs_campus_comparison"
+        ).pretty())
+
+        # The derived sensor is itself discoverable: a fourth party could
+        # now build on top of it the same way.
+        entry = internet.directory.lookup_one({"type": "derived"})
+        print(f"\ndirectory entry for the derived sensor: "
+              f"{entry.container}/{entry.sensor} {entry.predicate_dict()}")
+
+        print(f"\nbus traffic: {internet.bus.status()}")
+    finally:
+        hub.shutdown()
+        campus_b.shutdown()
+        campus_a.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — a pure-Python reproduction of the GSN sensor-network middleware.
+
+Global Sensor Networks (GSN) is the middleware presented in "A Middleware
+for Fast and Flexible Sensor Network Deployment" (Aberer, Hauswirth,
+Salehi; VLDB 2006). Its central abstraction is the *virtual sensor*: a
+declaratively specified stream processor with any number of input streams
+and one output stream, deployed from an XML descriptor and queried in SQL.
+
+Quickstart::
+
+    from repro import GSNContainer
+
+    XML = '''
+    <virtual-sensor name="avg-temp">
+      <output-structure>
+        <field name="temperature" type="integer"/>
+      </output-structure>
+      <storage permanent-storage="true" size="1h"/>
+      <input-stream name="input">
+        <stream-source alias="src1" storage-size="10s">
+          <address wrapper="mote">
+            <predicate key="interval" val="500"/>
+          </address>
+          <query>select avg(temperature) as temperature from wrapper</query>
+        </stream-source>
+        <query>select * from src1</query>
+      </input-stream>
+    </virtual-sensor>
+    '''
+
+    with GSNContainer("demo") as node:
+        node.deploy(XML)
+        node.run_for(10_000)                       # 10 simulated seconds
+        print(node.query("select * from vs_avg_temp").pretty())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduction of the paper's evaluation figures.
+"""
+
+from repro.container import GSNContainer
+from repro.datatypes import DataType
+from repro.descriptors import (
+    AddressSpec,
+    InputStreamSpec,
+    LifeCycleConfig,
+    StorageConfig,
+    StreamSourceSpec,
+    VirtualSensorDescriptor,
+    descriptor_from_file,
+    descriptor_from_xml,
+    descriptor_to_xml,
+    validate_descriptor,
+)
+from repro.exceptions import GSNError
+from repro.interfaces import GSNClient, WebInterface
+from repro.network import PeerNetwork
+from repro.sqlengine import Relation
+from repro.streams import Field, StreamElement, StreamSchema
+from repro.wrappers import Wrapper, WrapperRegistry, default_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GSNContainer",
+    "GSNClient",
+    "WebInterface",
+    "PeerNetwork",
+    "GSNError",
+    "DataType",
+    "Field",
+    "StreamSchema",
+    "StreamElement",
+    "Relation",
+    "Wrapper",
+    "WrapperRegistry",
+    "default_registry",
+    "VirtualSensorDescriptor",
+    "InputStreamSpec",
+    "StreamSourceSpec",
+    "AddressSpec",
+    "LifeCycleConfig",
+    "StorageConfig",
+    "descriptor_from_xml",
+    "descriptor_from_file",
+    "descriptor_to_xml",
+    "validate_descriptor",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Access control and data integrity layers.
+
+"The access control layer ensures that access is provided only to
+entitled parties, and the data integrity layer guarantees data integrity
+and confidentiality through electronic signatures and encryption (this
+can be defined at different levels, for example, for the whole GSN
+container or for an individual virtual sensor)." (paper, Section 4)
+"""
+
+from repro.access.control import AccessController, Permission, Principal
+from repro.access.integrity import IntegrityService, SealedEnvelope
+
+__all__ = [
+    "AccessController",
+    "Principal",
+    "Permission",
+    "IntegrityService",
+    "SealedEnvelope",
+]

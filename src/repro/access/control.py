@@ -1,0 +1,126 @@
+"""Access control.
+
+A small capability model: principals hold API keys and are granted
+permissions either container-wide or per virtual sensor (matching the
+paper's "different levels"). Open containers (the default, as in the
+demo) run with access control disabled.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.exceptions import AccessDeniedError
+
+#: Grant scope meaning "the whole container".
+CONTAINER_SCOPE = "*"
+
+
+class Permission(enum.Enum):
+    READ = "read"          # query streams, receive notifications
+    DEPLOY = "deploy"      # deploy/undeploy/reconfigure virtual sensors
+    MANAGE = "manage"      # channels, principals, container settings
+
+
+@dataclass
+class Principal:
+    """An authenticated party (a user, a peer container, a dashboard)."""
+
+    name: str
+    key_hash: str
+    grants: Dict[str, Set[Permission]] = field(default_factory=dict)
+
+    def grant(self, permission: Permission,
+              scope: str = CONTAINER_SCOPE) -> None:
+        self.grants.setdefault(scope.lower(), set()).add(permission)
+
+    def revoke(self, permission: Permission,
+               scope: str = CONTAINER_SCOPE) -> None:
+        self.grants.get(scope.lower(), set()).discard(permission)
+
+    def allows(self, permission: Permission, scope: str) -> bool:
+        if permission in self.grants.get(CONTAINER_SCOPE, set()):
+            return True
+        return permission in self.grants.get(scope.lower(), set())
+
+
+def _hash_key(api_key: str) -> str:
+    return hashlib.sha256(api_key.encode("utf-8")).hexdigest()
+
+
+class AccessController:
+    """Authentication + authorization for one container.
+
+    Disabled by default (``enabled=False``): every check passes, matching
+    the open setup of the paper's demo. Enabling it makes every check
+    require an API key issued by :meth:`create_principal`.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._principals: Dict[str, Principal] = {}
+        self.checks_passed = 0
+        self.checks_denied = 0
+
+    # -- principal management -------------------------------------------------
+
+    def create_principal(self, name: str,
+                         api_key: Optional[str] = None) -> Tuple[Principal, str]:
+        """Create a principal; returns it plus the (only copy of the)
+        API key."""
+        key = api_key if api_key is not None else secrets.token_hex(16)
+        normalized = name.strip().lower()
+        if not normalized:
+            raise AccessDeniedError("principal needs a name")
+        if normalized in self._principals:
+            raise AccessDeniedError(f"principal {name!r} already exists")
+        principal = Principal(normalized, _hash_key(key))
+        self._principals[normalized] = principal
+        return principal, key
+
+    def drop_principal(self, name: str) -> None:
+        if self._principals.pop(name.strip().lower(), None) is None:
+            raise AccessDeniedError(f"no principal {name!r}")
+
+    def get_principal(self, name: str) -> Principal:
+        try:
+            return self._principals[name.strip().lower()]
+        except KeyError:
+            raise AccessDeniedError(f"no principal {name!r}") from None
+
+    # -- checks ----------------------------------------------------------------
+
+    def authenticate(self, name: str, api_key: str) -> Principal:
+        principal = self.get_principal(name)
+        if not hmac.compare_digest(principal.key_hash, _hash_key(api_key)):
+            self.checks_denied += 1
+            raise AccessDeniedError(f"bad credentials for {name!r}")
+        return principal
+
+    def check(self, permission: Permission, scope: str = CONTAINER_SCOPE,
+              name: str = "", api_key: str = "") -> None:
+        """Raise :class:`AccessDeniedError` unless the caller may perform
+        ``permission`` on ``scope``. No-op while disabled."""
+        if not self.enabled:
+            self.checks_passed += 1
+            return
+        principal = self.authenticate(name, api_key)
+        if not principal.allows(permission, scope):
+            self.checks_denied += 1
+            raise AccessDeniedError(
+                f"{name!r} lacks {permission.value!r} on {scope!r}"
+            )
+        self.checks_passed += 1
+
+    def status(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "principals": sorted(self._principals),
+            "checks_passed": self.checks_passed,
+            "checks_denied": self.checks_denied,
+        }

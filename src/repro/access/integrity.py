@@ -1,0 +1,135 @@
+"""Data integrity and confidentiality.
+
+Implements the paper's "electronic signatures and encryption" for stream
+payloads exchanged between containers: HMAC-SHA256 signatures over a
+canonical serialization, plus a keystream cipher for confidentiality.
+
+The cipher is a SHA256-counter keystream — *not* a vetted AEAD
+construction, but the honest standard-library stand-in for the TLS/crypto
+toolkit a production deployment would use; the seal/unseal API is what the
+middleware layers against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import secrets
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.exceptions import IntegrityError
+
+
+def _canonical(payload: Dict[str, Any]) -> bytes:
+    """Deterministic serialization (bytes become hex-tagged strings)."""
+    def encode(value: Any) -> Any:
+        if isinstance(value, (bytes, bytearray)):
+            return {"__bytes__": bytes(value).hex()}
+        if isinstance(value, dict):
+            return {k: encode(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [encode(v) for v in value]
+        return value
+
+    return json.dumps(encode(payload), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__bytes__"}:
+            return bytes.fromhex(value["__bytes__"])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hashlib.sha256(
+            key + nonce + counter.to_bytes(8, "big")
+        ).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+@dataclass(frozen=True)
+class SealedEnvelope:
+    """A signed (and optionally encrypted) payload in transit."""
+
+    body: bytes
+    signature: str
+    nonce: str
+    encrypted: bool
+    sender: str
+
+
+class IntegrityService:
+    """Seals and opens payloads for one container.
+
+    Containers sharing a ``shared_secret`` (deployment configuration) can
+    verify each other's envelopes. Sealing levels: ``sign`` (integrity
+    only) or ``encrypt`` (integrity + confidentiality).
+    """
+
+    def __init__(self, container_name: str,
+                 shared_secret: Optional[bytes] = None) -> None:
+        self.container_name = container_name
+        self._secret = shared_secret or b"gsn-demo-secret"
+        self.sealed = 0
+        self.opened = 0
+        self.rejected = 0
+
+    def seal(self, payload: Dict[str, Any],
+             encrypt: bool = False) -> SealedEnvelope:
+        body = _canonical(payload)
+        nonce = secrets.token_bytes(16)
+        if encrypt:
+            stream = _keystream(self._secret, nonce, len(body))
+            body = bytes(b ^ s for b, s in zip(body, stream))
+        signature = hmac.new(self._secret, nonce + body,
+                             hashlib.sha256).hexdigest()
+        self.sealed += 1
+        return SealedEnvelope(
+            body=body,
+            signature=signature,
+            nonce=nonce.hex(),
+            encrypted=encrypt,
+            sender=self.container_name,
+        )
+
+    def open(self, envelope: SealedEnvelope) -> Dict[str, Any]:
+        """Verify and decode an envelope; raises :class:`IntegrityError`
+        on any tampering or key mismatch."""
+        nonce = bytes.fromhex(envelope.nonce)
+        expected = hmac.new(self._secret, nonce + envelope.body,
+                            hashlib.sha256).hexdigest()
+        if not hmac.compare_digest(expected, envelope.signature):
+            self.rejected += 1
+            raise IntegrityError(
+                f"signature verification failed for envelope from "
+                f"{envelope.sender!r}"
+            )
+        body = envelope.body
+        if envelope.encrypted:
+            stream = _keystream(self._secret, nonce, len(body))
+            body = bytes(b ^ s for b, s in zip(body, stream))
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.rejected += 1
+            raise IntegrityError(f"envelope body corrupt: {exc}") from exc
+        self.opened += 1
+        return _decode(decoded)
+
+    def status(self) -> dict:
+        return {
+            "sealed": self.sealed,
+            "opened": self.opened,
+            "rejected": self.rejected,
+        }

@@ -1,0 +1,257 @@
+"""The GSN container.
+
+"GSN follows a container-based architecture and each container can host
+and manage one or more virtual sensors concurrently. The container manages
+every aspect of the virtual sensors at runtime including remote access,
+interaction with the sensor network, security, persistence, data
+filtering, concurrency, and access to and pooling of resources."
+(paper, Section 4)
+
+:class:`GSNContainer` wires together the subsystems of Figure 2: the
+virtual sensor manager (with its life-cycle and input-stream managers),
+the storage layer, the query manager (processor + repository +
+notification manager), the access-control and integrity layers, and —
+when the container joins a :class:`~repro.network.peer.PeerNetwork` — the
+peer node used for discovery and GSN-to-GSN streaming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from repro.access.control import AccessController, Permission
+from repro.access.integrity import IntegrityService
+from repro.descriptors.model import VirtualSensorDescriptor
+from repro.descriptors.xml_io import descriptor_from_file, descriptor_from_xml
+from repro.exceptions import ConfigurationError
+from repro.gsntime.clock import Clock, SystemClock, VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.network.peer import PeerNetwork, PeerNode
+from repro.notifications.manager import NotificationManager
+from repro.query.processor import QueryProcessor
+from repro.query.repository import QueryRepository
+from repro.query.subscription import Subscription
+from repro.sqlengine.relation import Relation
+from repro.storage.manager import StorageManager, safe_table_name
+from repro.streams.element import StreamElement
+from repro.vsensor.manager import OUTPUT_TABLE_PREFIX, VirtualSensorManager
+from repro.vsensor.virtual_sensor import VirtualSensor
+from repro.wrappers.registry import WrapperRegistry, default_registry
+
+DescriptorLike = Union[VirtualSensorDescriptor, str]
+
+
+class GSNContainer:
+    """One GSN node.
+
+    Parameters
+    ----------
+    name:
+        The container's identity on the peer network.
+    simulated:
+        ``True`` (default) runs on a :class:`VirtualClock` driven by an
+        :class:`EventScheduler` — deterministic and fast, the mode used
+        by tests and benchmarks. ``False`` uses the wall clock, in which
+        case periodic wrappers must be driven manually or by threads.
+    storage_path:
+        SQLite database location for ``permanent-storage`` sensors.
+    network:
+        An optional :class:`PeerNetwork` to join (shared directory + bus).
+    access_enabled:
+        Turns the access-control layer on (off matches the open demo).
+    synchronous:
+        Run pipelines inline (deterministic) instead of on pool threads.
+    """
+
+    def __init__(self, name: str = "gsn", simulated: bool = True,
+                 storage_path: str = ":memory:",
+                 registry: Optional[WrapperRegistry] = None,
+                 network: Optional[PeerNetwork] = None,
+                 access_enabled: bool = False,
+                 synchronous: bool = True,
+                 seal: str = "none",
+                 seed: Optional[int] = 0,
+                 clock: Optional[Clock] = None,
+                 scheduler: Optional[EventScheduler] = None) -> None:
+        if not name.strip():
+            raise ConfigurationError("container needs a name")
+        self.name = name.strip().lower()
+        self.simulated = simulated
+
+        if clock is not None:
+            # Externally supplied time source: multi-container simulations
+            # share one VirtualClock + EventScheduler across nodes.
+            self.clock = clock
+            self.scheduler = scheduler
+        elif simulated:
+            self.clock = VirtualClock()
+            self.scheduler = EventScheduler(self.clock)  # type: ignore[arg-type]
+        else:
+            self.clock = SystemClock()
+            self.scheduler = None
+
+        self.storage = StorageManager(storage_path)
+        self.registry = registry if registry is not None else default_registry()
+        self.notifications = NotificationManager()
+        self.processor = QueryProcessor(self.storage.catalog)
+        self.repository = QueryRepository(self.processor, self.notifications,
+                                          self.clock)
+        self.access = AccessController(access_enabled)
+        self.integrity = IntegrityService(self.name)
+
+        self.peer: Optional[PeerNode] = None
+        if network is not None:
+            self.peer = PeerNode(network, self.name,
+                                 sensor_getter=self._sensor_for_peer,
+                                 integrity=self.integrity, seal=seal)
+
+        self.vsm = VirtualSensorManager(
+            self.clock, self.storage, self.registry,
+            scheduler=self.scheduler,
+            remote_subscribe=self.peer.subscribe if self.peer else None,
+            synchronous=synchronous,
+            seed=seed,
+        )
+        self.vsm.on_deploy(self._after_deploy)
+        self.vsm.on_undeploy(self._after_undeploy)
+        self._closed = False
+
+    # -- deployment hooks ------------------------------------------------------
+
+    def _sensor_for_peer(self, sensor_name: str) -> VirtualSensor:
+        return self.vsm.get(sensor_name)
+
+    def _after_deploy(self, sensor: VirtualSensor) -> None:
+        table = safe_table_name(OUTPUT_TABLE_PREFIX + sensor.name)
+        sensor.add_listener(lambda element: self._on_output(table, element))
+        if self.peer is not None:
+            self.peer.publish(sensor.name,
+                              sensor.descriptor.discovery_predicates,
+                              sensor.output_schema)
+
+    def _after_undeploy(self, sensor_name: str) -> None:
+        if self.peer is not None:
+            self.peer.unpublish(sensor_name)
+
+    def _on_output(self, table: str, element: StreamElement) -> None:
+        self.repository.data_arrived(table)
+
+    # -- deployment API ----------------------------------------------------------
+
+    def deploy(self, descriptor: DescriptorLike, start: bool = True,
+               client: str = "", api_key: str = "") -> VirtualSensor:
+        """Deploy a virtual sensor from a descriptor object, an XML string,
+        or a path to an XML file — "without any programming effort just by
+        providing a simple XML configuration file"."""
+        parsed = self._coerce_descriptor(descriptor)
+        self.access.check(Permission.DEPLOY, parsed.name, client, api_key)
+        return self.vsm.deploy(parsed, start=start)
+
+    def undeploy(self, name: str, client: str = "", api_key: str = "") -> None:
+        self.access.check(Permission.DEPLOY, name, client, api_key)
+        self.vsm.undeploy(name)
+
+    def reconfigure(self, descriptor: DescriptorLike,
+                    client: str = "", api_key: str = "") -> VirtualSensor:
+        """Replace a deployed sensor on the fly (the demo's headline act)."""
+        parsed = self._coerce_descriptor(descriptor)
+        self.access.check(Permission.DEPLOY, parsed.name, client, api_key)
+        return self.vsm.reconfigure(parsed)
+
+    @staticmethod
+    def _coerce_descriptor(descriptor: DescriptorLike) -> VirtualSensorDescriptor:
+        if isinstance(descriptor, VirtualSensorDescriptor):
+            return descriptor
+        text = descriptor.strip()
+        if text.startswith("<"):
+            return descriptor_from_xml(text)
+        return descriptor_from_file(descriptor)
+
+    def sensor(self, name: str) -> VirtualSensor:
+        return self.vsm.get(name)
+
+    def sensor_names(self) -> List[str]:
+        return self.vsm.sensor_names()
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(self, sql: str, client: str = "", api_key: str = "") -> Relation:
+        """Run an ad-hoc SQL query over the container's streams. Output
+        streams are visible as tables named ``vs_<sensor-name>``."""
+        self.access.check(Permission.READ, "*", client, api_key)
+        return self.processor.execute(sql)
+
+    def register_query(self, sql: str, channel: str = "queue",
+                       client: str = "anonymous", name: str = "",
+                       history: Optional[str] = None,
+                       api_key: str = "") -> Subscription:
+        """Register a standing query re-evaluated on new data.
+
+        ``history`` optionally restricts the query to a trailing time
+        window of the streams it reads (e.g. ``"10m"``).
+        """
+        self.access.check(Permission.READ, "*", client, api_key)
+        return self.repository.register(sql, channel, client, name,
+                                        history=history)
+
+    def unregister_query(self, subscription_id: int) -> None:
+        self.repository.unregister(subscription_id)
+
+    def output_table(self, sensor_name: str) -> str:
+        """The SQL table name of a sensor's output stream."""
+        return safe_table_name(OUTPUT_TABLE_PREFIX + sensor_name.strip().lower())
+
+    # -- simulation control ---------------------------------------------------------
+
+    def run_for(self, duration_ms: int) -> int:
+        """Advance the simulation by ``duration_ms``; returns events fired."""
+        if self.scheduler is None:
+            raise ConfigurationError(
+                "run_for() needs a simulated container"
+            )
+        return self.scheduler.run_for(duration_ms)
+
+    def now(self) -> int:
+        return self.clock.now()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop all sensors, leave the network, release storage."""
+        if self._closed:
+            return
+        self._closed = True
+        # Shutdown keeps permanent streams on disk (that is the promise
+        # of permanent-storage); explicit undeploy() still drops them.
+        self.vsm.stop_all(keep_storage=True)
+        if self.peer is not None:
+            self.peer.leave()
+        self.storage.close()
+
+    def __enter__(self) -> "GSNContainer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- monitoring ----------------------------------------------------------------
+
+    def status(self) -> dict:
+        """The container-wide status document the web interface serves."""
+        return {
+            "name": self.name,
+            "time": self.clock.now(),
+            "simulated": self.simulated,
+            "virtual_sensors": self.vsm.status(),
+            "queries": self.processor.status(),
+            "subscriptions": self.repository.status(),
+            "notifications": self.notifications.status(),
+            "access": self.access.status(),
+            "integrity": self.integrity.status(),
+            "storage": {"streams": self.storage.stream_names()},
+            "peer": self.peer.status() if self.peer else None,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<GSNContainer {self.name!r} "
+                f"sensors={self.vsm.sensor_names()}>")

@@ -1,0 +1,157 @@
+"""Field data types used in virtual-sensor output structures.
+
+GSN descriptors declare an ``<output-structure>`` whose fields carry a type
+(the paper's Figure 1 shows ``type="integer"``). This module defines the
+supported types, their Python representations, and conversion/validation
+helpers used by the schema and SQL layers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.exceptions import SchemaError
+
+
+class DataType(enum.Enum):
+    """The type of a single field in a stream schema."""
+
+    INTEGER = "integer"
+    DOUBLE = "double"
+    VARCHAR = "varchar"
+    BINARY = "binary"
+    BOOLEAN = "boolean"
+    TIMESTAMP = "timestamp"
+
+    @classmethod
+    def parse(cls, text: str) -> "DataType":
+        """Parse a descriptor type string (case-insensitive, with aliases)."""
+        normalized = text.strip().lower()
+        alias = _ALIASES.get(normalized, normalized)
+        try:
+            return cls(alias)
+        except ValueError:
+            raise SchemaError(f"unknown data type: {text!r}") from None
+
+    @property
+    def python_type(self) -> type:
+        """The canonical Python type for values of this data type."""
+        return _PYTHON_TYPES[self]
+
+    def coerce(self, value: Any) -> Any:
+        """Convert ``value`` to this type, raising :class:`SchemaError` if
+        the conversion would lose meaning (e.g. a string into an integer
+        field that is not numeric)."""
+        if value is None:
+            return None
+        try:
+            return _COERCERS[self](value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot coerce {value!r} to {self.value}"
+            ) from exc
+
+    def accepts(self, value: Any) -> bool:
+        """Whether ``value`` is already a valid instance of this type."""
+        if value is None:
+            return True
+        if self is DataType.DOUBLE:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is DataType.INTEGER or self is DataType.TIMESTAMP:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.VARCHAR:
+            return isinstance(value, str)
+        if self is DataType.BINARY:
+            return isinstance(value, (bytes, bytearray))
+        if self is DataType.BOOLEAN:
+            return isinstance(value, bool)
+        return False
+
+
+_ALIASES = {
+    "int": "integer",
+    "bigint": "integer",
+    "smallint": "integer",
+    "tinyint": "integer",
+    "float": "double",
+    "real": "double",
+    "numeric": "double",
+    "string": "varchar",
+    "text": "varchar",
+    "char": "varchar",
+    "blob": "binary",
+    "bytes": "binary",
+    "bool": "boolean",
+    "time": "timestamp",
+}
+
+_PYTHON_TYPES = {
+    DataType.INTEGER: int,
+    DataType.DOUBLE: float,
+    DataType.VARCHAR: str,
+    DataType.BINARY: bytes,
+    DataType.BOOLEAN: bool,
+    DataType.TIMESTAMP: int,
+}
+
+
+def _coerce_int(value: Any) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and not value.is_integer():
+        raise ValueError(f"{value} has a fractional part")
+    return int(value)
+
+
+def _coerce_binary(value: Any) -> bytes:
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    raise TypeError(f"cannot treat {type(value).__name__} as binary")
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+_COERCERS = {
+    DataType.INTEGER: _coerce_int,
+    DataType.DOUBLE: float,
+    DataType.VARCHAR: str,
+    DataType.BINARY: _coerce_binary,
+    DataType.BOOLEAN: _coerce_bool,
+    DataType.TIMESTAMP: _coerce_int,
+}
+
+
+def sql_affinity(value: Any) -> Optional[DataType]:
+    """Infer the :class:`DataType` of a Python value, or ``None`` for null.
+
+    Used by the SQL engine to type literal expressions and by wrappers that
+    produce schemaless readings.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.DOUBLE
+    if isinstance(value, str):
+        return DataType.VARCHAR
+    if isinstance(value, (bytes, bytearray)):
+        return DataType.BINARY
+    raise SchemaError(f"unsupported value type: {type(value).__name__}")

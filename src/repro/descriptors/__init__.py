@@ -1,0 +1,35 @@
+"""Virtual-sensor deployment descriptors.
+
+"To support rapid deployment, these properties of virtual sensors are
+provided in a declarative deployment descriptor" (paper, Section 2). This
+package models the XML format of the paper's Figure 1, parses and
+serializes it, and validates descriptors before deployment.
+"""
+
+from repro.descriptors.model import (
+    AddressSpec,
+    InputStreamSpec,
+    LifeCycleConfig,
+    StorageConfig,
+    StreamSourceSpec,
+    VirtualSensorDescriptor,
+)
+from repro.descriptors.xml_io import (
+    descriptor_from_file,
+    descriptor_from_xml,
+    descriptor_to_xml,
+)
+from repro.descriptors.validation import validate_descriptor
+
+__all__ = [
+    "VirtualSensorDescriptor",
+    "InputStreamSpec",
+    "StreamSourceSpec",
+    "AddressSpec",
+    "LifeCycleConfig",
+    "StorageConfig",
+    "descriptor_from_xml",
+    "descriptor_from_file",
+    "descriptor_to_xml",
+    "validate_descriptor",
+]

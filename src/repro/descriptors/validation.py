@@ -1,0 +1,115 @@
+"""Semantic validation of deployment descriptors.
+
+Parsing accepts anything structurally well-formed; this pass rejects
+descriptors that would fail at deployment time: queries that do not parse,
+source queries reading tables other than ``WRAPPER``, stream queries
+reading tables that are not source aliases, unknown window specs, and —
+when a wrapper registry is supplied — unknown wrapper names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.descriptors.model import VirtualSensorDescriptor
+from repro.exceptions import SQLError, ValidationError
+from repro.gsntime.duration import parse_duration, parse_window_spec
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.rewriter import WRAPPER_TABLE, statement_tables
+
+
+def validate_descriptor(
+    descriptor: VirtualSensorDescriptor,
+    known_wrapper: Optional[Callable[[str], bool]] = None,
+) -> List[str]:
+    """Validate ``descriptor``, returning a list of warnings.
+
+    Hard violations raise :class:`ValidationError`; recoverable oddities
+    (e.g. an output query selecting ``*``, which defers schema checking to
+    runtime) are returned as warnings.
+    """
+    warnings: List[str] = []
+
+    for stream in descriptor.input_streams:
+        aliases = {source.alias for source in stream.sources}
+        if stream.lifetime is not None:
+            try:
+                parse_duration(stream.lifetime)
+            except Exception as exc:
+                raise ValidationError(
+                    f"bad lifetime on {descriptor.name}/{stream.name}: {exc}"
+                ) from exc
+
+        for source in stream.sources:
+            _check_window(source.storage_size,
+                          f"{descriptor.name}/{stream.name}/{source.alias}")
+            _check_window(source.slide,
+                          f"{descriptor.name}/{stream.name}/{source.alias}"
+                          f" slide")
+            tables = _parse_tables(
+                source.query,
+                f"source query of {descriptor.name}/{source.alias}",
+            )
+            illegal = tables - {WRAPPER_TABLE}
+            if illegal:
+                raise ValidationError(
+                    f"source query of {source.alias!r} may only read "
+                    f"WRAPPER, found {sorted(illegal)}"
+                )
+            if WRAPPER_TABLE not in tables:
+                warnings.append(
+                    f"source {source.alias!r} query does not read WRAPPER; "
+                    f"it will produce constant rows"
+                )
+            if source.address.wrapper == "remote":
+                if not source.address.predicates:
+                    raise ValidationError(
+                        f"remote source {source.alias!r} needs at least one "
+                        f"discovery predicate"
+                    )
+            elif known_wrapper is not None \
+                    and not known_wrapper(source.address.wrapper):
+                raise ValidationError(
+                    f"unknown wrapper {source.address.wrapper!r} "
+                    f"for source {source.alias!r}"
+                )
+
+        stream_tables = _parse_tables(
+            stream.query, f"stream query of {descriptor.name}/{stream.name}"
+        )
+        unknown = stream_tables - aliases
+        if unknown:
+            raise ValidationError(
+                f"stream query of {stream.name!r} reads unknown source "
+                f"alias(es) {sorted(unknown)}; declared: {sorted(aliases)}"
+            )
+        if not stream_tables:
+            warnings.append(
+                f"stream query of {stream.name!r} reads no source; "
+                f"it will produce constant rows"
+            )
+
+    _check_window(descriptor.storage.history_size,
+                  f"{descriptor.name}/<storage size>")
+
+    if len(descriptor.output_structure) == 0:
+        raise ValidationError("output structure cannot be empty")
+
+    return warnings
+
+
+def _parse_tables(sql: str, context: str):
+    try:
+        statement = parse_select(sql)
+    except SQLError as exc:
+        raise ValidationError(f"{context} does not parse: {exc}") from exc
+    return statement_tables(statement)
+
+
+def _check_window(spec: Optional[str], context: str) -> None:
+    if spec is None:
+        return
+    try:
+        parse_window_spec(spec)
+    except Exception as exc:
+        raise ValidationError(f"bad window spec in {context}: {exc}") from exc

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the GSN reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`GSNError` so that
+applications can catch middleware failures with a single ``except`` clause
+while still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class GSNError(Exception):
+    """Base class for all errors raised by the middleware."""
+
+
+class ConfigurationError(GSNError):
+    """A deployment descriptor or runtime configuration value is invalid."""
+
+
+class DescriptorError(ConfigurationError):
+    """An XML virtual-sensor deployment descriptor could not be parsed."""
+
+
+class ValidationError(ConfigurationError):
+    """A descriptor parsed correctly but violates a semantic constraint."""
+
+
+class SchemaError(GSNError):
+    """A stream element does not match the schema it is declared against."""
+
+
+class StreamError(GSNError):
+    """A data-stream level failure (ordering, rate, disconnection)."""
+
+
+class WindowError(StreamError):
+    """An invalid window specification or window operation."""
+
+
+class SQLError(GSNError):
+    """Base class for SQL engine failures."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so tools can point at the error.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SQLPlanError(SQLError):
+    """A parsed query cannot be planned (unknown table/column, bad types)."""
+
+
+class SQLExecutionError(SQLError):
+    """A planned query failed during execution."""
+
+
+class StorageError(GSNError):
+    """The storage layer failed to persist or retrieve stream data."""
+
+
+class WrapperError(GSNError):
+    """A wrapper failed to initialize, produce data, or shut down."""
+
+
+class LifecycleError(GSNError):
+    """An operation is illegal in the current life-cycle state."""
+
+
+class DeploymentError(GSNError):
+    """A virtual sensor could not be deployed or undeployed."""
+
+
+class DiscoveryError(GSNError):
+    """No virtual sensor matching a set of predicates could be located."""
+
+
+class TransportError(GSNError):
+    """Inter-container communication failed."""
+
+
+class AccessDeniedError(GSNError):
+    """The caller lacks the permission required for the operation."""
+
+
+class IntegrityError(GSNError):
+    """A signed or encrypted payload failed verification."""
+
+
+class NotificationError(GSNError):
+    """A notification channel failed to deliver an event."""

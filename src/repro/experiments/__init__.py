@@ -1,0 +1,14 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+- :mod:`repro.experiments.figure3` — "GSN node under time-triggered load"
+- :mod:`repro.experiments.figure4` — "Query processing latency in a GSN node"
+- :mod:`repro.experiments.ablations` — design-choice ablations
+- :mod:`repro.experiments.runner` — the ``gsn-repro`` CLI
+
+Run ``python -m repro.experiments figure3`` (or ``figure4``, ``all``).
+"""
+
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure4 import Figure4Result, run_figure4
+
+__all__ = ["run_figure3", "Figure3Result", "run_figure4", "Figure4Result"]

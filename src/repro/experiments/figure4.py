@@ -1,0 +1,144 @@
+"""Figure 4: query processing latency in a GSN node.
+
+Paper setup: one GSN node serving a stream with element size (SES) 32 KB;
+0-500 registered clients issuing "random queries with 3 filtering
+predicates in the where clause on average, using random history sizes
+from 1 second up to 30 minutes and uniformly distributed random sampling
+rates"; bursts produced with a small probability. The plotted quantity is
+the *total* processing time for evaluating the whole client set on a data
+arrival.
+
+Expected shape: total time grows roughly linearly with the client count
+(the per-client cost stays roughly flat — the paper reports < 1 ms/client
+at 500 clients), with spikes on burst rounds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.container import GSNContainer
+from repro.metrics.report import Series, format_table
+from repro.simulation.workload import QueryWorkloadGenerator, payload_descriptor
+
+#: The paper sweeps 0..500 clients; we sample that range.
+PAPER_CLIENT_COUNTS = tuple(range(0, 501, 25))
+
+#: Stream element size used in the paper's Figure 4.
+PAPER_SES = 32_768
+
+#: Burst probability ("bursts were produced with a probability of ~0.05").
+BURST_PROBABILITY = 0.05
+
+#: Extra data elements injected on a burst round.
+BURST_ELEMENTS = 25
+
+
+@dataclass
+class Figure4Result:
+    series: Series = field(default_factory=lambda: Series("SES=32KB"))
+    burst_rounds: List[int] = field(default_factory=list)
+
+    def table(self) -> str:
+        rows: List[Tuple[object, ...]] = []
+        for clients, total_ms in self.series.points:
+            per_client = total_ms / clients if clients else 0.0
+            burst = "burst" if clients in self.burst_rounds else ""
+            rows.append((int(clients), total_ms, per_client, burst))
+        return format_table(
+            ("clients", "total_ms", "ms_per_client", "note"), rows
+        )
+
+    def plot(self) -> str:
+        from repro.metrics.ascii_plot import plot_series
+        return plot_series([self.series], x_label="number of clients",
+                           y_label="total processing ms")
+
+    def shape_holds(self) -> bool:
+        """Total time must grow with client count while per-client cost
+        stays bounded (amortization) — the paper's qualitative claims."""
+        points = [(c, t) for c, t in self.series.points
+                  if c not in self.burst_rounds]
+        if len(points) < 3:
+            return False
+        counts = [c for c, __ in points]
+        totals = [t for __, t in points]
+        if totals[-1] <= totals[0]:
+            return False
+        larges = [t / c for c, t in points if c >= max(counts) / 2]
+        smalls = [t / c for c, t in points if 0 < c <= max(counts) / 4]
+        if not larges or not smalls:
+            return True
+        # Per-client cost must not blow up as clients increase.
+        return (sum(larges) / len(larges)) <= 2.0 * (sum(smalls) / len(smalls))
+
+
+def run_figure4(client_counts: Sequence[int] = PAPER_CLIENT_COUNTS,
+                ses_bytes: int = PAPER_SES,
+                warmup_ms: int = 5_000,
+                seed: Optional[int] = 7,
+                burst_probability: float = BURST_PROBABILITY,
+                verbose: bool = False) -> Figure4Result:
+    """Regenerate the Figure 4 data.
+
+    For each client count N: register N random standing queries against a
+    32 KB-element stream, let one data arrival trigger the repository,
+    and measure the total wall time to evaluate all N queries.
+    """
+    import random
+
+    result = Figure4Result()
+    burst_rng = random.Random(seed)
+
+    with GSNContainer("fig4") as node:
+        node.deploy(payload_descriptor("stream", 1, 500, ses_bytes,
+                                       window="5"))
+        node.run_for(warmup_ms)
+        table = node.output_table("stream")
+        generator = QueryWorkloadGenerator(table, node.now, seed=seed)
+
+        for clients in client_counts:
+            subscriptions = [
+                node.register_query(generator.next_query(), channel="queue",
+                                    client=f"client-{i}")
+                for i in range(clients)
+            ]
+
+            is_burst = burst_rng.random() < burst_probability
+            if is_burst:
+                node.run_for(500 * BURST_ELEMENTS)
+                result.burst_rounds.append(clients)
+
+            catalog = node.processor.snapshot_catalog()
+            started = time.perf_counter()
+            node.repository.data_arrived(table, catalog)
+            total_ms = (time.perf_counter() - started) * 1000.0
+
+            result.series.add(clients, total_ms)
+            if verbose:
+                per_client = total_ms / clients if clients else 0.0
+                print(f"  clients={clients:>4} -> total {total_ms:8.3f} ms "
+                      f"({per_client:.4f} ms/client)"
+                      f"{'  [burst]' if is_burst else ''}")
+
+            for subscription in subscriptions:
+                node.unregister_query(subscription.id)
+            # Drain the queue channel so memory stays flat across rounds.
+            node.notifications.channel("queue").drain()
+
+    return result
+
+
+def main(fast: bool = False) -> Figure4Result:
+    """CLI entry: print the regenerated Figure 4 table."""
+    counts = tuple(range(0, 501, 100)) if fast else PAPER_CLIENT_COUNTS
+    result = run_figure4(client_counts=counts, verbose=True)
+    print()
+    print("Figure 4 — query processing latency in a GSN node (SES=32KB)")
+    print(result.table())
+    print()
+    print(result.plot())
+    print(f"\nshape holds: {result.shape_holds()}")
+    return result

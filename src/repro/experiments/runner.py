@@ -1,0 +1,140 @@
+"""The ``gsn-repro`` command-line runner.
+
+Experiments::
+
+    gsn-repro figure3 [--fast]
+    gsn-repro figure4 [--fast]
+    gsn-repro ablations
+    gsn-repro scalability
+    gsn-repro all [--fast]
+    gsn-repro demo [--fast]
+
+Operations — deploy descriptor files into a throwaway simulated node::
+
+    gsn-repro run sensor1.xml sensor2.xml --duration 30s \\
+        --query "select count(*) n from vs_sensor1" \\
+        --dashboard node.html
+
+Equivalently ``python -m repro.experiments <command>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ablations, figure3, figure4, scalability
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gsn-repro",
+        description="GSN reproduction: experiments and a descriptor runner.",
+    )
+    parser.add_argument(
+        "command",
+        choices=("figure3", "figure4", "ablations", "scalability",
+                 "demo", "run", "all"),
+        help="experiment to run, `demo` (the paper's Figure 5 testbed), "
+             "or `run` (deploy descriptor XML files into a simulated node)",
+    )
+    parser.add_argument(
+        "descriptors", nargs="*",
+        help="descriptor XML files (for the `run` command)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="reduced scale (fewer devices / client counts) for smoke runs",
+    )
+    parser.add_argument(
+        "--duration", default="30s",
+        help="simulated time for `run` (duration string, default 30s)",
+    )
+    parser.add_argument(
+        "--query", action="append", default=[],
+        help="SQL to print after the `run` (repeatable)",
+    )
+    parser.add_argument(
+        "--dashboard", default="",
+        help="write the node's HTML dashboard here after the `run`",
+    )
+    return parser
+
+
+def run_descriptors(descriptor_paths: List[str], duration: str,
+                    queries: List[str], dashboard: str) -> int:
+    """The `run` command: a disposable simulated node for quick trials."""
+    from repro.container import GSNContainer
+    from repro.gsntime.duration import parse_duration
+
+    if not descriptor_paths:
+        print("run: provide at least one descriptor XML file",
+              file=sys.stderr)
+        return 2
+    duration_ms = parse_duration(duration).millis
+    with GSNContainer("gsn-run") as node:
+        for path in descriptor_paths:
+            sensor = node.deploy(path)
+            print(f"deployed {sensor.name!r} from {path}")
+        node.run_for(duration_ms)
+        print(f"ran {duration} of simulated time "
+              f"({node.scheduler.events_fired} events)")
+        for name in node.sensor_names():
+            sensor = node.sensor(name)
+            print(f"  {name}: {sensor.elements_produced} elements, "
+                  f"mean {sensor.latency.mean_ms:.3f} ms/element")
+        for sql in queries:
+            print(f"\n> {sql}")
+            print(node.query(sql).pretty())
+        if dashboard:
+            from repro.tools.dashboard import write_dashboard
+            write_dashboard(node, dashboard)
+            print(f"\ndashboard written to {dashboard}")
+    return 0
+
+
+def run_demo(fast: bool = False) -> None:
+    """Stand up the Figure 5 demo testbed, run it, print the node
+    dashboards' headline numbers, and write HTML dashboards."""
+    from repro.simulation.networks import build_demo_deployment
+    from repro.tools.dashboard import write_dashboard
+
+    scale = dict(motes=6, cameras=3) if fast else dict(motes=22, cameras=15)
+    with build_demo_deployment(**scale) as demo:
+        demo.run_for(10_000)
+        print(f"demo testbed: {len(demo.network.directory)} sensors "
+              f"across {len(demo.containers)} GSN nodes")
+        for container in demo.containers:
+            produced = sum(container.sensor(name).elements_produced
+                           for name in container.sensor_names())
+            page = f"dashboard-{container.name}.html"
+            write_dashboard(container, page)
+            print(f"  {container.name}: {len(container.sensor_names())} "
+                  f"sensors, {produced} elements -> {page}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return run_descriptors(args.descriptors, args.duration,
+                               args.query, args.dashboard)
+    if args.command in ("figure3", "all"):
+        print("=" * 70)
+        figure3.main(fast=args.fast)
+    if args.command in ("figure4", "all"):
+        print("=" * 70)
+        figure4.main(fast=args.fast)
+    if args.command in ("ablations", "all"):
+        print("=" * 70)
+        ablations.main()
+    if args.command in ("scalability", "all"):
+        print("=" * 70)
+        scalability.main()
+    if args.command == "demo":
+        run_demo(fast=args.fast)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Scalability sweeps.
+
+"Scalability (peer-to-peer architecture)" is one of the paper's four
+design goals and "a key factor determining the usability of GSN is its
+scalability in the number of queries and clients" (Section 5). Figure 4
+covers the client axis; these sweeps cover the other two:
+
+- :func:`sweep_sensors_per_node` — does per-element cost stay flat as
+  one container hosts more virtual sensors?
+- :func:`sweep_network_size` — does remote-stream delivery stay intact
+  as more peer nodes join and chain off each other?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.container import GSNContainer
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.metrics.report import Series, format_table
+from repro.network.peer import PeerNetwork
+from repro.simulation.networks import mote_descriptor
+
+
+@dataclass
+class ScalabilityResult:
+    label: str
+    series: Series
+    notes: List[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        return format_table(
+            (self.label, self.series.label),
+            [(int(x), y) for x, y in self.series.points],
+        )
+
+
+def sweep_sensors_per_node(
+    sensor_counts: Sequence[int] = (1, 4, 16, 64),
+    interval_ms: int = 500,
+    duration_ms: int = 4_000,
+) -> ScalabilityResult:
+    """Mean pipeline service time per element as sensor count grows.
+
+    A scalable container keeps this flat: each sensor's pipeline touches
+    only its own windows and storage, so co-hosted sensors must not tax
+    each other (beyond constant factors).
+    """
+    result = ScalabilityResult("sensors", Series("ms/element"))
+    for count in sensor_counts:
+        with GSNContainer(f"scale-{count}") as node:
+            for index in range(count):
+                node.deploy(mote_descriptor(f"m{index}", index + 1,
+                                            interval_ms=interval_ms))
+            node.run_for(duration_ms)
+            total_ms = 0.0
+            elements = 0
+            for name in node.sensor_names():
+                recorder = node.sensor(name).latency
+                total_ms += recorder.total_ms
+                elements += recorder.count
+            mean = total_ms / elements if elements else 0.0
+            result.series.add(count, mean)
+    return result
+
+
+def sweep_network_size(
+    node_counts: Sequence[int] = (2, 4, 8),
+    interval_ms: int = 500,
+    duration_ms: int = 4_000,
+) -> Tuple[ScalabilityResult, List[int]]:
+    """Chains of mirror sensors across N peer nodes.
+
+    Node 0 hosts the physical sensor; node k mirrors node k-1's stream
+    through remote addressing. Returns per-chain-length delivery counts
+    plus mean end-of-chain element counts — a scalable peer layer loses
+    nothing as chains grow.
+    """
+    result = ScalabilityResult("nodes", Series("elements_at_tail"))
+    deliveries = []
+    for node_count in node_counts:
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        network = PeerNetwork(scheduler=scheduler)
+        nodes = [
+            GSNContainer(f"n{i}", network=network, clock=clock,
+                         scheduler=scheduler)
+            for i in range(node_count)
+        ]
+        try:
+            nodes[0].deploy(mote_descriptor("origin", 1,
+                                            interval_ms=interval_ms))
+            previous = "origin"
+            for index in range(1, node_count):
+                mirror_name = f"hop{index}"
+                nodes[index].deploy(_mirror_xml(mirror_name, previous))
+                previous = mirror_name
+            scheduler.run_for(duration_ms)
+            tail = nodes[-1].sensor(previous)
+            result.series.add(node_count, tail.elements_produced)
+            deliveries.append(network.bus.delivered)
+        finally:
+            for node in reversed(nodes):
+                node.shutdown()
+    return result, deliveries
+
+
+def _mirror_xml(name: str, upstream: str) -> str:
+    return f"""
+    <virtual-sensor name="{name}">
+      <output-structure>
+        <field name="temperature" type="integer"/>
+      </output-structure>
+      <addressing><predicate key="hop" val="{name}"/></addressing>
+      <input-stream name="in">
+        <stream-source alias="up" storage-size="1">
+          <address wrapper="remote">
+            <predicate key="name" val="{upstream}"/>
+          </address>
+          <query>select temperature from wrapper</query>
+        </stream-source>
+        <query>select * from up</query>
+      </input-stream>
+    </virtual-sensor>
+    """
+
+
+def main() -> None:
+    print("Scalability: sensors per node")
+    per_node = sweep_sensors_per_node()
+    print(per_node.table())
+    print("\nScalability: peer-network chain length")
+    chain, deliveries = sweep_network_size()
+    print(chain.table())
+    print(f"bus deliveries per sweep: {deliveries}")

@@ -1,0 +1,22 @@
+"""Time substrate: clocks, durations, and a discrete-event scheduler.
+
+GSN timestamps are integer *milliseconds* since the Unix epoch (matching the
+Java implementation's ``System.currentTimeMillis()``). Every component that
+needs the current time takes a :class:`~repro.gsntime.clock.Clock` so that
+tests and simulations can substitute a :class:`~repro.gsntime.clock.VirtualClock`.
+"""
+
+from repro.gsntime.clock import Clock, SystemClock, VirtualClock
+from repro.gsntime.duration import Duration, parse_duration, parse_window_spec
+from repro.gsntime.scheduler import EventScheduler, ScheduledEvent
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "Duration",
+    "parse_duration",
+    "parse_window_spec",
+    "EventScheduler",
+    "ScheduledEvent",
+]

@@ -1,0 +1,67 @@
+"""Clocks.
+
+Each GSN container owns a local clock (Section 3 of the paper: "a local
+clock at each GSN container"). The middleware never calls ``time.time()``
+directly; it asks its clock, so simulations can run at virtual speed and
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+
+
+class Clock(abc.ABC):
+    """Source of the current time in epoch milliseconds."""
+
+    @abc.abstractmethod
+    def now(self) -> int:
+        """Return the current time in milliseconds since the epoch."""
+
+    def now_seconds(self) -> float:
+        """Convenience: current time in floating-point seconds."""
+        return self.now() / 1000.0
+
+
+class SystemClock(Clock):
+    """Wall-clock time from the operating system."""
+
+    def now(self) -> int:
+        return time.time_ns() // 1_000_000
+
+
+class VirtualClock(Clock):
+    """A manually advanced clock for simulation and tests.
+
+    The clock is thread-safe: wrapper threads and the scheduler may read it
+    while a test advances it.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("virtual clock cannot start before the epoch")
+        self._now = start
+        self._lock = threading.Lock()
+
+    def now(self) -> int:
+        with self._lock:
+            return self._now
+
+    def advance(self, millis: int) -> int:
+        """Move time forward by ``millis`` and return the new time."""
+        if millis < 0:
+            raise ValueError("time cannot move backwards")
+        with self._lock:
+            self._now += millis
+            return self._now
+
+    def set(self, millis: int) -> None:
+        """Jump to an absolute time, which must not be in the past."""
+        with self._lock:
+            if millis < self._now:
+                raise ValueError(
+                    f"cannot set clock to {millis}, already at {self._now}"
+                )
+            self._now = millis

@@ -1,0 +1,119 @@
+"""Duration and window-size specifications.
+
+GSN descriptors express temporal extents as strings such as ``"10s"``,
+``"1h"``, ``"500ms"`` or ``"2m30s"``; a bare number (``"10"``) denotes a
+*count* of tuples rather than a time span (this is how the original GSN
+distinguishes time- from count-based windows in ``storage-size``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Multipliers from unit suffix to milliseconds.
+_UNIT_MS = {
+    "ms": 1,
+    "s": 1_000,
+    "m": 60_000,
+    "min": 60_000,
+    "h": 3_600_000,
+    "d": 86_400_000,
+}
+
+_COMPONENT = re.compile(r"(\d+(?:\.\d+)?)\s*(ms|min|s|m|h|d)", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Duration:
+    """A span of time, stored in integer milliseconds."""
+
+    millis: int
+
+    def __post_init__(self) -> None:
+        if self.millis < 0:
+            raise ConfigurationError("durations cannot be negative")
+
+    @property
+    def seconds(self) -> float:
+        return self.millis / 1000.0
+
+    def __str__(self) -> str:
+        return format_duration(self.millis)
+
+    def __int__(self) -> int:
+        return self.millis
+
+    def __bool__(self) -> bool:
+        return self.millis > 0
+
+    def __add__(self, other: "Duration") -> "Duration":
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return Duration(self.millis + other.millis)
+
+    def __mul__(self, factor: int) -> "Duration":
+        return Duration(self.millis * factor)
+
+
+def parse_duration(text: str) -> Duration:
+    """Parse a duration string like ``"10s"``, ``"1h"`` or ``"2m30s"``.
+
+    Raises :class:`ConfigurationError` for empty, negative, bare-numeric, or
+    otherwise malformed inputs — bare numbers are counts, not durations, and
+    must be handled by :func:`parse_window_spec`.
+    """
+    stripped = text.strip().lower()
+    if not stripped:
+        raise ConfigurationError("empty duration")
+    total = 0.0
+    position = 0
+    matched_any = False
+    while position < len(stripped):
+        match = _COMPONENT.match(stripped, position)
+        if match is None:
+            raise ConfigurationError(f"malformed duration: {text!r}")
+        value, unit = match.groups()
+        total += float(value) * _UNIT_MS[unit.lower()]
+        position = match.end()
+        matched_any = True
+    if not matched_any:
+        raise ConfigurationError(f"malformed duration: {text!r}")
+    return Duration(int(round(total)))
+
+
+def parse_window_spec(text: str) -> Tuple[str, int]:
+    """Parse a ``storage-size`` / window attribute.
+
+    Returns ``("time", millis)`` for suffixed values (``"10s"``) and
+    ``("count", n)`` for bare integers (``"10"``), mirroring GSN's
+    convention for distinguishing time- and count-based windows.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ConfigurationError("empty window specification")
+    if stripped.isdigit():
+        count = int(stripped)
+        if count <= 0:
+            raise ConfigurationError("count windows must hold at least 1 tuple")
+        return ("count", count)
+    return ("time", parse_duration(stripped).millis)
+
+
+def format_duration(millis: int) -> str:
+    """Render milliseconds using the largest exact units (``90000`` → ``"1m30s"``)."""
+    if millis < 0:
+        raise ConfigurationError("durations cannot be negative")
+    if millis == 0:
+        return "0ms"
+    parts = []
+    remaining = millis
+    for unit, factor in (("d", 86_400_000), ("h", 3_600_000),
+                         ("m", 60_000), ("s", 1_000), ("ms", 1)):
+        amount, remaining = divmod(remaining, factor)
+        if amount:
+            parts.append(f"{amount}{unit}")
+    return "".join(parts)

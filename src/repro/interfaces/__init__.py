@@ -1,0 +1,15 @@
+"""Access interfaces.
+
+"The interface layer provides access functions for other GSN containers
+and via the Web (through a browser or via web services)" (paper,
+Section 4). With no network available, the web interface is a facade
+whose methods correspond 1:1 to HTTP endpoints and return JSON-ready
+dicts; :class:`~repro.interfaces.client.GSNClient` is the programmatic
+client applications embed.
+"""
+
+from repro.interfaces.web import WebInterface
+from repro.interfaces.client import GSNClient
+from repro.interfaces.http_server import GSNHttpServer
+
+__all__ = ["WebInterface", "GSNClient", "GSNHttpServer"]

@@ -1,0 +1,189 @@
+"""Programmatic client.
+
+A thin, typed convenience layer over a container for applications that
+embed GSN: fluent descriptor building, blocking-style "wait for next
+element", and result unwrapping. Everything it does can also be done
+through the container API directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.container import GSNContainer
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, LifeCycleConfig, StorageConfig,
+    StreamSourceSpec, VirtualSensorDescriptor,
+)
+from repro.datatypes import DataType
+from repro.exceptions import GSNError
+from repro.streams.element import StreamElement
+from repro.streams.schema import Field, StreamSchema
+
+
+class DescriptorBuilder:
+    """Fluent construction of deployment descriptors.
+
+    Example::
+
+        descriptor = (client.descriptor("avg-temp")
+                      .output(temperature=DataType.INTEGER)
+                      .lifecycle(pool_size=4)
+                      .storage(permanent=True, history="10s")
+                      .predicate("type", "temperature")
+                      .stream("input", "select * from src",
+                              rate=100)
+                      .source("src", "mote", {"interval": "500"},
+                              query="select avg(temperature) as temperature"
+                                    " from wrapper",
+                              window="30s")
+                      .build())
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._fields: List[Field] = []
+        self._lifecycle = LifeCycleConfig()
+        self._storage = StorageConfig()
+        self._addressing: Dict[str, str] = {}
+        self._description = ""
+        self._streams: List[Dict[str, Any]] = []
+
+    def output(self, **fields: DataType) -> "DescriptorBuilder":
+        for name, dtype in fields.items():
+            self._fields.append(Field(name, dtype))
+        return self
+
+    def lifecycle(self, pool_size: int = 1) -> "DescriptorBuilder":
+        self._lifecycle = LifeCycleConfig(pool_size=pool_size)
+        return self
+
+    def storage(self, permanent: bool = False,
+                history: Optional[str] = None) -> "DescriptorBuilder":
+        self._storage = StorageConfig(permanent=permanent,
+                                      history_size=history)
+        return self
+
+    def predicate(self, key: str, value: str) -> "DescriptorBuilder":
+        self._addressing[key] = value
+        return self
+
+    def describe(self, text: str) -> "DescriptorBuilder":
+        self._description = text
+        return self
+
+    def stream(self, name: str, query: str,
+               rate: float = 0.0) -> "DescriptorBuilder":
+        self._streams.append(
+            {"name": name, "query": query, "rate": rate, "sources": []}
+        )
+        return self
+
+    def source(self, alias: str, wrapper: str,
+               predicates: Optional[Dict[str, str]] = None,
+               query: str = "select * from wrapper",
+               window: Optional[str] = None,
+               sampling: float = 1.0,
+               disconnect_buffer: int = 0) -> "DescriptorBuilder":
+        if not self._streams:
+            raise GSNError("declare a stream before adding sources")
+        self._streams[-1]["sources"].append(StreamSourceSpec(
+            alias=alias,
+            address=AddressSpec(wrapper, predicates or {}),
+            query=query,
+            storage_size=window,
+            sampling_rate=sampling,
+            disconnect_buffer=disconnect_buffer,
+        ))
+        return self
+
+    def build(self) -> VirtualSensorDescriptor:
+        streams = tuple(
+            InputStreamSpec(name=s["name"], sources=tuple(s["sources"]),
+                            query=s["query"], rate=s["rate"])
+            for s in self._streams
+        )
+        return VirtualSensorDescriptor(
+            name=self._name,
+            output_structure=StreamSchema(self._fields),
+            input_streams=streams,
+            lifecycle=self._lifecycle,
+            storage=self._storage,
+            addressing=self._addressing,
+            description=self._description,
+        )
+
+
+class GSNClient:
+    """Application-side convenience wrapper around one container."""
+
+    def __init__(self, container: GSNContainer,
+                 client_name: str = "client", api_key: str = "") -> None:
+        self.container = container
+        self.client_name = client_name
+        self.api_key = api_key
+
+    def descriptor(self, name: str) -> DescriptorBuilder:
+        return DescriptorBuilder(name)
+
+    def deploy(self, descriptor: Any) -> str:
+        if isinstance(descriptor, DescriptorBuilder):
+            descriptor = descriptor.build()
+        sensor = self.container.deploy(descriptor, client=self.client_name,
+                                       api_key=self.api_key)
+        return sensor.name
+
+    def undeploy(self, name: str) -> None:
+        self.container.undeploy(name, client=self.client_name,
+                                api_key=self.api_key)
+
+    def query(self, sql: str) -> List[Dict[str, Any]]:
+        relation = self.container.query(sql, client=self.client_name,
+                                        api_key=self.api_key)
+        return relation.to_dicts()
+
+    def query_sensor(self, sensor_name: str,
+                     where: str = "") -> List[Dict[str, Any]]:
+        """Read a sensor's retained output stream."""
+        table = self.container.output_table(sensor_name)
+        sql = f"select * from {table}"
+        if where:
+            sql += f" where {where}"
+        return self.query(sql)
+
+    def on_output(self, sensor_name: str,
+                  callback: Callable[[StreamElement], None]) -> None:
+        """Invoke ``callback`` for every new element of a sensor."""
+        self.container.sensor(sensor_name).add_listener(callback)
+
+    def next_output(self, sensor_name: str,
+                    timeout_ms: int = 60_000) -> Optional[StreamElement]:
+        """Run the simulation until the sensor produces its next element
+        (or the timeout elapses). Simulated containers only."""
+        captured: List[StreamElement] = []
+        sensor = self.container.sensor(sensor_name)
+        listener = captured.append
+        sensor.add_listener(listener)
+        try:
+            deadline = self.container.now() + timeout_ms
+            while not captured and self.container.now() < deadline:
+                if self.container.scheduler is None:
+                    raise GSNError("next_output() needs a simulated container")
+                if not self.container.scheduler.step():
+                    break
+            return captured[0] if captured else None
+        finally:
+            sensor.remove_listener(listener)
+
+    def watch(self, sql: str, channel: str = "queue", name: str = "") -> int:
+        """Register a standing query; returns the subscription id."""
+        subscription = self.container.register_query(
+            sql, channel=channel, client=self.client_name, name=name,
+            api_key=self.api_key,
+        )
+        return subscription.id
+
+    def notifications(self) -> List[Dict[str, Any]]:
+        """Drain the default queue channel."""
+        channel = self.container.notifications.channel("queue")
+        return channel.drain()  # type: ignore[attr-defined]

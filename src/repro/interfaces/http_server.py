@@ -1,0 +1,204 @@
+"""A real HTTP server over the web facade.
+
+"The interface layer provides access functions ... via the Web (through
+a browser or via web services)" — this module serves the
+:class:`~repro.interfaces.web.WebInterface` endpoints over actual HTTP
+(standard library only), plus the HTML dashboard at ``/``.
+
+Routes
+------
+==========================  ====================================
+``GET  /``                  HTML dashboard
+``GET  /overview``          landing data (JSON, as are all below)
+``GET  /monitor``           full status document
+``GET  /sensors``           deployed sensor names
+``GET  /sensors/<name>``    one sensor's status
+``GET  /sensors/<name>/latest``  newest output element
+``GET  /query?sql=...``     ad-hoc SQL
+``GET  /explain?sql=...``   query plan
+``GET  /network``           peer-network view
+``POST /deploy``            body = descriptor XML
+``POST /reconfigure``       body = descriptor XML
+``POST /undeploy/<name>``   remove a sensor
+``POST /subscriptions?sql=...&channel=...&name=...&history=...``
+``DELETE /subscriptions/<id>``
+==========================  ====================================
+
+Credentials travel in the ``X-GSN-Client`` / ``X-GSN-Key`` headers when
+the container has access control enabled.
+
+Intended for interactive use against *wall-clock* containers; simulated
+containers work too but only advance when something calls ``run_for``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.container import GSNContainer
+from repro.interfaces.web import WebInterface, _json_default
+
+
+class GSNHttpServer:
+    """Serves one container over HTTP on a background thread."""
+
+    def __init__(self, container: GSNContainer, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.container = container
+        self.web = WebInterface(container)
+        handler = _build_handler(self)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "GSNHttpServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="gsn-http", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "GSNHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def _build_handler(owner: GSNHttpServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args: Any) -> None:  # quiet by default
+            pass
+
+        # -- plumbing -----------------------------------------------------
+
+        def _credentials(self) -> Dict[str, str]:
+            return {
+                "client": self.headers.get("X-GSN-Client", ""),
+                "api_key": self.headers.get("X-GSN-Key", ""),
+            }
+
+        def _query_params(self) -> Dict[str, str]:
+            parsed = parse_qs(urlparse(self.path).query)
+            return {key: values[0] for key, values in parsed.items()}
+
+        def _body(self) -> str:
+            length = int(self.headers.get("Content-Length", "0") or 0)
+            return self.rfile.read(length).decode("utf-8") if length else ""
+
+        def _send_json(self, response: Dict[str, Any]) -> None:
+            payload = json.dumps(response, default=_json_default
+                                 ).encode("utf-8")
+            self.send_response(response.get("status", 200))
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_html(self, html: str) -> None:
+            payload = html.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _not_found(self) -> None:
+            self._send_json({"status": 404, "error": "NotFound",
+                             "message": self.path})
+
+        # -- methods ------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server convention
+            route = urlparse(self.path).path.rstrip("/") or "/"
+            params = self._query_params()
+            web = owner.web
+            if route == "/":
+                from repro.tools.dashboard import render_dashboard
+                self._send_html(render_dashboard(owner.container))
+            elif route == "/overview":
+                self._send_json(web.overview())
+            elif route == "/monitor":
+                self._send_json(web.monitor())
+            elif route == "/sensors":
+                self._send_json({"status": 200,
+                                 "sensors": owner.container.sensor_names()})
+            elif route.startswith("/sensors/") and route.endswith("/latest"):
+                name = route[len("/sensors/"):-len("/latest")]
+                self._send_json(web.latest_reading(name))
+            elif route.startswith("/sensors/"):
+                self._send_json(web.sensor(route[len("/sensors/"):]))
+            elif route == "/query":
+                self._send_json(web.query(params.get("sql", ""),
+                                          **self._credentials()))
+            elif route == "/explain":
+                self._send_json(web.explain(params.get("sql", "")))
+            elif route == "/network":
+                self._send_json(web.directory())
+            else:
+                self._not_found()
+
+        def do_POST(self) -> None:  # noqa: N802
+            route = urlparse(self.path).path.rstrip("/")
+            params = self._query_params()
+            web = owner.web
+            if route == "/deploy":
+                self._send_json(web.deploy(self._body(),
+                                           **self._credentials()))
+            elif route == "/reconfigure":
+                self._send_json(web.reconfigure(self._body(),
+                                                **self._credentials()))
+            elif route.startswith("/undeploy/"):
+                self._send_json(web.undeploy(route[len("/undeploy/"):],
+                                             **self._credentials()))
+            elif route == "/subscriptions":
+                self._send_json(web.register_query(
+                    params.get("sql", ""),
+                    channel=params.get("channel", "queue"),
+                    client=params.get("client", "anonymous"),
+                    name=params.get("name", ""),
+                    history=params.get("history") or None,
+                ))
+            else:
+                self._not_found()
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            route = urlparse(self.path).path.rstrip("/")
+            if route.startswith("/subscriptions/"):
+                raw = route[len("/subscriptions/"):]
+                try:
+                    subscription_id = int(raw)
+                except ValueError:
+                    self._send_json({"status": 400, "error": "BadRequest",
+                                     "message": f"bad id {raw!r}"})
+                    return
+                self._send_json(owner.web.unregister_query(subscription_id))
+            else:
+                self._not_found()
+
+    return Handler

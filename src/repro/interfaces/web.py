@@ -1,0 +1,166 @@
+"""The web interface facade.
+
+Each method models one HTTP endpoint of the original GSN web console
+(``GET /gsn``, ``GET /sensors/<name>``, ``POST /deploy`` ...) and returns
+a JSON-serializable dict with an HTTP-ish ``status`` code, so a real HTTP
+layer could be bolted on top without touching the middleware. The demo's
+"monitor the effective status of all parts of the system" runs through
+:meth:`overview` and :meth:`monitor`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.container import GSNContainer
+from repro.exceptions import GSNError
+
+
+def _ok(body: Dict[str, Any]) -> Dict[str, Any]:
+    return {"status": 200, **body}
+
+
+def _error(exc: Exception, status: int = 400) -> Dict[str, Any]:
+    return {"status": status, "error": type(exc).__name__,
+            "message": str(exc)}
+
+
+class WebInterface:
+    """HTTP-shaped access to one container."""
+
+    def __init__(self, container: GSNContainer) -> None:
+        self.container = container
+
+    # -- GET endpoints ---------------------------------------------------------
+
+    def overview(self) -> Dict[str, Any]:
+        """``GET /`` — the landing page data."""
+        return _ok({
+            "container": self.container.name,
+            "time": self.container.now(),
+            "virtual_sensors": self.container.sensor_names(),
+            "channels": self.container.notifications.channel_names(),
+        })
+
+    def monitor(self) -> Dict[str, Any]:
+        """``GET /monitor`` — full status document."""
+        return _ok({"monitor": self.container.status()})
+
+    def sensor(self, name: str) -> Dict[str, Any]:
+        """``GET /sensors/<name>``."""
+        try:
+            return _ok({"sensor": self.container.sensor(name).status()})
+        except GSNError as exc:
+            return _error(exc, status=404)
+
+    def latest_reading(self, name: str) -> Dict[str, Any]:
+        """``GET /sensors/<name>/latest``."""
+        try:
+            element = self.container.sensor(name).latest_output()
+        except GSNError as exc:
+            return _error(exc, status=404)
+        if element is None:
+            return _ok({"sensor": name, "latest": None})
+        values = {
+            key: (f"<{len(value)} bytes>"
+                  if isinstance(value, (bytes, bytearray)) else value)
+            for key, value in element.values.items()
+        }
+        return _ok({"sensor": name,
+                    "latest": {"timed": element.timed, "values": values}})
+
+    def query(self, sql: str, client: str = "",
+              api_key: str = "") -> Dict[str, Any]:
+        """``GET /query?sql=...``."""
+        try:
+            relation = self.container.query(sql, client=client,
+                                            api_key=api_key)
+        except GSNError as exc:
+            return _error(exc)
+        rows = [
+            {key: (f"<{len(v)} bytes>"
+                   if isinstance(v, (bytes, bytearray)) else v)
+             for key, v in row.items()}
+            for row in relation.to_dicts()
+        ]
+        return _ok({"columns": list(relation.columns), "rows": rows,
+                    "row_count": len(relation)})
+
+    def explain(self, sql: str) -> Dict[str, Any]:
+        """``GET /explain?sql=...`` — the query's logical plan."""
+        try:
+            plan_text = self.container.processor.explain(sql)
+        except GSNError as exc:
+            return _error(exc)
+        return _ok({"sql": sql, "plan": plan_text.splitlines()})
+
+    def directory(self) -> Dict[str, Any]:
+        """``GET /network`` — the peer network view."""
+        if self.container.peer is None:
+            return _ok({"network": None})
+        return _ok({"network": self.container.peer.network.status()})
+
+    # -- POST endpoints ----------------------------------------------------------
+
+    def deploy(self, descriptor_xml: str, client: str = "",
+               api_key: str = "") -> Dict[str, Any]:
+        """``POST /deploy`` with the descriptor XML as the request body."""
+        try:
+            sensor = self.container.deploy(descriptor_xml, client=client,
+                                           api_key=api_key)
+        except GSNError as exc:
+            return _error(exc)
+        return _ok({"deployed": sensor.name})
+
+    def undeploy(self, name: str, client: str = "",
+                 api_key: str = "") -> Dict[str, Any]:
+        """``POST /undeploy/<name>``."""
+        try:
+            self.container.undeploy(name, client=client, api_key=api_key)
+        except GSNError as exc:
+            return _error(exc)
+        return _ok({"undeployed": name})
+
+    def reconfigure(self, descriptor_xml: str, client: str = "",
+                    api_key: str = "") -> Dict[str, Any]:
+        """``POST /reconfigure``."""
+        try:
+            sensor = self.container.reconfigure(descriptor_xml, client=client,
+                                                api_key=api_key)
+        except GSNError as exc:
+            return _error(exc)
+        return _ok({"reconfigured": sensor.name})
+
+    def register_query(self, sql: str, channel: str = "queue",
+                       client: str = "anonymous", name: str = "",
+                       history: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /subscriptions``."""
+        try:
+            subscription = self.container.register_query(
+                sql, channel=channel, client=client, name=name,
+                history=history,
+            )
+        except GSNError as exc:
+            return _error(exc)
+        return _ok({"subscription": subscription.summary()})
+
+    def unregister_query(self, subscription_id: int) -> Dict[str, Any]:
+        """``DELETE /subscriptions/<id>``."""
+        try:
+            self.container.unregister_query(subscription_id)
+        except GSNError as exc:
+            return _error(exc, status=404)
+        return _ok({"unregistered": subscription_id})
+
+    # -- helpers -----------------------------------------------------------------
+
+    def to_json(self, response: Dict[str, Any]) -> str:
+        """Serialize a response the way the HTTP layer would."""
+        return json.dumps(response, default=_json_default, indent=2)
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return f"<{len(value)} bytes>"
+    return str(value)

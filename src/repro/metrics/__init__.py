@@ -1,0 +1,8 @@
+"""Instrumentation: latency/throughput collectors and report formatting."""
+
+from repro.metrics.ascii_plot import plot_series
+from repro.metrics.collectors import LatencyRecorder, ThroughputCounter
+from repro.metrics.report import Series, format_table
+
+__all__ = ["LatencyRecorder", "ThroughputCounter", "Series",
+           "format_table", "plot_series"]

@@ -1,0 +1,89 @@
+"""ASCII rendering of figure series.
+
+The paper presents its evaluation as plots; the benchmark harness prints
+tables *and* these terminal-friendly charts, so ``bench_output.txt``
+shows the shapes (the part we claim to reproduce) at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.metrics.report import Series
+
+#: Glyphs assigned to series, in order.
+_GLYPHS = "ox+*#@%&"
+
+
+def plot_series(series: Sequence[Series], width: int = 64,
+                height: int = 16, x_label: str = "x",
+                y_label: str = "y", log_y: bool = False) -> str:
+    """Render one or more series as an ASCII scatter chart.
+
+    ``log_y`` plots a log10 y-axis — the right view for Figure 3, whose
+    values span three orders of magnitude between overload and the
+    converged tail.
+    """
+    points = [(x, y, index)
+              for index, s in enumerate(series)
+              for x, y in s.points]
+    if not points:
+        return "(no data)"
+
+    def transform(y: float) -> float:
+        if not log_y:
+            return y
+        return math.log10(max(y, 1e-9))
+
+    xs = [p[0] for p in points]
+    ys = [transform(p[1]) for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for __ in range(height)]
+    for (x, y, index) in points:
+        column = int((x - x_low) / x_span * (width - 1))
+        row = int((transform(y) - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = _GLYPHS[index % len(_GLYPHS)]
+
+    left_labels = _axis_labels(y_low, y_high, height, log_y)
+    label_width = max(len(label) for label in left_labels)
+    lines = [
+        f"{left_labels[i].rjust(label_width)} |{''.join(grid[i])}"
+        for i in range(height)
+    ]
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (f"{_fmt(x_low)}".ljust(width // 2)
+              + f"{_fmt(x_high)}".rjust(width - width // 2))
+    lines.append(" " * label_width + "  " + x_axis)
+    lines.append(" " * label_width + f"  ({x_label} →, {y_label} ↑"
+                 + (", log y)" if log_y else ")"))
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={s.label}"
+        for i, s in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def _axis_labels(y_low: float, y_high: float, height: int,
+                 log_y: bool) -> List[str]:
+    labels = [""] * height
+    for fraction, position in ((1.0, 0), (0.5, height // 2),
+                               (0.0, height - 1)):
+        value = y_low + fraction * (y_high - y_low)
+        if log_y:
+            value = 10 ** value
+        labels[position] = _fmt(value)
+    return labels
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"

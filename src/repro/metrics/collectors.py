@@ -1,0 +1,110 @@
+"""Latency and throughput collectors.
+
+The experiments measure *internal processing time* of a GSN node (paper,
+Figure 3) and *query processing time* (Figure 4); these collectors are the
+instrumentation points. They measure wall time via ``perf_counter`` and
+are deliberately tiny so their own overhead stays negligible.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class LatencyRecorder:
+    """Collects durations in milliseconds and reports summary statistics.
+
+    Thread-safe: the in-flight start timestamp is thread-local (pipeline
+    pools time concurrent runs independently) and aggregation is locked.
+    """
+
+    def __init__(self, keep_samples: bool = True) -> None:
+        self.keep_samples = keep_samples
+        self.samples: List[float] = []
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self.min_ms = math.inf
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        self._local.started = time.perf_counter()
+
+    def stop(self) -> float:
+        started: Optional[float] = getattr(self._local, "started", None)
+        if started is None:
+            raise RuntimeError("stop() without start()")
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self._local.started = None
+        self.record(elapsed_ms)
+        return elapsed_ms
+
+    def record(self, elapsed_ms: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total_ms += elapsed_ms
+            if elapsed_ms > self.max_ms:
+                self.max_ms = elapsed_ms
+            if elapsed_ms < self.min_ms:
+                self.min_ms = elapsed_ms
+            if self.keep_samples:
+                self.samples.append(elapsed_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of recorded samples."""
+        if not self.samples:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self.samples)
+        index = min(int(len(ordered) * q / 100.0), len(ordered) - 1)
+        return ordered[index]
+
+    def reset(self) -> None:
+        with self._lock:
+            self.samples.clear()
+            self.count = 0
+            self.total_ms = 0.0
+            self.max_ms = 0.0
+            self.min_ms = math.inf
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 4),
+            "min_ms": 0.0 if self.count == 0 else round(self.min_ms, 4),
+            "max_ms": round(self.max_ms, 4),
+            "p50_ms": round(self.percentile(50), 4),
+            "p95_ms": round(self.percentile(95), 4),
+        }
+
+
+class ThroughputCounter:
+    """Counts events against a (virtual or wall) clock timespan."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.first_at: Optional[int] = None
+        self.last_at: Optional[int] = None
+
+    def record(self, at_millis: int) -> None:
+        self.events += 1
+        if self.first_at is None:
+            self.first_at = at_millis
+        self.last_at = at_millis
+
+    @property
+    def per_second(self) -> float:
+        if self.events < 2 or self.first_at is None or self.last_at is None \
+                or self.last_at == self.first_at:
+            return 0.0
+        span_seconds = (self.last_at - self.first_at) / 1000.0
+        return (self.events - 1) / span_seconds

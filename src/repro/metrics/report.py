@@ -1,0 +1,74 @@
+"""Text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers render them as aligned ASCII tables so the output in
+``bench_output.txt`` reads like the figure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def ys(self) -> List[float]:
+        return [y for __, y in self.points]
+
+    def xs(self) -> List[float]:
+        return [x for x, __ in self.points]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as an aligned ASCII table."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])),
+            *(len(row[i]) for row in text_rows)) if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in text_rows
+    )
+    return "\n".join(lines)
+
+
+def format_series_table(x_label: str, series: Sequence[Series]) -> str:
+    """Render several series sharing the same x values as one table."""
+    xs: List[float] = []
+    for s in series:
+        for x in s.xs():
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    lookup: List[Dict[float, float]] = [dict(s.points) for s in series]
+    headers = [x_label] + [s.label for s in series]
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for table in lookup:
+            row.append(table.get(x, ""))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

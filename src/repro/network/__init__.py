@@ -1,0 +1,25 @@
+"""Peer-to-peer networking between GSN containers.
+
+"GSN nodes communicate among each other in a peer-to-peer fashion" with
+virtual sensor descriptions "published in a peer-to-peer directory so that
+virtual sensors can be discovered and accessed based on any combination of
+their properties" (paper, Section 4).
+
+The physical LAN of the paper's testbed is replaced by an in-process
+message bus with injectable latency and loss
+(:class:`~repro.network.transport.MessageBus`); the directory is the same
+predicate-match structure a DHT would serve.
+"""
+
+from repro.network.directory import DirectoryEntry, PeerDirectory
+from repro.network.transport import Message, MessageBus
+from repro.network.peer import PeerNetwork, PeerNode
+
+__all__ = [
+    "PeerDirectory",
+    "DirectoryEntry",
+    "MessageBus",
+    "Message",
+    "PeerNetwork",
+    "PeerNode",
+]

@@ -1,0 +1,115 @@
+"""The peer-to-peer directory.
+
+Virtual sensors are "identified by user-definable key-value pairs ...
+discovered and accessed based on any combination of their properties, for
+example, geographical location and sensor type" (paper, Section 4). A
+lookup supplies predicates; an entry matches when it carries *every*
+queried key with an equal (case-insensitive) value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.exceptions import DiscoveryError
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """One published virtual sensor.
+
+    ``schema`` carries the sensor's output structure as (field, type)
+    pairs so that subscribers can wire a remote stream without a round
+    trip to the producer.
+    """
+
+    container: str
+    sensor: str
+    predicates: Tuple[Tuple[str, str], ...]
+    schema: Tuple[Tuple[str, str], ...] = ()
+
+    def predicate_dict(self) -> Dict[str, str]:
+        return dict(self.predicates)
+
+    def matches(self, query: Mapping[str, str]) -> bool:
+        own = self.predicate_dict()
+        for key, value in query.items():
+            lowered_key = key.lower()
+            lowered_value = str(value).lower()
+            if lowered_key == "name" and lowered_key not in own:
+                # Every sensor is implicitly addressable by its name,
+                # even when the publisher set no explicit name predicate.
+                if self.sensor != lowered_value:
+                    return False
+                continue
+            if own.get(lowered_key) != lowered_value:
+                return False
+        return True
+
+
+def _normalize(predicates: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted(
+        (str(k).lower(), str(v).lower()) for k, v in predicates.items()
+    ))
+
+
+class PeerDirectory:
+    """The shared discovery structure of one GSN peer network.
+
+    In the original this is distributed (P-Grid); the reproduction keeps
+    one consistent in-process registry, which preserves the lookup
+    semantics the middleware layers against.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], DirectoryEntry] = {}
+        self.lookups = 0
+
+    def publish(self, container: str, sensor: str,
+                predicates: Mapping[str, str],
+                schema: Tuple[Tuple[str, str], ...] = ()) -> DirectoryEntry:
+        entry = DirectoryEntry(
+            container=container.lower(),
+            sensor=sensor.lower(),
+            predicates=_normalize(predicates),
+            schema=tuple(schema),
+        )
+        self._entries[(entry.container, entry.sensor)] = entry
+        return entry
+
+    def unpublish(self, container: str, sensor: str) -> None:
+        self._entries.pop((container.lower(), sensor.lower()), None)
+
+    def unpublish_container(self, container: str) -> None:
+        """Remove everything a departing container published."""
+        key = container.lower()
+        for entry_key in [k for k in self._entries if k[0] == key]:
+            del self._entries[entry_key]
+
+    def lookup(self, predicates: Mapping[str, str]) -> List[DirectoryEntry]:
+        """All entries matching every queried predicate, sorted for
+        deterministic selection."""
+        self.lookups += 1
+        matches = [
+            entry for entry in self._entries.values()
+            if entry.matches(predicates)
+        ]
+        matches.sort(key=lambda e: (e.container, e.sensor))
+        return matches
+
+    def lookup_one(self, predicates: Mapping[str, str]) -> DirectoryEntry:
+        """The first match; raises :class:`DiscoveryError` when none."""
+        matches = self.lookup(predicates)
+        if not matches:
+            raise DiscoveryError(
+                f"no virtual sensor matches predicates {dict(predicates)!r}"
+            )
+        return matches[0]
+
+    def entries(self) -> List[DirectoryEntry]:
+        return sorted(self._entries.values(),
+                      key=lambda e: (e.container, e.sensor))
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,297 @@
+"""A structured-overlay (Chord-style) distributed directory.
+
+The original GSN publishes virtual-sensor descriptions in a *P2P
+directory* (P-Grid). :class:`repro.network.directory.PeerDirectory`
+models its lookup semantics with one in-process registry; this module
+models its *distribution*: directory entries are sharded over a ring of
+peers with consistent hashing, lookups route greedily through finger
+tables in O(log n) hops, and peers joining/leaving hand their shard over
+— the properties that make the directory scale with the network.
+
+Indexing scheme (how predicate queries map onto a DHT, as in GSN):
+every entry is indexed once per ``key=value`` predicate it carries (and
+under its name); a query picks one of its predicates, routes to the
+shard responsible for that pair, fetches the candidate set, and filters
+the remaining predicates locally. Queries with no predicates degrade to
+a full-ring gather.
+
+:class:`DistributedDirectory` is API-compatible with ``PeerDirectory``,
+so ``PeerNetwork(distributed=True)`` swaps it in transparently; it also
+exposes routing statistics (:attr:`DistributedDirectory.total_hops`)
+that the scalability benchmark asserts against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, insort
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import DiscoveryError, TransportError
+from repro.network.directory import DirectoryEntry, _normalize
+
+#: Identifier-space size: 2**BITS positions on the ring.
+BITS = 32
+_SPACE = 1 << BITS
+
+
+def ring_hash(text: str) -> int:
+    """Position of ``text`` on the identifier ring."""
+    digest = hashlib.sha1(text.lower().encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SPACE
+
+
+class OverlayNode:
+    """One peer's shard of the directory plus its finger table."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name.lower()
+        self.node_id = ring_hash(self.name)
+        #: index key -> set of directory entries stored at this node
+        self.store: Dict[int, Set[DirectoryEntry]] = {}
+        #: finger[i] = the node succeeding (id + 2^i); maintained by the ring
+        self.fingers: List["OverlayNode"] = []
+
+    def closest_preceding(self, key: int) -> "OverlayNode":
+        """The finger that makes the most progress toward ``key``
+        without overshooting (classic Chord routing step)."""
+        for finger in reversed(self.fingers):
+            if _in_open_interval(finger.node_id, self.node_id, key):
+                return finger
+        return self
+
+    def __repr__(self) -> str:
+        return f"<OverlayNode {self.name} id={self.node_id}>"
+
+
+def _in_open_interval(x: int, a: int, b: int) -> bool:
+    """Whether x lies in the ring interval (a, b), wrapping around."""
+    if a < b:
+        return a < x < b
+    return x > a or x < b
+
+
+class ChordRing:
+    """The ring of overlay nodes, with joins, leaves, and routed lookups."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, OverlayNode] = {}
+        self._ids: List[int] = []          # sorted node ids
+        self._by_id: Dict[int, OverlayNode] = {}
+        self.total_hops = 0
+        self.lookups_routed = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def join(self, name: str) -> OverlayNode:
+        node = OverlayNode(name)
+        if node.name in self._nodes:
+            raise TransportError(f"peer {name!r} already on the ring")
+        if node.node_id in self._by_id:
+            raise TransportError(
+                f"ring id collision for {name!r} (try another name)"
+            )
+        # The new node takes over the keys it now succeeds.
+        successor = self._successor_node(node.node_id)
+        self._nodes[node.name] = node
+        self._by_id[node.node_id] = node
+        insort(self._ids, node.node_id)
+        if successor is not None and successor is not node:
+            for key in [k for k in successor.store
+                        if self._successor_id(k) == node.node_id]:
+                node.store[key] = successor.store.pop(key)
+        self._rebuild_fingers()
+        return node
+
+    def leave(self, name: str) -> None:
+        node = self._nodes.pop(name.lower(), None)
+        if node is None:
+            return
+        self._ids.remove(node.node_id)
+        del self._by_id[node.node_id]
+        if self._ids:
+            # Hand the departing node's shard to its successor.
+            successor = self._successor_node(node.node_id)
+            assert successor is not None
+            for key, entries in node.store.items():
+                successor.store.setdefault(key, set()).update(entries)
+        self._rebuild_fingers()
+
+    def node_names(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def _rebuild_fingers(self) -> None:
+        # Centralized finger maintenance stands in for Chord's
+        # stabilization protocol; the *routing* still only uses fingers.
+        for node in self._nodes.values():
+            node.fingers = [
+                self._successor_node((node.node_id + (1 << i)) % _SPACE)
+                for i in range(BITS)
+            ]
+
+    # -- key placement ----------------------------------------------------------
+
+    def _successor_id(self, key: int) -> int:
+        # Chord: successor(k) is the first node with id >= k (wrapping).
+        position = bisect_left(self._ids, key)
+        if position == len(self._ids):
+            position = 0
+        return self._ids[position]
+
+    def _successor_node(self, key: int) -> Optional[OverlayNode]:
+        if not self._ids:
+            return None
+        return self._by_id[self._successor_id(key)]
+
+    def owner_of(self, key: int) -> OverlayNode:
+        node = self._successor_node(key)
+        if node is None:
+            raise TransportError("the overlay has no nodes")
+        return node
+
+    # -- routing ------------------------------------------------------------------
+
+    def route(self, start: OverlayNode, key: int) -> Tuple[OverlayNode, int]:
+        """Greedy finger routing from ``start`` to the owner of ``key``.
+
+        Returns (owner, hops). Hop counts feed the scalability bench:
+        they must stay O(log n).
+        """
+        owner = self.owner_of(key)
+        current = start
+        hops = 0
+        while current is not owner:
+            # Greedy progress through fingers lands on the key's immediate
+            # predecessor; its successor finger (fingers[0]) is the owner.
+            nxt = current.closest_preceding(key)
+            if nxt is current:
+                nxt = current.fingers[0] if current.fingers else owner
+            if nxt is current:  # single-node ring
+                break
+            current = nxt
+            hops += 1
+            if hops > 4 * BITS:  # routing loop guard (should not happen)
+                raise TransportError("overlay routing did not converge")
+        self.total_hops += hops
+        self.lookups_routed += 1
+        return owner, hops
+
+
+def _index_keys(entry: DirectoryEntry) -> List[int]:
+    keys = [ring_hash(f"{key}={value}") for key, value in entry.predicates]
+    keys.append(ring_hash(f"name={entry.sensor}"))
+    return keys
+
+
+class DistributedDirectory:
+    """``PeerDirectory``-compatible facade over a :class:`ChordRing`."""
+
+    def __init__(self) -> None:
+        self.ring = ChordRing()
+        self.lookups = 0
+
+    # -- membership (driven by PeerNode attach/leave) --------------------------
+
+    def add_peer(self, name: str) -> None:
+        self.ring.join(name)
+
+    def remove_peer(self, name: str) -> None:
+        self.ring.leave(name)
+
+    @property
+    def total_hops(self) -> int:
+        return self.ring.total_hops
+
+    # -- PeerDirectory API ---------------------------------------------------------
+
+    def publish(self, container: str, sensor: str,
+                predicates: Mapping[str, str],
+                schema: Tuple[Tuple[str, str], ...] = ()) -> DirectoryEntry:
+        self._ensure_peer(container)
+        self.unpublish(container, sensor)
+        entry = DirectoryEntry(
+            container=container.lower(),
+            sensor=sensor.lower(),
+            predicates=_normalize(predicates),
+            schema=tuple(schema),
+        )
+        origin = self.ring._nodes[entry.container]
+        for key in _index_keys(entry):
+            owner, __ = self.ring.route(origin, key)
+            owner.store.setdefault(key, set()).add(entry)
+        return entry
+
+    def _ensure_peer(self, container: str) -> None:
+        if container.lower() not in self.ring._nodes:
+            self.ring.join(container)
+
+    def unpublish(self, container: str, sensor: str) -> None:
+        container = container.lower()
+        sensor = sensor.lower()
+        for node in self.ring._nodes.values():
+            for key in list(node.store):
+                node.store[key] = {
+                    e for e in node.store[key]
+                    if not (e.container == container and e.sensor == sensor)
+                }
+                if not node.store[key]:
+                    del node.store[key]
+
+    def unpublish_container(self, container: str) -> None:
+        container = container.lower()
+        for node in self.ring._nodes.values():
+            for key in list(node.store):
+                node.store[key] = {
+                    e for e in node.store[key] if e.container != container
+                }
+                if not node.store[key]:
+                    del node.store[key]
+
+    def lookup(self, predicates: Mapping[str, str]) -> List[DirectoryEntry]:
+        self.lookups += 1
+        if not self.ring._nodes:
+            return []
+        origin = next(iter(self.ring._nodes.values()))
+        normalized = {str(k).lower(): str(v).lower()
+                      for k, v in predicates.items()}
+        if normalized:
+            # Route to the shard of one predicate; filter the rest there.
+            first_key, first_value = next(iter(normalized.items()))
+            key = ring_hash(f"{first_key}={first_value}")
+            owner, __ = self.ring.route(origin, key)
+            candidates = set(owner.store.get(key, ()))
+        else:
+            # No predicates: gather the whole ring.
+            candidates = {
+                entry
+                for node in self.ring._nodes.values()
+                for entries in node.store.values()
+                for entry in entries
+            }
+        matches = [entry for entry in candidates
+                   if entry.matches(normalized)]
+        matches.sort(key=lambda e: (e.container, e.sensor))
+        return matches
+
+    def lookup_one(self, predicates: Mapping[str, str]) -> DirectoryEntry:
+        matches = self.lookup(predicates)
+        if not matches:
+            raise DiscoveryError(
+                f"no virtual sensor matches predicates {dict(predicates)!r}"
+            )
+        return matches[0]
+
+    def entries(self) -> List[DirectoryEntry]:
+        unique = {
+            entry
+            for node in self.ring._nodes.values()
+            for entries in node.store.values()
+            for entry in entries
+        }
+        return sorted(unique, key=lambda e: (e.container, e.sensor))
+
+    def __len__(self) -> int:
+        return len(self.entries())

@@ -1,0 +1,252 @@
+"""Peering: remote subscriptions between containers.
+
+``PeerNetwork`` bundles the shared directory and message bus of one GSN
+deployment; each container joins through a ``PeerNode``. The node serves
+two roles:
+
+- *producer*: on a ``subscribe`` message it attaches a listener to the
+  local virtual sensor's output stream and forwards every element as an
+  ``element`` message (sealed by the integrity service when enabled);
+- *consumer*: :meth:`PeerNode.subscribe` resolves predicates through the
+  directory ("logical addressing"), sends the ``subscribe`` message, and
+  routes incoming elements to the local callback — this is what backs
+  ``<address wrapper="remote">``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.access.integrity import IntegrityService, SealedEnvelope
+from repro.datatypes import DataType
+from repro.exceptions import DiscoveryError, TransportError
+from repro.gsntime.scheduler import EventScheduler
+from repro.network.directory import DirectoryEntry, PeerDirectory
+from repro.network.transport import Message, MessageBus
+from repro.streams.element import StreamElement
+from repro.streams.schema import Field, StreamSchema
+
+ElementListener = Callable[[StreamElement], None]
+
+_subscription_ids = itertools.count(1)
+
+
+class PeerNetwork:
+    """The directory + bus shared by one deployment of GSN containers.
+
+    ``distributed=True`` swaps the in-process directory for the
+    Chord-style :class:`~repro.network.overlay.DistributedDirectory`:
+    same lookup semantics, but entries are sharded over the peers and
+    lookups route through the overlay (O(log n) hops).
+    """
+
+    def __init__(self, scheduler: Optional[EventScheduler] = None,
+                 latency_ms: int = 0, loss_rate: float = 0.0,
+                 seed: Optional[int] = 0,
+                 distributed: bool = False) -> None:
+        if distributed:
+            from repro.network.overlay import DistributedDirectory
+            self.directory = DistributedDirectory()
+        else:
+            self.directory = PeerDirectory()
+        self.bus = MessageBus(scheduler, latency_ms, loss_rate, seed)
+
+    def status(self) -> dict:
+        doc = {
+            "directory_entries": len(self.directory),
+            "directory": [
+                {"container": e.container, "sensor": e.sensor,
+                 "predicates": e.predicate_dict()}
+                for e in self.directory.entries()
+            ],
+            "bus": self.bus.status(),
+        }
+        total_hops = getattr(self.directory, "total_hops", None)
+        if total_hops is not None:
+            doc["overlay_hops"] = total_hops
+        return doc
+
+
+def schema_to_wire(schema: StreamSchema) -> Tuple[Tuple[str, str], ...]:
+    return tuple((f.name, f.type.value) for f in schema)
+
+
+def schema_from_wire(wire: Tuple[Tuple[str, str], ...]) -> StreamSchema:
+    return StreamSchema(
+        Field(name, DataType.parse(type_text)) for name, type_text in wire
+    )
+
+
+class PeerNode:
+    """One container's presence on the peer network."""
+
+    def __init__(self, network: PeerNetwork, name: str,
+                 sensor_getter: Callable[[str], "object"],
+                 integrity: Optional[IntegrityService] = None,
+                 seal: str = "none") -> None:
+        if seal not in ("none", "sign", "encrypt"):
+            raise TransportError(f"unknown seal level {seal!r}")
+        if seal != "none" and integrity is None:
+            raise TransportError("sealing requires an integrity service")
+        self.network = network
+        self.name = name.lower()
+        self._sensor_getter = sensor_getter
+        self.integrity = integrity
+        self.seal = seal
+        # producer side: subscription id -> (sensor_name, detach callable)
+        self._served: Dict[int, Tuple[str, Callable[[], None]]] = {}
+        # consumer side: subscription id -> local listener
+        self._listening: Dict[int, ElementListener] = {}
+        self.elements_forwarded = 0
+        self.elements_received = 0
+        network.bus.register(self.name, self._on_message)
+        add_peer = getattr(network.directory, "add_peer", None)
+        if add_peer is not None:  # distributed overlay: join the ring
+            add_peer(self.name)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def leave(self) -> None:
+        """Detach from the network, tearing down served subscriptions."""
+        for subscription_id in list(self._served):
+            self._detach(subscription_id)
+        self._listening.clear()
+        self.network.directory.unpublish_container(self.name)
+        remove_peer = getattr(self.network.directory, "remove_peer", None)
+        if remove_peer is not None:
+            remove_peer(self.name)
+        self.network.bus.unregister(self.name)
+
+    # -- directory -----------------------------------------------------------
+
+    def publish(self, sensor_name: str, predicates: Mapping[str, str],
+                schema: StreamSchema) -> DirectoryEntry:
+        return self.network.directory.publish(
+            self.name, sensor_name, predicates, schema_to_wire(schema)
+        )
+
+    def unpublish(self, sensor_name: str) -> None:
+        self.network.directory.unpublish(self.name, sensor_name)
+
+    # -- consumer side ---------------------------------------------------------
+
+    def subscribe(self, predicates: Mapping[str, str],
+                  listener: ElementListener
+                  ) -> Tuple[StreamSchema, Callable[[], None]]:
+        """Resolve ``predicates`` and stream the matching sensor's output
+        to ``listener``. Returns the remote schema and a cancel callable.
+
+        This signature matches
+        :data:`repro.wrappers.remote.SubscribeFunc`, so a bound method of
+        this node is exactly what remote wrappers are given.
+        """
+        entry = self.network.directory.lookup_one(predicates)
+        if not entry.schema:
+            raise DiscoveryError(
+                f"directory entry for {entry.sensor!r} carries no schema"
+            )
+        subscription_id = next(_subscription_ids)
+        self._listening[subscription_id] = listener
+        self.network.bus.send(
+            self.name, entry.container, "subscribe",
+            {"sensor": entry.sensor, "subscription_id": subscription_id,
+             "subscriber": self.name},
+            reliable=True,
+        )
+
+        def cancel() -> None:
+            self._listening.pop(subscription_id, None)
+            try:
+                self.network.bus.send(
+                    self.name, entry.container, "unsubscribe",
+                    {"subscription_id": subscription_id},
+                    reliable=True,
+                )
+            except TransportError:
+                pass  # producer already gone
+
+        return schema_from_wire(entry.schema), cancel
+
+    # -- message handling --------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind == "subscribe":
+            self._serve(message)
+        elif message.kind == "unsubscribe":
+            self._detach(message.payload["subscription_id"])
+        elif message.kind == "element":
+            self._receive(message)
+        else:
+            raise TransportError(f"unknown message kind {message.kind!r}")
+
+    def _serve(self, message: Message) -> None:
+        sensor_name = message.payload["sensor"]
+        subscription_id = message.payload["subscription_id"]
+        subscriber = message.payload["subscriber"]
+        sensor = self._sensor_getter(sensor_name)
+
+        def forward(element: StreamElement) -> None:
+            payload = {
+                "subscription_id": subscription_id,
+                "values": element.values,
+                "timed": element.timed,
+                "producer": f"{self.name}/{sensor_name}",
+            }
+            if self.seal != "none":
+                assert self.integrity is not None
+                envelope = self.integrity.seal(
+                    payload, encrypt=(self.seal == "encrypt")
+                )
+                wire = {"sealed": envelope}
+            else:
+                wire = payload
+            try:
+                self.network.bus.send(self.name, subscriber, "element", wire)
+                self.elements_forwarded += 1
+            except TransportError:
+                self._detach(subscription_id)
+
+        sensor.add_listener(forward)
+        self._served[subscription_id] = (
+            sensor_name, lambda: sensor.remove_listener(forward)
+        )
+
+    def _detach(self, subscription_id: int) -> None:
+        entry = self._served.pop(subscription_id, None)
+        if entry is not None:
+            __, detach = entry
+            detach()
+
+    def _receive(self, message: Message) -> None:
+        payload = message.payload
+        if "sealed" in payload:
+            envelope = payload["sealed"]
+            if not isinstance(envelope, SealedEnvelope):
+                raise TransportError("malformed sealed element")
+            if self.integrity is None:
+                raise TransportError(
+                    "received a sealed element without an integrity service"
+                )
+            payload = self.integrity.open(envelope)
+        subscription_id = payload["subscription_id"]
+        listener = self._listening.get(subscription_id)
+        if listener is None:
+            return  # cancelled while in flight
+        element = StreamElement(
+            payload["values"],
+            timed=payload["timed"],
+            producer=payload.get("producer", "remote"),
+        )
+        self.elements_received += 1
+        listener(element)
+
+    def status(self) -> dict:
+        return {
+            "name": self.name,
+            "serving": len(self._served),
+            "listening": len(self._listening),
+            "elements_forwarded": self.elements_forwarded,
+            "elements_received": self.elements_received,
+            "seal": self.seal,
+        }

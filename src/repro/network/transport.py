@@ -1,0 +1,107 @@
+"""In-process message bus standing in for the paper's LAN.
+
+Containers register an inbox handler under their name; :meth:`send`
+routes a message, optionally after a simulated latency (via the event
+scheduler) and subject to a seeded loss probability. Latency and loss
+are *parameters* here where the paper had cables — the code paths above
+(remote wrappers, peering, discovery) are identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import TransportError
+from repro.gsntime.scheduler import EventScheduler
+
+
+@dataclass(frozen=True)
+class Message:
+    """One routed datagram."""
+
+    source: str
+    destination: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+Handler = Callable[[Message], None]
+
+
+class MessageBus:
+    """Routes messages between named endpoints."""
+
+    def __init__(self, scheduler: Optional[EventScheduler] = None,
+                 latency_ms: int = 0, loss_rate: float = 0.0,
+                 seed: Optional[int] = 0) -> None:
+        if latency_ms < 0:
+            raise TransportError("latency cannot be negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise TransportError("loss rate must be in [0, 1)")
+        self.scheduler = scheduler
+        self.latency_ms = latency_ms
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self._handlers: Dict[str, Handler] = {}
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    def register(self, name: str, handler: Handler) -> None:
+        key = name.lower()
+        if key in self._handlers:
+            raise TransportError(f"endpoint {name!r} already registered")
+        self._handlers[key] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name.lower(), None)
+
+    def endpoints(self):
+        return sorted(self._handlers)
+
+    def send(self, source: str, destination: str, kind: str,
+             payload: Optional[Dict[str, Any]] = None,
+             reliable: bool = False) -> bool:
+        """Route one message. Returns ``False`` if it was lost.
+
+        ``reliable`` messages bypass loss injection (the control plane —
+        subscriptions, discovery — runs over TCP in a real deployment;
+        only the data plane is exposed to loss). Unknown destinations
+        raise :class:`TransportError` — a configuration error, unlike
+        loss, which is a simulated network property.
+        """
+        key = destination.lower()
+        handler = self._handlers.get(key)
+        if handler is None:
+            raise TransportError(f"unknown endpoint {destination!r}")
+        message = Message(source.lower(), key, kind, payload or {})
+        self.sent += 1
+        if not reliable and self.loss_rate > 0.0 \
+                and self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return False
+        if self.latency_ms > 0 and self.scheduler is not None:
+            self.scheduler.after(
+                self.latency_ms,
+                lambda __: self._deliver(handler, message),
+                name=f"msg:{kind}",
+            )
+        else:
+            self._deliver(handler, message)
+        return True
+
+    def _deliver(self, handler: Handler, message: Message) -> None:
+        handler(message)
+        self.delivered += 1
+
+    def status(self) -> dict:
+        return {
+            "endpoints": self.endpoints(),
+            "latency_ms": self.latency_ms,
+            "loss_rate": self.loss_rate,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+        }

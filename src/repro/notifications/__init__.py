@@ -1,0 +1,28 @@
+"""Notification delivery.
+
+"The notification manager deals with the delivery of events and query
+results to the registered clients [and] has an extensible architecture
+which allows the user to customize it to any required notification
+channel" (paper, Section 4).
+"""
+
+from repro.notifications.channels import (
+    CallbackChannel,
+    EmailChannel,
+    LogChannel,
+    NotificationChannel,
+    QueueChannel,
+    WebhookChannel,
+)
+from repro.notifications.manager import Notification, NotificationManager
+
+__all__ = [
+    "Notification",
+    "NotificationManager",
+    "NotificationChannel",
+    "CallbackChannel",
+    "QueueChannel",
+    "LogChannel",
+    "EmailChannel",
+    "WebhookChannel",
+]

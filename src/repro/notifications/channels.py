@@ -1,0 +1,123 @@
+"""Notification channels.
+
+Each channel is a delivery mechanism for query results and events. The
+e-mail and webhook channels are *simulated* transports: they record the
+messages they would have sent, preserving the extensibility story without
+a network.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.exceptions import NotificationError
+
+
+class NotificationChannel(abc.ABC):
+    """One way of reaching a client."""
+
+    def __init__(self, name: str) -> None:
+        if not name.strip():
+            raise NotificationError("channel needs a name")
+        self.name = name.strip().lower()
+        self.delivered = 0
+        self.failed = 0
+
+    def deliver(self, payload: Dict[str, Any]) -> None:
+        """Deliver one notification payload, counting the outcome."""
+        try:
+            self._send(payload)
+        except Exception as exc:
+            self.failed += 1
+            raise NotificationError(
+                f"channel {self.name!r} failed: {exc}"
+            ) from exc
+        self.delivered += 1
+
+    @abc.abstractmethod
+    def _send(self, payload: Dict[str, Any]) -> None:
+        """Transport-specific delivery."""
+
+
+class CallbackChannel(NotificationChannel):
+    """Invokes a Python callable — the channel applications embed."""
+
+    def __init__(self, name: str,
+                 callback: Callable[[Dict[str, Any]], None]) -> None:
+        super().__init__(name)
+        self._callback = callback
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self._callback(payload)
+
+
+class QueueChannel(NotificationChannel):
+    """Buffers notifications for polling clients (the default channel)."""
+
+    def __init__(self, name: str = "queue", maxlen: Optional[int] = None) -> None:
+        super().__init__(name)
+        self._queue: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self._queue.append(payload)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Remove and return all pending notifications."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
+    def peek(self) -> Optional[Dict[str, Any]]:
+        return self._queue[-1] if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class LogChannel(NotificationChannel):
+    """Writes notifications to the standard :mod:`logging` system."""
+
+    def __init__(self, name: str = "log",
+                 logger: Optional[logging.Logger] = None) -> None:
+        super().__init__(name)
+        self._logger = logger or logging.getLogger("repro.notifications")
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self._logger.info("notification %s: %s",
+                          payload.get("subscription"), payload.get("summary"))
+
+
+class EmailChannel(NotificationChannel):
+    """Simulated SMTP: records outgoing messages in :attr:`outbox`."""
+
+    def __init__(self, name: str = "email", recipient: str = "") -> None:
+        super().__init__(name)
+        if recipient and "@" not in recipient:
+            raise NotificationError(f"bad recipient address {recipient!r}")
+        self.recipient = recipient
+        self.outbox: List[Dict[str, Any]] = []
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self.outbox.append({
+            "to": self.recipient or payload.get("client", "unknown"),
+            "subject": f"GSN notification: {payload.get('subscription')}",
+            "body": payload,
+        })
+
+
+class WebhookChannel(NotificationChannel):
+    """Simulated HTTP POST: records requests in :attr:`requests`."""
+
+    def __init__(self, name: str = "webhook", url: str = "") -> None:
+        super().__init__(name)
+        if url and not url.startswith(("http://", "https://")):
+            raise NotificationError(f"bad webhook URL {url!r}")
+        self.url = url
+        self.requests: List[Dict[str, Any]] = []
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self.requests.append({"url": self.url, "json": payload})

@@ -1,0 +1,116 @@
+"""The notification manager: channel registry and payload shaping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.exceptions import NotificationError
+from repro.notifications.channels import NotificationChannel, QueueChannel
+from repro.sqlengine.relation import Relation
+
+if TYPE_CHECKING:  # avoid a circular import with repro.query
+    from repro.query.subscription import Subscription
+
+
+@dataclass(frozen=True)
+class Notification:
+    """What a channel receives, already flattened to plain data."""
+
+    subscription: str
+    client: str
+    row_count: int
+    rows: tuple
+    summary: str
+
+    def as_payload(self) -> Dict[str, Any]:
+        return {
+            "subscription": self.subscription,
+            "client": self.client,
+            "row_count": self.row_count,
+            "rows": list(self.rows),
+            "summary": self.summary,
+        }
+
+
+class NotificationManager:
+    """Routes query results and events to named channels."""
+
+    #: Rows above this count are truncated in payloads; clients wanting
+    #: full results query the container directly.
+    MAX_ROWS = 100
+
+    def __init__(self) -> None:
+        self._channels: Dict[str, NotificationChannel] = {}
+        self.add_channel(QueueChannel("queue"))
+        self.dispatched = 0
+        self.failures = 0
+
+    def add_channel(self, channel: NotificationChannel) -> None:
+        if channel.name in self._channels:
+            raise NotificationError(
+                f"channel {channel.name!r} already registered"
+            )
+        self._channels[channel.name] = channel
+
+    def remove_channel(self, name: str) -> None:
+        if name.lower() == "queue":
+            raise NotificationError("the default queue channel cannot be removed")
+        if self._channels.pop(name.lower(), None) is None:
+            raise NotificationError(f"no channel {name!r}")
+
+    def has_channel(self, name: str) -> bool:
+        return name.lower() in self._channels
+
+    def channel(self, name: str) -> NotificationChannel:
+        try:
+            return self._channels[name.lower()]
+        except KeyError:
+            raise NotificationError(f"no channel {name!r}") from None
+
+    def channel_names(self) -> List[str]:
+        return sorted(self._channels)
+
+    def deliver(self, subscription: "Subscription",
+                result: Relation) -> Notification:
+        """Shape ``result`` into a notification and push it to the
+        subscription's channel. Channel errors count as failures but do
+        not propagate — one broken client must not stall the pipeline."""
+        rows = tuple(
+            dict(zip(result.columns, row))
+            for row in result.rows[: self.MAX_ROWS]
+        )
+        notification = Notification(
+            subscription=subscription.name,
+            client=subscription.client,
+            row_count=len(result),
+            rows=rows,
+            summary=(f"{len(result)} row(s) from "
+                     f"{', '.join(sorted(subscription.tables)) or 'constant'}"),
+        )
+        try:
+            self.channel(subscription.channel).deliver(
+                notification.as_payload()
+            )
+            self.dispatched += 1
+        except NotificationError:
+            self.failures += 1
+        return notification
+
+    def emit_event(self, channel: str, payload: Dict[str, Any]) -> None:
+        """Deliver a raw event (used for lifecycle/monitoring events)."""
+        try:
+            self.channel(channel).deliver(payload)
+            self.dispatched += 1
+        except NotificationError:
+            self.failures += 1
+
+    def status(self) -> dict:
+        return {
+            "channels": {
+                name: {"delivered": ch.delivered, "failed": ch.failed}
+                for name, ch in self._channels.items()
+            },
+            "dispatched": self.dispatched,
+            "failures": self.failures,
+        }

@@ -1,0 +1,14 @@
+"""Query Manager (QM).
+
+"Query processing is done by the query manager which includes the query
+processor being in charge of SQL parsing, query planning, and execution of
+queries (using an adaptive query execution plan). The query repository
+manages all registered queries (subscriptions)..." (paper, Section 4).
+"""
+
+from repro.query.plan_cache import PlanCache
+from repro.query.processor import QueryProcessor
+from repro.query.subscription import Subscription
+from repro.query.repository import QueryRepository
+
+__all__ = ["PlanCache", "QueryProcessor", "Subscription", "QueryRepository"]

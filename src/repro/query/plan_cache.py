@@ -1,0 +1,62 @@
+"""Plan cache.
+
+Parsing and planning dominate the cost of small stream queries (the paper
+notes "the cost of query compiling increases" with many clients). The
+cache keys on the SQL text and keeps the most recently used plans, giving
+repeated subscriptions amortized O(1) compilation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.sqlengine.ast_nodes import SelectStatement
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import SelectPlan, plan_select
+
+
+class PlanCache:
+    """An LRU cache of compiled (statement, plan) pairs."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 0:
+            raise ValueError("capacity cannot be negative")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, Tuple[SelectStatement, SelectPlan]]" = (
+            OrderedDict()
+        )
+
+    def compile(self, sql: str) -> Tuple[SelectStatement, SelectPlan]:
+        """Parse+plan ``sql``, consulting the cache first."""
+        key = sql.strip()
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        statement = parse_select(sql)
+        plan = plan_select(statement)
+        if self.capacity > 0:
+            self._entries[key] = (statement, plan)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return statement, plan
+
+    def invalidate(self, sql: Optional[str] = None) -> None:
+        """Drop one entry, or everything when ``sql`` is ``None``."""
+        if sql is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(sql.strip(), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

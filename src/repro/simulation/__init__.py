@@ -1,0 +1,21 @@
+"""Simulation support: canned deployments and workload generators.
+
+The paper's testbed — 22 motes and 15 cameras arranged in 4 sensor
+networks across 3 GSN nodes (Figures 3-5) — is reconstructed here on the
+simulated device wrappers and a shared virtual clock.
+"""
+
+from repro.simulation.networks import DemoDeployment, build_demo_deployment
+from repro.simulation.workload import (
+    QueryWorkloadGenerator,
+    TimeTriggeredLoad,
+    random_history_spec,
+)
+
+__all__ = [
+    "DemoDeployment",
+    "build_demo_deployment",
+    "TimeTriggeredLoad",
+    "QueryWorkloadGenerator",
+    "random_history_spec",
+]

@@ -1,0 +1,213 @@
+"""The paper's physical deployment, reconstructed.
+
+Figure 5 of the paper: four sensor networks on three GSN nodes —
+
+- node 1 hosts an RFID reader network *and* a MICA2 mote network,
+- node 2 hosts a wireless camera network,
+- node 3 hosts a second MICA2 mote network,
+
+all joined in one peer network, with a shared virtual clock so the whole
+deployment advances deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.container import GSNContainer
+from repro.datatypes import DataType
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, StorageConfig, StreamSourceSpec,
+    VirtualSensorDescriptor,
+)
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.network.peer import PeerNetwork
+from repro.streams.schema import Field, StreamSchema
+
+
+def mote_descriptor(name: str, node_id: int, interval_ms: int = 1000,
+                    window: str = "30s", location: str = "bc143",
+                    temperature_base: float = 22.0) -> VirtualSensorDescriptor:
+    """A virtual sensor exposing one simulated MICA2 mote."""
+    return VirtualSensorDescriptor(
+        name=name,
+        output_structure=StreamSchema([
+            Field("node_id", DataType.INTEGER),
+            Field("light", DataType.INTEGER),
+            Field("temperature", DataType.INTEGER),
+            Field("accel_x", DataType.DOUBLE),
+            Field("accel_y", DataType.DOUBLE),
+        ]),
+        input_streams=(InputStreamSpec(
+            name="input",
+            sources=(StreamSourceSpec(
+                alias="src",
+                address=AddressSpec("mica2", {
+                    "interval": str(interval_ms),
+                    "node-id": str(node_id),
+                    "seed": str(node_id),
+                    "temperature-base": str(temperature_base),
+                }),
+                query="select * from wrapper",
+                # Window of 1: each trigger exposes exactly the newest
+                # reading (a 30s window would re-emit old readings on
+                # every trigger). Consumers put windows on *their* side.
+                storage_size="1",
+            ),),
+            query="select * from src",
+        ),),
+        storage=StorageConfig(permanent=False, history_size=window),
+        addressing={"type": "mote", "location": location,
+                    "sensor": "light,temperature,acceleration"},
+        description=f"MICA2 mote #{node_id}",
+    )
+
+
+def camera_descriptor(name: str, camera_id: int, interval_ms: int = 1000,
+                      image_size: int = 32_768,
+                      location: str = "hall") -> VirtualSensorDescriptor:
+    """A virtual sensor exposing one simulated AXIS-style camera."""
+    return VirtualSensorDescriptor(
+        name=name,
+        output_structure=StreamSchema([
+            Field("camera_id", DataType.INTEGER),
+            Field("image", DataType.BINARY),
+            Field("width", DataType.INTEGER),
+            Field("height", DataType.INTEGER),
+        ]),
+        input_streams=(InputStreamSpec(
+            name="input",
+            sources=(StreamSourceSpec(
+                alias="src",
+                address=AddressSpec("camera", {
+                    "interval": str(interval_ms),
+                    "camera-id": str(camera_id),
+                    "image-size": str(image_size),
+                    "seed": str(camera_id),
+                }),
+                query="select * from wrapper",
+                storage_size="1",
+            ),),
+            query="select * from src",
+        ),),
+        addressing={"type": "camera", "location": location},
+        description=f"wireless camera #{camera_id}",
+    )
+
+
+def rfid_descriptor(name: str, reader_id: int, tags: List[str],
+                    interval_ms: int = 500, detection_rate: float = 0.0,
+                    location: str = "entrance") -> VirtualSensorDescriptor:
+    """A virtual sensor exposing one simulated RFID reader."""
+    return VirtualSensorDescriptor(
+        name=name,
+        output_structure=StreamSchema([
+            Field("reader_id", DataType.INTEGER),
+            Field("tag_id", DataType.VARCHAR),
+            Field("signal_strength", DataType.DOUBLE),
+        ]),
+        input_streams=(InputStreamSpec(
+            name="input",
+            sources=(StreamSourceSpec(
+                alias="src",
+                address=AddressSpec("rfid", {
+                    "interval": str(interval_ms),
+                    "reader-id": str(reader_id),
+                    "tags": ",".join(tags),
+                    "detection-rate": str(detection_rate),
+                    "seed": str(reader_id),
+                }),
+                query="select * from wrapper",
+                storage_size="1",
+            ),),
+            query="select * from src",
+        ),),
+        storage=StorageConfig(permanent=True, history_size="1h"),
+        addressing={"type": "rfid", "location": location},
+        description=f"RFID reader #{reader_id}",
+    )
+
+
+@dataclass
+class DemoDeployment:
+    """The running Figure 5 testbed."""
+
+    clock: VirtualClock
+    scheduler: EventScheduler
+    network: PeerNetwork
+    node1: GSNContainer          # RFID network + mote network 1
+    node2: GSNContainer          # camera network
+    node3: GSNContainer          # mote network 2
+    mote_sensors: List[str] = field(default_factory=list)
+    camera_sensors: List[str] = field(default_factory=list)
+    rfid_sensors: List[str] = field(default_factory=list)
+
+    @property
+    def containers(self) -> List[GSNContainer]:
+        return [self.node1, self.node2, self.node3]
+
+    def run_for(self, duration_ms: int) -> int:
+        return self.scheduler.run_for(duration_ms)
+
+    def shutdown(self) -> None:
+        for container in self.containers:
+            container.shutdown()
+
+    def __enter__(self) -> "DemoDeployment":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def build_demo_deployment(motes: int = 22, cameras: int = 15,
+                          rfid_readers: int = 2,
+                          mote_interval_ms: int = 1000,
+                          camera_interval_ms: int = 1000,
+                          image_size: int = 32_768,
+                          tags: Dict[str, str] = None) -> DemoDeployment:
+    """Stand up the paper's demo testbed (22 motes + 15 cameras + RFID in
+    4 sensor networks over 3 GSN nodes by default)."""
+    clock = VirtualClock()
+    scheduler = EventScheduler(clock)
+    network = PeerNetwork(scheduler=scheduler)
+    tag_ids = list(tags or {"tag-alice": "Alice", "tag-bob": "Bob"})
+
+    node1 = GSNContainer("gsn-node-1", network=network,
+                         clock=clock, scheduler=scheduler)
+    node2 = GSNContainer("gsn-node-2", network=network,
+                         clock=clock, scheduler=scheduler)
+    node3 = GSNContainer("gsn-node-3", network=network,
+                         clock=clock, scheduler=scheduler)
+
+    deployment = DemoDeployment(clock, scheduler, network,
+                                node1, node2, node3)
+
+    # Sensor network 1: RFID readers on node 1.
+    for index in range(rfid_readers):
+        name = f"rfid-{index + 1}"
+        node1.deploy(rfid_descriptor(name, index + 1, tag_ids))
+        deployment.rfid_sensors.append(name)
+
+    # Sensor networks 2 and 4: motes split between nodes 1 and 3.
+    first_half = motes // 2
+    for index in range(motes):
+        name = f"mote-{index + 1}"
+        host = node1 if index < first_half else node3
+        location = "bc143" if index < first_half else "bc180"
+        host.deploy(mote_descriptor(name, index + 1,
+                                    interval_ms=mote_interval_ms,
+                                    location=location))
+        deployment.mote_sensors.append(name)
+
+    # Sensor network 3: cameras on node 2.
+    for index in range(cameras):
+        name = f"camera-{index + 1}"
+        node2.deploy(camera_descriptor(name, index + 1,
+                                       interval_ms=camera_interval_ms,
+                                       image_size=image_size))
+        deployment.camera_sensors.append(name)
+
+    return deployment

@@ -1,0 +1,39 @@
+"""A from-scratch SQL engine.
+
+GSN specifies all stream processing declaratively in SQL (paper, Section 3:
+"At the moment GSN supports SQL queries with the full range of operations
+allowed by the standard syntax, i.e., joins, subqueries, ordering, grouping,
+unions, intersections, etc."). The original delegates to MySQL; this
+reproduction implements the engine itself so the middleware is
+self-contained:
+
+- :mod:`repro.sqlengine.lexer` — tokenizer
+- :mod:`repro.sqlengine.parser` — recursive-descent parser to an AST
+- :mod:`repro.sqlengine.planner` — logical plans with join-strategy choice
+- :mod:`repro.sqlengine.executor` — pull-based evaluation over
+  :class:`~repro.sqlengine.relation.Relation` tables
+- :mod:`repro.sqlengine.rewriter` — the ``WRAPPER`` table-name rewriting
+  used by stream sources
+
+The top-level :func:`execute` covers the common case of running one query
+against a catalog of named relations.
+"""
+
+from repro.sqlengine.relation import Relation
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import plan_select
+from repro.sqlengine.executor import Catalog, execute, execute_plan
+from repro.sqlengine.rewriter import rewrite_table_names, referenced_tables
+
+__all__ = [
+    "Relation",
+    "Catalog",
+    "tokenize",
+    "parse_select",
+    "plan_select",
+    "execute",
+    "execute_plan",
+    "rewrite_table_names",
+    "referenced_tables",
+]

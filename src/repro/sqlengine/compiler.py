@@ -1,0 +1,249 @@
+"""Expression compilation.
+
+The tree-walking evaluator re-dispatches on node types for every row.
+This module compiles an expression tree once into nested Python closures
+— each node becomes one function call instead of an ``isinstance``
+ladder — and the executor caches the closures on the (plan-cached) plan
+objects, so standing queries pay compilation once, ever.
+
+Compiled functions take ``(executor, env)``: the executor parameter
+keeps closures free of per-execution state, which is what makes them
+cacheable on plans. Nodes that embed subqueries fall back to the
+interpreter (they need the executor's planning machinery anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.sqlengine.ast_nodes import (
+    AGGREGATE_FUNCTIONS, BetweenExpr, BinaryOp, CaseExpr, CastExpr,
+    ColumnRef, ExistsExpr, FunctionCall, InExpr, IsNullExpr, LikeExpr,
+    Literal, Node, ScalarSubquery, SelectStatement, UnaryOp,
+)
+from repro.sqlengine.functions import SCALAR_FUNCTIONS, call_scalar
+
+if TYPE_CHECKING:
+    from repro.sqlengine.executor import Env, _Executor
+
+Compiled = Callable[["_Executor", "Env"], Any]
+
+
+def has_subquery(node: Node) -> bool:
+    """Whether the tree embeds a subquery (forces interpreter fallback)."""
+    return any(isinstance(child, SelectStatement) for child in node.walk())
+
+
+def compile_expression(node: Node) -> Compiled:
+    """Compile ``node`` into a closure over ``(executor, env)``.
+
+    The result is semantically identical to ``executor.eval(node, env)``
+    (the test suite asserts this equivalence property-style).
+    """
+    # Late imports: the executor module imports this one.
+    from repro.sqlengine import executor as _ex
+
+    if isinstance(node, Literal):
+        value = node.value
+        return lambda ex, env: value
+
+    if isinstance(node, ColumnRef):
+        name, table = node.name, node.table
+        return lambda ex, env: env.lookup(name, table)
+
+    if isinstance(node, UnaryOp):
+        operand = compile_expression(node.operand)
+        if node.op == "not":
+            def negate(ex, env):
+                value = operand(ex, env)
+                if value is None:
+                    return None
+                return not _ex._truthy(value)
+            return negate
+        if node.op == "-":
+            def minus(ex, env):
+                value = operand(ex, env)
+                if value is None:
+                    return None
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    raise _ex.SQLExecutionError("unary - needs a number")
+                return -value
+            return minus
+
+        def plus(ex, env):
+            value = operand(ex, env)
+            if value is None:
+                return None
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise _ex.SQLExecutionError("unary + needs a number")
+            return value
+        return plus
+
+    if isinstance(node, BinaryOp):
+        return _compile_binary(node)
+
+    if isinstance(node, FunctionCall):
+        if node.name in AGGREGATE_FUNCTIONS:
+            # Aggregates are illegal in row context; preserve the
+            # interpreter's error by deferring to it.
+            return lambda ex, env: ex.eval(node, env)
+        args = [compile_expression(arg) for arg in node.args]
+        func = SCALAR_FUNCTIONS.get(node.name)
+        if func is None:
+            name = node.name
+            return lambda ex, env: call_scalar(
+                name, [arg(ex, env) for arg in args])
+
+        name = node.name
+
+        def scalar_call(ex, env):
+            try:
+                return func(*(arg(ex, env) for arg in args))
+            except _ex.SQLExecutionError:
+                raise
+            except Exception as exc:
+                raise _ex.SQLExecutionError(
+                    f"{name}() failed: {exc}") from exc
+        return scalar_call
+
+    if isinstance(node, InExpr):
+        if node.subquery is not None:
+            return lambda ex, env: ex.eval(node, env)
+        operand = compile_expression(node.operand)
+        options = [compile_expression(option)
+                   for option in node.options or ()]
+        negated = node.negated
+
+        def in_list(ex, env):
+            value = operand(ex, env)
+            if value is None:
+                return None
+            saw_null = False
+            for option in options:
+                candidate = option(ex, env)
+                if candidate is None:
+                    saw_null = True
+                elif _ex._compare("=", value, candidate):
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+        return in_list
+
+    if isinstance(node, BetweenExpr):
+        operand = compile_expression(node.operand)
+        low = compile_expression(node.low)
+        high = compile_expression(node.high)
+        negated = node.negated
+
+        def between(ex, env):
+            value = operand(ex, env)
+            lower_ok = _ex._compare(">=", value, low(ex, env))
+            upper_ok = _ex._compare("<=", value, high(ex, env))
+            if lower_ok is False or upper_ok is False:
+                result = False
+            elif lower_ok is None or upper_ok is None:
+                return None
+            else:
+                result = True
+            return not result if negated else result
+        return between
+
+    if isinstance(node, LikeExpr):
+        return lambda ex, env: ex._eval_like(node, env)
+
+    if isinstance(node, IsNullExpr):
+        operand = compile_expression(node.operand)
+        negated = node.negated
+
+        def is_null(ex, env):
+            result = operand(ex, env) is None
+            return not result if negated else result
+        return is_null
+
+    if isinstance(node, (ExistsExpr, ScalarSubquery)):
+        return lambda ex, env: ex.eval(node, env)
+
+    if isinstance(node, CaseExpr):
+        return _compile_case(node)
+
+    if isinstance(node, CastExpr):
+        operand = compile_expression(node.operand)
+        target = node.target
+        return lambda ex, env: _ex._cast(operand(ex, env), target)
+
+    # Unknown node: preserve the interpreter's error message.
+    return lambda ex, env: ex.eval(node, env)
+
+
+def _compile_binary(node: BinaryOp) -> Compiled:
+    from repro.sqlengine import executor as _ex
+
+    op = node.op
+    left = compile_expression(node.left)
+    right = compile_expression(node.right)
+
+    if op == "and":
+        def logical_and(ex, env):
+            lhs = left(ex, env)
+            if lhs is not None and not _ex._truthy(lhs):
+                return False
+            rhs = right(ex, env)
+            if rhs is not None and not _ex._truthy(rhs):
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+        return logical_and
+
+    if op == "or":
+        def logical_or(ex, env):
+            lhs = left(ex, env)
+            if lhs is not None and _ex._truthy(lhs):
+                return True
+            rhs = right(ex, env)
+            if rhs is not None and _ex._truthy(rhs):
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+        return logical_or
+
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        compare = _ex._compare
+        return lambda ex, env: compare(op, left(ex, env), right(ex, env))
+
+    arith = __import__(
+        "repro.sqlengine.executor", fromlist=["_arith"])._arith
+    return lambda ex, env: arith(op, left(ex, env), right(ex, env))
+
+
+def _compile_case(node: CaseExpr) -> Compiled:
+    from repro.sqlengine import executor as _ex
+
+    branches = [
+        (compile_expression(condition), compile_expression(result))
+        for condition, result in node.branches
+    ]
+    default = (compile_expression(node.default)
+               if node.default is not None else None)
+
+    if node.operand is not None:
+        operand = compile_expression(node.operand)
+
+        def simple_case(ex, env):
+            subject = operand(ex, env)
+            for match, result in branches:
+                if _ex._compare("=", subject, match(ex, env)):
+                    return result(ex, env)
+            return default(ex, env) if default is not None else None
+        return simple_case
+
+    def searched_case(ex, env):
+        for condition, result in branches:
+            if _ex._truthy(condition(ex, env)):
+                return result(ex, env)
+        return default(ex, env) if default is not None else None
+    return searched_case

@@ -1,0 +1,170 @@
+"""Plan explanation.
+
+Renders a logical plan as an indented tree — the observable face of the
+"adaptive query execution plan": it shows which joins became hash joins,
+where residual predicates remained, and how set operations stack.
+
+Exposed to applications through
+:meth:`repro.query.processor.QueryProcessor.explain` and the web
+interface's ``/explain`` endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sqlengine.ast_nodes import (
+    BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
+    FunctionCall, InExpr, IsNullExpr, LikeExpr, Literal, Node,
+    ScalarSubquery, Star, UnaryOp,
+)
+from repro.sqlengine.planner import (
+    HashJoinPlan, NestedLoopJoinPlan, Plan, ScanPlan, SelectPlan,
+    SubqueryScanPlan,
+)
+
+
+def expression_to_sql(node: Node) -> str:
+    """Render an expression tree back to SQL-ish text (for EXPLAIN and
+    error messages; not guaranteed to be re-parseable for every node)."""
+    if isinstance(node, Literal):
+        if node.value is None:
+            return "NULL"
+        if isinstance(node.value, str):
+            escaped = node.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(node.value, (bytes, bytearray)):
+            return f"X'{bytes(node.value).hex()}'"
+        if node.value is True:
+            return "TRUE"
+        if node.value is False:
+            return "FALSE"
+        return repr(node.value)
+    if isinstance(node, ColumnRef):
+        return str(node)
+    if isinstance(node, Star):
+        return f"{node.table}.*" if node.table else "*"
+    if isinstance(node, UnaryOp):
+        if node.op == "not":
+            return f"NOT ({expression_to_sql(node.operand)})"
+        return f"{node.op}{expression_to_sql(node.operand)}"
+    if isinstance(node, BinaryOp):
+        return (f"({expression_to_sql(node.left)} {node.op.upper()} "
+                f"{expression_to_sql(node.right)})")
+    if isinstance(node, FunctionCall):
+        if node.star:
+            return f"{node.name}(*)"
+        inner = ", ".join(expression_to_sql(arg) for arg in node.args)
+        distinct = "DISTINCT " if node.distinct else ""
+        return f"{node.name}({distinct}{inner})"
+    if isinstance(node, InExpr):
+        negated = "NOT " if node.negated else ""
+        if node.subquery is not None:
+            return (f"{expression_to_sql(node.operand)} {negated}"
+                    f"IN (<subquery>)")
+        options = ", ".join(expression_to_sql(o) for o in node.options or ())
+        return f"{expression_to_sql(node.operand)} {negated}IN ({options})"
+    if isinstance(node, BetweenExpr):
+        negated = "NOT " if node.negated else ""
+        return (f"{expression_to_sql(node.operand)} {negated}BETWEEN "
+                f"{expression_to_sql(node.low)} AND "
+                f"{expression_to_sql(node.high)}")
+    if isinstance(node, LikeExpr):
+        negated = "NOT " if node.negated else ""
+        return (f"{expression_to_sql(node.operand)} {negated}LIKE "
+                f"{expression_to_sql(node.pattern)}")
+    if isinstance(node, IsNullExpr):
+        negated = "NOT " if node.negated else ""
+        return f"{expression_to_sql(node.operand)} IS {negated}NULL"
+    if isinstance(node, ExistsExpr):
+        negated = "NOT " if node.negated else ""
+        return f"{negated}EXISTS (<subquery>)"
+    if isinstance(node, ScalarSubquery):
+        return "(<subquery>)"
+    if isinstance(node, CaseExpr):
+        return "CASE ... END"
+    if isinstance(node, CastExpr):
+        return (f"CAST({expression_to_sql(node.operand)} "
+                f"AS {node.target.upper()})")
+    return f"<{type(node).__name__}>"
+
+
+def explain_plan(plan: SelectPlan) -> str:
+    """Indented-tree rendering of a logical plan."""
+    lines: List[str] = []
+    _explain_select(plan, lines, 0)
+    return "\n".join(lines)
+
+
+def _emit(lines: List[str], depth: int, text: str) -> None:
+    lines.append("  " * depth + text)
+
+
+def _explain_select(plan: SelectPlan, lines: List[str], depth: int) -> None:
+    pieces = []
+    if plan.distinct:
+        pieces.append("DISTINCT")
+    if plan.is_aggregate:
+        pieces.append("AGGREGATE" + (
+            f" BY [{', '.join(expression_to_sql(g) for g in plan.group_by)}]"
+            if plan.group_by else ""
+        ))
+    if plan.order_by:
+        directions = ", ".join(
+            expression_to_sql(item.expression)
+            + ("" if item.ascending else " DESC")
+            for item in plan.order_by
+        )
+        pieces.append(f"ORDER BY {directions}")
+    if plan.limit is not None:
+        pieces.append(f"LIMIT {plan.limit}")
+    if plan.offset is not None:
+        pieces.append(f"OFFSET {plan.offset}")
+    header = "SELECT" + (f" [{' | '.join(pieces)}]" if pieces else "")
+    _emit(lines, depth, header)
+
+    columns = ", ".join(
+        (item.alias or expression_to_sql(item.expression))
+        for item in plan.items
+    )
+    _emit(lines, depth + 1, f"project: {columns}")
+    if plan.where is not None:
+        _emit(lines, depth + 1, f"filter: {expression_to_sql(plan.where)}")
+    if plan.having is not None:
+        _emit(lines, depth + 1, f"having: {expression_to_sql(plan.having)}")
+    if plan.source is not None:
+        _explain_source(plan.source, lines, depth + 1)
+    else:
+        _emit(lines, depth + 1, "source: <constant row>")
+    for op_name, all_flag, right in plan.set_operations:
+        suffix = " ALL" if all_flag else ""
+        _emit(lines, depth + 1, f"{op_name.upper()}{suffix}:")
+        _explain_select(right, lines, depth + 2)
+
+
+def _explain_source(plan: Plan, lines: List[str], depth: int) -> None:
+    if isinstance(plan, ScanPlan):
+        alias = "" if plan.binding == plan.table else f" AS {plan.binding}"
+        _emit(lines, depth, f"SCAN {plan.table}{alias}")
+    elif isinstance(plan, SubqueryScanPlan):
+        _emit(lines, depth, f"DERIVED {plan.binding}:")
+        _explain_select(plan.plan, lines, depth + 1)
+    elif isinstance(plan, HashJoinPlan):
+        keys = ", ".join(
+            f"{expression_to_sql(l)} = {expression_to_sql(r)}"
+            for l, r in zip(plan.left_keys, plan.right_keys)
+        )
+        _emit(lines, depth, f"HASH JOIN [{plan.kind}] on {keys}")
+        if plan.residual is not None:
+            _emit(lines, depth + 1,
+                  f"residual: {expression_to_sql(plan.residual)}")
+        _explain_source(plan.left, lines, depth + 1)
+        _explain_source(plan.right, lines, depth + 1)
+    elif isinstance(plan, NestedLoopJoinPlan):
+        condition = ("" if plan.condition is None
+                     else f" on {expression_to_sql(plan.condition)}")
+        _emit(lines, depth, f"NESTED LOOP [{plan.kind}]{condition}")
+        _explain_source(plan.left, lines, depth + 1)
+        _explain_source(plan.right, lines, depth + 1)
+    else:
+        _emit(lines, depth, f"<{type(plan).__name__}>")

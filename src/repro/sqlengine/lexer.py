@@ -1,0 +1,172 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects. Keywords are recognized
+case-insensitively; identifiers keep their (lower-cased) spelling. String
+literals use single quotes with ``''`` escaping; blob literals use the
+``X'ABCD'`` hex form.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.exceptions import SQLSyntaxError
+
+KEYWORDS = frozenset("""
+    select from where group by having order asc desc limit offset
+    union intersect except all distinct as and or not in is null like
+    between exists case when then else end join inner left right outer
+    cross on true false cast
+""".split())
+
+OPERATORS = (
+    "<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%",
+    "(", ")", ",", ".",
+)
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    BLOB = "blob"
+    OPERATOR = "operator"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches(self, ttype: TokenType, value: Any = None) -> bool:
+        if self.type is not ttype:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}@{self.position})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``, raising :class:`SQLSyntaxError` on illegal input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if sql.startswith("/*", i):
+            close = sql.find("*/", i + 2)
+            if close < 0:
+                raise SQLSyntaxError("unterminated block comment", i)
+            i = close + 2
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch in ("x", "X") and i + 1 < n and sql[i + 1] == "'":
+            value, i = _read_blob(sql, i)
+            tokens.append(Token(TokenType.BLOB, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i].lower()
+            if word in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end < 0:
+                raise SQLSyntaxError("unterminated quoted identifier", i)
+            tokens.append(
+                Token(TokenType.IDENTIFIER, sql[i + 1:end].lower(), i)
+            )
+            i = end + 1
+            continue
+        for op in OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, None, n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple:
+    parts = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        if sql[i] == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(sql[i])
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", start)
+
+
+def _read_blob(sql: str, start: int) -> tuple:
+    end = sql.find("'", start + 2)
+    if end < 0:
+        raise SQLSyntaxError("unterminated blob literal", start)
+    hex_digits = sql[start + 2:end]
+    try:
+        value = bytes.fromhex(hex_digits)
+    except ValueError:
+        raise SQLSyntaxError(f"bad blob literal {hex_digits!r}", start) from None
+    return value, end + 1
+
+
+def _read_number(sql: str, start: int) -> tuple:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in ("e", "E") and not seen_exp and i > start:
+            # Only treat as an exponent when followed by digits or a sign.
+            next_i = i + 1
+            if next_i < n and sql[next_i] in "+-":
+                next_i += 1
+            if next_i < n and sql[next_i].isdigit():
+                seen_exp = True
+                i = next_i + 1
+            else:
+                break
+        else:
+            break
+    text = sql[start:i]
+    if seen_dot or seen_exp:
+        return float(text), i
+    return int(text), i

@@ -1,0 +1,490 @@
+"""Recursive-descent SQL parser.
+
+Grammar (informal)::
+
+    select_stmt  := select_core (set_op select_core)* order? limit?
+    select_core  := SELECT [DISTINCT|ALL] items
+                    [FROM from_item (',' from_item)*]
+                    [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+    from_item    := table_or_subquery (join_clause)*
+    join_clause  := [INNER|LEFT [OUTER]|CROSS] JOIN table_or_subquery [ON expr]
+    expr         := or_expr with the usual precedence ladder
+
+Expression precedence, lowest to highest::
+
+    OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < || < +,- < *,/,% < unary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.exceptions import SQLSyntaxError
+from repro.sqlengine.ast_nodes import (
+    BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
+    FunctionCall, InExpr, IsNullExpr, Join, LikeExpr, Literal, Node,
+    OrderItem, ScalarSubquery, SelectItem, SelectStatement, SetOperation,
+    Star, SubqueryRef, TableRef, UnaryOp,
+)
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.END:
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.KEYWORD and token.value in words
+
+    def _accept_keyword(self, *words: str) -> Optional[str]:
+        if self._check_keyword(*words):
+            return self._advance().value
+        return None
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            token = self._peek()
+            raise SQLSyntaxError(
+                f"expected {word.upper()}, found {token.value!r}",
+                token.position,
+            )
+
+    def _check_operator(self, *ops: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.OPERATOR and token.value in ops
+
+    def _accept_operator(self, *ops: str) -> Optional[str]:
+        if self._check_operator(*ops):
+            return self._advance().value
+        return None
+
+    def _expect_operator(self, op: str) -> None:
+        if not self._accept_operator(op):
+            token = self._peek()
+            raise SQLSyntaxError(
+                f"expected {op!r}, found {token.value!r}", token.position
+            )
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            return self._advance().value
+        raise SQLSyntaxError(
+            f"expected {what}, found {token.value!r}", token.position
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        statement = self._parse_select(allow_suffix=True)
+        token = self._peek()
+        if token.type is not TokenType.END:
+            raise SQLSyntaxError(
+                f"unexpected trailing input: {token.value!r}", token.position
+            )
+        return statement
+
+    def _parse_select(self, allow_suffix: bool) -> SelectStatement:
+        core = self._parse_select_core()
+        set_ops: List[SetOperation] = []
+        while self._check_keyword("union", "intersect", "except"):
+            op = self._advance().value
+            all_flag = bool(self._accept_keyword("all"))
+            if self._accept_keyword("distinct"):
+                all_flag = False
+            right = self._parse_select_core()
+            set_ops.append(SetOperation(op, all_flag, right))
+
+        order_by: Tuple[OrderItem, ...] = ()
+        limit = offset = None
+        if allow_suffix:
+            order_by = self._parse_order_by()
+            limit, offset = self._parse_limit()
+
+        if set_ops or order_by or limit is not None or offset is not None:
+            core = SelectStatement(
+                items=core.items,
+                from_items=core.from_items,
+                where=core.where,
+                group_by=core.group_by,
+                having=core.having,
+                order_by=order_by,
+                limit=limit,
+                offset=offset,
+                distinct=core.distinct,
+                set_operations=tuple(set_ops),
+            )
+        return core
+
+    def _parse_select_core(self) -> SelectStatement:
+        self._expect_keyword("select")
+        distinct = bool(self._accept_keyword("distinct"))
+        if not distinct:
+            self._accept_keyword("all")
+
+        items = [self._parse_select_item()]
+        while self._accept_operator(","):
+            items.append(self._parse_select_item())
+
+        from_items: List[Node] = []
+        if self._accept_keyword("from"):
+            from_items.append(self._parse_from_item())
+            while self._accept_operator(","):
+                from_items.append(self._parse_from_item())
+
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expression()
+
+        group_by: List[Node] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expression())
+            while self._accept_operator(","):
+                group_by.append(self._parse_expression())
+
+        having = None
+        if self._accept_keyword("having"):
+            having = self._parse_expression()
+
+        return SelectStatement(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            distinct=distinct,
+        )
+
+    def _parse_order_by(self) -> Tuple[OrderItem, ...]:
+        if not self._accept_keyword("order"):
+            return ()
+        self._expect_keyword("by")
+        items = [self._parse_order_item()]
+        while self._accept_operator(","):
+            items.append(self._parse_order_item())
+        return tuple(items)
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expression, ascending)
+
+    def _parse_limit(self) -> Tuple[Optional[int], Optional[int]]:
+        limit = offset = None
+        if self._accept_keyword("limit"):
+            limit = self._parse_nonnegative_int("LIMIT")
+            if self._accept_keyword("offset"):
+                offset = self._parse_nonnegative_int("OFFSET")
+            elif self._accept_operator(","):
+                # MySQL's LIMIT offset, count form (GSN targeted MySQL).
+                offset = limit
+                limit = self._parse_nonnegative_int("LIMIT")
+        elif self._accept_keyword("offset"):
+            offset = self._parse_nonnegative_int("OFFSET")
+        return limit, offset
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self._peek()
+        if token.type is TokenType.NUMBER and isinstance(token.value, int) \
+                and token.value >= 0:
+            self._advance()
+            return token.value
+        raise SQLSyntaxError(
+            f"{clause} expects a non-negative integer", token.position
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.matches(TokenType.OPERATOR, "*"):
+            self._advance()
+            return SelectItem(Star())
+        if (token.type is TokenType.IDENTIFIER
+                and self._peek(1).matches(TokenType.OPERATOR, ".")
+                and self._peek(2).matches(TokenType.OPERATOR, "*")):
+            table = self._advance().value
+            self._advance()
+            self._advance()
+            return SelectItem(Star(table))
+        expression = self._parse_expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return SelectItem(expression, alias)
+
+    # -- FROM ---------------------------------------------------------------
+
+    def _parse_from_item(self) -> Node:
+        item: Node = self._parse_table_or_subquery()
+        while True:
+            kind = self._parse_join_kind()
+            if kind is None:
+                return item
+            right = self._parse_table_or_subquery()
+            condition = None
+            if kind != "cross" and self._accept_keyword("on"):
+                condition = self._parse_expression()
+            elif kind != "cross":
+                # JOIN without ON behaves as a cross join.
+                kind = "cross"
+            item = Join(item, right, kind, condition)
+
+    def _parse_join_kind(self) -> Optional[str]:
+        if self._accept_keyword("join"):
+            return "inner"
+        if self._check_keyword("inner", "left", "right", "cross"):
+            kind = self._advance().value
+            if kind in ("left", "right"):
+                self._accept_keyword("outer")
+            self._expect_keyword("join")
+            if kind == "right":
+                raise SQLSyntaxError(
+                    "RIGHT JOIN is not supported; rewrite as LEFT JOIN",
+                    self._peek().position,
+                )
+            return kind
+        return None
+
+    def _parse_table_or_subquery(self) -> Node:
+        if self._check_operator("("):
+            self._advance()
+            subquery = self._parse_select(allow_suffix=True)
+            self._expect_operator(")")
+            self._accept_keyword("as")
+            alias = self._expect_identifier("subquery alias")
+            return SubqueryRef(subquery, alias)
+        name = self._expect_identifier("table name")
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self) -> Node:
+        return self._parse_or()
+
+    def _parse_or(self) -> Node:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Node:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            left = BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Node:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Node:
+        left = self._parse_concat()
+        while True:
+            op = self._accept_operator(*_COMPARISON_OPS)
+            if op is not None:
+                right = self._parse_concat()
+                left = BinaryOp("<>" if op == "!=" else op, left, right)
+                continue
+            negated = False
+            save = self._pos
+            if self._accept_keyword("not"):
+                negated = True
+            if self._accept_keyword("in"):
+                left = self._parse_in_tail(left, negated)
+                continue
+            if self._accept_keyword("between"):
+                low = self._parse_concat()
+                self._expect_keyword("and")
+                high = self._parse_concat()
+                left = BetweenExpr(left, low, high, negated)
+                continue
+            if self._accept_keyword("like"):
+                left = LikeExpr(left, self._parse_concat(), negated)
+                continue
+            if negated:
+                self._pos = save  # the NOT belongs to a boolean context
+                return left
+            if self._accept_keyword("is"):
+                negated = bool(self._accept_keyword("not"))
+                self._expect_keyword("null")
+                left = IsNullExpr(left, negated)
+                continue
+            return left
+
+    def _parse_in_tail(self, operand: Node, negated: bool) -> Node:
+        self._expect_operator("(")
+        if self._check_keyword("select"):
+            subquery = self._parse_select(allow_suffix=True)
+            self._expect_operator(")")
+            return InExpr(operand, None, subquery, negated)
+        options = [self._parse_expression()]
+        while self._accept_operator(","):
+            options.append(self._parse_expression())
+        self._expect_operator(")")
+        return InExpr(operand, tuple(options), None, negated)
+
+    def _parse_concat(self) -> Node:
+        left = self._parse_additive()
+        while self._accept_operator("||"):
+            left = BinaryOp("||", left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Node:
+        left = self._parse_multiplicative()
+        while True:
+            op = self._accept_operator("+", "-")
+            if op is None:
+                return left
+            left = BinaryOp(op, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> Node:
+        left = self._parse_unary()
+        while True:
+            op = self._accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = BinaryOp(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> Node:
+        op = self._accept_operator("-", "+")
+        if op is not None:
+            return UnaryOp(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Node:
+        token = self._peek()
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.BLOB:
+            self._advance()
+            return Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "null"):
+            self._advance()
+            return Literal(None)
+        if token.matches(TokenType.KEYWORD, "true"):
+            self._advance()
+            return Literal(True)
+        if token.matches(TokenType.KEYWORD, "false"):
+            self._advance()
+            return Literal(False)
+        if token.matches(TokenType.KEYWORD, "exists"):
+            self._advance()
+            self._expect_operator("(")
+            subquery = self._parse_select(allow_suffix=True)
+            self._expect_operator(")")
+            return ExistsExpr(subquery)
+        if token.matches(TokenType.KEYWORD, "case"):
+            return self._parse_case()
+        if token.matches(TokenType.KEYWORD, "cast"):
+            return self._parse_cast()
+        if token.matches(TokenType.OPERATOR, "("):
+            self._advance()
+            if self._check_keyword("select"):
+                subquery = self._parse_select(allow_suffix=True)
+                self._expect_operator(")")
+                return ScalarSubquery(subquery)
+            inner = self._parse_expression()
+            self._expect_operator(")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r}", token.position
+        )
+
+    def _parse_case(self) -> Node:
+        self._expect_keyword("case")
+        operand = None
+        if not self._check_keyword("when"):
+            operand = self._parse_expression()
+        branches = []
+        while self._accept_keyword("when"):
+            condition = self._parse_expression()
+            self._expect_keyword("then")
+            branches.append((condition, self._parse_expression()))
+        if not branches:
+            raise SQLSyntaxError(
+                "CASE needs at least one WHEN branch", self._peek().position
+            )
+        default = None
+        if self._accept_keyword("else"):
+            default = self._parse_expression()
+        self._expect_keyword("end")
+        return CaseExpr(operand, tuple(branches), default)
+
+    def _parse_cast(self) -> Node:
+        self._expect_keyword("cast")
+        self._expect_operator("(")
+        operand = self._parse_expression()
+        if not self._accept_keyword("as"):
+            token = self._peek()
+            raise SQLSyntaxError(
+                f"expected AS in CAST, found {token.value!r}", token.position
+            )
+        target = self._expect_identifier("type name")
+        self._expect_operator(")")
+        return CastExpr(operand, target)
+
+    def _parse_identifier_expression(self) -> Node:
+        name = self._advance().value
+
+        if self._check_operator("("):
+            self._advance()
+            if self._accept_operator("*"):
+                self._expect_operator(")")
+                return FunctionCall(name, (), star=True)
+            if self._accept_operator(")"):
+                return FunctionCall(name, ())
+            distinct = bool(self._accept_keyword("distinct"))
+            args = [self._parse_expression()]
+            while self._accept_operator(","):
+                args.append(self._parse_expression())
+            self._expect_operator(")")
+            return FunctionCall(name, tuple(args), distinct=distinct)
+
+        if self._check_operator(".") \
+                and self._peek(1).type is TokenType.IDENTIFIER:
+            self._advance()
+            column = self._advance().value
+            return ColumnRef(column, table=name)
+
+        return ColumnRef(name)
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse a single SELECT statement (the only statement GSN queries use)."""
+    text = sql.strip().rstrip(";")
+    return _Parser(tokenize(text)).parse_statement()

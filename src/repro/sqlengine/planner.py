@@ -1,0 +1,247 @@
+"""Logical planning.
+
+The planner turns a parsed :class:`SelectStatement` into a tree of plan
+nodes. Its one genuinely *adaptive* decision — mirroring the paper's
+"adaptive query execution plan" — is the join strategy: equi-join
+conditions become hash joins, everything else falls back to nested loops.
+Plans are cached per SQL text by :mod:`repro.query.plan_cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.exceptions import SQLPlanError
+from repro.sqlengine.ast_nodes import (
+    BinaryOp, ColumnRef, Join, Node, OrderItem, SelectItem, SelectStatement,
+    SetOperation, SubqueryRef, TableRef, contains_aggregate,
+)
+
+
+class Plan:
+    """Base class for plan nodes."""
+
+    bindings: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class ScanPlan(Plan):
+    """Read a named relation from the catalog."""
+    table: str
+    binding: str
+
+    def __post_init__(self) -> None:
+        self.bindings = frozenset({self.binding})
+
+
+@dataclass
+class SubqueryScanPlan(Plan):
+    """Execute a derived table and bind its rows under an alias."""
+    plan: "SelectPlan"
+    binding: str
+
+    def __post_init__(self) -> None:
+        self.bindings = frozenset({self.binding})
+
+
+@dataclass
+class NestedLoopJoinPlan(Plan):
+    left: Plan
+    right: Plan
+    kind: str                    # "inner", "left", "cross"
+    condition: Optional[Node]
+
+    def __post_init__(self) -> None:
+        self.bindings = self.left.bindings | self.right.bindings
+
+
+@dataclass
+class HashJoinPlan(Plan):
+    """Equi-join executed by hashing the right input on its keys."""
+    left: Plan
+    right: Plan
+    kind: str                    # "inner" or "left"
+    left_keys: Tuple[Node, ...]
+    right_keys: Tuple[Node, ...]
+    residual: Optional[Node]     # non-equi conjuncts still to check
+
+    def __post_init__(self) -> None:
+        self.bindings = self.left.bindings | self.right.bindings
+
+
+@dataclass
+class SelectPlan(Plan):
+    """One SELECT core plus its suffix clauses."""
+    source: Optional[Plan]
+    items: Tuple[SelectItem, ...]
+    where: Optional[Node]
+    group_by: Tuple[Node, ...]
+    having: Optional[Node]
+    distinct: bool
+    order_by: Tuple[OrderItem, ...]
+    limit: Optional[int]
+    offset: Optional[int]
+    set_operations: Tuple[Tuple[str, bool, "SelectPlan"], ...]
+    is_aggregate: bool
+    statement: SelectStatement = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.bindings = self.source.bindings if self.source else frozenset()
+
+
+def plan_select(statement: SelectStatement) -> SelectPlan:
+    """Plan a parsed SELECT statement (recursively planning subqueries in
+    the FROM clause; WHERE/HAVING subqueries are planned at execution)."""
+    source = _plan_from(statement.from_items)
+
+    is_aggregate = bool(statement.group_by) or any(
+        contains_aggregate(item.expression) for item in statement.items
+    ) or (statement.having is not None
+          and contains_aggregate(statement.having))
+
+    if statement.having is not None and not is_aggregate:
+        raise SQLPlanError("HAVING requires GROUP BY or aggregates")
+
+    set_ops = tuple(
+        (op.op, op.all, plan_select(op.right))
+        for op in statement.set_operations
+    )
+    if set_ops:
+        width = len(statement.items)
+        for op_name, __, right_plan in set_ops:
+            if len(right_plan.items) != width and not _has_star(statement.items) \
+                    and not _has_star(right_plan.items):
+                raise SQLPlanError(
+                    f"{op_name.upper()} operands have different widths"
+                )
+
+    return SelectPlan(
+        source=source,
+        items=statement.items,
+        where=statement.where,
+        group_by=statement.group_by,
+        having=statement.having,
+        distinct=statement.distinct,
+        order_by=statement.order_by,
+        limit=statement.limit,
+        offset=statement.offset,
+        set_operations=set_ops,
+        is_aggregate=is_aggregate,
+        statement=statement,
+    )
+
+
+def _has_star(items: Tuple[SelectItem, ...]) -> bool:
+    from repro.sqlengine.ast_nodes import Star
+    return any(isinstance(item.expression, Star) for item in items)
+
+
+def _plan_from(from_items: Tuple[Node, ...]) -> Optional[Plan]:
+    if not from_items:
+        return None
+    plans = [_plan_from_item(item) for item in from_items]
+    combined = plans[0]
+    for right in plans[1:]:
+        _check_disjoint(combined, right)
+        combined = NestedLoopJoinPlan(combined, right, "cross", None)
+    return combined
+
+
+def _plan_from_item(item: Node) -> Plan:
+    if isinstance(item, TableRef):
+        return ScanPlan(item.name, item.binding)
+    if isinstance(item, SubqueryRef):
+        return SubqueryScanPlan(plan_select(item.subquery), item.binding)
+    if isinstance(item, Join):
+        left = _plan_from_item(item.left)
+        right = _plan_from_item(item.right)
+        _check_disjoint(left, right)
+        return _plan_join(left, right, item.kind, item.condition)
+    raise SQLPlanError(f"unsupported FROM item: {type(item).__name__}")
+
+
+def _check_disjoint(left: Plan, right: Plan) -> None:
+    overlap = left.bindings & right.bindings
+    if overlap:
+        raise SQLPlanError(
+            f"duplicate table alias(es) in FROM: {sorted(overlap)}"
+        )
+
+
+def _plan_join(left: Plan, right: Plan, kind: str,
+               condition: Optional[Node]) -> Plan:
+    if kind == "cross" or condition is None:
+        return NestedLoopJoinPlan(left, right, "cross", condition)
+    left_keys, right_keys, residual = _split_equi_condition(
+        condition, left.bindings, right.bindings
+    )
+    if left_keys:
+        return HashJoinPlan(left, right, kind,
+                            tuple(left_keys), tuple(right_keys), residual)
+    return NestedLoopJoinPlan(left, right, kind, condition)
+
+
+def _split_equi_condition(condition: Node, left_bindings: FrozenSet[str],
+                          right_bindings: FrozenSet[str]):
+    """Split an ON condition into hashable equi-key pairs plus a residual.
+
+    A conjunct ``x = y`` is an equi-key when one side only references the
+    left input's bindings and the other only the right's. Conjuncts that
+    reference unqualified columns are conservatively left in the residual
+    (resolution is ambiguous until execution).
+    """
+    equi_left: List[Node] = []
+    equi_right: List[Node] = []
+    residual: List[Node] = []
+    for conjunct in _conjuncts(condition):
+        placed = False
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+            left_side = _side_of(conjunct.left, left_bindings, right_bindings)
+            right_side = _side_of(conjunct.right, left_bindings, right_bindings)
+            if left_side == "left" and right_side == "right":
+                equi_left.append(conjunct.left)
+                equi_right.append(conjunct.right)
+                placed = True
+            elif left_side == "right" and right_side == "left":
+                equi_left.append(conjunct.right)
+                equi_right.append(conjunct.left)
+                placed = True
+        if not placed:
+            residual.append(conjunct)
+    residual_node: Optional[Node] = None
+    for conjunct in residual:
+        residual_node = (conjunct if residual_node is None
+                         else BinaryOp("and", residual_node, conjunct))
+    return equi_left, equi_right, residual_node
+
+
+def _conjuncts(node: Node):
+    if isinstance(node, BinaryOp) and node.op == "and":
+        yield from _conjuncts(node.left)
+        yield from _conjuncts(node.right)
+    else:
+        yield node
+
+
+def _side_of(expr: Node, left_bindings: FrozenSet[str],
+             right_bindings: FrozenSet[str]) -> Optional[str]:
+    """Which input an expression exclusively references, if decidable."""
+    sides = set()
+    for node in expr.walk():
+        if isinstance(node, ColumnRef):
+            if node.table is None:
+                return None  # ambiguous without schema info
+            if node.table in left_bindings:
+                sides.add("left")
+            elif node.table in right_bindings:
+                sides.add("right")
+            else:
+                return None
+        if isinstance(node, SelectStatement):
+            return None  # subqueries stay in the residual
+    if sides == {"left"}:
+        return "left"
+    if sides == {"right"}:
+        return "right"
+    return None

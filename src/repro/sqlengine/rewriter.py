@@ -1,0 +1,144 @@
+"""Token-level SQL rewriting.
+
+Stream-source queries reference their raw input by the reserved table name
+``WRAPPER`` (paper, Section 2: "SQL queries which refer to the input
+streams by the reserved keyword WRAPPER"). Before execution the container
+rewrites that name — and, for the output query, the stream-source aliases —
+to the internal storage table names. Rewriting happens on the token stream
+so comments, strings, and column references named ``wrapper`` survive
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.sqlengine.ast_nodes import SelectStatement, SubqueryRef, TableRef
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+from repro.sqlengine.parser import parse_select
+
+#: The reserved input-stream table name from the paper.
+WRAPPER_TABLE = "wrapper"
+
+
+def referenced_tables(sql: str) -> Set[str]:
+    """The set of table names a query reads (recursively, incl. subqueries)."""
+    statement = parse_select(sql)
+    return statement_tables(statement)
+
+
+def statement_tables(statement: SelectStatement) -> Set[str]:
+    tables: Set[str] = set()
+    for node in statement.walk():
+        if isinstance(node, TableRef):
+            tables.add(node.name)
+    return tables
+
+
+def rewrite_table_names(sql: str, mapping: Dict[str, str]) -> str:
+    """Replace table names per ``mapping`` (case-insensitive keys).
+
+    Only identifiers in *table position* are rewritten: the identifier
+    directly following ``FROM``, ``JOIN`` or a comma inside a FROM list.
+    Column references such as ``wrapper.temperature`` have their qualifier
+    rewritten too, since the qualifier names the same table.
+    """
+    lowered = {key.lower(): value for key, value in mapping.items()}
+    tokens = tokenize(sql)
+    out: List[str] = []
+    expecting_table = False
+    from_depth: List[int] = []  # parenthesis depths where a FROM list is open
+    depth = 0
+
+    for index, token in enumerate(tokens):
+        if token.type is TokenType.END:
+            break
+        text = _render(token)
+
+        if token.type is TokenType.OPERATOR:
+            if token.value == "(":
+                depth += 1
+            elif token.value == ")":
+                depth -= 1
+                while from_depth and from_depth[-1] > depth:
+                    from_depth.pop()
+            elif token.value == "," and from_depth and from_depth[-1] == depth:
+                expecting_table = True
+                out.append(text)
+                continue
+
+        if token.type is TokenType.KEYWORD:
+            if token.value == "from":
+                expecting_table = True
+                from_depth.append(depth)
+                out.append(text)
+                continue
+            if token.value == "join":
+                expecting_table = True
+                out.append(text)
+                continue
+            if token.value in ("where", "group", "having", "order", "limit"):
+                if from_depth and from_depth[-1] == depth:
+                    from_depth.pop()
+                expecting_table = False
+            elif token.value == "on":
+                expecting_table = False
+
+        if token.type is TokenType.IDENTIFIER:
+            replacement = lowered.get(token.value)
+            if expecting_table and replacement is not None:
+                out.append(replacement)
+                expecting_table = False
+                continue
+            if replacement is not None and _is_qualifier(tokens, index):
+                out.append(replacement)
+                continue
+            if expecting_table:
+                expecting_table = False
+
+        out.append(text)
+
+    return _join(out)
+
+
+def _is_qualifier(tokens: List[Token], index: int) -> bool:
+    """True when ``tokens[index]`` is the ``t`` of a ``t.column`` reference."""
+    nxt = tokens[index + 1] if index + 1 < len(tokens) else None
+    if nxt is None or not nxt.matches(TokenType.OPERATOR, "."):
+        return False
+    prev = tokens[index - 1] if index > 0 else None
+    if prev is not None and prev.matches(TokenType.OPERATOR, "."):
+        return False  # this identifier is itself a column name
+    return True
+
+
+def _render(token: Token) -> str:
+    if token.type is TokenType.STRING:
+        escaped = str(token.value).replace("'", "''")
+        return f"'{escaped}'"
+    if token.type is TokenType.BLOB:
+        return f"X'{bytes(token.value).hex()}'"
+    if token.type is TokenType.NUMBER:
+        return repr(token.value)
+    return str(token.value)
+
+
+_NO_SPACE_BEFORE = {",", ")", "."}
+_NO_SPACE_AFTER = {"(", "."}
+
+
+def _join(parts: List[str]) -> str:
+    pieces: List[str] = []
+    previous = ""
+    for part in parts:
+        if pieces and part not in _NO_SPACE_BEFORE \
+                and previous not in _NO_SPACE_AFTER:
+            pieces.append(" ")
+        pieces.append(part)
+        previous = part
+    return "".join(pieces)
+
+
+def rewrite_wrapper(sql: str, table_name: str) -> str:
+    """Convenience: rewrite the reserved ``WRAPPER`` table to ``table_name``."""
+    return rewrite_table_names(sql, {WRAPPER_TABLE: table_name})

@@ -1,0 +1,27 @@
+"""Storage layer.
+
+"The data from/to the VSM passes through the storage layer which is in
+charge of providing and managing persistent storage for data streams"
+(paper, Section 4). Two backends are provided:
+
+- :class:`~repro.storage.memory.MemoryStorage` — bounded in-memory stream
+  tables, the default for transient streams;
+- :class:`~repro.storage.sqlite.SQLiteStorage` — SQLite-backed persistence
+  playing the role MySQL plays in the original GSN.
+
+A :class:`~repro.storage.manager.StorageManager` owns both and routes each
+virtual sensor's output stream according to its ``<storage>`` directive.
+"""
+
+from repro.storage.base import StorageBackend, StreamTable
+from repro.storage.memory import MemoryStorage
+from repro.storage.sqlite import SQLiteStorage
+from repro.storage.manager import StorageManager
+
+__all__ = [
+    "StorageBackend",
+    "StreamTable",
+    "MemoryStorage",
+    "SQLiteStorage",
+    "StorageManager",
+]

@@ -1,0 +1,142 @@
+"""Storage backend interface.
+
+A backend manages *stream tables*: append-only sequences of stream elements
+with a retention bound (time- or count-based, mirroring GSN's
+``<storage size="...">`` directive). Tables materialize to
+:class:`~repro.sqlengine.relation.Relation` so the SQL engine can query
+them uniformly regardless of backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import StorageError
+from repro.gsntime.duration import parse_window_spec
+from repro.sqlengine.relation import Relation
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How long a stream table keeps elements.
+
+    ``kind`` is ``"count"`` (keep the last N), ``"time"`` (keep the last
+    span milliseconds, judged against element timestamps) or ``"all"``.
+    """
+
+    kind: str
+    amount: int = 0
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "RetentionPolicy":
+        if spec is None or spec.strip().lower() in ("", "all", "unbounded"):
+            return cls("all")
+        kind, amount = parse_window_spec(spec)
+        return cls(kind, amount)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("count", "time", "all"):
+            raise StorageError(f"unknown retention kind {self.kind!r}")
+        if self.kind != "all" and self.amount <= 0:
+            raise StorageError("retention amount must be positive")
+
+
+class StreamTable(abc.ABC):
+    """One named stream table within a backend."""
+
+    def __init__(self, name: str, schema: StreamSchema,
+                 retention: RetentionPolicy) -> None:
+        self.name = name
+        self.schema = schema
+        self.retention = retention
+        self.appended = 0
+
+    @abc.abstractmethod
+    def append(self, element: StreamElement) -> None:
+        """Store one element (must be timestamped)."""
+
+    @abc.abstractmethod
+    def relation(self, now: Optional[int] = None) -> Relation:
+        """Current (retained) contents as a relation, oldest row first.
+
+        Columns are the schema fields plus the implicit ``timed`` column.
+        For time-based retention ``now`` supplies the reference time; when
+        omitted the latest stored timestamp is used.
+        """
+
+    @abc.abstractmethod
+    def count(self, now: Optional[int] = None) -> int:
+        """Number of retained elements."""
+
+    @abc.abstractmethod
+    def latest(self) -> Optional[StreamElement]:
+        """The most recently appended element, if any."""
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(self.schema.field_names) + ("timed",)
+
+
+class StorageBackend(abc.ABC):
+    """Manages a namespace of stream tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, StreamTable] = {}
+
+    @abc.abstractmethod
+    def _make_table(self, name: str, schema: StreamSchema,
+                    retention: RetentionPolicy) -> StreamTable:
+        """Create the backend-specific table object."""
+
+    def create(self, name: str, schema: StreamSchema,
+               retention: Optional[RetentionPolicy] = None) -> StreamTable:
+        key = name.lower()
+        if key in self._tables:
+            raise StorageError(f"stream table {name!r} already exists")
+        table = self._make_table(key, schema,
+                                 retention or RetentionPolicy("all"))
+        self._tables[key] = table
+        return table
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise StorageError(f"no stream table {name!r}")
+        table = self._tables.pop(key)
+        self._dispose(table)
+
+    def release(self, name: str) -> None:
+        """Forget a table without destroying its backing data.
+
+        For persistent backends this is the shutdown path: the SQLite
+        table stays on disk and a later ``create`` with the same name
+        reattaches to it.
+        """
+        key = name.lower()
+        if key not in self._tables:
+            raise StorageError(f"no stream table {name!r}")
+        del self._tables[key]
+
+    def _dispose(self, table: StreamTable) -> None:
+        """Backend-specific cleanup when a table is dropped."""
+
+    def get(self, name: str) -> StreamTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise StorageError(f"no stream table {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def close(self) -> None:
+        """Release backend resources (default: drop all tables)."""
+        for name in list(self._tables):
+            self.drop(name)

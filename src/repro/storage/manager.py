@@ -1,0 +1,117 @@
+"""Per-container storage manager.
+
+Routes each virtual sensor's output stream to the right backend according
+to its ``<storage permanent-storage=... size=...>`` directive, allocates
+collision-free table names, and exposes everything as a
+:class:`~repro.sqlengine.executor.Catalog` view so registered queries can
+read any stream hosted by the container.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.exceptions import StorageError
+from repro.sqlengine.executor import Catalog
+from repro.sqlengine.relation import Relation
+from repro.storage.base import RetentionPolicy, StorageBackend, StreamTable
+from repro.storage.memory import MemoryStorage
+from repro.storage.sqlite import SQLiteStorage
+from repro.streams.schema import StreamSchema
+
+_SAFE_NAME = re.compile(r"[^a-z0-9_]")
+
+
+def safe_table_name(raw: str) -> str:
+    """Sanitize an arbitrary sensor name into an SQL-safe table name."""
+    lowered = _SAFE_NAME.sub("_", raw.lower())
+    if not lowered or not (lowered[0].isalpha() or lowered[0] == "_"):
+        lowered = "t_" + lowered
+    return lowered
+
+
+class StorageManager:
+    """Owns the memory and persistent backends of one GSN container.
+
+    Parameters
+    ----------
+    database_path:
+        Location of the SQLite database backing permanent streams
+        (defaults to in-memory, which still exercises the SQLite code
+        path while keeping tests hermetic).
+    """
+
+    def __init__(self, database_path: str = ":memory:") -> None:
+        self.memory = MemoryStorage()
+        self.persistent = SQLiteStorage(database_path)
+        self._homes: Dict[str, StorageBackend] = {}
+
+    def create_stream(self, name: str, schema: StreamSchema,
+                      retention: Optional[str] = None,
+                      permanent: bool = False) -> StreamTable:
+        """Create a stream table, choosing the backend by ``permanent``."""
+        table_name = safe_table_name(name)
+        if table_name in self._homes:
+            raise StorageError(f"stream {name!r} already exists")
+        backend = self.persistent if permanent else self.memory
+        table = backend.create(table_name, schema,
+                               RetentionPolicy.parse(retention))
+        self._homes[table_name] = backend
+        return table
+
+    def drop_stream(self, name: str) -> None:
+        table_name = safe_table_name(name)
+        backend = self._homes.pop(table_name, None)
+        if backend is None:
+            raise StorageError(f"no stream {name!r}")
+        backend.drop(table_name)
+
+    def release_stream(self, name: str) -> None:
+        """Detach a stream, preserving persistent data on disk.
+
+        Transient (memory) streams are simply dropped — there is nothing
+        durable to preserve.
+        """
+        table_name = safe_table_name(name)
+        backend = self._homes.pop(table_name, None)
+        if backend is None:
+            raise StorageError(f"no stream {name!r}")
+        if backend is self.persistent:
+            backend.release(table_name)
+        else:
+            backend.drop(table_name)
+
+    def get(self, name: str) -> StreamTable:
+        table_name = safe_table_name(name)
+        backend = self._homes.get(table_name)
+        if backend is None:
+            raise StorageError(f"no stream {name!r}")
+        return backend.get(table_name)
+
+    def __contains__(self, name: object) -> bool:
+        return (isinstance(name, str)
+                and safe_table_name(name) in self._homes)
+
+    def stream_names(self):
+        return sorted(self._homes)
+
+    def catalog(self, now: Optional[int] = None) -> Catalog:
+        """A catalog of every stream's current contents.
+
+        Materialized on demand: cheap for the handful of streams a
+        registered query touches, and always consistent with retention.
+        """
+        catalog = Catalog()
+        for table_name, backend in self._homes.items():
+            catalog.register(table_name,
+                             backend.get(table_name).relation(now))
+        return catalog
+
+    def relation(self, name: str, now: Optional[int] = None) -> Relation:
+        return self.get(name).relation(now)
+
+    def close(self) -> None:
+        self.memory.close()
+        self.persistent.close()
+        self._homes.clear()

@@ -1,0 +1,178 @@
+"""SQLite-backed persistent storage.
+
+Plays the role MySQL plays in the original GSN: virtual sensors declaring
+``permanent-storage="true"`` have their output streams written to an
+SQLite database (on disk or ``:memory:``). Besides the standard
+:class:`~repro.storage.base.StreamTable` interface, the backend exposes
+:meth:`SQLiteStorage.execute_sql` so benchmarks can compare the scratch SQL
+engine against SQLite on the same window contents.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from typing import Optional
+
+from repro.datatypes import DataType
+from repro.exceptions import StorageError
+from repro.sqlengine.relation import Relation
+from repro.storage.base import RetentionPolicy, StorageBackend, StreamTable
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+
+_SQLITE_TYPES = {
+    DataType.INTEGER: "INTEGER",
+    DataType.DOUBLE: "REAL",
+    DataType.VARCHAR: "TEXT",
+    DataType.BINARY: "BLOB",
+    DataType.BOOLEAN: "INTEGER",
+    DataType.TIMESTAMP: "INTEGER",
+}
+
+
+class SQLiteStreamTable(StreamTable):
+    def __init__(self, name: str, schema: StreamSchema,
+                 retention: RetentionPolicy,
+                 connection: sqlite3.Connection,
+                 lock: threading.Lock) -> None:
+        super().__init__(name, schema, retention)
+        self._connection = connection
+        self._lock = lock
+        columns = ", ".join(
+            f'"{field.name}" {_SQLITE_TYPES[field.type]}'
+            for field in schema
+        )
+        with lock:
+            connection.execute(
+                f'CREATE TABLE IF NOT EXISTS "{name}" '
+                f"(_seq INTEGER PRIMARY KEY AUTOINCREMENT, "
+                f'{columns}, "timed" INTEGER NOT NULL)'
+            )
+            connection.execute(
+                f'CREATE INDEX IF NOT EXISTS "idx_{name}_timed" '
+                f'ON "{name}" ("timed")'
+            )
+            connection.commit()
+        self._insert_sql = (
+            f'INSERT INTO "{name}" ('
+            + ", ".join(f'"{c}"' for c in self.columns)
+            + ") VALUES ("
+            + ", ".join("?" for __ in self.columns)
+            + ")"
+        )
+
+    def append(self, element: StreamElement) -> None:
+        if element.timed is None:
+            raise StorageError("cannot store an unstamped element")
+        values = self.schema.validate(element.values)
+        row = [
+            int(v) if isinstance(v, bool) else v
+            for v in (values[field] for field in self.schema.field_names)
+        ]
+        row.append(element.timed)
+        with self._lock:
+            self._connection.execute(self._insert_sql, row)
+            self.appended += 1
+            self._evict(element.timed)
+            self._connection.commit()
+
+    def _evict(self, reference: int) -> None:
+        if self.retention.kind == "time":
+            cutoff = reference - self.retention.amount
+            self._connection.execute(
+                f'DELETE FROM "{self.name}" WHERE "timed" <= ?', (cutoff,)
+            )
+        elif self.retention.kind == "count":
+            self._connection.execute(
+                f'DELETE FROM "{self.name}" WHERE _seq <= ('
+                f'SELECT _seq FROM "{self.name}" '
+                f"ORDER BY _seq DESC LIMIT 1 OFFSET ?)",
+                (self.retention.amount,),
+            )
+
+    def _where(self, now: Optional[int]) -> str:
+        if self.retention.kind == "time" and now is not None:
+            cutoff = now - self.retention.amount
+            return f'WHERE "timed" > {cutoff} AND "timed" <= {now}'
+        return ""
+
+    def relation(self, now: Optional[int] = None) -> Relation:
+        column_list = ", ".join(f'"{c}"' for c in self.columns)
+        sql = (f'SELECT {column_list} FROM "{self.name}" '
+               f"{self._where(now)} ORDER BY _seq")
+        with self._lock:
+            cursor = self._connection.execute(sql)
+            rows = cursor.fetchall()
+        decoded = [
+            tuple(
+                bool(value) if self.schema[column].type is DataType.BOOLEAN
+                and value is not None else value
+                for column, value in zip(self.columns[:-1], row[:-1])
+            ) + (row[-1],)
+            for row in rows
+        ]
+        return Relation(self.columns, decoded)
+
+    def count(self, now: Optional[int] = None) -> int:
+        sql = f'SELECT COUNT(*) FROM "{self.name}" {self._where(now)}'
+        with self._lock:
+            return self._connection.execute(sql).fetchone()[0]
+
+    def latest(self) -> Optional[StreamElement]:
+        column_list = ", ".join(f'"{c}"' for c in self.columns)
+        sql = (f'SELECT {column_list} FROM "{self.name}" '
+               f"ORDER BY _seq DESC LIMIT 1")
+        with self._lock:
+            row = self._connection.execute(sql).fetchone()
+        if row is None:
+            return None
+        values = {}
+        for column, value in zip(self.columns[:-1], row[:-1]):
+            if self.schema[column].type is DataType.BOOLEAN and value is not None:
+                value = bool(value)
+            values[column] = value
+        return StreamElement(values, timed=row[-1], producer=self.name)
+
+
+class SQLiteStorage(StorageBackend):
+    """Stream tables persisted in one SQLite database."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        super().__init__()
+        self.path = path
+        try:
+            self._connection = sqlite3.connect(path, check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot open database {path!r}: {exc}") from exc
+        self._lock = threading.Lock()
+
+    def _make_table(self, name: str, schema: StreamSchema,
+                    retention: RetentionPolicy) -> StreamTable:
+        return SQLiteStreamTable(name, schema, retention,
+                                 self._connection, self._lock)
+
+    def _dispose(self, table: StreamTable) -> None:
+        with self._lock:
+            self._connection.execute(f'DROP TABLE IF EXISTS "{table.name}"')
+            self._connection.commit()
+
+    def execute_sql(self, sql: str) -> Relation:
+        """Run arbitrary (read-only) SQL directly on the database.
+
+        Used by the ablation benchmark comparing the scratch engine with
+        SQLite, and available to applications that prefer SQLite semantics.
+        """
+        with self._lock:
+            try:
+                cursor = self._connection.execute(sql)
+            except sqlite3.Error as exc:
+                raise StorageError(f"sqlite error: {exc}") from exc
+            columns = [d[0].lower() for d in cursor.description or ()]
+            rows = cursor.fetchall()
+        return Relation(columns, rows)
+
+    def close(self) -> None:
+        self._tables.clear()
+        with self._lock:
+            self._connection.close()

@@ -1,0 +1,78 @@
+"""Disconnect buffers.
+
+GSN descriptors carry a ``disconnect-buffer`` attribute on stream sources
+(paper Figure 1: ``disconnect-buffer="10"``). While a source is
+disconnected, up to that many elements are retained and replayed in order
+when the connection returns, so short outages lose no data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.exceptions import StreamError
+from repro.streams.element import StreamElement
+
+
+class DisconnectBuffer:
+    """Bounded FIFO holding elements produced while a source is down.
+
+    The buffer drops the *oldest* elements on overflow — the most recent
+    readings are the ones a sensor application cares about after an outage.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise StreamError("disconnect buffer capacity cannot be negative")
+        self.capacity = capacity
+        self._buffer: Deque[StreamElement] = deque(maxlen=capacity or None)
+        self._connected = True
+        self.total_buffered = 0
+        self.total_dropped = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    @property
+    def pending(self) -> int:
+        """Number of elements waiting to be replayed."""
+        return len(self._buffer)
+
+    def disconnect(self) -> None:
+        """Mark the source as disconnected; subsequent offers are buffered."""
+        self._connected = False
+
+    def reconnect(self) -> List[StreamElement]:
+        """Mark the source connected and return buffered elements in order.
+
+        The caller (the Input Stream Manager) replays the returned elements
+        downstream before resuming live delivery.
+        """
+        self._connected = True
+        replay = list(self._buffer)
+        self._buffer.clear()
+        return replay
+
+    def offer(self, element: StreamElement) -> bool:
+        """Process one element.
+
+        Returns ``True`` if the element should be delivered immediately
+        (source connected); ``False`` if it was buffered or dropped.
+        """
+        if self._connected:
+            return True
+        if self.capacity == 0:
+            self.total_dropped += 1
+            return False
+        if len(self._buffer) == self.capacity:
+            self.total_dropped += 1  # deque(maxlen) evicts the oldest
+        self._buffer.append(element)
+        self.total_buffered += 1
+        return False
+
+    def __repr__(self) -> str:
+        state = "connected" if self._connected else "disconnected"
+        return (f"DisconnectBuffer(capacity={self.capacity}, {state}, "
+                f"pending={self.pending})")

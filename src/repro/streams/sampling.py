@@ -1,0 +1,131 @@
+"""Samplers and rate bounders.
+
+Paper, Section 3: GSN can bound "the rate of a data stream in order to
+avoid overloads" and supports "sampling of data streams in order to reduce
+the data rate". These are small stateful filters the Input Stream Manager
+applies before elements reach a window.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from repro.exceptions import StreamError
+from repro.streams.element import StreamElement
+
+
+class StreamFilter(abc.ABC):
+    """A stateful admit/reject decision applied per element."""
+
+    @abc.abstractmethod
+    def admit(self, element: StreamElement) -> bool:
+        """Return ``True`` if the element should continue downstream."""
+
+    def reset(self) -> None:
+        """Restore initial state (default: nothing to do)."""
+
+
+class ProbabilisticSampler(StreamFilter):
+    """Admits each element independently with probability ``rate``.
+
+    GSN's ``sampling-rate`` attribute: a value of 1 passes everything,
+    0.5 passes roughly half the elements.
+    """
+
+    def __init__(self, rate: float, seed: Optional[int] = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise StreamError(f"sampling rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def admit(self, element: StreamElement) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        return self._rng.random() < self.rate
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticSampler(rate={self.rate})"
+
+
+class SystematicSampler(StreamFilter):
+    """Admits every ``n``-th element (deterministic decimation)."""
+
+    def __init__(self, every: int) -> None:
+        if every < 1:
+            raise StreamError("systematic sampler needs every >= 1")
+        self.every = every
+        self._count = 0
+
+    def admit(self, element: StreamElement) -> bool:
+        self._count += 1
+        if self._count >= self.every:
+            self._count = 0
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def __repr__(self) -> str:
+        return f"SystematicSampler(every={self.every})"
+
+
+class RateBounder(StreamFilter):
+    """Enforces a maximum element rate by timestamp spacing.
+
+    Admits an element only if at least ``min_interval_ms`` elapsed (by the
+    element's own timestamp) since the last admitted one. This is GSN's
+    overload protection: excess elements are dropped, not queued, so a
+    bursty source cannot delay the pipeline.
+    """
+
+    def __init__(self, max_per_second: float) -> None:
+        if max_per_second <= 0:
+            raise StreamError("rate bound must be positive")
+        self.max_per_second = max_per_second
+        self.min_interval_ms = 1000.0 / max_per_second
+        self._last_admitted: Optional[int] = None
+        self.dropped = 0
+
+    def admit(self, element: StreamElement) -> bool:
+        if element.timed is None:
+            raise StreamError("rate bounding requires timestamped elements")
+        if (self._last_admitted is None
+                or element.timed - self._last_admitted >= self.min_interval_ms):
+            self._last_admitted = element.timed
+            return True
+        self.dropped += 1
+        return False
+
+    def reset(self) -> None:
+        self._last_admitted = None
+        self.dropped = 0
+
+    def __repr__(self) -> str:
+        return (f"RateBounder(max_per_second={self.max_per_second}, "
+                f"dropped={self.dropped})")
+
+
+class FilterChain(StreamFilter):
+    """Applies several filters in order; an element must pass all of them.
+
+    Filters later in the chain do not see elements rejected earlier, so a
+    rate bounder placed after a sampler measures the *sampled* rate.
+    """
+
+    def __init__(self, *filters: StreamFilter) -> None:
+        self.filters = list(filters)
+
+    def admit(self, element: StreamElement) -> bool:
+        return all(f.admit(element) for f in self.filters)
+
+    def reset(self) -> None:
+        for f in self.filters:
+            f.reset()
+
+    def __repr__(self) -> str:
+        return f"FilterChain({', '.join(map(repr, self.filters))})"

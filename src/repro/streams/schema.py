@@ -1,0 +1,179 @@
+"""Stream schemas.
+
+The ``<output-structure>`` element of a virtual-sensor descriptor declares
+named, typed fields; this module is the runtime representation. Field names
+are case-insensitive (normalized to lower case) like column names in the
+original GSN's SQL layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.datatypes import DataType
+from repro.exceptions import SchemaError
+
+#: Reserved field automatically managed by the container (Section 3:
+#: "implicit management of a timestamp attribute").
+TIMED_FIELD = "timed"
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single named, typed field of a stream schema."""
+
+    name: str
+    type: DataType
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        normalized = self.name.strip().lower()
+        if not normalized:
+            raise SchemaError("field names cannot be empty")
+        if not normalized[0].isalpha() and normalized[0] != "_":
+            raise SchemaError(f"invalid field name: {self.name!r}")
+        if not all(ch.isalnum() or ch == "_" for ch in normalized):
+            raise SchemaError(f"invalid field name: {self.name!r}")
+        object.__setattr__(self, "name", normalized)
+
+
+class StreamSchema:
+    """An ordered collection of :class:`Field` objects.
+
+    The implicit ``timed`` attribute is *not* part of the schema; it lives
+    on every :class:`~repro.streams.element.StreamElement` directly.
+    """
+
+    def __init__(self, fields: Iterable[Field]) -> None:
+        self._fields: Tuple[Field, ...] = tuple(fields)
+        if not self._fields:
+            raise SchemaError("a schema needs at least one field")
+        self._by_name: Dict[str, Field] = {}
+        for field in self._fields:
+            if field.name in self._by_name:
+                raise SchemaError(f"duplicate field name: {field.name!r}")
+            if field.name == TIMED_FIELD:
+                raise SchemaError(
+                    f"{TIMED_FIELD!r} is reserved for the implicit timestamp"
+                )
+            self._by_name[field.name] = field
+
+    @classmethod
+    def build(cls, **field_types: DataType) -> "StreamSchema":
+        """Shorthand: ``StreamSchema.build(temperature=DataType.INTEGER)``."""
+        return cls(Field(name, dtype) for name, dtype in field_types.items())
+
+    @property
+    def fields(self) -> Tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(field.name for field in self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._by_name
+
+    def __getitem__(self, name: str) -> Field:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no field named {name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamSchema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}:{f.type.value}" for f in self._fields)
+        return f"StreamSchema({inner})"
+
+    def validate(self, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Check ``values`` against this schema and return a normalized dict.
+
+        Unknown keys raise; missing keys become ``None`` (sensors may omit
+        readings — the quality manager deals with missing values).
+        """
+        normalized: Dict[str, Any] = {}
+        for key, value in values.items():
+            lowered = key.lower()
+            if lowered == TIMED_FIELD:
+                continue
+            if lowered not in self._by_name:
+                raise SchemaError(f"value for unknown field {key!r}")
+            field = self._by_name[lowered]
+            if not field.type.accepts(value):
+                raise SchemaError(
+                    f"field {field.name!r} expects {field.type.value}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+            normalized[lowered] = value
+        for field in self._fields:
+            normalized.setdefault(field.name, None)
+        return normalized
+
+    def coerce(self, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`validate` but converts convertible values in place of
+        rejecting them (used at wrapper boundaries where devices report
+        strings)."""
+        coerced: Dict[str, Any] = {}
+        for key, value in values.items():
+            lowered = key.lower()
+            if lowered == TIMED_FIELD:
+                continue
+            if lowered not in self._by_name:
+                raise SchemaError(f"value for unknown field {key!r}")
+            coerced[lowered] = self._by_name[lowered].type.coerce(value)
+        for field in self._fields:
+            coerced.setdefault(field.name, None)
+        return coerced
+
+    def project(self, names: Iterable[str]) -> "StreamSchema":
+        """A new schema containing only ``names``, in the order given."""
+        return StreamSchema(self[name] for name in names)
+
+    def merge(self, other: "StreamSchema",
+              on_conflict: str = "error") -> "StreamSchema":
+        """Concatenate two schemas (used when joining streams).
+
+        ``on_conflict`` is ``"error"`` or ``"skip"`` (keep first).
+        """
+        fields = list(self._fields)
+        seen = set(self.field_names)
+        for field in other:
+            if field.name in seen:
+                if on_conflict == "skip":
+                    continue
+                raise SchemaError(f"field {field.name!r} exists in both schemas")
+            fields.append(field)
+            seen.add(field.name)
+        return StreamSchema(fields)
+
+
+def schema_from_example(values: Mapping[str, Any],
+                        default: Optional[DataType] = None) -> StreamSchema:
+    """Infer a schema from one example reading (for schemaless wrappers)."""
+    from repro.datatypes import sql_affinity
+
+    fields = []
+    for name, value in values.items():
+        if name.lower() == TIMED_FIELD:
+            continue
+        inferred = sql_affinity(value) if value is not None else default
+        if inferred is None:
+            raise SchemaError(
+                f"cannot infer type for field {name!r} from {value!r}"
+            )
+        fields.append(Field(name, inferred))
+    return StreamSchema(fields)

@@ -1,0 +1,152 @@
+"""Count- and time-based windows over data streams.
+
+Paper, Section 3: "a windowing mechanism which allows the user to define
+count- or time-based windows on data streams". Windows maintain the set of
+stream elements visible to the per-source query of pipeline step 2.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.exceptions import WindowError
+from repro.gsntime.duration import parse_window_spec
+from repro.streams.element import StreamElement
+
+
+class SlidingWindow(abc.ABC):
+    """Common interface for stream windows.
+
+    Elements enter via :meth:`append`; :meth:`contents` returns the elements
+    currently inside the window, oldest first. Time windows need the query
+    time to expire elements, so ``contents`` takes ``now``.
+    """
+
+    @abc.abstractmethod
+    def append(self, element: StreamElement) -> None:
+        """Admit a new element (must already carry a timestamp)."""
+
+    @abc.abstractmethod
+    def contents(self, now: Optional[int] = None) -> List[StreamElement]:
+        """Elements currently in the window, oldest first."""
+
+    @abc.abstractmethod
+    def spec(self) -> str:
+        """The descriptor string this window was built from."""
+
+    def __len__(self) -> int:
+        return len(self.contents())
+
+    def clear(self) -> None:
+        """Drop all buffered elements."""
+        raise NotImplementedError
+
+
+class CountWindow(SlidingWindow):
+    """Keeps the last ``size`` elements regardless of their timestamps."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise WindowError("count windows must hold at least one element")
+        self.size = size
+        self._elements: Deque[StreamElement] = deque(maxlen=size)
+
+    def append(self, element: StreamElement) -> None:
+        if element.timed is None:
+            raise WindowError("cannot window an unstamped element")
+        self._elements.append(element)
+
+    def contents(self, now: Optional[int] = None) -> List[StreamElement]:
+        return list(self._elements)
+
+    def clear(self) -> None:
+        self._elements.clear()
+
+    def spec(self) -> str:
+        return str(self.size)
+
+    def __repr__(self) -> str:
+        return f"CountWindow(size={self.size}, held={len(self._elements)})"
+
+
+class TimeWindow(SlidingWindow):
+    """Keeps elements whose timestamp lies within the trailing time span.
+
+    An element with timestamp ``t`` is in the window at query time ``now``
+    iff ``now - span < t <= now``. Out-of-order arrivals are tolerated: the
+    window keeps elements sorted by insertion but expiry is purely
+    timestamp-driven.
+    """
+
+    def __init__(self, span_millis: int) -> None:
+        if span_millis <= 0:
+            raise WindowError("time windows must span a positive duration")
+        self.span_millis = span_millis
+        self._elements: Deque[StreamElement] = deque()
+        self._latest_seen: int = -1
+        self._monotonic = True  # False once an out-of-order element arrives
+
+    def append(self, element: StreamElement) -> None:
+        if element.timed is None:
+            raise WindowError("cannot window an unstamped element")
+        if self._elements and element.timed < self._elements[-1].timed:
+            self._monotonic = False
+        self._elements.append(element)
+        if element.timed > self._latest_seen:
+            self._latest_seen = element.timed
+
+    def _expire(self, now: int) -> None:
+        cutoff = now - self.span_millis
+        # Elements are usually in timestamp order; pop expired ones from
+        # the left. A full rebuild only happens after out-of-order
+        # arrivals, where stale elements can hide mid-deque.
+        while self._elements and self._elements[0].timed <= cutoff:
+            self._elements.popleft()
+        if not self._monotonic and any(
+            e.timed <= cutoff for e in self._elements
+        ):
+            self._elements = deque(
+                e for e in self._elements if e.timed > cutoff
+            )
+
+    def contents(self, now: Optional[int] = None) -> List[StreamElement]:
+        reference = self._latest_seen if now is None else now
+        if reference < 0:
+            return []
+        self._expire(reference)
+        cutoff = reference - self.span_millis
+        if self._monotonic and reference >= self._latest_seen:
+            # Everything retained lies in (cutoff, latest] ⊆ (cutoff, ref].
+            return list(self._elements)
+        return [e for e in self._elements
+                if cutoff < e.timed <= reference]
+
+    def clear(self) -> None:
+        self._elements.clear()
+        self._latest_seen = -1
+        self._monotonic = True
+
+    def spec(self) -> str:
+        from repro.gsntime.duration import format_duration
+        return format_duration(self.span_millis)
+
+    def __repr__(self) -> str:
+        return (f"TimeWindow(span={self.span_millis}ms, "
+                f"held={len(self._elements)})")
+
+
+def make_window(spec: str) -> SlidingWindow:
+    """Build a window from a descriptor attribute.
+
+    ``"10"`` → a 10-element :class:`CountWindow`; ``"10s"`` → a 10-second
+    :class:`TimeWindow` (GSN's ``storage-size`` convention).
+    """
+    try:
+        kind, amount = parse_window_spec(spec)
+    except Exception as exc:
+        raise WindowError(f"bad window spec {spec!r}: {exc}") from exc
+    if kind == "count":
+        return CountWindow(amount)
+    return TimeWindow(amount)

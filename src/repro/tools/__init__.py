@@ -1,0 +1,14 @@
+"""Operational tooling around the middleware: trace recording/export
+(pairing with the ``replay`` wrapper to reproduce field deployments) and
+the static HTML dashboard renderer."""
+
+from repro.tools.dashboard import render_dashboard, write_dashboard
+from repro.tools.trace import TraceRecorder, export_stream_csv, load_trace_csv
+
+__all__ = [
+    "TraceRecorder",
+    "export_stream_csv",
+    "load_trace_csv",
+    "render_dashboard",
+    "write_dashboard",
+]

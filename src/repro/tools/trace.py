@@ -1,0 +1,119 @@
+"""Stream trace recording and CSV export/import.
+
+The record→replay cycle is how field deployments are debugged on a desk:
+
+1. attach a :class:`TraceRecorder` to a live virtual sensor (or export
+   its retained output stream with :func:`export_stream_csv`);
+2. ship the CSV;
+3. feed it back through the ``replay`` wrapper, which preserves the
+   original timing.
+
+Binary fields are hex-encoded with a ``0x`` prefix so camera traces
+survive the text format.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Dict, List, Optional
+
+from repro.container import GSNContainer
+from repro.exceptions import GSNError
+from repro.streams.element import StreamElement
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return "0x" + bytes(value).hex()
+    return value
+
+
+def _decode(value: str) -> Any:
+    if value == "":
+        return None
+    if value.startswith("0x"):
+        try:
+            return bytes.fromhex(value[2:])
+        except ValueError:
+            return value
+    for converter in (int, float):
+        try:
+            return converter(value)
+        except ValueError:
+            continue
+    return value
+
+
+class TraceRecorder:
+    """Records a virtual sensor's output elements as they are produced."""
+
+    def __init__(self, container: GSNContainer, sensor_name: str) -> None:
+        self.sensor_name = sensor_name
+        self.rows: List[Dict[str, Any]] = []
+        self._sensor = container.sensor(sensor_name)
+        self._sensor.add_listener(self._on_element)
+        self._recording = True
+
+    def _on_element(self, element: StreamElement) -> None:
+        if not self._recording:
+            return
+        row = dict(element.values)
+        row["timed"] = element.timed
+        self.rows.append(row)
+
+    def stop(self) -> None:
+        self._recording = False
+        self._sensor.remove_listener(self._on_element)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def save_csv(self, path: str) -> int:
+        """Write the recorded trace; returns the number of rows."""
+        return _write_csv(path, self.rows)
+
+
+def export_stream_csv(container: GSNContainer, sensor_name: str,
+                      path: str) -> int:
+    """Export a sensor's *retained* output stream to CSV.
+
+    Unlike :class:`TraceRecorder` this needs no foresight — it dumps
+    whatever the storage layer still holds under the sensor's retention
+    policy. Returns the number of rows written.
+    """
+    table = container.output_table(sensor_name)
+    relation = container.query(f"select * from {table} order by timed")
+    rows = relation.to_dicts()
+    if not rows:
+        raise GSNError(f"sensor {sensor_name!r} has no retained output")
+    return _write_csv(path, rows)
+
+
+def _write_csv(path: str, rows: List[Dict[str, Any]]) -> int:
+    if not rows:
+        raise GSNError("nothing to write")
+    field_names = list(rows[0].keys())
+    if "timed" in field_names:
+        field_names.remove("timed")
+    field_names.append("timed")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=field_names)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: _encode(row.get(key))
+                             for key in field_names})
+    return len(rows)
+
+
+def load_trace_csv(path: str) -> List[Dict[str, Any]]:
+    """Read a trace CSV back into rows suitable for
+    :meth:`repro.wrappers.replay.ReplayWrapper.load_rows`."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        rows = [
+            {key: _decode(value) for key, value in row.items()}
+            for row in reader
+        ]
+    if not rows:
+        raise GSNError(f"trace {path!r} is empty")
+    return rows

@@ -1,0 +1,26 @@
+"""Virtual sensors: GSN's central abstraction.
+
+"A virtual sensor corresponds either to a data stream received directly
+from sensors or to a data stream derived from other virtual sensors. A
+virtual sensor can have any number of input streams and produces one
+output stream." (paper, Section 2)
+
+- :mod:`repro.vsensor.pool` — worker pools backing ``<life-cycle pool-size>``
+- :mod:`repro.vsensor.lifecycle` — per-sensor life-cycle state machine (LCM)
+- :mod:`repro.vsensor.input_manager` — input stream manager (ISM)
+- :mod:`repro.vsensor.virtual_sensor` — the 5-step processing pipeline
+- :mod:`repro.vsensor.manager` — the virtual sensor manager (VSM)
+"""
+
+from repro.vsensor.lifecycle import LifecycleState, LifeCycleManager
+from repro.vsensor.pool import WorkerPool
+from repro.vsensor.virtual_sensor import VirtualSensor
+from repro.vsensor.manager import VirtualSensorManager
+
+__all__ = [
+    "LifecycleState",
+    "LifeCycleManager",
+    "WorkerPool",
+    "VirtualSensor",
+    "VirtualSensorManager",
+]

@@ -1,0 +1,263 @@
+"""Input Stream Manager (ISM).
+
+"The input stream manager ... manages the input streams and ensures
+stream quality (disconnections, unexpected delays, missing values, etc.)"
+(paper, Section 4). For every declared stream source the ISM owns the
+wrapper instance, the sampler, the disconnect buffer, the quality monitor,
+and the window; per input stream it owns the rate bounder. Whenever an
+element clears those stages, the ISM triggers the virtual sensor's
+processing pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.descriptors.model import InputStreamSpec, StreamSourceSpec
+from repro.exceptions import StreamError
+from repro.gsntime.clock import Clock
+from repro.gsntime.duration import parse_duration, parse_window_spec
+from repro.sqlengine.relation import Relation
+from repro.streams.buffer import DisconnectBuffer
+from repro.streams.element import StreamElement
+from repro.streams.quality import StreamQualityMonitor
+from repro.streams.sampling import ProbabilisticSampler, RateBounder
+from repro.streams.window import SlidingWindow, make_window
+from repro.wrappers.base import Wrapper
+
+#: Called by the ISM when an input stream fires: (stream_name, element).
+TriggerCallback = Callable[[str, StreamElement], None]
+
+#: Default window when a source declares no storage-size: latest element.
+_DEFAULT_WINDOW_SPEC = "1"
+
+
+class SourceRuntime:
+    """Everything the ISM keeps per ``<stream-source>``."""
+
+    def __init__(self, spec: StreamSourceSpec, wrapper: Wrapper,
+                 clock: Clock, sampler_seed: Optional[int] = None) -> None:
+        self.spec = spec
+        self.wrapper = wrapper
+        self.clock = clock
+        self.window: SlidingWindow = make_window(
+            spec.storage_size or _DEFAULT_WINDOW_SPEC
+        )
+        self.sampler = ProbabilisticSampler(spec.sampling_rate,
+                                            seed=sampler_seed)
+        self.buffer = DisconnectBuffer(spec.disconnect_buffer)
+        self.quality = StreamQualityMonitor()
+        self.elements_admitted = 0
+        # Slide: decouple window updates from pipeline triggering.
+        self._slide_kind: Optional[str] = None
+        self._slide_amount = 0
+        if spec.slide is not None:
+            self._slide_kind, self._slide_amount = parse_window_spec(
+                spec.slide)
+        self._slide_count = 0
+        self._last_slide_fire: Optional[int] = None
+
+    def receive(self, element: StreamElement) -> Optional[StreamElement]:
+        """Run one raw element through the admission stages.
+
+        Returns the admitted (stamped) element, or ``None`` if the element
+        was buffered, sampled out, or dropped.
+        """
+        now = self.clock.now()
+        element = element.with_arrival(now)
+        if element.timed is None:
+            # Pipeline step 1: stamp with the container's local clock.
+            element = element.with_timestamp(now)
+        self.quality.observe(element)
+        if not self.buffer.offer(element):
+            return None
+        return self._admit(element)
+
+    def _admit(self, element: StreamElement) -> Optional[StreamElement]:
+        if not self.sampler.admit(element):
+            return None
+        self.window.append(element)
+        self.elements_admitted += 1
+        return element
+
+    def slide_allows(self, element: StreamElement) -> bool:
+        """Whether this admission should fire the pipeline.
+
+        Without a ``slide`` spec every admission triggers (GSN's default).
+        A count slide of N fires on every Nth admitted element; a time
+        slide fires when at least the span elapsed (element timestamps)
+        since the last firing. The window updates either way.
+        """
+        if self._slide_kind is None:
+            return True
+        if self._slide_kind == "count":
+            self._slide_count += 1
+            if self._slide_count >= self._slide_amount:
+                self._slide_count = 0
+                return True
+            return False
+        timed = element.timed or 0
+        if self._last_slide_fire is None \
+                or timed - self._last_slide_fire >= self._slide_amount:
+            self._last_slide_fire = timed
+            return True
+        return False
+
+    def disconnect(self) -> None:
+        """Simulate or record a source outage."""
+        self.buffer.disconnect()
+        self.quality.record_disconnect()
+
+    def reconnect(self) -> List[StreamElement]:
+        """End the outage; replay buffered elements into the window.
+
+        Returns the elements that were admitted on replay (callers may
+        re-trigger processing for them).
+        """
+        admitted = []
+        for element in self.buffer.reconnect():
+            result = self._admit(element)
+            if result is not None:
+                admitted.append(result)
+        return admitted
+
+    def window_relation(self, now: Optional[int] = None) -> Relation:
+        """Window contents unnested into a flat relation (step 2)."""
+        schema = self.wrapper.output_schema()
+        columns = tuple(schema.field_names) + ("timed",)
+        rows = (
+            tuple(element.get(field) for field in schema.field_names)
+            + (element.timed,)
+            for element in self.window.contents(now)
+        )
+        return Relation(columns, rows)
+
+    def status(self) -> dict:
+        return {
+            "alias": self.spec.alias,
+            "wrapper": self.spec.address.wrapper,
+            "window": self.window.spec(),
+            "window_size": len(self.window.contents()),
+            "admitted": self.elements_admitted,
+            "connected": self.buffer.connected,
+            "buffered": self.buffer.pending,
+            "quality": self.quality.report.as_dict(),
+        }
+
+
+class StreamRuntime:
+    """Per-``<input-stream>`` state: sources, rate bounder, lifetime."""
+
+    def __init__(self, spec: InputStreamSpec, sources: List[SourceRuntime],
+                 started_at: int) -> None:
+        self.spec = spec
+        self.sources = sources
+        self.rate_bounder: Optional[RateBounder] = (
+            RateBounder(spec.rate) if spec.rate > 0 else None
+        )
+        self.expires_at: Optional[int] = None
+        if spec.lifetime is not None:
+            self.expires_at = started_at + parse_duration(spec.lifetime).millis
+        self.triggers = 0
+        self.triggers_bounded = 0
+
+    def expired(self, now: int) -> bool:
+        """Whether the stream's lifetime bound has elapsed — expired
+        streams stop triggering so their resources are released."""
+        return self.expires_at is not None and now >= self.expires_at
+
+    def source(self, alias: str) -> SourceRuntime:
+        for runtime in self.sources:
+            if runtime.spec.alias == alias:
+                return runtime
+        raise StreamError(f"input stream {self.spec.name!r} has no source "
+                          f"{alias!r}")
+
+
+class InputStreamManager:
+    """Wires wrappers to windows and fires the processing trigger."""
+
+    def __init__(self, clock: Clock, trigger: TriggerCallback,
+                 seed: Optional[int] = None) -> None:
+        self.clock = clock
+        self._trigger = trigger
+        self._streams: Dict[str, StreamRuntime] = {}
+        self._enabled = True
+        self._seed = seed
+
+    def add_stream(self, spec: InputStreamSpec,
+                   wrappers: Dict[str, Wrapper]) -> StreamRuntime:
+        """Register an input stream; ``wrappers`` maps source alias to the
+        wrapper instance serving it."""
+        if spec.name in self._streams:
+            raise StreamError(f"input stream {spec.name!r} already exists")
+        sources = []
+        for index, source_spec in enumerate(spec.sources):
+            wrapper = wrappers[source_spec.alias]
+            seed = None if self._seed is None else self._seed + index
+            runtime = SourceRuntime(source_spec, wrapper, self.clock, seed)
+            wrapper.add_listener(
+                self._listener(spec.name, runtime)
+            )
+            sources.append(runtime)
+        stream = StreamRuntime(spec, sources, started_at=self.clock.now())
+        self._streams[spec.name] = stream
+        return stream
+
+    def remove_stream(self, name: str) -> None:
+        stream = self._streams.pop(name, None)
+        if stream is None:
+            raise StreamError(f"no input stream {name!r}")
+
+    def _listener(self, stream_name: str, runtime: SourceRuntime):
+        def on_element(element: StreamElement) -> None:
+            if not self._enabled:
+                return
+            stream = self._streams.get(stream_name)
+            if stream is None:
+                return
+            if stream.expired(self.clock.now()):
+                return
+            admitted = runtime.receive(element)
+            if admitted is None:
+                return
+            if not runtime.slide_allows(admitted):
+                return
+            if stream.rate_bounder is not None \
+                    and not stream.rate_bounder.admit(admitted):
+                stream.triggers_bounded += 1
+                return
+            stream.triggers += 1
+            self._trigger(stream_name, admitted)
+        return on_element
+
+    def pause(self) -> None:
+        """Stop triggering (elements are still observed by wrappers but
+        discarded) — used while a sensor is paused or being reconfigured."""
+        self._enabled = False
+
+    def resume(self) -> None:
+        self._enabled = True
+
+    def stream(self, name: str) -> StreamRuntime:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise StreamError(f"no input stream {name!r}") from None
+
+    def streams(self) -> List[StreamRuntime]:
+        return list(self._streams.values())
+
+    def status(self) -> dict:
+        now = self.clock.now()
+        return {
+            name: {
+                "rate": stream.spec.rate,
+                "triggers": stream.triggers,
+                "triggers_bounded": stream.triggers_bounded,
+                "expired": stream.expired(now),
+                "expires_at": stream.expires_at,
+                "sources": [source.status() for source in stream.sources],
+            }
+            for name, stream in self._streams.items()
+        }

@@ -1,0 +1,89 @@
+"""Per-sensor life-cycle management (the LCM of the paper's Figure 2).
+
+The life-cycle manager "provides and manages the resources provided to a
+virtual sensor and manages the interactions with a virtual sensor". Here
+that means: a state machine guarding legal transitions, ownership of the
+sensor's worker pool, and bookkeeping counters the web interface exposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.descriptors.model import LifeCycleConfig
+from repro.exceptions import LifecycleError
+from repro.vsensor.pool import WorkerPool
+
+
+class LifecycleState(enum.Enum):
+    LOADED = "loaded"
+    RUNNING = "running"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+#: Legal state transitions.
+_TRANSITIONS = {
+    LifecycleState.LOADED: {LifecycleState.RUNNING, LifecycleState.STOPPED},
+    LifecycleState.RUNNING: {LifecycleState.PAUSED, LifecycleState.STOPPED,
+                             LifecycleState.FAILED},
+    LifecycleState.PAUSED: {LifecycleState.RUNNING, LifecycleState.STOPPED},
+    LifecycleState.FAILED: {LifecycleState.STOPPED},
+    LifecycleState.STOPPED: set(),
+}
+
+
+class LifeCycleManager:
+    """Owns one virtual sensor's state and worker pool."""
+
+    def __init__(self, sensor_name: str, config: LifeCycleConfig,
+                 synchronous: bool = True) -> None:
+        self.sensor_name = sensor_name
+        self.config = config
+        self.state = LifecycleState.LOADED
+        self.failure_reason: Optional[str] = None
+        self.started_at: Optional[int] = None
+        self.pool = WorkerPool(config.pool_size, synchronous=synchronous)
+
+    def _transition(self, target: LifecycleState) -> None:
+        if target not in _TRANSITIONS[self.state]:
+            raise LifecycleError(
+                f"virtual sensor {self.sensor_name!r}: illegal transition "
+                f"{self.state.value} -> {target.value}"
+            )
+        self.state = target
+
+    def start(self, now: int) -> None:
+        self._transition(LifecycleState.RUNNING)
+        self.started_at = now
+
+    def pause(self) -> None:
+        self._transition(LifecycleState.PAUSED)
+
+    def resume(self) -> None:
+        self._transition(LifecycleState.RUNNING)
+
+    def fail(self, reason: str) -> None:
+        self.failure_reason = reason
+        self._transition(LifecycleState.FAILED)
+
+    def stop(self) -> None:
+        self._transition(LifecycleState.STOPPED)
+        self.pool.shutdown()
+
+    @property
+    def is_processing(self) -> bool:
+        """Whether arrivals should trigger the pipeline right now."""
+        return self.state is LifecycleState.RUNNING
+
+    def status(self) -> dict:
+        return {
+            "state": self.state.value,
+            "pool_size": self.config.pool_size,
+            "tasks_completed": self.pool.tasks_completed,
+            "tasks_failed": self.pool.tasks_failed,
+            "started_at": self.started_at,
+            "failure_reason": self.failure_reason,
+        }

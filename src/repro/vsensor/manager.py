@@ -1,0 +1,184 @@
+"""Virtual Sensor Manager (VSM).
+
+"The virtual sensor manager is responsible for providing access to the
+virtual sensors, managing the delivery of sensor data, and providing the
+necessary administrative infrastructure" (paper, Section 4). The VSM
+deploys descriptors (creating wrappers, storage, and the sensor runtime),
+undeploys them, and supports on-the-fly reconfiguration — the deployment
+story the demo centers on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.descriptors.model import VirtualSensorDescriptor
+from repro.descriptors.validation import validate_descriptor
+from repro.exceptions import DeploymentError
+from repro.gsntime.clock import Clock
+from repro.gsntime.scheduler import EventScheduler
+from repro.storage.manager import StorageManager
+from repro.vsensor.virtual_sensor import VirtualSensor
+from repro.wrappers.base import Wrapper
+from repro.wrappers.registry import WrapperRegistry
+from repro.wrappers.remote import RemoteWrapper, SubscribeFunc
+
+#: Prefix of the storage tables holding virtual-sensor output streams.
+OUTPUT_TABLE_PREFIX = "vs_"
+
+DeployHook = Callable[[VirtualSensor], None]
+UndeployHook = Callable[[str], None]
+
+
+class VirtualSensorManager:
+    """Deploys and manages the pool of virtual sensors of one container."""
+
+    def __init__(self, clock: Clock, storage: StorageManager,
+                 registry: WrapperRegistry,
+                 scheduler: Optional[EventScheduler] = None,
+                 remote_subscribe: Optional[SubscribeFunc] = None,
+                 synchronous: bool = True,
+                 seed: Optional[int] = None) -> None:
+        self.clock = clock
+        self.storage = storage
+        self.registry = registry
+        self.scheduler = scheduler
+        self.remote_subscribe = remote_subscribe
+        self.synchronous = synchronous
+        self.seed = seed
+        self._sensors: Dict[str, VirtualSensor] = {}
+        self._deploy_hooks: List[DeployHook] = []
+        self._undeploy_hooks: List[UndeployHook] = []
+        self.deploy_count = 0
+
+    # -- hooks (the container uses these to publish to the directory) -------
+
+    def on_deploy(self, hook: DeployHook) -> None:
+        self._deploy_hooks.append(hook)
+
+    def on_undeploy(self, hook: UndeployHook) -> None:
+        self._undeploy_hooks.append(hook)
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(self, descriptor: VirtualSensorDescriptor,
+               start: bool = True) -> VirtualSensor:
+        """Deploy a virtual sensor from its descriptor.
+
+        Validates the descriptor, instantiates one wrapper per stream
+        source, creates the output stream table, builds the runtime, and
+        (by default) starts it. Raises :class:`DeploymentError` on any
+        failure, leaving the container state untouched.
+        """
+        if descriptor.name in self._sensors:
+            raise DeploymentError(
+                f"a virtual sensor named {descriptor.name!r} is already "
+                f"deployed; undeploy it first or use reconfigure()"
+            )
+        validate_descriptor(descriptor, known_wrapper=self._knows_wrapper)
+
+        wrappers = self._build_wrappers(descriptor)
+        table_name = OUTPUT_TABLE_PREFIX + descriptor.name
+        output_table = self.storage.create_stream(
+            table_name,
+            descriptor.output_structure,
+            retention=descriptor.storage.history_size,
+            permanent=descriptor.storage.permanent,
+        )
+        try:
+            sensor = VirtualSensor(
+                descriptor, self.clock, wrappers,
+                output_table=output_table,
+                synchronous=self.synchronous,
+                seed=self.seed,
+            )
+        except Exception:
+            self.storage.drop_stream(table_name)
+            raise
+        self._sensors[descriptor.name] = sensor
+        self.deploy_count += 1
+        if start:
+            sensor.start()
+        for hook in self._deploy_hooks:
+            hook(sensor)
+        return sensor
+
+    def _knows_wrapper(self, name: str) -> bool:
+        return name in self.registry
+
+    def _build_wrappers(self,
+                        descriptor: VirtualSensorDescriptor) -> Dict[str, Wrapper]:
+        wrappers: Dict[str, Wrapper] = {}
+        for stream in descriptor.input_streams:
+            for source in stream.sources:
+                wrapper = self.registry.create(source.address.wrapper)
+                if isinstance(wrapper, RemoteWrapper):
+                    if self.remote_subscribe is None:
+                        raise DeploymentError(
+                            f"{descriptor.name}: source {source.alias!r} "
+                            f"uses remote addressing but this VSM has no "
+                            f"peer network"
+                        )
+                    wrapper.bind(self.remote_subscribe)
+                wrapper.attach(self.clock, self.scheduler)
+                wrapper.configure(source.address.predicates)
+                wrappers[source.alias] = wrapper
+        return wrappers
+
+    def undeploy(self, name: str, keep_storage: bool = False) -> None:
+        """Stop a virtual sensor and remove its resources.
+
+        ``keep_storage`` preserves a permanent output stream on disk
+        (the container-shutdown path: ``permanent-storage="true"``
+        promises data outlives the process).
+        """
+        key = name.strip().lower()
+        sensor = self._sensors.pop(key, None)
+        if sensor is None:
+            raise DeploymentError(f"no virtual sensor named {name!r}")
+        sensor.stop()
+        table = OUTPUT_TABLE_PREFIX + key
+        if keep_storage:
+            self.storage.release_stream(table)
+        else:
+            self.storage.drop_stream(table)
+        for hook in self._undeploy_hooks:
+            hook(key)
+
+    def reconfigure(self, descriptor: VirtualSensorDescriptor) -> VirtualSensor:
+        """Replace a running sensor with a new descriptor atomically-ish:
+        the old instance stops only after the new descriptor validates."""
+        validate_descriptor(descriptor, known_wrapper=self._knows_wrapper)
+        if descriptor.name in self._sensors:
+            self.undeploy(descriptor.name)
+        return self.deploy(descriptor)
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, name: str) -> VirtualSensor:
+        try:
+            return self._sensors[name.strip().lower()]
+        except KeyError:
+            raise DeploymentError(f"no virtual sensor named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return (isinstance(name, str)
+                and name.strip().lower() in self._sensors)
+
+    def sensor_names(self) -> List[str]:
+        return sorted(self._sensors)
+
+    def sensors(self) -> List[VirtualSensor]:
+        return [self._sensors[name] for name in self.sensor_names()]
+
+    def stop_all(self, keep_storage: bool = False) -> None:
+        for name in list(self._sensors):
+            self.undeploy(name, keep_storage=keep_storage)
+
+    def status(self) -> dict:
+        return {
+            "deployed": self.sensor_names(),
+            "deploy_count": self.deploy_count,
+            "sensors": {name: sensor.status()
+                        for name, sensor in self._sensors.items()},
+        }

@@ -1,0 +1,109 @@
+"""Worker pools.
+
+``<life-cycle pool-size="10"/>`` controls "the number of threads available
+for processing" (paper, Section 2). The pool runs the per-arrival pipeline
+tasks. Two modes:
+
+- *synchronous* (default): tasks run inline on the caller's thread — fully
+  deterministic, the right choice under a virtual clock;
+- *threaded*: ``size`` daemon workers drain a shared queue — used by the
+  pool-size ablation benchmark and by wall-clock deployments.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, List, Optional
+
+from repro.exceptions import LifecycleError
+
+Task = Callable[[], None]
+
+_SENTINEL = None
+
+
+class WorkerPool:
+    """Executes submitted tasks on up to ``size`` workers."""
+
+    def __init__(self, size: int = 1, synchronous: bool = True) -> None:
+        if size < 1:
+            raise LifecycleError("pool size must be at least 1")
+        self.size = size
+        self.synchronous = synchronous
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self._errors: List[BaseException] = []
+        self._lock = threading.Lock()
+        self._queue: Optional["queue.Queue[Optional[Task]]"] = None
+        self._threads: List[threading.Thread] = []
+        self._shutdown = False
+        if not synchronous:
+            self._queue = queue.Queue()
+            for index in range(size):
+                thread = threading.Thread(
+                    target=self._worker, name=f"gsn-pool-{index}", daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def submit(self, task: Task) -> None:
+        if self._shutdown:
+            raise LifecycleError("pool is shut down")
+        if self.synchronous:
+            self._run(task)
+        else:
+            assert self._queue is not None
+            self._queue.put(task)
+
+    def _run(self, task: Task) -> None:
+        try:
+            task()
+        except BaseException as exc:  # noqa: BLE001 - errors are surfaced
+            with self._lock:
+                self.tasks_failed += 1
+                self._errors.append(exc)
+        else:
+            with self._lock:
+                self.tasks_completed += 1
+
+    def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            task = self._queue.get()
+            if task is _SENTINEL:
+                self._queue.task_done()
+                return
+            self._run(task)
+            self._queue.task_done()
+
+    def drain(self) -> None:
+        """Block until all submitted tasks finished (no-op when sync)."""
+        if not self.synchronous and self._queue is not None:
+            self._queue.join()
+
+    def errors(self) -> List[BaseException]:
+        """Exceptions raised by tasks so far (pipeline failures must not
+        pass silently, but must not kill sibling sensors either)."""
+        with self._lock:
+            return list(self._errors)
+
+    def clear_errors(self) -> None:
+        with self._lock:
+            self._errors.clear()
+
+    def shutdown(self) -> None:
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if not self.synchronous and self._queue is not None:
+            for __ in self._threads:
+                self._queue.put(_SENTINEL)
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

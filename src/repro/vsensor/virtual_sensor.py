@@ -1,0 +1,257 @@
+"""The virtual sensor runtime: GSN's 5-step processing pipeline.
+
+Paper, Section 3 — on each input-stream arrival:
+
+1. stamp the element with the local clock if it carries no timestamp
+   (done in the ISM's :class:`~repro.vsensor.input_manager.SourceRuntime`);
+2. select each source's window contents and unnest them into flat
+   relations;
+3. evaluate the per-source queries into temporary relations;
+4. evaluate the output query over the temporary relations;
+5. persist the result if required and notify all consumers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.descriptors.model import VirtualSensorDescriptor
+from repro.exceptions import DeploymentError, SchemaError
+from repro.gsntime.clock import Clock
+from repro.metrics.collectors import LatencyRecorder
+from repro.sqlengine.executor import Catalog, execute_plan
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import SelectPlan, plan_select
+from repro.sqlengine.rewriter import WRAPPER_TABLE
+from repro.storage.base import StreamTable
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+from repro.vsensor.input_manager import InputStreamManager
+from repro.vsensor.lifecycle import LifeCycleManager
+from repro.wrappers.base import Wrapper
+
+OutputListener = Callable[[StreamElement], None]
+
+
+class VirtualSensor:
+    """One deployed virtual sensor.
+
+    Built by the :class:`~repro.vsensor.manager.VirtualSensorManager`;
+    applications normally interact through the container, but the object
+    itself exposes the output stream (:meth:`add_listener`), status, and
+    manual source control (disconnect/reconnect) for failure injection.
+    """
+
+    def __init__(self, descriptor: VirtualSensorDescriptor, clock: Clock,
+                 wrappers: Dict[str, Wrapper],
+                 output_table: Optional[StreamTable] = None,
+                 synchronous: bool = True,
+                 seed: Optional[int] = None) -> None:
+        self.descriptor = descriptor
+        self.name = descriptor.name
+        self.clock = clock
+        self.wrappers = dict(wrappers)
+        self.output_table = output_table
+        self.lifecycle = LifeCycleManager(descriptor.name,
+                                          descriptor.lifecycle,
+                                          synchronous=synchronous)
+        self.ism = InputStreamManager(clock, self._on_trigger, seed=seed)
+        self.latency = LatencyRecorder(keep_samples=True)
+        self.elements_produced = 0
+        self._consecutive_errors = 0
+        self._listeners: List[OutputListener] = []
+        # Serializes step 5 when the pipeline runs on a threaded pool, so
+        # persistence order and counters stay consistent.
+        self._emit_lock = threading.Lock()
+        #: Hooks called after each pipeline run with
+        #: ``(trigger_virtual_ms, service_wall_ms)`` — the experiment
+        #: harness uses these to feed its node queueing model.
+        self.processing_hooks: List[Callable[[int, float], None]] = []
+
+        # Plans are prepared once per deployment and reused per trigger —
+        # this is the plan cache half of GSN's "adaptive query execution".
+        self._source_plans: Dict[str, SelectPlan] = {}
+        self._stream_plans: Dict[str, SelectPlan] = {}
+        for stream in descriptor.input_streams:
+            for source in stream.sources:
+                self._source_plans[source.alias] = plan_select(
+                    parse_select(source.query)
+                )
+            self._stream_plans[stream.name] = plan_select(
+                parse_select(stream.query)
+            )
+            missing = [s.alias for s in stream.sources
+                       if s.alias not in self.wrappers]
+            if missing:
+                raise DeploymentError(
+                    f"{descriptor.name}: no wrapper instance for "
+                    f"source(s) {missing}"
+                )
+            self.ism.add_stream(
+                stream,
+                {s.alias: self.wrappers[s.alias] for s in stream.sources},
+            )
+
+    # -- output stream -------------------------------------------------------
+
+    @property
+    def output_schema(self) -> StreamSchema:
+        return self.descriptor.output_structure
+
+    def add_listener(self, listener: OutputListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: OutputListener) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def latest_output(self) -> Optional[StreamElement]:
+        if self.output_table is None:
+            return None
+        return self.output_table.latest()
+
+    # -- life cycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self.lifecycle.start(self.clock.now())
+        for wrapper in self._unique_wrappers():
+            wrapper.start()
+
+    def stop(self) -> None:
+        for wrapper in self._unique_wrappers():
+            wrapper.stop()
+        self.ism.pause()
+        self.lifecycle.stop()
+
+    def pause(self) -> None:
+        self.lifecycle.pause()
+        self.ism.pause()
+
+    def resume(self) -> None:
+        self.lifecycle.resume()
+        self.ism.resume()
+
+    def _unique_wrappers(self) -> List[Wrapper]:
+        seen: List[Wrapper] = []
+        for wrapper in self.wrappers.values():
+            if all(wrapper is not existing for existing in seen):
+                seen.append(wrapper)
+        return seen
+
+    # -- the pipeline ----------------------------------------------------------
+
+    def _on_trigger(self, stream_name: str, element: StreamElement) -> None:
+        if not self.lifecycle.is_processing:
+            return
+        self.lifecycle.pool.submit(
+            lambda: self._process(stream_name, element)
+        )
+
+    def _process(self, stream_name: str, trigger: StreamElement) -> None:
+        self.latency.start()
+        now = self.clock.now()
+        try:
+            stream = self.ism.stream(stream_name)
+
+            # Steps 2+3: window contents -> flat relations -> temporary
+            # relations, one per stream source.
+            temporaries = Catalog()
+            for source in stream.sources:
+                window_catalog = Catalog(
+                    {WRAPPER_TABLE: source.window_relation(now)}
+                )
+                temporary = execute_plan(
+                    self._source_plans[source.spec.alias], window_catalog
+                )
+                temporaries.register(source.spec.alias, temporary)
+
+            # Step 4: the output query over the temporary relations.
+            result = execute_plan(self._stream_plans[stream_name],
+                                  temporaries)
+
+            # Step 5: persist and notify, one output element per row.
+            for row in result.to_dicts():
+                self._emit(row, default_timed=trigger.timed or now)
+        except Exception as exc:
+            self._on_pipeline_error(exc)
+            raise
+        else:
+            self._consecutive_errors = 0
+        finally:
+            service_ms = self.latency.stop()
+            for hook in self.processing_hooks:
+                hook(trigger.timed if trigger.timed is not None else now,
+                     service_ms)
+
+    def _on_pipeline_error(self, exc: Exception) -> None:
+        """Apply the descriptor's error-handling policy: after
+        ``max-errors`` consecutive failures the sensor fails fast instead
+        of burning cycles on a broken source."""
+        self._consecutive_errors += 1
+        limit = self.descriptor.lifecycle.max_errors
+        if limit and self._consecutive_errors >= limit \
+                and self.lifecycle.is_processing:
+            self.ism.pause()
+            self.lifecycle.fail(
+                f"{self._consecutive_errors} consecutive pipeline "
+                f"failures; last: {exc}"
+            )
+
+    def _emit(self, row: Dict[str, Any], default_timed: int) -> None:
+        values = self._to_output_values(row)
+        timed = row.get("timed")
+        if not isinstance(timed, int) or isinstance(timed, bool):
+            timed = default_timed
+        element = StreamElement(values, timed=timed, producer=self.name)
+        with self._emit_lock:
+            if self.output_table is not None:
+                self.output_table.append(element)
+            self.elements_produced += 1
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(element)
+
+    def _to_output_values(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Map a result row onto the declared output structure by name.
+
+        Extra result columns are dropped; declared fields missing from the
+        row become ``None``; numeric values are rounded when the declared
+        field is integral (``avg()`` over integers yields floats).
+        """
+        values: Dict[str, Any] = {}
+        for field in self.output_schema:
+            value = row.get(field.name)
+            if value is not None and isinstance(value, float) \
+                    and field.type.python_type is int:
+                value = int(round(value))
+            try:
+                values[field.name] = field.type.coerce(value)
+            except SchemaError as exc:
+                raise SchemaError(
+                    f"{self.name}: output field {field.name!r}: {exc}"
+                ) from exc
+        return values
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.descriptor.description,
+            "lifecycle": self.lifecycle.status(),
+            "output_schema": {
+                field.name: field.type.value for field in self.output_schema
+            },
+            "elements_produced": self.elements_produced,
+            "processing": self.latency.summary(),
+            "input_streams": self.ism.status(),
+            "permanent_storage": self.descriptor.storage.permanent,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<VirtualSensor {self.name!r} "
+                f"state={self.lifecycle.state.value} "
+                f"produced={self.elements_produced}>")

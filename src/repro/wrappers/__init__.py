@@ -1,0 +1,38 @@
+"""Wrappers: platform adapters between sensors and the middleware.
+
+"Adding a new type of sensor or sensor network can be done by supplying a
+Java wrapper conforming to the GSN API ... typically around 100-200 lines"
+(paper, Section 5). The Python equivalent is a small subclass of
+:class:`~repro.wrappers.base.Wrapper` registered with the
+:class:`~repro.wrappers.registry.WrapperRegistry`.
+
+Bundled wrappers mirror the hardware used in the paper's demo: the TinyOS
+mote family (Mica2, Mica2Dot, TinyNode), RFID readers, and HTTP/USB
+cameras — all simulated — plus ``remote`` (GSN-to-GSN streaming), CSV
+replay, scripted, and system-clock wrappers.
+"""
+
+from repro.wrappers.base import Wrapper, WrapperState
+from repro.wrappers.registry import WrapperRegistry, default_registry
+from repro.wrappers.generator import GeneratorWrapper
+from repro.wrappers.motes import MoteWrapper
+from repro.wrappers.rfid import RFIDReaderWrapper
+from repro.wrappers.camera import CameraWrapper
+from repro.wrappers.replay import ReplayWrapper
+from repro.wrappers.scripted import ScriptedWrapper, SystemClockWrapper
+from repro.wrappers.remote import RemoteWrapper
+
+__all__ = [
+    "Wrapper",
+    "WrapperState",
+    "WrapperRegistry",
+    "default_registry",
+    "GeneratorWrapper",
+    "MoteWrapper",
+    "RFIDReaderWrapper",
+    "CameraWrapper",
+    "ReplayWrapper",
+    "ScriptedWrapper",
+    "SystemClockWrapper",
+    "RemoteWrapper",
+]

@@ -1,0 +1,229 @@
+"""The wrapper API.
+
+A wrapper adapts one data source (a sensor network, a device, another GSN
+node) to the middleware: it declares an output schema, accepts key/value
+configuration from the ``<address>`` element, and *emits* stream elements
+to its listeners. The whole contract is this class — which is what keeps
+concrete wrappers in the paper's claimed 100-200 lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.exceptions import WrapperError
+from repro.gsntime.clock import Clock, SystemClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+
+Listener = Callable[[StreamElement], None]
+
+
+class WrapperState(enum.Enum):
+    CREATED = "created"
+    CONFIGURED = "configured"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class Wrapper:
+    """Base class for all wrappers.
+
+    Subclasses must set :attr:`wrapper_name`, implement
+    :meth:`output_schema`, and usually override :meth:`on_configure`,
+    :meth:`on_start` and :meth:`on_stop`. Data is produced by calling
+    :meth:`emit` with a plain dict of field values.
+    """
+
+    #: Name used in ``<address wrapper="...">``; subclasses override.
+    wrapper_name = "abstract"
+
+    def __init__(self) -> None:
+        self.state = WrapperState.CREATED
+        self.clock: Clock = SystemClock()
+        self.scheduler: Optional[EventScheduler] = None
+        self.config: Dict[str, str] = {}
+        self.elements_emitted = 0
+        self._listeners: List[Listener] = []
+
+    # -- wiring (called by the container) ----------------------------------
+
+    def attach(self, clock: Clock,
+               scheduler: Optional[EventScheduler] = None) -> None:
+        """Give the wrapper its container's clock and, in simulation, the
+        event scheduler driving periodic production."""
+        self.clock = clock
+        self.scheduler = scheduler
+
+    def configure(self, predicates: Mapping[str, str]) -> None:
+        """Apply the ``<address>`` predicates. Idempotent before start."""
+        if self.state is WrapperState.RUNNING:
+            raise WrapperError("cannot reconfigure a running wrapper")
+        self.config = {k.lower(): str(v) for k, v in predicates.items()}
+        self.on_configure()
+        self.state = WrapperState.CONFIGURED
+
+    def start(self) -> None:
+        if self.state is WrapperState.RUNNING:
+            return
+        if self.state is WrapperState.CREATED:
+            self.configure({})
+        self.on_start()
+        self.state = WrapperState.RUNNING
+
+    def stop(self) -> None:
+        if self.state is not WrapperState.RUNNING:
+            return
+        self.on_stop()
+        self.state = WrapperState.STOPPED
+
+    def add_listener(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    @property
+    def listener_count(self) -> int:
+        return len(self._listeners)
+
+    # -- subclass surface ----------------------------------------------------
+
+    def output_schema(self) -> StreamSchema:
+        """The schema of the elements this wrapper emits."""
+        raise NotImplementedError
+
+    def on_configure(self) -> None:
+        """Parse :attr:`config` into typed attributes (override)."""
+
+    def on_start(self) -> None:
+        """Begin producing (register scheduler events, open devices)."""
+
+    def on_stop(self) -> None:
+        """Stop producing and release resources."""
+
+    # -- production ----------------------------------------------------------
+
+    def emit(self, values: Mapping[str, Any],
+             timed: Optional[int] = None) -> StreamElement:
+        """Deliver one reading to all listeners.
+
+        The element keeps the producer's timestamp if given; otherwise it
+        stays unstamped and the container applies its local clock on
+        arrival (pipeline step 1).
+        """
+        element = StreamElement(values, timed=timed,
+                                producer=self.wrapper_name)
+        self.elements_emitted += 1
+        for listener in list(self._listeners):
+            listener(element)
+        return element
+
+    # -- config helpers -------------------------------------------------------
+
+    def config_int(self, key: str, default: int) -> int:
+        raw = self.config.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise WrapperError(
+                f"{self.wrapper_name}: {key}={raw!r} is not an integer"
+            ) from None
+
+    def config_float(self, key: str, default: float) -> float:
+        raw = self.config.get(key)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise WrapperError(
+                f"{self.wrapper_name}: {key}={raw!r} is not a number"
+            ) from None
+
+    def config_str(self, key: str, default: str = "") -> str:
+        return self.config.get(key, default)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} state={self.state.value} "
+                f"emitted={self.elements_emitted}>")
+
+
+class PeriodicWrapper(Wrapper):
+    """A wrapper producing one element every ``interval`` milliseconds.
+
+    Subclasses implement :meth:`produce` returning the field values of the
+    next reading. With a scheduler attached (simulation), production is
+    event-driven; without one, the owner calls :meth:`tick` manually.
+    """
+
+    #: Consecutive produce() failures tolerated before the wrapper stops
+    #: itself (a crashed device must not take the whole node's event
+    #: loop down with it).
+    MAX_CONSECUTIVE_FAILURES = 10
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.interval_ms = 1000
+        self.phase_ms = 0
+        self.produce_failures = 0
+        self._consecutive_failures = 0
+        self._event = None
+
+    def on_configure(self) -> None:
+        self.interval_ms = self.config_int("interval", 1000)
+        if self.interval_ms <= 0:
+            raise WrapperError("interval must be positive")
+        # ``phase`` staggers the first firing so that fleets of devices
+        # with equal intervals do not tick in artificial lockstep.
+        self.phase_ms = self.config_int("phase", 0) % self.interval_ms
+
+    def on_start(self) -> None:
+        if self.scheduler is not None:
+            self._event = self.scheduler.every(
+                self.interval_ms, self._fire,
+                start_delay=self.phase_ms or self.interval_ms,
+                name=f"{self.wrapper_name}-tick",
+            )
+
+    def on_stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self, fire_time: int) -> None:
+        try:
+            values = self.produce(fire_time)
+        except Exception:
+            # Isolate device faults: scheduled production must never kill
+            # the container's event loop. Persistent faults stop the
+            # wrapper instead of looping forever.
+            self.produce_failures += 1
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.MAX_CONSECUTIVE_FAILURES:
+                self.stop()
+            return
+        self._consecutive_failures = 0
+        if values is not None:
+            self.emit(values, timed=fire_time)
+
+    def tick(self) -> Optional[StreamElement]:
+        """Produce one element now (manual drive, e.g. in unit tests)."""
+        if self.state is not WrapperState.RUNNING:
+            raise WrapperError("wrapper is not running")
+        now = self.clock.now()
+        values = self.produce(now)
+        if values is None:
+            return None
+        return self.emit(values, timed=now)
+
+    def produce(self, now: int) -> Optional[Dict[str, Any]]:
+        """The next reading's field values (``None`` skips this cycle)."""
+        raise NotImplementedError

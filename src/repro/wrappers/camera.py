@@ -1,0 +1,83 @@
+"""Camera wrapper (simulated AXIS 206W-style HTTP/USB camera).
+
+Produces JPEG-like binary payloads of a configurable size. The payload
+size is what matters for the paper's Figure 3 (stream-element sizes of
+15 B up to 75 KB), so frames are seeded pseudo-random bytes behind a JPEG
+magic header rather than real images.
+
+Configuration predicates: ``interval`` (ms between frames), ``camera-id``,
+``image-size`` (payload bytes, default 32768), ``width``/``height``
+(reported metadata only), ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.datatypes import DataType
+from repro.exceptions import WrapperError
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+from repro.wrappers.base import PeriodicWrapper, WrapperState
+
+_JPEG_MAGIC = b"\xff\xd8\xff\xe0"
+
+
+class CameraWrapper(PeriodicWrapper):
+    wrapper_name = "camera"
+
+    _SCHEMA = StreamSchema.build(
+        camera_id=DataType.INTEGER,
+        image=DataType.BINARY,
+        width=DataType.INTEGER,
+        height=DataType.INTEGER,
+    )
+
+    def output_schema(self) -> StreamSchema:
+        return self._SCHEMA
+
+    def on_configure(self) -> None:
+        super().on_configure()
+        self.camera_id = self.config_int("camera-id", 1)
+        self.image_size = self.config_int("image-size", 32_768)
+        if self.image_size < len(_JPEG_MAGIC):
+            raise WrapperError(
+                f"image-size must be at least {len(_JPEG_MAGIC)} bytes"
+            )
+        self.width = self.config_int("width", 640)
+        self.height = self.config_int("height", 480)
+        self._rng = random.Random(self.config_int("seed", self.camera_id))
+        # One template frame shared across periodic emissions: keeps the
+        # byte *volume* per element realistic (storage still writes every
+        # byte) while window buffers hold references, not copies — a fleet
+        # of 75 KB cameras must not exhaust memory.
+        self._template = _JPEG_MAGIC + bytes(
+            self._rng.getrandbits(8)
+            for __ in range(self.image_size - len(_JPEG_MAGIC))
+        )
+
+    def produce(self, now: int) -> Optional[Dict[str, Any]]:
+        return {
+            "camera_id": self.camera_id,
+            "image": self._template,
+            "width": self.width,
+            "height": self.height,
+        }
+
+    def frame(self, stamp: int) -> bytes:
+        """One *distinct* synthetic frame of exactly ``image-size`` bytes
+        (used by :meth:`snapshot`, where frame identity matters)."""
+        stamp_bytes = stamp.to_bytes(8, "big", signed=False)
+        body = (stamp_bytes + self._template[len(_JPEG_MAGIC):])
+        return (_JPEG_MAGIC + body)[:self.image_size]
+
+    def snapshot(self) -> StreamElement:
+        """Capture one frame immediately (used by the demo's RFID-triggered
+        picture notification)."""
+        if self.state is not WrapperState.RUNNING:
+            raise WrapperError("camera is not running")
+        now = self.clock.now()
+        values = self.produce(now)
+        values["image"] = self.frame(now)
+        return self.emit(values, timed=now)

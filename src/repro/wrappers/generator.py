@@ -1,0 +1,65 @@
+"""Signal-generator wrapper.
+
+Produces synthetic waveforms — the standard tool for exercising
+deployments and demos without modelling a specific device (the original
+GSN ships a comparable multi-format test wrapper).
+
+Configuration predicates: ``signal`` (``sine``, ``square``, ``ramp``,
+``constant``, ``noise``; default sine), ``amplitude`` (default 100),
+``period`` (ms per cycle, default 60000), ``offset`` (additive, default
+0), ``interval`` (ms between samples), ``seed`` (noise only).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Optional
+
+from repro.datatypes import DataType
+from repro.exceptions import WrapperError
+from repro.streams.schema import StreamSchema
+from repro.wrappers.base import PeriodicWrapper
+
+_SIGNALS = ("sine", "square", "ramp", "constant", "noise")
+
+
+class GeneratorWrapper(PeriodicWrapper):
+    wrapper_name = "generator"
+
+    _SCHEMA = StreamSchema.build(value=DataType.DOUBLE,
+                                 phase=DataType.DOUBLE)
+
+    def output_schema(self) -> StreamSchema:
+        return self._SCHEMA
+
+    def on_configure(self) -> None:
+        super().on_configure()
+        self.signal = self.config_str("signal", "sine").lower()
+        if self.signal not in _SIGNALS:
+            raise WrapperError(
+                f"unknown signal {self.signal!r}; pick one of {_SIGNALS}"
+            )
+        self.amplitude = self.config_float("amplitude", 100.0)
+        self.period_ms = self.config_int("period", 60_000)
+        if self.period_ms <= 0:
+            raise WrapperError("period must be positive")
+        self.offset = self.config_float("offset", 0.0)
+        self._rng = random.Random(self.config_int("seed", 0))
+
+    def produce(self, now: int) -> Optional[Dict[str, Any]]:
+        phase = (now % self.period_ms) / self.period_ms
+        if self.signal == "sine":
+            value = math.sin(2.0 * math.pi * phase)
+        elif self.signal == "square":
+            value = 1.0 if phase < 0.5 else -1.0
+        elif self.signal == "ramp":
+            value = 2.0 * phase - 1.0
+        elif self.signal == "constant":
+            value = 1.0
+        else:  # noise
+            value = self._rng.uniform(-1.0, 1.0)
+        return {
+            "value": self.offset + self.amplitude * value,
+            "phase": round(phase, 6),
+        }

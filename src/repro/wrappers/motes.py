@@ -1,0 +1,79 @@
+"""TinyOS mote wrapper (simulated Mica/Mica2/Mica2Dot/TinyNode).
+
+Simulates a mote carrying the MTS310-style sensor board used in the
+paper's demo: light, temperature, and 2-D acceleration. Readings follow a
+slow sinusoidal drift plus seeded Gaussian noise, so streams look like real
+telemetry while staying fully reproducible.
+
+Configuration predicates: ``interval`` (ms between readings, default
+1000), ``node-id``, ``seed``, ``missing-rate`` (probability a reading
+drops a field, exercising the quality manager), ``light-base``,
+``temperature-base``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Optional
+
+from repro.datatypes import DataType
+from repro.streams.schema import StreamSchema
+from repro.wrappers.base import PeriodicWrapper
+
+#: One simulated day of drift, in milliseconds.
+_DRIFT_PERIOD_MS = 86_400_000.0
+
+
+class MoteWrapper(PeriodicWrapper):
+    wrapper_name = "mote"
+
+    _SCHEMA = StreamSchema.build(
+        node_id=DataType.INTEGER,
+        light=DataType.INTEGER,
+        temperature=DataType.INTEGER,
+        accel_x=DataType.DOUBLE,
+        accel_y=DataType.DOUBLE,
+    )
+
+    def output_schema(self) -> StreamSchema:
+        return self._SCHEMA
+
+    def on_configure(self) -> None:
+        super().on_configure()
+        self.node_id = self.config_int("node-id", 1)
+        self.light_base = self.config_float("light-base", 500.0)
+        self.temperature_base = self.config_float("temperature-base", 22.0)
+        self.missing_rate = self.config_float("missing-rate", 0.0)
+        self._rng = random.Random(self.config_int("seed", self.node_id))
+        self._covered = False  # True while someone hides the light sensor
+
+    def cover_light_sensor(self) -> None:
+        """Simulate a hand over the light sensor (the demo's event
+        trigger: "hiding the light sensor on the motes")."""
+        self._covered = True
+
+    def uncover_light_sensor(self) -> None:
+        self._covered = False
+
+    def produce(self, now: int) -> Optional[Dict[str, Any]]:
+        phase = 2.0 * math.pi * (now % _DRIFT_PERIOD_MS) / _DRIFT_PERIOD_MS
+        light = self.light_base * (0.6 + 0.4 * math.sin(phase))
+        light += self._rng.gauss(0.0, self.light_base * 0.02)
+        if self._covered:
+            light *= 0.02
+        temperature = self.temperature_base + 3.0 * math.sin(phase)
+        temperature += self._rng.gauss(0.0, 0.3)
+
+        values: Dict[str, Any] = {
+            "node_id": self.node_id,
+            "light": max(int(light), 0),
+            "temperature": int(round(temperature)),
+            "accel_x": round(self._rng.gauss(0.0, 0.05), 4),
+            "accel_y": round(self._rng.gauss(0.0, 0.05), 4),
+        }
+        if self.missing_rate > 0.0:
+            for field in ("light", "temperature"):
+                if self._rng.random() < self.missing_rate:
+                    values[field] = None
+        return values

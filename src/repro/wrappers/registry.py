@@ -1,0 +1,86 @@
+"""Wrapper registry.
+
+Maps ``<address wrapper="...">`` names to wrapper classes. A process-wide
+:func:`default_registry` ships with all bundled wrappers; containers can
+carry their own registry to sandbox custom platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Type
+
+from repro.exceptions import WrapperError
+from repro.wrappers.base import Wrapper
+
+
+class WrapperRegistry:
+    """A name → wrapper-class mapping with factory semantics."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[Wrapper]] = {}
+
+    def register(self, wrapper_class: Type[Wrapper]) -> Type[Wrapper]:
+        """Register a class under its ``wrapper_name`` (usable as a
+        decorator). Aliases can be added with :meth:`register_alias`."""
+        name = wrapper_class.wrapper_name.lower()
+        if not name or name == "abstract":
+            raise WrapperError(
+                f"{wrapper_class.__name__} must define wrapper_name"
+            )
+        if name in self._classes and self._classes[name] is not wrapper_class:
+            raise WrapperError(f"wrapper name {name!r} already registered")
+        self._classes[name] = wrapper_class
+        return wrapper_class
+
+    def register_alias(self, alias: str, name: str) -> None:
+        self._classes[alias.lower()] = self.get_class(name)
+
+    def get_class(self, name: str) -> Type[Wrapper]:
+        try:
+            return self._classes[name.lower()]
+        except KeyError:
+            raise WrapperError(
+                f"no wrapper registered under {name!r}; "
+                f"known: {sorted(self._classes)}"
+            ) from None
+
+    def create(self, name: str) -> Wrapper:
+        """Instantiate a fresh wrapper for one stream source."""
+        return self.get_class(name)()
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._classes
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._classes)
+
+    def knows(self) -> Callable[[str], bool]:
+        """A predicate suitable for descriptor validation."""
+        return self.__contains__
+
+
+_default: WrapperRegistry = WrapperRegistry()
+
+
+def default_registry() -> WrapperRegistry:
+    """The process-wide registry, populated with all bundled wrappers on
+    first use (import-cycle-safe lazy loading)."""
+    if not list(_default.names()):
+        from repro.wrappers.camera import CameraWrapper
+        from repro.wrappers.generator import GeneratorWrapper
+        from repro.wrappers.motes import MoteWrapper
+        from repro.wrappers.remote import RemoteWrapper
+        from repro.wrappers.replay import ReplayWrapper
+        from repro.wrappers.rfid import RFIDReaderWrapper
+        from repro.wrappers.scripted import ScriptedWrapper, SystemClockWrapper
+
+        for wrapper_class in (MoteWrapper, RFIDReaderWrapper, CameraWrapper,
+                              ReplayWrapper, ScriptedWrapper,
+                              SystemClockWrapper, RemoteWrapper,
+                              GeneratorWrapper):
+            _default.register(wrapper_class)
+        # The TinyOS family shares one wrapper implementation, as the
+        # original GSN's TinyOS wrapper covered Mica, Mica2, Mica2Dot, ...
+        for alias in ("mica", "mica2", "mica2dot", "tinynode", "tinyos"):
+            _default.register_alias(alias, "mote")
+    return _default

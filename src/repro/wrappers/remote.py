@@ -1,0 +1,70 @@
+"""Remote wrapper: GSN-to-GSN streaming with logical addressing.
+
+``<address wrapper="remote">`` (paper, Figure 1) pulls a data stream from
+a virtual sensor hosted *somewhere* in the GSN peer network, selected by
+key/value predicates rather than by physical address — e.g.
+``type=temperature, location=bc143``. The container injects a subscribe
+function that resolves the predicates through the P2P directory and wires
+the remote element flow back into this wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.exceptions import WrapperError
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+from repro.wrappers.base import Wrapper
+
+#: subscribe(predicates, listener) -> (schema, cancel_callable)
+SubscribeFunc = Callable[
+    [dict, Callable[[StreamElement], None]],
+    Tuple[StreamSchema, Callable[[], None]],
+]
+
+
+class RemoteWrapper(Wrapper):
+    wrapper_name = "remote"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._subscribe: Optional[SubscribeFunc] = None
+        self._cancel: Optional[Callable[[], None]] = None
+        self._schema: Optional[StreamSchema] = None
+
+    def bind(self, subscribe: SubscribeFunc) -> None:
+        """Injected by the container: how to reach the peer network."""
+        self._subscribe = subscribe
+
+    def output_schema(self) -> StreamSchema:
+        if self._schema is None:
+            self._resolve()
+        assert self._schema is not None
+        return self._schema
+
+    def _resolve(self) -> None:
+        if self._subscribe is None:
+            raise WrapperError(
+                "remote wrapper is not bound to a peer network; "
+                "deploy it through a GSNContainer"
+            )
+        self._schema, self._cancel = self._subscribe(
+            dict(self.config), self._on_remote_element
+        )
+
+    def on_start(self) -> None:
+        if self._cancel is None:
+            self._resolve()
+
+    def on_stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def _on_remote_element(self, element: StreamElement) -> None:
+        # Keep the producer's timestamp: network delay must stay visible
+        # (the paper treats delays as observable properties, not noise).
+        self.elements_emitted += 1
+        for listener in list(self._listeners):
+            listener(element)

@@ -1,0 +1,135 @@
+"""Trace replay wrapper.
+
+Feeds a recorded trace (CSV file or in-memory rows) back into the
+middleware, preserving the original timestamps — the standard tool for
+reproducing a field deployment on a desk. A ``speedup`` factor compresses
+the inter-arrival gaps.
+
+Configuration predicates: ``file`` (CSV path; first row is the header and
+must contain a ``timed`` column), ``speedup`` (default 1), ``loop``
+("true" to restart at the end).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Dict, List, Optional
+
+from repro.datatypes import sql_affinity
+from repro.exceptions import WrapperError
+from repro.streams.schema import StreamSchema, schema_from_example
+from repro.wrappers.base import Wrapper
+
+
+def _convert(text: str) -> Any:
+    if text == "":
+        return None
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+class ReplayWrapper(Wrapper):
+    wrapper_name = "replay"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.rows: List[Dict[str, Any]] = []
+        self._schema: Optional[StreamSchema] = None
+        self._position = 0
+        self._event = None
+
+    # -- trace loading -------------------------------------------------------
+
+    def load_rows(self, rows: List[Dict[str, Any]]) -> None:
+        """Provide the trace programmatically instead of via a CSV file."""
+        if not rows:
+            raise WrapperError("replay trace is empty")
+        for row in rows:
+            if "timed" not in {k.lower() for k in row}:
+                raise WrapperError("every trace row needs a 'timed' value")
+        self.rows = [
+            {k.lower(): v for k, v in row.items()} for row in rows
+        ]
+        self.rows.sort(key=lambda r: r["timed"])
+        sample = {k: v for k, v in self.rows[0].items() if k != "timed"}
+        for row in self.rows[1:]:
+            for key, value in row.items():
+                if key != "timed" and sample.get(key) is None:
+                    sample[key] = value
+        self._schema = schema_from_example(sample)
+
+    def on_configure(self) -> None:
+        self.speedup = self.config_float("speedup", 1.0)
+        if self.speedup <= 0:
+            raise WrapperError("speedup must be positive")
+        self.loop = self.config_str("loop", "false").lower() == "true"
+        path = self.config_str("file")
+        if path:
+            self._load_csv(path)
+
+    def _load_csv(self, path: str) -> None:
+        try:
+            with open(path, newline="") as handle:
+                reader = csv.DictReader(handle)
+                rows = [
+                    {key: _convert(value) for key, value in row.items()}
+                    for row in reader
+                ]
+        except OSError as exc:
+            raise WrapperError(f"cannot read trace {path!r}: {exc}") from exc
+        if not rows:
+            raise WrapperError(f"trace {path!r} is empty")
+        self.load_rows(rows)
+
+    def output_schema(self) -> StreamSchema:
+        if self._schema is None:
+            raise WrapperError("replay wrapper has no trace loaded")
+        return self._schema
+
+    # -- replay --------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if not self.rows:
+            raise WrapperError("replay wrapper has no trace loaded")
+        self._position = 0
+        if self.scheduler is not None:
+            self._schedule_next()
+
+    def on_stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _schedule_next(self) -> None:
+        if self._position >= len(self.rows):
+            if not self.loop:
+                return
+            self._position = 0
+        if self._position == 0:
+            delay = 0
+        else:
+            gap = (self.rows[self._position]["timed"]
+                   - self.rows[self._position - 1]["timed"])
+            delay = max(int(gap / self.speedup), 0)
+        self._event = self.scheduler.after(delay, self._fire, name="replay")
+
+    def _fire(self, fire_time: int) -> None:
+        row = self.rows[self._position]
+        self._position += 1
+        values = {k: v for k, v in row.items() if k != "timed"}
+        self.emit(values, timed=fire_time)
+        self._schedule_next()
+
+    def replay_all(self) -> int:
+        """Emit the whole trace immediately with original timestamps
+        (manual drive for tests and batch experiments)."""
+        count = 0
+        for row in self.rows:
+            values = {k: v for k, v in row.items() if k != "timed"}
+            self.emit(values, timed=int(row["timed"]))
+            count += 1
+        return count

@@ -1,0 +1,65 @@
+"""RFID reader wrapper (simulated Texas Instruments-style reader).
+
+Two production modes, matching how the demo uses RFID:
+
+- *polling*: every ``interval`` ms the reader scans; with probability
+  ``detection-rate`` it reports one of its configured ``tags``;
+- *manual*: :meth:`detect` injects a detection immediately — this is the
+  demo's "passing a RFID tag in front of the RFID reader" interaction.
+
+Configuration predicates: ``interval`` (ms), ``reader-id``, ``tags``
+(comma-separated tag IDs), ``detection-rate`` (default 0: manual only),
+``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.datatypes import DataType
+from repro.exceptions import WrapperError
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+from repro.wrappers.base import PeriodicWrapper, WrapperState
+
+
+class RFIDReaderWrapper(PeriodicWrapper):
+    wrapper_name = "rfid"
+
+    _SCHEMA = StreamSchema.build(
+        reader_id=DataType.INTEGER,
+        tag_id=DataType.VARCHAR,
+        signal_strength=DataType.DOUBLE,
+    )
+
+    def output_schema(self) -> StreamSchema:
+        return self._SCHEMA
+
+    def on_configure(self) -> None:
+        super().on_configure()
+        self.reader_id = self.config_int("reader-id", 1)
+        raw_tags = self.config_str("tags", "")
+        self.tags = [tag.strip() for tag in raw_tags.split(",") if tag.strip()]
+        self.detection_rate = self.config_float("detection-rate", 0.0)
+        if not 0.0 <= self.detection_rate <= 1.0:
+            raise WrapperError("detection-rate must be in [0, 1]")
+        self._rng = random.Random(self.config_int("seed", self.reader_id))
+
+    def produce(self, now: int) -> Optional[Dict[str, Any]]:
+        if not self.tags or self._rng.random() >= self.detection_rate:
+            return None  # nothing in range this scan
+        return self._detection(self._rng.choice(self.tags))
+
+    def detect(self, tag_id: str) -> StreamElement:
+        """Manually inject a tag detection (demo interaction)."""
+        if self.state is not WrapperState.RUNNING:
+            raise WrapperError("reader is not running")
+        return self.emit(self._detection(tag_id), timed=self.clock.now())
+
+    def _detection(self, tag_id: str) -> Dict[str, Any]:
+        return {
+            "reader_id": self.reader_id,
+            "tag_id": tag_id,
+            "signal_strength": round(self._rng.uniform(-60.0, -30.0), 2),
+        }

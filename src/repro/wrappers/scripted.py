@@ -1,0 +1,63 @@
+"""Scripted and system-clock wrappers.
+
+:class:`ScriptedWrapper` turns any Python callable into a data source —
+the quickest way to integrate a computation or a test fixture.
+:class:`SystemClockWrapper` is the classic GSN heartbeat wrapper: it emits
+the container's current time, useful for liveness checks and as a join
+pacemaker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.datatypes import DataType
+from repro.exceptions import WrapperError
+from repro.streams.schema import StreamSchema
+from repro.wrappers.base import PeriodicWrapper
+
+Producer = Callable[[int], Optional[Dict[str, Any]]]
+
+
+class ScriptedWrapper(PeriodicWrapper):
+    """Emits whatever a user-supplied function returns.
+
+    The producer function and schema are injected with :meth:`script`
+    (they cannot be expressed as string predicates). Configuration:
+    ``interval`` (ms).
+    """
+
+    wrapper_name = "scripted"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._producer: Optional[Producer] = None
+        self._schema: Optional[StreamSchema] = None
+
+    def script(self, producer: Producer, schema: StreamSchema) -> None:
+        self._producer = producer
+        self._schema = schema
+
+    def output_schema(self) -> StreamSchema:
+        if self._schema is None:
+            raise WrapperError("scripted wrapper has no script attached")
+        return self._schema
+
+    def produce(self, now: int) -> Optional[Dict[str, Any]]:
+        if self._producer is None:
+            raise WrapperError("scripted wrapper has no script attached")
+        return self._producer(now)
+
+
+class SystemClockWrapper(PeriodicWrapper):
+    """Heartbeat: emits the container time every ``interval`` ms."""
+
+    wrapper_name = "system-clock"
+
+    _SCHEMA = StreamSchema.build(clock=DataType.TIMESTAMP)
+
+    def output_schema(self) -> StreamSchema:
+        return self._SCHEMA
+
+    def produce(self, now: int) -> Optional[Dict[str, Any]]:
+        return {"clock": now}

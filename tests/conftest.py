@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.container import GSNContainer
+from repro.datatypes import DataType
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, StorageConfig, StreamSourceSpec,
+    VirtualSensorDescriptor,
+)
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.streams.schema import Field, StreamSchema
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock(1_000_000)
+
+
+@pytest.fixture
+def scheduler(clock: VirtualClock) -> EventScheduler:
+    return EventScheduler(clock)
+
+
+@pytest.fixture
+def container():
+    with GSNContainer("test") as node:
+        yield node
+
+
+def simple_mote_descriptor(name: str = "probe", interval_ms: int = 500,
+                           window: str = "5s", permanent: bool = True,
+                           history: str = "1h",
+                           source_query: str = (
+                               "select avg(temperature) as temperature "
+                               "from wrapper"),
+                           stream_query: str = "select * from src",
+                           rate: float = 0.0,
+                           sampling: float = 1.0,
+                           disconnect_buffer: int = 0,
+                           ) -> VirtualSensorDescriptor:
+    """The canonical single-mote averaged-temperature descriptor."""
+    return VirtualSensorDescriptor(
+        name=name,
+        output_structure=StreamSchema([
+            Field("temperature", DataType.INTEGER),
+        ]),
+        input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(
+                alias="src",
+                address=AddressSpec("mica2", {"interval": str(interval_ms),
+                                              "node-id": "1"}),
+                query=source_query,
+                storage_size=window,
+                sampling_rate=sampling,
+                disconnect_buffer=disconnect_buffer,
+            ),),
+            query=stream_query,
+            rate=rate,
+        ),),
+        storage=StorageConfig(permanent=permanent, history_size=history),
+        addressing={"type": "temperature", "location": "lab"},
+    )
+
+
+@pytest.fixture
+def mote_descriptor_factory():
+    return simple_mote_descriptor

@@ -1,0 +1,125 @@
+"""Integration: the Figure 5 demo deployment and reduced-scale runs of the
+experiment harness (the full-scale runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.ablations import run_all
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.simulation.networks import build_demo_deployment
+from repro.simulation.workload import NodeQueueModel, QueryWorkloadGenerator
+from repro.sqlengine.parser import parse_select
+
+
+class TestDemoDeployment:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        with build_demo_deployment(motes=4, cameras=2,
+                                   rfid_readers=1) as deployment:
+            deployment.run_for(5_000)
+            yield deployment
+
+    def test_topology(self, demo):
+        assert len(demo.mote_sensors) == 4
+        assert len(demo.camera_sensors) == 2
+        assert len(demo.rfid_sensors) == 1
+        # Node 1: RFID + half the motes; node 2: cameras; node 3: rest.
+        assert set(demo.node1.sensor_names()) == {"rfid-1", "mote-1",
+                                                  "mote-2"}
+        assert set(demo.node2.sensor_names()) == {"camera-1", "camera-2"}
+        assert set(demo.node3.sensor_names()) == {"mote-3", "mote-4"}
+
+    def test_all_sensors_discoverable(self, demo):
+        directory = demo.network.directory
+        assert len(directory) == 7
+        assert len(directory.lookup({"type": "mote"})) == 4
+        assert len(directory.lookup({"type": "camera"})) == 2
+
+    def test_motes_produce(self, demo):
+        for name in demo.mote_sensors:
+            host = demo.node1 if name in demo.node1.sensor_names() \
+                else demo.node3
+            assert host.sensor(name).elements_produced == 5
+
+    def test_cross_network_query(self, demo):
+        result = demo.node1.query(
+            "select avg(light) as l, avg(temperature) as t from ("
+            "select light, temperature from vs_mote_1 union all "
+            "select light, temperature from vs_mote_2) motes"
+        ).first()
+        assert result["t"] is not None
+
+    def test_rfid_manual_detection(self, demo):
+        reader = demo.node1.sensor("rfid-1").wrappers["src"]
+        before = demo.node1.sensor("rfid-1").elements_produced
+        reader.detect("tag-alice")
+        assert demo.node1.sensor("rfid-1").elements_produced == before + 1
+        latest = demo.node1.sensor("rfid-1").latest_output()
+        assert latest["tag_id"] == "tag-alice"
+
+
+class TestQueueModel:
+    def test_no_contention_mean_equals_service(self):
+        model = NodeQueueModel(1)
+        model.observe(0, 1.0)
+        model.observe(100, 1.0)
+        assert model.mean_ms == 1.0
+
+    def test_batch_contention_queues(self):
+        model = NodeQueueModel(1)
+        for __ in range(4):
+            model.observe(0, 1.0)
+        # waits: 0,1,2,3 -> latencies 1,2,3,4
+        assert model.mean_ms == 2.5
+        assert model.max_ms == 4.0
+
+    def test_multiple_workers_absorb_batch(self):
+        model = NodeQueueModel(4)
+        for __ in range(4):
+            model.observe(0, 1.0)
+        assert model.mean_ms == 1.0
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            NodeQueueModel(0)
+
+
+class TestWorkloadGenerator:
+    def test_queries_parse(self):
+        generator = QueryWorkloadGenerator("vs_s", lambda: 10_000_000,
+                                           seed=5)
+        for sql in generator.batch(50):
+            statement = parse_select(sql)  # must not raise
+            assert statement.where is not None
+
+    def test_reproducible(self):
+        a = QueryWorkloadGenerator("t", lambda: 1_000_000, seed=9)
+        b = QueryWorkloadGenerator("t", lambda: 1_000_000, seed=9)
+        assert a.batch(20) == b.batch(20)
+
+    def test_history_bound_present(self):
+        generator = QueryWorkloadGenerator("t", lambda: 5_000_000, seed=1)
+        assert all("timed >=" in sql for sql in generator.batch(20))
+
+
+class TestExperimentsReducedScale:
+    def test_figure3_reduced(self):
+        result = run_figure3(intervals=(50, 1_000), sizes=(100,),
+                             device_count=3, duration_ms=1_000)
+        series = result.series[100]
+        assert len(series.points) == 2
+        assert all(y > 0 for y in series.ys())
+
+    def test_figure4_reduced(self):
+        result = run_figure4(client_counts=(0, 10, 40), warmup_ms=2_000,
+                             seed=1)
+        points = dict(result.series.points)
+        assert points[0] < points[40]
+        assert result.table()  # renders
+
+    def test_ablations_run(self):
+        results = run_all()
+        assert len(results) == 6
+        for result in results:
+            assert result.variants
+            assert all(v >= 0 for v in result.variants.values())

@@ -1,0 +1,38 @@
+"""The bundled examples must run cleanly end to end.
+
+Each example's ``main()`` is imported and executed; stdout is captured by
+pytest. These runs double as smoke tests of the full public API surface.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("example", [
+    "quickstart",
+    "demo_deployment",
+    "sensor_internet_join",
+    "dynamic_reconfiguration",
+    "record_and_replay",
+])
+def test_example_runs(example, capsys):
+    run_example(example)
+    output = capsys.readouterr().out
+    assert output.strip(), "examples must narrate what they do"

@@ -1,0 +1,157 @@
+"""Integration tests for the real HTTP layer (loopback only)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import GSNContainer
+from repro.interfaces.http_server import GSNHttpServer
+
+from tests.conftest import simple_mote_descriptor
+
+XML = """
+<virtual-sensor name="probe">
+  <output-structure><field name="temperature" type="integer"/>
+  </output-structure>
+  <storage permanent-storage="true"/>
+  <input-stream name="in">
+    <stream-source alias="src" storage-size="5s">
+      <address wrapper="mica2"><predicate key="interval" val="500"/></address>
+      <query>select avg(temperature) as temperature from wrapper</query>
+    </stream-source>
+    <query>select * from src</query>
+  </input-stream>
+</virtual-sensor>
+"""
+
+
+@pytest.fixture
+def served(container):
+    with GSNHttpServer(container) as server:
+        yield container, server
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path,
+                                    timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(server, path, body=b"", headers=None):
+    request = urllib.request.Request(server.url + path, data=body,
+                                     headers=headers or {}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHttpEndpoints:
+    def test_overview(self, served):
+        __, server = served
+        status, body = get(server, "/overview")
+        assert status == 200
+        assert body["container"] == "test"
+
+    def test_deploy_then_query_over_http(self, served):
+        container, server = served
+        status, body = post(server, "/deploy", XML.encode())
+        assert (status, body["deployed"]) == (200, "probe")
+        container.run_for(2_000)
+        status, body = get(
+            server, "/query?sql=select+count(*)+as+n+from+vs_probe")
+        assert body["rows"] == [{"n": 4}]
+
+    def test_dashboard_html_at_root(self, served):
+        container, server = served
+        container.deploy(XML)
+        with urllib.request.urlopen(server.url + "/", timeout=5) as response:
+            html = response.read().decode()
+        assert response.headers["Content-Type"].startswith("text/html")
+        assert "probe" in html
+
+    def test_sensor_routes(self, served):
+        container, server = served
+        container.deploy(XML)
+        container.run_for(1_000)
+        assert get(server, "/sensors")[1]["sensors"] == ["probe"]
+        status, body = get(server, "/sensors/probe")
+        assert body["sensor"]["elements_produced"] == 2
+        status, body = get(server, "/sensors/probe/latest")
+        assert body["latest"]["values"]["temperature"] is not None
+        assert get(server, "/sensors/ghost")[1]["status"] == 404
+
+    def test_subscriptions_lifecycle(self, served):
+        container, server = served
+        container.deploy(XML)
+        status, body = post(
+            server,
+            "/subscriptions?sql=select+count(*)+n+from+vs_probe"
+            "&name=watch&history=2s",
+        )
+        assert status == 200
+        sub_id = body["subscription"]["id"]
+        assert body["subscription"]["history_ms"] == 2_000
+        container.run_for(1_000)
+        assert container.notifications.channel("queue").pending == 2
+
+        request = urllib.request.Request(
+            f"{server.url}/subscriptions/{sub_id}", method="DELETE")
+        with urllib.request.urlopen(request, timeout=5) as response:
+            assert json.loads(response.read())["unregistered"] == sub_id
+
+    def test_explain_route(self, served):
+        container, server = served
+        container.deploy(XML)
+        __, body = get(server, "/explain?sql=select+*+from+vs_probe")
+        assert any("SCAN vs_probe" in line for line in body["plan"])
+
+    def test_undeploy_route(self, served):
+        container, server = served
+        container.deploy(XML)
+        status, body = post(server, "/undeploy/probe")
+        assert body == {"status": 200, "undeployed": "probe"}
+        assert container.sensor_names() == []
+
+    def test_unknown_route_404(self, served):
+        __, server = served
+        try:
+            urllib.request.urlopen(server.url + "/nope", timeout=5)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:
+            pytest.fail("expected 404")
+
+    def test_credentials_via_headers(self):
+        from repro.access.control import Permission
+        with GSNContainer("secure", access_enabled=True) as container:
+            principal, key = container.access.create_principal("ops")
+            principal.grant(Permission.DEPLOY)
+            with GSNHttpServer(container) as server:
+                status, body = post(server, "/deploy", XML.encode())
+                assert body["error"] == "AccessDeniedError"
+                status, body = post(
+                    server, "/deploy", XML.encode(),
+                    headers={"X-GSN-Client": "ops", "X-GSN-Key": key},
+                )
+                assert body == {"status": 200, "deployed": "probe"}
+
+    def test_concurrent_requests(self, served):
+        import concurrent.futures
+        container, server = served
+        container.deploy(XML)
+        container.run_for(1_000)
+
+        def hit(index):
+            return get(server,
+                       "/query?sql=select+count(*)+n+from+vs_probe")[1]
+
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            results = list(pool.map(hit, range(32)))
+        assert all(r["rows"] == [{"n": 2}] for r in results)

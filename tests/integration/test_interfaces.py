@@ -1,0 +1,182 @@
+"""Integration tests for the web interface facade and the client API."""
+
+import json
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.interfaces.client import GSNClient
+from repro.interfaces.web import WebInterface
+
+from tests.conftest import simple_mote_descriptor
+
+XML = """
+<virtual-sensor name="probe">
+  <output-structure>
+    <field name="temperature" type="integer"/>
+  </output-structure>
+  <storage permanent-storage="true"/>
+  <input-stream name="in">
+    <stream-source alias="src" storage-size="5s">
+      <address wrapper="mica2"><predicate key="interval" val="500"/></address>
+      <query>select avg(temperature) as temperature from wrapper</query>
+    </stream-source>
+    <query>select * from src</query>
+  </input-stream>
+</virtual-sensor>
+"""
+
+
+@pytest.fixture
+def web(container):
+    return WebInterface(container)
+
+
+@pytest.fixture
+def client(container):
+    return GSNClient(container)
+
+
+class TestWebInterface:
+    def test_overview(self, container, web):
+        container.deploy(XML)
+        response = web.overview()
+        assert response["status"] == 200
+        assert response["virtual_sensors"] == ["probe"]
+        assert "queue" in response["channels"]
+
+    def test_deploy_endpoint(self, container, web):
+        response = web.deploy(XML)
+        assert response == {"status": 200, "deployed": "probe"}
+        assert "probe" in container.sensor_names()
+
+    def test_deploy_error_shape(self, web):
+        response = web.deploy("<broken")
+        assert response["status"] == 400
+        assert response["error"] == "DescriptorError"
+        assert "message" in response
+
+    def test_sensor_endpoint(self, container, web):
+        container.deploy(XML)
+        container.run_for(1_000)
+        response = web.sensor("probe")
+        assert response["status"] == 200
+        assert response["sensor"]["elements_produced"] == 2
+
+    def test_sensor_404(self, web):
+        assert web.sensor("ghost")["status"] == 404
+
+    def test_latest_reading(self, container, web):
+        container.deploy(XML)
+        response = web.latest_reading("probe")
+        assert response["latest"] is None
+        container.run_for(1_000)
+        response = web.latest_reading("probe")
+        assert response["latest"]["values"]["temperature"] is not None
+
+    def test_query_endpoint(self, container, web):
+        container.deploy(XML)
+        container.run_for(2_000)
+        response = web.query("select count(*) as n from vs_probe")
+        assert response["rows"] == [{"n": 4}]
+        assert response["columns"] == ["n"]
+
+    def test_query_renders_blobs_safely(self, container, web):
+        from repro.simulation.networks import camera_descriptor
+        container.deploy(camera_descriptor("cam", 1, interval_ms=500,
+                                           image_size=256))
+        container.run_for(1_000)
+        response = web.query("select image from vs_cam limit 1")
+        assert response["rows"][0]["image"] == "<256 bytes>"
+
+    def test_query_error_shape(self, web):
+        response = web.query("select * from nothing")
+        assert response["status"] == 400
+
+    def test_undeploy_and_reconfigure(self, container, web):
+        web.deploy(XML)
+        assert web.reconfigure(XML)["status"] == 200
+        assert web.undeploy("probe")["status"] == 200
+        assert web.undeploy("probe")["status"] == 400
+
+    def test_subscription_endpoints(self, container, web):
+        web.deploy(XML)
+        response = web.register_query("select count(*) n from vs_probe",
+                                      name="counter")
+        assert response["status"] == 200
+        sub_id = response["subscription"]["id"]
+        container.run_for(1_000)
+        assert web.unregister_query(sub_id)["status"] == 200
+        assert web.unregister_query(sub_id)["status"] == 404
+
+    def test_monitor_and_json(self, container, web):
+        container.deploy(XML)
+        container.run_for(500)
+        response = web.monitor()
+        text = web.to_json(response)
+        parsed = json.loads(text)
+        assert parsed["monitor"]["name"] == "test"
+
+    def test_directory_endpoint_no_network(self, web):
+        assert web.directory() == {"status": 200, "network": None}
+
+
+class TestClient:
+    def test_descriptor_builder_deploy(self, container, client):
+        name = client.deploy(
+            client.descriptor("built")
+            .output(temperature=DataType.INTEGER)
+            .storage(permanent=True)
+            .predicate("type", "temp")
+            .stream("in", "select * from s")
+            .source("s", "mica2", {"interval": "500"},
+                    query="select avg(temperature) as temperature "
+                          "from wrapper", window="5s")
+        )
+        assert name == "built"
+        container.run_for(1_000)
+        assert client.query_sensor("built")
+
+    def test_builder_requires_stream_before_source(self, client):
+        builder = client.descriptor("x").output(v=DataType.INTEGER)
+        with pytest.raises(Exception):
+            builder.source("s", "mote")
+
+    def test_query_returns_dicts(self, container, client):
+        container.deploy(simple_mote_descriptor())
+        container.run_for(1_000)
+        rows = client.query("select * from vs_probe")
+        assert isinstance(rows, list) and isinstance(rows[0], dict)
+
+    def test_query_sensor_with_where(self, container, client):
+        container.deploy(simple_mote_descriptor())
+        container.run_for(2_000)
+        rows = client.query_sensor("probe", where="temperature > -100")
+        assert len(rows) == 4
+
+    def test_on_output_callback(self, container, client):
+        container.deploy(simple_mote_descriptor())
+        seen = []
+        client.on_output("probe", seen.append)
+        container.run_for(1_000)
+        assert len(seen) == 2
+
+    def test_next_output_runs_simulation(self, container, client):
+        container.deploy(simple_mote_descriptor(interval_ms=500))
+        element = client.next_output("probe")
+        assert element is not None
+        assert container.now() == 500
+
+    def test_next_output_timeout(self, container, client):
+        sensor = container.deploy(simple_mote_descriptor(interval_ms=500))
+        sensor.pause()
+        assert client.next_output("probe", timeout_ms=2_000) is None
+
+    def test_watch_and_notifications(self, container, client):
+        container.deploy(simple_mote_descriptor(interval_ms=500))
+        client.watch("select max(temperature) m from vs_probe",
+                     name="peak")
+        container.run_for(1_500)
+        notifications = client.notifications()
+        assert len(notifications) == 3
+        assert notifications[0]["subscription"] == "peak"

@@ -1,0 +1,196 @@
+"""Multi-container integration: discovery, remote streaming, derived
+sensors, sealed transport, latency/loss."""
+
+import pytest
+
+from repro import GSNContainer, PeerNetwork
+from repro.exceptions import ValidationError
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+
+from tests.conftest import simple_mote_descriptor
+
+MIRROR_XML = """
+<virtual-sensor name="mirror">
+  <output-structure>
+    <field name="temperature" type="integer"/>
+  </output-structure>
+  <storage permanent-storage="true"/>
+  <input-stream name="input">
+    <stream-source alias="r" storage-size="5">
+      <address wrapper="remote">
+        <predicate key="type" val="temperature"/>
+      </address>
+      <query>select * from wrapper</query>
+    </stream-source>
+    <query>select avg(temperature) as temperature from r</query>
+  </input-stream>
+</virtual-sensor>
+"""
+
+
+@pytest.fixture
+def deployment():
+    clock = VirtualClock()
+    scheduler = EventScheduler(clock)
+    network = PeerNetwork(scheduler=scheduler)
+    a = GSNContainer("node-a", network=network, clock=clock,
+                     scheduler=scheduler)
+    b = GSNContainer("node-b", network=network, clock=clock,
+                     scheduler=scheduler)
+    yield network, scheduler, a, b
+    b.shutdown()
+    a.shutdown()
+
+
+class TestDiscovery:
+    def test_deploy_publishes(self, deployment):
+        network, __, a, __ = deployment
+        a.deploy(simple_mote_descriptor())
+        entry = network.directory.lookup_one({"type": "temperature"})
+        assert entry.container == "node-a"
+        assert entry.sensor == "probe"
+        assert dict(entry.schema) == {"temperature": "integer"}
+
+    def test_undeploy_unpublishes(self, deployment):
+        network, __, a, __ = deployment
+        a.deploy(simple_mote_descriptor())
+        a.undeploy("probe")
+        assert len(network.directory) == 0
+
+    def test_shutdown_unpublishes_all(self, deployment):
+        network, __, a, __ = deployment
+        a.deploy(simple_mote_descriptor(name="x"))
+        a.deploy(simple_mote_descriptor(name="y"))
+        a.shutdown()
+        assert len(network.directory) == 0
+
+
+class TestRemoteStreaming:
+    def test_mirror_sensor(self, deployment):
+        __, scheduler, a, b = deployment
+        a.deploy(simple_mote_descriptor(interval_ms=500))
+        b.deploy(MIRROR_XML)
+        scheduler.run_for(5_000)
+        mirrored = b.query("select count(*) n from vs_mirror").first()["n"]
+        assert mirrored == 10
+
+    def test_remote_values_match_source(self, deployment):
+        __, scheduler, a, b = deployment
+        a.deploy(simple_mote_descriptor(interval_ms=1_000))
+        b.deploy(MIRROR_XML)
+        scheduler.run_for(4_000)
+        source = a.query(
+            "select temperature, timed from vs_probe order by timed"
+        ).to_dicts()
+        mirror = b.query(
+            "select temperature, timed from vs_mirror order by timed"
+        ).to_dicts()
+        assert mirror == source
+
+    def test_undeploy_consumer_detaches_producer(self, deployment):
+        __, scheduler, a, b = deployment
+        producer = a.deploy(simple_mote_descriptor(interval_ms=500))
+        b.deploy(MIRROR_XML)
+        scheduler.run_for(1_000)
+        b.undeploy("mirror")
+        before = a.peer.elements_forwarded
+        scheduler.run_for(2_000)
+        assert a.peer.elements_forwarded == before
+        assert producer.elements_produced == 6
+
+    def test_no_match_fails_deployment(self, deployment):
+        __, __, __, b = deployment
+        with pytest.raises(Exception, match="no virtual sensor matches"):
+            b.deploy(MIRROR_XML)  # nothing published yet
+
+    def test_remote_without_predicates_rejected(self, deployment):
+        __, __, __, b = deployment
+        bad = MIRROR_XML.replace(
+            '<predicate key="type" val="temperature"/>', "")
+        with pytest.raises(ValidationError):
+            b.deploy(bad)
+
+
+class TestTransportConditions:
+    def test_latency_delays_elements(self):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        network = PeerNetwork(scheduler=scheduler, latency_ms=200)
+        a = GSNContainer("a", network=network, clock=clock,
+                         scheduler=scheduler)
+        b = GSNContainer("b", network=network, clock=clock,
+                         scheduler=scheduler)
+        try:
+            a.deploy(simple_mote_descriptor(interval_ms=1_000))
+            b.deploy(MIRROR_XML)
+            scheduler.run_for(3_100)
+            # Element produced at t=3000 is still in flight at t=3100;
+            # earlier ones arrived.
+            count = b.query("select count(*) n from vs_mirror").first()["n"]
+            assert count == 2
+        finally:
+            b.shutdown()
+            a.shutdown()
+
+    def test_loss_drops_elements_but_stream_survives(self):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        network = PeerNetwork(scheduler=scheduler, loss_rate=0.4, seed=3)
+        a = GSNContainer("a", network=network, clock=clock,
+                         scheduler=scheduler)
+        b = GSNContainer("b", network=network, clock=clock,
+                         scheduler=scheduler)
+        try:
+            a.deploy(simple_mote_descriptor(interval_ms=200))
+            b.deploy(MIRROR_XML)
+            scheduler.run_for(20_000)
+            produced = a.sensor("probe").elements_produced
+            mirrored = b.query(
+                "select count(*) n from vs_mirror").first()["n"]
+            assert 0 < mirrored < produced
+            assert network.bus.dropped > 0
+        finally:
+            b.shutdown()
+            a.shutdown()
+
+    def test_sealed_transport_end_to_end(self):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        network = PeerNetwork(scheduler=scheduler)
+        a = GSNContainer("a", network=network, clock=clock,
+                         scheduler=scheduler, seal="encrypt")
+        b = GSNContainer("b", network=network, clock=clock,
+                         scheduler=scheduler)
+        try:
+            a.deploy(simple_mote_descriptor(interval_ms=500))
+            b.deploy(MIRROR_XML)
+            scheduler.run_for(2_000)
+            assert b.query("select count(*) n from vs_mirror"
+                           ).first()["n"] == 4
+            assert a.integrity.sealed == 4
+            assert b.integrity.opened == 4
+        finally:
+            b.shutdown()
+            a.shutdown()
+
+
+class TestDerivedChains:
+    def test_second_order_derivation(self, deployment):
+        """A sensor derived from a sensor derived from hardware."""
+        network, scheduler, a, b = deployment
+        a.deploy(simple_mote_descriptor(interval_ms=500))
+        b.deploy(MIRROR_XML)
+
+        second = MIRROR_XML.replace('name="mirror"', 'name="second"')
+        second = second.replace('val="temperature"', 'val="derived2"')
+        # Publish the mirror under a findable predicate first:
+        # mirror's addressing is empty, so match it by name instead.
+        second = second.replace(
+            '<predicate key="type" val="derived2"/>',
+            '<predicate key="name" val="mirror"/>',
+        )
+        a.deploy(second)
+        scheduler.run_for(4_000)
+        count = a.query("select count(*) n from vs_second").first()["n"]
+        assert count > 0

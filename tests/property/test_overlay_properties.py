@@ -1,0 +1,82 @@
+"""Property tests: the distributed directory is observationally
+equivalent to the centralized one, under arbitrary operation sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.directory import PeerDirectory
+from repro.network.overlay import ChordRing, DistributedDirectory, ring_hash
+
+containers = st.sampled_from([f"node-{i}" for i in range(6)])
+sensors = st.sampled_from([f"s{i}" for i in range(8)])
+keys = st.sampled_from(["type", "location", "owner"])
+values = st.sampled_from(["a", "b", "c"])
+predicate_maps = st.dictionaries(keys, values, max_size=3)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("publish"), containers, sensors, predicate_maps),
+        st.tuples(st.just("unpublish"), containers, sensors),
+        st.tuples(st.just("unpublish_container"), containers),
+    ),
+    min_size=0, max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations, query=predicate_maps)
+def test_distributed_equals_centralized(ops, query):
+    distributed = DistributedDirectory()
+    central = PeerDirectory()
+    for i in range(6):
+        distributed.add_peer(f"node-{i}")
+
+    for op in ops:
+        if op[0] == "publish":
+            __, container, sensor, predicates = op
+            distributed.publish(container, sensor, predicates)
+            central.publish(container, sensor, predicates)
+        elif op[0] == "unpublish":
+            __, container, sensor = op
+            distributed.unpublish(container, sensor)
+            central.unpublish(container, sensor)
+        else:
+            __, container = op
+            distributed.unpublish_container(container)
+            central.unpublish_container(container)
+
+    def view(directory, q):
+        return sorted((e.container, e.sensor, e.predicates)
+                      for e in directory.lookup(q))
+
+    assert view(distributed, query) == view(central, query)
+    assert view(distributed, {}) == view(central, {})
+    assert len(distributed) == len(central)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    peer_count=st.integers(1, 24),
+    churn=st.lists(st.integers(0, 23), max_size=8),
+    probes=st.lists(st.text(alphabet="abcxyz", min_size=1, max_size=6),
+                    min_size=1, max_size=10),
+)
+def test_ring_ownership_unique_under_churn(peer_count, churn, probes):
+    """At every moment, each key has exactly one owner, and routing from
+    any node reaches it."""
+    ring = ChordRing()
+    for i in range(peer_count):
+        ring.join(f"p{i}")
+    for victim in churn:
+        ring.leave(f"p{victim}")  # no-op if already gone
+    if not len(ring):
+        return
+    nodes = [ring._nodes[name] for name in ring.node_names()]
+    for probe in probes:
+        key = ring_hash(probe)
+        owner = ring.owner_of(key)
+        owners = [n for n in nodes
+                  if ring._successor_id(key) == n.node_id]
+        assert owners == [owner]
+        for start in nodes[:4]:
+            routed, __ = ring.route(start, key)
+            assert routed is owner

@@ -1,0 +1,227 @@
+"""Property tests on descriptors, storage, directory, and integrity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.access.integrity import IntegrityService
+from repro.datatypes import DataType
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, LifeCycleConfig, StorageConfig,
+    StreamSourceSpec, VirtualSensorDescriptor,
+)
+from repro.descriptors.xml_io import descriptor_from_xml, descriptor_to_xml
+from repro.network.directory import PeerDirectory
+from repro.storage.base import RetentionPolicy
+from repro.storage.memory import MemoryStorage
+from repro.storage.sqlite import SQLiteStorage
+from repro.streams.element import StreamElement
+from repro.streams.schema import Field, StreamSchema
+
+names = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True)
+predicate_values = st.text(
+    alphabet="abcdefghij0123456789-_. ", min_size=1, max_size=12
+).filter(lambda s: s.strip())
+
+
+@st.composite
+def descriptors(draw):
+    field_names = draw(st.lists(identifiers, min_size=1, max_size=4,
+                                unique=True))
+    schema = StreamSchema([
+        Field(name, draw(st.sampled_from(list(DataType))))
+        for name in field_names
+    ])
+    alias = draw(identifiers)
+    source = StreamSourceSpec(
+        alias=alias,
+        address=AddressSpec(
+            draw(st.sampled_from(["mote", "camera", "rfid", "scripted"])),
+            draw(st.dictionaries(identifiers, predicate_values,
+                                 max_size=3)),
+        ),
+        query="select * from wrapper",
+        sampling_rate=draw(st.floats(0.01, 1.0)),
+        storage_size=draw(st.one_of(
+            st.none(),
+            st.integers(1, 100).map(str),
+            st.integers(1, 100).map(lambda n: f"{n}s"),
+        )),
+        disconnect_buffer=draw(st.integers(0, 20)),
+        slide=draw(st.one_of(
+            st.none(),
+            st.integers(1, 20).map(str),
+            st.integers(1, 20).map(lambda n: f"{n}s"),
+        )),
+    )
+    stream = InputStreamSpec(
+        name=draw(identifiers),
+        sources=(source,),
+        query=f"select * from {alias}",
+        rate=draw(st.floats(0, 100)),
+        lifetime=draw(st.one_of(
+            st.none(), st.integers(1, 100).map(lambda n: f"{n}m"))),
+    )
+    return VirtualSensorDescriptor(
+        name=draw(st.from_regex(r"[a-z][a-z0-9_.-]{0,10}", fullmatch=True)),
+        output_structure=schema,
+        input_streams=(stream,),
+        lifecycle=LifeCycleConfig(draw(st.integers(1, 32))),
+        storage=StorageConfig(
+            permanent=draw(st.booleans()),
+            history_size=draw(st.one_of(
+                st.none(), st.integers(1, 50).map(str))),
+        ),
+        addressing=draw(st.dictionaries(identifiers, predicate_values,
+                                        max_size=3)),
+        # XML 1.0 cannot carry control characters; descriptors are
+        # hand-written config files, so printable text is the domain.
+        description=draw(st.text(
+            alphabet=st.characters(min_codepoint=0x20,
+                                   max_codepoint=0x7E),
+            max_size=20,
+        )),
+        priority=draw(st.integers(0, 20)),
+    )
+
+
+class TestDescriptorRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(descriptor=descriptors())
+    def test_xml_roundtrip_is_identity(self, descriptor):
+        assert descriptor_from_xml(descriptor_to_xml(descriptor)) \
+            == descriptor
+
+
+class TestStorageProperties:
+    elements = st.lists(
+        st.tuples(st.integers(0, 10_000), st.integers(-100, 100)),
+        min_size=0, max_size=40,
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=elements, keep=st.integers(1, 10))
+    def test_count_retention_keeps_newest(self, data, keep):
+        schema = StreamSchema.build(v=DataType.INTEGER)
+        for backend in (MemoryStorage(), SQLiteStorage(":memory:")):
+            table = backend.create("s", schema,
+                                   RetentionPolicy("count", keep))
+            ordered = sorted(data)
+            for stamp, value in ordered:
+                table.append(StreamElement({"v": value}, timed=stamp))
+            rows = table.relation().rows
+            assert rows == [
+                (value, stamp) for stamp, value in ordered[-keep:]
+            ]
+            backend.close()
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=elements, span=st.integers(1, 2_000))
+    def test_time_retention_equivalent_across_backends(self, data, span):
+        schema = StreamSchema.build(v=DataType.INTEGER)
+        results = []
+        ordered = sorted(data)
+        for backend in (MemoryStorage(), SQLiteStorage(":memory:")):
+            table = backend.create("s", schema,
+                                   RetentionPolicy("time", span))
+            for stamp, value in ordered:
+                table.append(StreamElement({"v": value}, timed=stamp))
+            results.append(sorted(table.relation().rows))
+            backend.close()
+        assert results[0] == results[1]
+        if ordered:
+            newest = ordered[-1][0]
+            assert all(stamp > newest - span for __, stamp in results[0])
+
+
+class TestDirectoryProperties:
+    entries = st.lists(
+        st.tuples(names, names,
+                  st.dictionaries(identifiers, predicate_values,
+                                  max_size=3)),
+        min_size=0, max_size=15,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(entries=entries,
+           query=st.dictionaries(identifiers, predicate_values, max_size=2))
+    def test_lookup_matches_naive_filter(self, entries, query):
+        directory = PeerDirectory()
+        seen = {}
+        for container, sensor, predicates in entries:
+            directory.publish(container, sensor, predicates)
+            seen[(container.lower(), sensor.lower())] = {
+                k.lower(): v.lower() for k, v in predicates.items()
+            }
+        expected = {
+            key for key, predicates in seen.items()
+            if all(predicates.get(k.lower()) == v.lower()
+                   for k, v in query.items())
+        }
+        found = {(e.container, e.sensor) for e in directory.lookup(query)}
+        assert found == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(entries=entries)
+    def test_unpublish_container_removes_exactly_its_entries(self, entries):
+        directory = PeerDirectory()
+        for container, sensor, predicates in entries:
+            directory.publish(container, sensor, predicates)
+        if not entries:
+            return
+        victim = entries[0][0].lower()
+        directory.unpublish_container(victim)
+        assert all(e.container != victim for e in directory.entries())
+
+
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(-10**9, 10**9),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=15), st.binary(max_size=15)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestIntegrityProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(payload=st.dictionaries(st.text(min_size=1, max_size=8),
+                                   json_values, max_size=5),
+           encrypt=st.booleans())
+    def test_seal_open_roundtrip(self, payload, encrypt):
+        service = IntegrityService("node", b"k")
+
+        def delistify(value):
+            # JSON turns tuples into lists; normalize for comparison.
+            if isinstance(value, tuple):
+                return [delistify(v) for v in value]
+            if isinstance(value, list):
+                return [delistify(v) for v in value]
+            if isinstance(value, dict):
+                return {k: delistify(v) for k, v in value.items()}
+            return value
+
+        opened = service.open(service.seal(payload, encrypt=encrypt))
+        assert opened == delistify(payload)
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.dictionaries(st.text(min_size=1, max_size=5),
+                                   st.integers(), min_size=1, max_size=3),
+           flip=st.integers(0, 10_000))
+    def test_any_body_tamper_detected(self, payload, flip):
+        import pytest
+        from repro.access.integrity import SealedEnvelope
+        from repro.exceptions import IntegrityError
+
+        service = IntegrityService("node", b"k")
+        envelope = service.seal(payload)
+        index = flip % len(envelope.body)
+        mutated = bytearray(envelope.body)
+        mutated[index] ^= 0xFF
+        tampered = SealedEnvelope(bytes(mutated), envelope.signature,
+                                  envelope.nonce, envelope.encrypted,
+                                  envelope.sender)
+        with pytest.raises(IntegrityError):
+            service.open(tampered)

@@ -1,0 +1,83 @@
+"""Property tests on the simulated device wrappers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gsntime.clock import VirtualClock
+from repro.wrappers.camera import CameraWrapper
+from repro.wrappers.generator import GeneratorWrapper
+from repro.wrappers.motes import MoteWrapper
+
+
+def wired(wrapper, predicates):
+    wrapper.attach(VirtualClock(0))
+    wrapper.configure({k: str(v) for k, v in predicates.items()})
+    wrapper.start()
+    return wrapper
+
+
+class TestMoteProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10**6),
+           light_base=st.floats(10, 10_000),
+           temp_base=st.floats(-20, 45),
+           now=st.integers(0, 10**10))
+    def test_readings_in_physical_range(self, seed, light_base, temp_base,
+                                        now):
+        mote = wired(MoteWrapper(), {
+            "seed": seed, "light-base": light_base,
+            "temperature-base": temp_base,
+        })
+        reading = mote.produce(now)
+        assert reading["light"] >= 0
+        assert temp_base - 10 <= reading["temperature"] <= temp_base + 10
+        assert abs(reading["accel_x"]) < 1.0
+        assert abs(reading["accel_y"]) < 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_same_seed_same_stream(self, seed):
+        a = wired(MoteWrapper(), {"seed": seed})
+        b = wired(MoteWrapper(), {"seed": seed})
+        assert [a.produce(t * 100) for t in range(10)] \
+            == [b.produce(t * 100) for t in range(10)]
+
+
+class TestCameraProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(size=st.integers(4, 100_000), stamp=st.integers(0, 10**12))
+    def test_frame_size_exact_and_jpeg_tagged(self, size, stamp):
+        camera = wired(CameraWrapper(), {"image-size": size})
+        frame = camera.frame(stamp)
+        assert len(frame) == size
+        assert frame[:2] == b"\xff\xd8"
+        produced = camera.produce(stamp)["image"]
+        assert len(produced) == size
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(signal=st.sampled_from(["sine", "square", "ramp", "constant",
+                                   "noise"]),
+           amplitude=st.floats(0.1, 1_000),
+           offset=st.floats(-100, 100),
+           period=st.integers(1, 10**7),
+           now=st.integers(0, 10**10),
+           seed=st.integers(0, 999))
+    def test_value_bounded_by_amplitude(self, signal, amplitude, offset,
+                                        period, now, seed):
+        generator = wired(GeneratorWrapper(), {
+            "signal": signal, "amplitude": amplitude,
+            "offset": offset, "period": period, "seed": seed,
+        })
+        reading = generator.produce(now)
+        assert abs(reading["value"] - offset) <= amplitude + 1e-9
+        assert 0.0 <= reading["phase"] < 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(period=st.integers(100, 10**6), k=st.integers(0, 50))
+    def test_periodicity(self, period, k):
+        generator = wired(GeneratorWrapper(), {"signal": "sine",
+                                               "period": period})
+        t = period // 3
+        assert generator.produce(t)["value"] \
+            == generator.produce(t + k * period)["value"]

@@ -1,0 +1,142 @@
+"""Unit tests for access control and the integrity service."""
+
+import pytest
+
+from repro.access.control import AccessController, Permission
+from repro.access.integrity import IntegrityService, SealedEnvelope
+from repro.exceptions import AccessDeniedError, IntegrityError
+
+
+class TestAccessControllerDisabled:
+    def test_everything_passes_when_disabled(self):
+        controller = AccessController(enabled=False)
+        controller.check(Permission.DEPLOY, "any", "", "")
+        assert controller.checks_passed == 1
+        assert controller.checks_denied == 0
+
+
+class TestAccessControllerEnabled:
+    @pytest.fixture
+    def controller(self):
+        return AccessController(enabled=True)
+
+    def test_create_and_authenticate(self, controller):
+        principal, key = controller.create_principal("alice")
+        assert controller.authenticate("alice", key) is principal
+        with pytest.raises(AccessDeniedError):
+            controller.authenticate("alice", "wrong-key")
+
+    def test_explicit_key(self, controller):
+        __, key = controller.create_principal("bob", api_key="s3cret")
+        assert key == "s3cret"
+        controller.authenticate("bob", "s3cret")
+
+    def test_duplicate_principal_rejected(self, controller):
+        controller.create_principal("alice")
+        with pytest.raises(AccessDeniedError):
+            controller.create_principal("Alice")
+
+    def test_container_wide_grant(self, controller):
+        principal, key = controller.create_principal("admin")
+        principal.grant(Permission.DEPLOY)
+        controller.check(Permission.DEPLOY, "any-sensor", "admin", key)
+
+    def test_scoped_grant(self, controller):
+        principal, key = controller.create_principal("carol")
+        principal.grant(Permission.READ, scope="vs-a")
+        controller.check(Permission.READ, "vs-a", "carol", key)
+        with pytest.raises(AccessDeniedError):
+            controller.check(Permission.READ, "vs-b", "carol", key)
+
+    def test_revoke(self, controller):
+        principal, key = controller.create_principal("dave")
+        principal.grant(Permission.MANAGE)
+        principal.revoke(Permission.MANAGE)
+        with pytest.raises(AccessDeniedError):
+            controller.check(Permission.MANAGE, "*", "dave", key)
+
+    def test_unknown_principal(self, controller):
+        with pytest.raises(AccessDeniedError):
+            controller.check(Permission.READ, "*", "ghost", "key")
+
+    def test_drop_principal(self, controller):
+        controller.create_principal("temp")
+        controller.drop_principal("temp")
+        with pytest.raises(AccessDeniedError):
+            controller.get_principal("temp")
+
+    def test_counters(self, controller):
+        principal, key = controller.create_principal("eve")
+        principal.grant(Permission.READ)
+        controller.check(Permission.READ, "*", "eve", key)
+        with pytest.raises(AccessDeniedError):
+            controller.check(Permission.DEPLOY, "*", "eve", key)
+        assert controller.checks_passed == 1
+        assert controller.checks_denied == 1
+
+    def test_status(self, controller):
+        controller.create_principal("x")
+        status = controller.status()
+        assert status["enabled"] is True
+        assert status["principals"] == ["x"]
+
+
+class TestIntegrityService:
+    def make_pair(self, secret=b"shared"):
+        return (IntegrityService("a", secret),
+                IntegrityService("b", secret))
+
+    def test_sign_and_open(self):
+        a, b = self.make_pair()
+        payload = {"v": 1, "blob": b"\x00\x01", "nested": {"x": [1, 2]}}
+        envelope = a.seal(payload)
+        assert b.open(envelope) == payload
+        assert envelope.sender == "a"
+        assert not envelope.encrypted
+
+    def test_encrypted_roundtrip(self):
+        a, b = self.make_pair()
+        payload = {"secret": "value", "n": 42}
+        envelope = a.seal(payload, encrypt=True)
+        assert envelope.encrypted
+        assert b"value" not in envelope.body  # confidentiality
+        assert b.open(envelope) == payload
+
+    def test_tamper_detected(self):
+        a, b = self.make_pair()
+        envelope = a.seal({"v": 1})
+        tampered = SealedEnvelope(
+            body=envelope.body[:-1] + b"X",
+            signature=envelope.signature,
+            nonce=envelope.nonce,
+            encrypted=envelope.encrypted,
+            sender=envelope.sender,
+        )
+        with pytest.raises(IntegrityError):
+            b.open(tampered)
+        assert b.rejected == 1
+
+    def test_wrong_key_rejected(self):
+        a = IntegrityService("a", b"key-one")
+        b = IntegrityService("b", b"key-two")
+        with pytest.raises(IntegrityError):
+            b.open(a.seal({"v": 1}))
+
+    def test_nonce_uniqueness(self):
+        a, __ = self.make_pair()
+        first = a.seal({"v": 1})
+        second = a.seal({"v": 1})
+        assert first.nonce != second.nonce
+        assert first.signature != second.signature
+
+    def test_counters(self):
+        a, b = self.make_pair()
+        b.open(a.seal({"v": 1}))
+        assert a.sealed == 1
+        assert b.opened == 1
+        assert b.status() == {"sealed": 0, "opened": 1, "rejected": 0}
+
+    def test_bytes_in_nested_structures(self):
+        a, b = self.make_pair()
+        payload = {"rows": [{"img": b"\xff\xd8"}, {"img": None}]}
+        assert b.open(a.seal(payload, encrypt=True)) == payload

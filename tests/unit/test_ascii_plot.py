@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII plot renderer."""
+
+from repro.metrics.ascii_plot import plot_series
+from repro.metrics.report import Series
+
+
+def make_series(label, points):
+    series = Series(label)
+    for x, y in points:
+        series.add(x, y)
+    return series
+
+
+class TestPlot:
+    def test_empty(self):
+        assert plot_series([Series("none")]) == "(no data)"
+
+    def test_glyphs_and_legend(self):
+        a = make_series("alpha", [(0, 1), (10, 2)])
+        b = make_series("beta", [(0, 2), (10, 1)])
+        chart = plot_series([a, b])
+        assert "o=alpha" in chart
+        assert "x=beta" in chart
+        assert chart.count("o") >= 2
+
+    def test_axis_extents_labelled(self):
+        series = make_series("s", [(5, 10), (500, 90)])
+        chart = plot_series([series], x_label="n")
+        assert "5" in chart and "500" in chart
+        assert "10" in chart and "90" in chart
+        assert "(n →" in chart
+
+    def test_log_scale_spreads_small_values(self):
+        series = make_series("s", [(1, 0.1), (2, 1.0), (3, 1000.0)])
+        linear = plot_series([series])
+        logged = plot_series([series], log_y=True)
+        assert "log y" in logged and "log y" not in linear
+
+        def row_of(chart, glyph="o"):
+            grid_lines = [line for line in chart.splitlines()
+                          if "|" in line]
+            return [i for i, line in enumerate(grid_lines)
+                    if glyph in line.split("|", 1)[1]]
+
+        # On the log chart the three points occupy three distinct rows;
+        # linearly, 0.1 and 1.0 collapse onto the bottom row.
+        assert len(row_of(logged)) == 3
+        assert len(row_of(linear)) == 2
+
+    def test_monotone_series_renders_monotone(self):
+        series = make_series("s", [(x, x * 2.0) for x in range(10)])
+        chart = plot_series([series], width=40, height=10)
+        positions = []
+        grid_lines = [line for line in chart.splitlines() if "|" in line]
+        for row, line in enumerate(grid_lines):
+            body = line.split("|", 1)[1]
+            for column, char in enumerate(body):
+                if char == "o":
+                    positions.append((column, row))
+        positions.sort()
+        rows = [row for __, row in positions]
+        assert rows == sorted(rows, reverse=True)  # up and to the right
+
+    def test_constant_series(self):
+        series = make_series("flat", [(0, 5), (10, 5)])
+        chart = plot_series([series])
+        assert "o" in chart

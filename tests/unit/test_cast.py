@@ -1,0 +1,82 @@
+"""Unit tests for CAST expressions."""
+
+import pytest
+
+from repro.exceptions import SQLExecutionError, SQLSyntaxError
+from repro.sqlengine.executor import Catalog, execute
+from repro.sqlengine.relation import Relation
+
+
+def scalar(sql, catalog=None):
+    return execute(sql, catalog or Catalog()).rows[0][0]
+
+
+class TestCast:
+    def test_string_to_integer(self):
+        assert scalar("select cast('42' as integer)") == 42
+
+    def test_float_truncates_toward_zero(self):
+        assert scalar("select cast(2.9 as integer)") == 2
+        assert scalar("select cast(-2.9 as integer)") == -2
+
+    def test_numeric_string_with_fraction(self):
+        assert scalar("select cast('2.5' as integer)") == 2
+
+    def test_to_double(self):
+        assert scalar("select cast('2.5' as double)") == 2.5
+        assert scalar("select cast(3 as double)") == 3.0
+
+    def test_to_varchar(self):
+        assert scalar("select cast(42 as varchar)") == "42"
+        assert scalar("select cast(2.5 as text)") == "2.5"
+        assert scalar("select cast(true as varchar)") == "true"
+
+    def test_blob_to_varchar(self):
+        assert scalar("select cast(X'414243' as varchar)") == "ABC"
+
+    def test_varchar_to_binary(self):
+        assert scalar("select cast('hi' as blob)") == b"hi"
+
+    def test_to_boolean(self):
+        assert scalar("select cast(1 as boolean)") is True
+        assert scalar("select cast(0 as bool)") is False
+
+    def test_null_passthrough(self):
+        assert scalar("select cast(null as integer)") is None
+
+    def test_bad_numeric_string_raises(self):
+        with pytest.raises(SQLExecutionError):
+            scalar("select cast('abc' as integer)")
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(SQLExecutionError):
+            scalar("select cast(1 as quark)")
+
+    def test_cast_in_where_and_aggregate(self):
+        catalog = Catalog({"t": Relation(
+            ["s", "timed"], [("10", 1), ("20", 2), ("x30", 3)])})
+        result = execute(
+            "select sum(cast(s as integer)) total from t "
+            "where s not like 'x%'", catalog,
+        )
+        assert result.to_dicts() == [{"total": 30}]
+
+    def test_cast_in_group_context(self):
+        catalog = Catalog({"t": Relation(["v", "g"],
+                                         [(1.9, "a"), (2.9, "a")])})
+        result = execute(
+            "select g, cast(avg(v) as integer) m from t group by g",
+            catalog,
+        )
+        assert result.to_dicts() == [{"g": "a", "m": 2}]
+
+    def test_syntax_requires_as(self):
+        with pytest.raises(SQLSyntaxError):
+            scalar("select cast(1, integer)")
+
+    def test_explain_rendering(self):
+        from repro.sqlengine.explain import expression_to_sql
+        from repro.sqlengine.parser import parse_select
+        stmt = parse_select("select cast(a as integer) from t")
+        assert expression_to_sql(stmt.items[0].expression) \
+            == "CAST(a AS INTEGER)"

@@ -1,0 +1,286 @@
+"""Unit tests for descriptor model, XML I/O, and validation."""
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, LifeCycleConfig, StorageConfig,
+    StreamSourceSpec, VirtualSensorDescriptor,
+)
+from repro.descriptors.validation import validate_descriptor
+from repro.descriptors.xml_io import descriptor_from_xml, descriptor_to_xml
+from repro.exceptions import DescriptorError, ValidationError
+from repro.streams.schema import Field, StreamSchema
+
+FIGURE1_XML = """
+<virtual-sensor name="avg-temp" priority="10">
+  <life-cycle pool-size="10" />
+  <output-structure>
+    <field name="TEMPERATURE" type="integer"/>
+  </output-structure>
+  <storage permanent-storage="true" size="10s" />
+  <input-stream name="dummy" rate="100">
+    <stream-source alias="src1" sampling-rate="1"
+                   storage-size="1h" disconnect-buffer="10">
+      <address wrapper="remote">
+        <predicate key="type" val="temperature" />
+        <predicate key="location" val="bc143" />
+      </address>
+      <query>select avg(temperature) as temperature from WRAPPER</query>
+    </stream-source>
+    <query>select * from src1</query>
+  </input-stream>
+</virtual-sensor>
+"""
+
+
+def make_descriptor(**overrides):
+    base = dict(
+        name="probe",
+        output_structure=StreamSchema([Field("v", DataType.INTEGER)]),
+        input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(
+                alias="s1",
+                address=AddressSpec("mote", {"interval": "100"}),
+                query="select * from wrapper",
+            ),),
+            query="select * from s1",
+        ),),
+    )
+    base.update(overrides)
+    return VirtualSensorDescriptor(**base)
+
+
+class TestModel:
+    def test_figure1_fields_available(self):
+        descriptor = descriptor_from_xml(FIGURE1_XML)
+        assert descriptor.name == "avg-temp"
+        assert descriptor.priority == 10
+        assert descriptor.lifecycle.pool_size == 10
+        assert descriptor.storage == StorageConfig(True, "10s")
+        stream = descriptor.input_streams[0]
+        assert stream.name == "dummy"
+        assert stream.rate == 100
+        source = stream.sources[0]
+        assert source.alias == "src1"
+        assert source.sampling_rate == 1.0
+        assert source.storage_size == "1h"
+        assert source.disconnect_buffer == 10
+        assert source.address.wrapper == "remote"
+        assert source.address.predicates == {"type": "temperature",
+                                             "location": "bc143"}
+        assert descriptor.output_structure["temperature"].type \
+            is DataType.INTEGER
+
+    def test_discovery_predicates_include_name(self):
+        descriptor = make_descriptor(addressing={"type": "x"})
+        assert descriptor.discovery_predicates == {"name": "probe",
+                                                   "type": "x"}
+
+    def test_name_normalized(self):
+        assert make_descriptor(name=" Probe-1 ").name == "probe-1"
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        {"name": ""},
+        {"name": "has space"},
+        {"input_streams": ()},
+        {"priority": 99},
+    ])
+    def test_invalid_descriptor(self, bad_kwargs):
+        with pytest.raises(ValidationError):
+            make_descriptor(**bad_kwargs)
+
+    def test_duplicate_stream_names_rejected(self):
+        stream = make_descriptor().input_streams[0]
+        with pytest.raises(ValidationError):
+            make_descriptor(input_streams=(stream, stream))
+
+    def test_duplicate_aliases_rejected(self):
+        source = make_descriptor().input_streams[0].sources[0]
+        with pytest.raises(ValidationError):
+            InputStreamSpec(name="x", sources=(source, source),
+                            query="select * from s1")
+
+    def test_bad_sampling_rate(self):
+        with pytest.raises(ValidationError):
+            StreamSourceSpec(alias="s", address=AddressSpec("mote"),
+                             sampling_rate=0.0)
+
+    def test_bad_pool_size(self):
+        with pytest.raises(ValidationError):
+            LifeCycleConfig(pool_size=0)
+
+    def test_source_aliases(self):
+        assert make_descriptor().source_aliases() == ("s1",)
+
+
+class TestXmlIO:
+    def test_roundtrip(self):
+        descriptor = descriptor_from_xml(FIGURE1_XML)
+        regenerated = descriptor_from_xml(descriptor_to_xml(descriptor))
+        assert regenerated == descriptor
+
+    def test_malformed_xml(self):
+        with pytest.raises(DescriptorError):
+            descriptor_from_xml("<virtual-sensor name='x'")
+
+    def test_wrong_root(self):
+        with pytest.raises(DescriptorError):
+            descriptor_from_xml("<sensor name='x'/>")
+
+    def test_missing_output_structure(self):
+        with pytest.raises(DescriptorError, match="output-structure"):
+            descriptor_from_xml(
+                "<virtual-sensor name='x'>"
+                "<input-stream name='i'>"
+                "<stream-source alias='s'>"
+                "<address wrapper='mote'/></stream-source>"
+                "<query>select * from s</query>"
+                "</input-stream></virtual-sensor>"
+            )
+
+    def test_missing_query_defaults_for_source_only(self):
+        descriptor = descriptor_from_xml("""
+        <virtual-sensor name="x">
+          <output-structure><field name="v" type="integer"/></output-structure>
+          <input-stream name="i">
+            <stream-source alias="s">
+              <address wrapper="mote"/>
+            </stream-source>
+            <query>select * from s</query>
+          </input-stream>
+        </virtual-sensor>
+        """)
+        assert descriptor.input_streams[0].sources[0].query \
+            == "select * from wrapper"
+
+    def test_stream_query_required(self):
+        with pytest.raises(DescriptorError, match="query"):
+            descriptor_from_xml("""
+            <virtual-sensor name="x">
+              <output-structure>
+                <field name="v" type="integer"/>
+              </output-structure>
+              <input-stream name="i">
+                <stream-source alias="s"><address wrapper="mote"/>
+                </stream-source>
+              </input-stream>
+            </virtual-sensor>
+            """)
+
+    def test_predicate_text_content_form(self):
+        descriptor = descriptor_from_xml("""
+        <virtual-sensor name="x">
+          <output-structure><field name="v" type="integer"/></output-structure>
+          <addressing><predicate key="room">BC-143</predicate></addressing>
+          <input-stream name="i">
+            <stream-source alias="s"><address wrapper="mote"/></stream-source>
+            <query>select * from s</query>
+          </input-stream>
+        </virtual-sensor>
+        """)
+        assert descriptor.addressing == {"room": "BC-143"}
+
+    def test_bad_attribute_types(self):
+        bad = FIGURE1_XML.replace('pool-size="10"', 'pool-size="many"')
+        with pytest.raises(DescriptorError):
+            descriptor_from_xml(bad)
+
+    def test_bad_field_type(self):
+        bad = FIGURE1_XML.replace('type="integer"', 'type="quark"')
+        with pytest.raises(DescriptorError):
+            descriptor_from_xml(bad)
+
+    def test_xml_escaping_roundtrip(self):
+        descriptor = make_descriptor(
+            description='needs <escaping> & "quotes"',
+            addressing={"note": "a<b&c"},
+        )
+        assert descriptor_from_xml(descriptor_to_xml(descriptor)) \
+            == descriptor
+
+    def test_query_with_comparison_roundtrip(self):
+        source = StreamSourceSpec(
+            alias="s1", address=AddressSpec("mote"),
+            query="select * from wrapper where v < 10 and v > 2",
+        )
+        descriptor = make_descriptor(input_streams=(InputStreamSpec(
+            name="in", sources=(source,), query="select * from s1"),))
+        again = descriptor_from_xml(descriptor_to_xml(descriptor))
+        assert again.input_streams[0].sources[0].query == source.query
+
+
+class TestValidation:
+    def test_valid_descriptor_no_warnings(self):
+        assert validate_descriptor(make_descriptor()) == []
+
+    def test_source_query_must_read_wrapper_only(self):
+        descriptor = make_descriptor()
+        bad_source = StreamSourceSpec(
+            alias="s1", address=AddressSpec("mote"),
+            query="select * from other_table",
+        )
+        bad = make_descriptor(input_streams=(InputStreamSpec(
+            name="in", sources=(bad_source,), query="select * from s1"),))
+        del descriptor
+        with pytest.raises(ValidationError, match="WRAPPER"):
+            validate_descriptor(bad)
+
+    def test_stream_query_unknown_alias(self):
+        bad = make_descriptor(input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(alias="s1",
+                                      address=AddressSpec("mote")),),
+            query="select * from nonexistent",
+        ),))
+        with pytest.raises(ValidationError, match="unknown source"):
+            validate_descriptor(bad)
+
+    def test_unparseable_query(self):
+        bad = make_descriptor(input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(alias="s1",
+                                      address=AddressSpec("mote")),),
+            query="selectt * from s1",
+        ),))
+        with pytest.raises(ValidationError, match="parse"):
+            validate_descriptor(bad)
+
+    def test_unknown_wrapper_with_registry(self):
+        descriptor = make_descriptor()
+        with pytest.raises(ValidationError, match="unknown wrapper"):
+            validate_descriptor(descriptor,
+                                known_wrapper=lambda name: False)
+
+    def test_remote_needs_predicates(self):
+        bad = make_descriptor(input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(alias="s1",
+                                      address=AddressSpec("remote")),),
+            query="select * from s1",
+        ),))
+        with pytest.raises(ValidationError, match="predicate"):
+            validate_descriptor(bad)
+
+    def test_bad_window_spec(self):
+        bad = make_descriptor(input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(alias="s1",
+                                      address=AddressSpec("mote"),
+                                      storage_size="xyz"),),
+            query="select * from s1",
+        ),))
+        with pytest.raises(ValidationError, match="window"):
+            validate_descriptor(bad)
+
+    def test_constant_source_warns(self):
+        weird = make_descriptor(input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(alias="s1",
+                                      address=AddressSpec("mote"),
+                                      query="select 1"),),
+            query="select * from s1",
+        ),))
+        warnings = validate_descriptor(weird)
+        assert any("WRAPPER" in w for w in warnings)

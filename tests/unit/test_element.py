@@ -1,0 +1,120 @@
+"""Unit tests for stream elements."""
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.exceptions import SchemaError
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+
+
+class TestConstruction:
+    def test_values_lowercased(self):
+        element = StreamElement({"Temp": 5})
+        assert element["temp"] == 5
+        assert element["TEMP"] == 5
+
+    def test_timed_key_stripped_from_values(self):
+        element = StreamElement({"a": 1, "timed": 99}, timed=50)
+        assert element.timed == 50
+        assert "a" in element.values and "timed" not in element.values
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(SchemaError):
+            StreamElement({"a": 1}, timed=-1)
+
+    def test_unstamped_by_default(self):
+        assert StreamElement({"a": 1}).timed is None
+
+
+class TestAccess:
+    def test_getitem_timed(self):
+        assert StreamElement({"a": 1}, timed=7)["timed"] == 7
+
+    def test_missing_field_raises(self):
+        with pytest.raises(SchemaError):
+            StreamElement({"a": 1})["b"]
+
+    def test_get_with_default(self):
+        element = StreamElement({"a": None})
+        assert element.get("a", "dft") is None
+        assert element.get("b", "dft") == "dft"
+        assert element.get("timed", -1) == -1
+
+    def test_contains_len_iter(self):
+        element = StreamElement({"a": 1, "b": 2})
+        assert "a" in element and "timed" in element and "z" not in element
+        assert len(element) == 2
+        assert sorted(element) == ["a", "b"]
+
+
+class TestDerivation:
+    def test_with_timestamp_copies(self):
+        original = StreamElement({"a": 1})
+        stamped = original.with_timestamp(100)
+        assert original.timed is None
+        assert stamped.timed == 100
+        assert stamped["a"] == 1
+
+    def test_with_arrival(self):
+        element = StreamElement({"a": 1}, timed=10).with_arrival(25)
+        assert element.arrival_time == 25
+        assert element.timed == 10
+
+    def test_with_values_merges(self):
+        element = StreamElement({"a": 1, "b": 2}, timed=5)
+        updated = element.with_values(B=20, c=3)
+        assert updated["b"] == 20
+        assert updated["c"] == 3
+        assert updated["a"] == 1
+        assert updated.timed == 5
+
+    def test_with_producer(self):
+        assert StreamElement({"a": 1}).with_producer("w").producer == "w"
+
+
+class TestConversion:
+    def test_as_row_includes_timed(self):
+        element = StreamElement({"a": 1}, timed=9)
+        assert element.as_row() == {"a": 1, "timed": 9}
+
+    def test_as_row_with_schema_validates(self):
+        schema = StreamSchema.build(a=DataType.INTEGER, b=DataType.VARCHAR)
+        element = StreamElement({"a": 1}, timed=9)
+        assert element.as_row(schema) == {"a": 1, "b": None, "timed": 9}
+
+    def test_as_row_schema_mismatch_raises(self):
+        schema = StreamSchema.build(a=DataType.INTEGER)
+        with pytest.raises(SchemaError):
+            StreamElement({"zz": 1}).as_row(schema)
+
+    @pytest.mark.parametrize("values,size", [
+        ({"a": 42}, 8),
+        ({"a": 1.5}, 8),
+        ({"a": True}, 1),
+        ({"a": "abcd"}, 4),
+        ({"a": b"12345"}, 5),
+        ({"a": None}, 0),
+        ({"a": 42, "b": b"xyz"}, 11),
+    ])
+    def test_payload_size(self, values, size):
+        assert StreamElement(values).payload_size() == size
+
+
+class TestEquality:
+    def test_equal_same_payload_and_time(self):
+        assert StreamElement({"a": 1}, timed=5) == StreamElement({"a": 1},
+                                                                 timed=5)
+
+    def test_unequal_different_time(self):
+        assert StreamElement({"a": 1}, timed=5) != StreamElement({"a": 1},
+                                                                 timed=6)
+
+    def test_hashable(self):
+        elements = {StreamElement({"a": 1}, timed=5),
+                    StreamElement({"a": 1}, timed=5)}
+        assert len(elements) == 1
+
+    def test_repr_truncates_blobs(self):
+        element = StreamElement({"img": b"\x00" * 1000})
+        assert "<1000 bytes>" in repr(element)

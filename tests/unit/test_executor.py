@@ -1,0 +1,206 @@
+"""Unit tests for SQL execution: scans, filters, projection, null logic."""
+
+import pytest
+
+from repro.exceptions import SQLExecutionError, SQLPlanError
+from repro.sqlengine.executor import Catalog, execute
+from repro.sqlengine.relation import Relation
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register("t", Relation(
+        ["a", "b", "timed"],
+        [(1, "x", 100), (2, "y", 200), (3, "x", 300), (None, "z", 400)],
+    ))
+    cat.register("u", Relation(
+        ["a", "c"],
+        [(1, 10.0), (2, 20.0), (9, 90.0)],
+    ))
+    return cat
+
+
+def rows(catalog, sql):
+    return execute(sql, catalog).to_dicts()
+
+
+class TestProjection:
+    def test_star(self, catalog):
+        assert len(rows(catalog, "select * from t")) == 4
+
+    def test_column_order_preserved(self, catalog):
+        result = execute("select b, a from t", catalog)
+        assert result.columns == ("b", "a")
+
+    def test_expressions(self, catalog):
+        assert rows(catalog, "select a * 2 + 1 as x from t where a = 2") \
+            == [{"x": 5}]
+
+    def test_aliases_and_generated_names(self, catalog):
+        result = execute("select a, a + 1, avg(a) from t", catalog)
+        assert result.columns == ("a", "expr", "avg_a")
+
+    def test_duplicate_output_names_deduped(self, catalog):
+        result = execute("select a, a from t", catalog)
+        assert result.columns == ("a", "a_2")
+
+    def test_select_without_from(self, catalog):
+        assert rows(catalog, "select 1 + 1 as two") == [{"two": 2}]
+
+    def test_distinct(self, catalog):
+        assert rows(catalog, "select distinct b from t") == [
+            {"b": "x"}, {"b": "y"}, {"b": "z"}]
+
+
+class TestWhere:
+    def test_comparison(self, catalog):
+        assert len(rows(catalog, "select * from t where a > 1")) == 2
+
+    def test_null_never_matches(self, catalog):
+        assert len(rows(catalog, "select * from t where a = a")) == 3
+
+    def test_is_null(self, catalog):
+        assert rows(catalog, "select b from t where a is null") \
+            == [{"b": "z"}]
+
+    def test_and_or(self, catalog):
+        assert len(rows(
+            catalog, "select * from t where a = 1 or a = 3")) == 2
+        assert len(rows(
+            catalog, "select * from t where a > 1 and b = 'x'")) == 1
+
+    def test_in_list_with_null_operand(self, catalog):
+        # NULL IN (...) is NULL -> filtered out.
+        assert len(rows(catalog, "select * from t where a in (1, 2, 3)")) == 3
+
+    def test_not_in_with_null_option(self, catalog):
+        # a NOT IN (1, NULL): nothing passes (either matched or unknown).
+        assert rows(
+            catalog, "select * from t where a not in (1, null)") == []
+
+    def test_between(self, catalog):
+        assert len(rows(catalog,
+                        "select * from t where a between 1 and 2")) == 2
+
+    def test_like(self, catalog):
+        assert len(rows(catalog, "select * from t where b like 'X%'")) == 2
+        assert len(rows(catalog, "select * from t where b like '_'")) == 4
+
+    def test_unknown_column_raises(self, catalog):
+        with pytest.raises(SQLExecutionError):
+            execute("select * from t where nosuch = 1", catalog)
+
+    def test_unknown_table_raises(self, catalog):
+        with pytest.raises(SQLPlanError):
+            execute("select * from nosuch", catalog)
+
+
+class TestNullSemantics:
+    def test_arithmetic_propagates_null(self, catalog):
+        result = rows(catalog, "select a + 1 as x from t where b = 'z'")
+        assert result == [{"x": None}]
+
+    def test_division_by_zero_is_null(self, catalog):
+        assert rows(catalog, "select 1 / 0 as x") == [{"x": None}]
+        assert rows(catalog, "select 1 % 0 as x") == [{"x": None}]
+
+    def test_concat_with_null(self, catalog):
+        assert rows(catalog, "select 'a' || null as x") == [{"x": None}]
+
+    def test_not_null_is_null(self, catalog):
+        assert rows(catalog, "select * from t where not (a is null)") \
+            == rows(catalog, "select * from t where a is not null")
+
+    def test_kleene_and(self, catalog):
+        # NULL AND FALSE is FALSE; NULL AND TRUE is NULL.
+        assert rows(catalog,
+                    "select b from t where a is null and 1 = 2") == []
+        assert rows(catalog,
+                    "select b from t where (a > 0) and 1 = 1 and a is null"
+                    ) == []
+
+    def test_kleene_or(self, catalog):
+        # (NULL > 0) OR TRUE is TRUE -> the null row passes.
+        assert len(rows(catalog,
+                        "select * from t where a > 0 or 1 = 1")) == 4
+
+
+class TestArithmetic:
+    def test_integer_division_exact(self, catalog):
+        assert rows(catalog, "select 6 / 2 as x") == [{"x": 3}]
+
+    def test_integer_division_fractional(self, catalog):
+        assert rows(catalog, "select 5 / 2 as x") == [{"x": 2.5}]
+
+    def test_modulo_sign_follows_dividend(self, catalog):
+        assert rows(catalog, "select -7 % 3 as x") == [{"x": -1}]
+        assert rows(catalog, "select 7 % -3 as x") == [{"x": 1}]
+
+    def test_mixed_types_comparison_equals_false(self, catalog):
+        assert rows(catalog, "select * from t where a = 'x'") == []
+
+    def test_incomparable_order_raises(self, catalog):
+        with pytest.raises(SQLExecutionError):
+            execute("select * from t where a < 'x'", catalog)
+
+    def test_string_arithmetic_raises(self, catalog):
+        with pytest.raises(SQLExecutionError):
+            execute("select 'a' + 1", catalog)
+
+
+class TestOrderLimit:
+    def test_order_asc_nulls_first(self, catalog):
+        result = rows(catalog, "select a from t order by a")
+        assert [r["a"] for r in result] == [None, 1, 2, 3]
+
+    def test_order_desc(self, catalog):
+        result = rows(catalog, "select a from t order by a desc")
+        assert [r["a"] for r in result] == [3, 2, 1, None]
+
+    def test_order_by_position(self, catalog):
+        result = rows(catalog, "select b, a from t order by 2 desc")
+        assert [r["a"] for r in result][0] == 3
+
+    def test_order_by_alias(self, catalog):
+        result = rows(catalog,
+                      "select a * -1 as neg from t where a is not null "
+                      "order by neg")
+        assert [r["neg"] for r in result] == [-3, -2, -1]
+
+    def test_order_by_expression_not_in_output(self, catalog):
+        result = rows(catalog,
+                      "select b from t where a is not null order by a desc")
+        assert [r["b"] for r in result] == ["x", "y", "x"]
+
+    def test_order_stable_for_ties(self, catalog):
+        result = rows(catalog, "select a, b from t order by b")
+        xs = [r["a"] for r in result if r["b"] == "x"]
+        assert xs == [1, 3]  # original order preserved within ties
+
+    def test_limit_offset(self, catalog):
+        result = rows(catalog, "select a from t order by timed limit 2")
+        assert [r["a"] for r in result] == [1, 2]
+        result = rows(catalog,
+                      "select a from t order by timed limit 2 offset 2")
+        assert [r["a"] for r in result] == [3, None]
+
+    def test_order_position_out_of_range(self, catalog):
+        with pytest.raises(SQLExecutionError):
+            execute("select a from t order by 5", catalog)
+
+    def test_case_expression(self, catalog):
+        result = rows(
+            catalog,
+            "select case when a >= 2 then 'hi' when a = 1 then 'lo' "
+            "else 'null' end as k from t order by timed",
+        )
+        assert [r["k"] for r in result] == ["lo", "hi", "hi", "null"]
+
+    def test_simple_case_null_never_matches(self, catalog):
+        result = rows(
+            catalog,
+            "select case a when 1 then 'one' else 'other' end as k "
+            "from t where a is null",
+        )
+        assert result == [{"k": "other"}]

@@ -1,0 +1,209 @@
+"""Unit tests for aggregation, GROUP BY/HAVING, set operations, and
+subqueries."""
+
+import pytest
+
+from repro.exceptions import SQLExecutionError, SQLPlanError
+from repro.sqlengine.executor import Catalog, execute
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import plan_select
+from repro.sqlengine.relation import Relation
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register("t", Relation(
+        ["grp", "v", "timed"],
+        [("a", 10, 1), ("a", 20, 2), ("b", 30, 3), ("b", None, 4),
+         ("c", 50, 5)],
+    ))
+    return cat
+
+
+def rows(catalog, sql):
+    return execute(sql, catalog).to_dicts()
+
+
+class TestPlainAggregates:
+    def test_global_aggregates(self, catalog):
+        result = rows(catalog,
+                      "select count(*) as n, count(v) as nv, sum(v) as s, "
+                      "avg(v) as a, min(v) as lo, max(v) as hi from t")
+        assert result == [{"n": 5, "nv": 4, "s": 110, "a": 27.5,
+                           "lo": 10, "hi": 50}]
+
+    def test_aggregates_over_empty_input(self, catalog):
+        result = rows(catalog,
+                      "select count(*) as n, avg(v) as a from t "
+                      "where v > 999")
+        assert result == [{"n": 0, "a": None}]
+
+    def test_count_distinct(self, catalog):
+        catalog.register("d", Relation(["x"], [(1,), (1,), (2,), (None,)]))
+        assert rows(catalog, "select count(distinct x) as n from d") \
+            == [{"n": 2}]
+
+    def test_stddev_median_group_concat(self, catalog):
+        result = rows(catalog,
+                      "select median(v) as med, group_concat(grp) as g "
+                      "from t where v is not null")
+        assert result[0]["med"] == 25.0
+        assert result[0]["g"] == "a,a,b,c"
+
+    def test_first_last(self, catalog):
+        assert rows(catalog,
+                    "select first(v) as f, last(v) as l from t"
+                    ) == [{"f": 10, "l": 50}]
+
+    def test_aggregate_arity_enforced(self, catalog):
+        with pytest.raises(SQLExecutionError):
+            execute("select avg(v, v) from t", catalog)
+
+    def test_star_only_for_count(self, catalog):
+        with pytest.raises(SQLExecutionError):
+            execute("select sum(*) from t", catalog)
+
+    def test_aggregate_of_expression(self, catalog):
+        assert rows(catalog, "select sum(v * 2) as s from t") \
+            == [{"s": 220}]
+
+    def test_expression_of_aggregate(self, catalog):
+        assert rows(catalog, "select max(v) - min(v) as spread from t") \
+            == [{"spread": 40}]
+
+
+class TestGroupBy:
+    def test_grouping(self, catalog):
+        result = rows(catalog,
+                      "select grp, count(*) as n, sum(v) as s from t "
+                      "group by grp order by grp")
+        assert result == [
+            {"grp": "a", "n": 2, "s": 30},
+            {"grp": "b", "n": 2, "s": 30},
+            {"grp": "c", "n": 1, "s": 50},
+        ]
+
+    def test_group_by_expression(self, catalog):
+        result = rows(catalog,
+                      "select v % 20 as k, count(*) as n from t "
+                      "where v is not null group by v % 20 order by k")
+        assert result == [{"k": 0, "n": 1}, {"k": 10, "n": 3}]
+
+    def test_having(self, catalog):
+        result = rows(catalog,
+                      "select grp from t group by grp "
+                      "having count(v) > 1 order by grp")
+        assert [r["grp"] for r in result] == ["a"]
+
+    def test_having_without_group_or_aggregate_rejected(self, catalog):
+        with pytest.raises(SQLPlanError):
+            plan_select(parse_select("select v from t having v > 1"))
+
+    def test_group_by_empty_input_yields_no_rows(self, catalog):
+        assert rows(catalog,
+                    "select grp, count(*) from t where v > 999 "
+                    "group by grp") == []
+
+    def test_order_by_aggregate(self, catalog):
+        result = rows(catalog,
+                      "select grp from t group by grp "
+                      "order by sum(v) desc, grp")
+        assert [r["grp"] for r in result] == ["c", "a", "b"]
+
+    def test_star_with_aggregation_rejected(self, catalog):
+        with pytest.raises(SQLExecutionError):
+            execute("select * from t group by grp", catalog)
+
+    def test_null_group_key(self, catalog):
+        catalog.register("n", Relation(["k", "v"],
+                                       [(None, 1), (None, 2), ("x", 3)]))
+        result = rows(catalog,
+                      "select k, sum(v) as s from n group by k order by k")
+        assert result == [{"k": None, "s": 3}, {"k": "x", "s": 3}]
+
+
+class TestSetOperations:
+    @pytest.fixture
+    def two(self, catalog):
+        catalog.register("p", Relation(["x"], [(1,), (2,), (2,), (3,)]))
+        catalog.register("q", Relation(["x"], [(2,), (3,), (4,)]))
+        return catalog
+
+    def test_union_dedupes(self, two):
+        result = rows(two, "select x from p union select x from q order by x")
+        assert [r["x"] for r in result] == [1, 2, 3, 4]
+
+    def test_union_all_keeps_duplicates(self, two):
+        result = rows(two,
+                      "select x from p union all select x from q order by x")
+        assert [r["x"] for r in result] == [1, 2, 2, 2, 3, 3, 4]
+
+    def test_intersect(self, two):
+        result = rows(two,
+                      "select x from p intersect select x from q order by x")
+        assert [r["x"] for r in result] == [2, 3]
+
+    def test_except(self, two):
+        result = rows(two,
+                      "select x from p except select x from q order by x")
+        assert [r["x"] for r in result] == [1]
+
+    def test_except_all_multiset(self, two):
+        result = rows(two,
+                      "select x from p except all select x from q "
+                      "order by x")
+        assert [r["x"] for r in result] == [1, 2]
+
+    def test_width_mismatch_rejected(self, two):
+        with pytest.raises((SQLPlanError, SQLExecutionError)):
+            execute("select x, x from p union select x from q", two)
+
+    def test_order_by_must_use_output_columns(self, two):
+        with pytest.raises(SQLExecutionError):
+            execute("select x as y from p union select x from q "
+                    "order by x + 1", two)
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, catalog):
+        assert rows(catalog,
+                    "select (select max(v) from t) as m") == [{"m": 50}]
+
+    def test_scalar_subquery_empty_is_null(self, catalog):
+        assert rows(catalog,
+                    "select (select v from t where v > 999) as m") \
+            == [{"m": None}]
+
+    def test_scalar_subquery_multirow_raises(self, catalog):
+        with pytest.raises(SQLExecutionError):
+            execute("select (select v from t) as m", catalog)
+
+    def test_correlated_exists(self, catalog):
+        catalog.register("names", Relation(["grp"], [("a",), ("z",)]))
+        result = rows(catalog,
+                      "select grp from names where exists "
+                      "(select 1 from t where t.grp = names.grp)")
+        assert result == [{"grp": "a"}]
+
+    def test_correlated_scalar(self, catalog):
+        catalog.register("names", Relation(["grp"], [("a",), ("b",)]))
+        result = rows(catalog,
+                      "select grp, (select sum(v) from t "
+                      "where t.grp = names.grp) as total from names "
+                      "order by grp")
+        assert result == [{"grp": "a", "total": 30},
+                          {"grp": "b", "total": 30}]
+
+    def test_in_subquery(self, catalog):
+        result = rows(catalog,
+                      "select distinct grp from t where v in "
+                      "(select max(v) from t group by grp) order by grp")
+        assert [r["grp"] for r in result] == ["a", "b", "c"]
+
+    def test_not_exists(self, catalog):
+        catalog.register("names", Relation(["grp"], [("a",), ("z",)]))
+        result = rows(catalog,
+                      "select grp from names where not exists "
+                      "(select 1 from t where t.grp = names.grp)")
+        assert result == [{"grp": "z"}]

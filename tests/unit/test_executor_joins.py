@@ -1,0 +1,190 @@
+"""Unit tests for join execution (hash and nested-loop) and the planner's
+join-strategy choice."""
+
+import pytest
+
+from repro.exceptions import SQLPlanError
+from repro.sqlengine.executor import Catalog, execute
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import (
+    HashJoinPlan, NestedLoopJoinPlan, plan_select,
+)
+from repro.sqlengine.relation import Relation
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register("l", Relation(
+        ["id", "grp", "v"],
+        [(1, "a", 10), (2, "b", 20), (3, "a", 30), (4, None, 40)],
+    ))
+    cat.register("r", Relation(
+        ["grp", "label"],
+        [("a", "alpha"), ("b", "beta"), ("c", "gamma")],
+    ))
+    return cat
+
+
+def rows(catalog, sql):
+    return execute(sql, catalog).to_dicts()
+
+
+class TestPlannerChoice:
+    def test_equi_join_becomes_hash(self):
+        plan = plan_select(parse_select(
+            "select * from l join r on l.grp = r.grp"))
+        assert isinstance(plan.source, HashJoinPlan)
+
+    def test_reversed_sides_still_hash(self):
+        plan = plan_select(parse_select(
+            "select * from l join r on r.grp = l.grp"))
+        assert isinstance(plan.source, HashJoinPlan)
+
+    def test_non_equi_falls_back_to_nested_loop(self):
+        plan = plan_select(parse_select(
+            "select * from l join r on l.v > 15"))
+        assert isinstance(plan.source, NestedLoopJoinPlan)
+
+    def test_mixed_condition_hash_with_residual(self):
+        plan = plan_select(parse_select(
+            "select * from l join r on l.grp = r.grp and l.v > 15"))
+        assert isinstance(plan.source, HashJoinPlan)
+        assert plan.source.residual is not None
+
+    def test_unqualified_columns_stay_residual(self):
+        # Ambiguous columns cannot be assigned to a side at plan time.
+        plan = plan_select(parse_select(
+            "select * from l join r on grp = label"))
+        assert isinstance(plan.source, NestedLoopJoinPlan)
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SQLPlanError):
+            plan_select(parse_select("select * from l, l"))
+
+    def test_cross_join_plan(self):
+        plan = plan_select(parse_select("select * from l cross join r"))
+        assert isinstance(plan.source, NestedLoopJoinPlan)
+        assert plan.source.kind == "cross"
+
+
+class TestInnerJoin:
+    def test_matches(self, catalog):
+        result = rows(catalog,
+                      "select l.id, r.label from l join r on l.grp = r.grp "
+                      "order by l.id")
+        assert result == [
+            {"id": 1, "label": "alpha"},
+            {"id": 2, "label": "beta"},
+            {"id": 3, "label": "alpha"},
+        ]
+
+    def test_null_keys_never_join(self, catalog):
+        result = rows(catalog,
+                      "select l.id from l join r on l.grp = r.grp")
+        assert 4 not in [r["id"] for r in result]
+
+    def test_residual_filters(self, catalog):
+        result = rows(
+            catalog,
+            "select l.id from l join r on l.grp = r.grp and l.v > 15",
+        )
+        assert [r["id"] for r in result] == [2, 3]
+
+    def test_comma_join_with_where(self, catalog):
+        result = rows(
+            catalog,
+            "select l.id from l, r where l.grp = r.grp order by l.id",
+        )
+        assert [r["id"] for r in result] == [1, 2, 3]
+
+    def test_three_way(self, catalog):
+        catalog.register("x", Relation(["label", "rank"],
+                                       [("alpha", 1), ("beta", 2)]))
+        result = rows(
+            catalog,
+            "select l.id, x.rank from l "
+            "join r on l.grp = r.grp join x on r.label = x.label "
+            "order by l.id",
+        )
+        assert result == [{"id": 1, "rank": 1}, {"id": 2, "rank": 2},
+                          {"id": 3, "rank": 1}]
+
+
+class TestLeftJoin:
+    def test_unmatched_left_rows_padded(self, catalog):
+        result = rows(
+            catalog,
+            "select l.id, r.label from l left join r on l.grp = r.grp "
+            "order by l.id",
+        )
+        assert result[-1] == {"id": 4, "label": None}
+        assert len(result) == 4
+
+    def test_left_join_non_equi(self, catalog):
+        result = rows(
+            catalog,
+            "select l.id, r.label from l left join r "
+            "on l.grp = r.grp and r.label = 'alpha' order by l.id",
+        )
+        labels = {r["id"]: r["label"] for r in result}
+        assert labels == {1: "alpha", 2: None, 3: "alpha", 4: None}
+
+    def test_left_join_empty_right(self, catalog):
+        catalog.register("empty", Relation(["grp", "z"]))
+        result = rows(
+            catalog,
+            "select l.id, empty.z from l left join empty "
+            "on l.grp = empty.grp order by l.id",
+        )
+        assert all(r["z"] is None for r in result)
+        assert len(result) == 4
+
+
+class TestCrossJoin:
+    def test_cartesian(self, catalog):
+        assert len(rows(catalog, "select * from l cross join r")) == 12
+
+    def test_comma_cartesian(self, catalog):
+        assert len(rows(catalog, "select * from l, r")) == 12
+
+
+class TestQualifiedAccess:
+    def test_ambiguous_unqualified_column(self, catalog):
+        with pytest.raises(Exception, match="ambiguous"):
+            execute("select grp from l join r on l.grp = r.grp", catalog)
+
+    def test_qualified_star(self, catalog):
+        result = execute(
+            "select r.* from l join r on l.grp = r.grp", catalog
+        )
+        assert result.columns == ("grp", "label")
+
+    def test_self_join_with_aliases(self, catalog):
+        result = rows(
+            catalog,
+            "select a.id as low, b.id as high from l a join l b "
+            "on a.grp = b.grp where a.id < b.id",
+        )
+        assert result == [{"low": 1, "high": 3}]
+
+
+class TestDerivedTables:
+    def test_subquery_in_from(self, catalog):
+        result = rows(
+            catalog,
+            "select s.grp, s.total from "
+            "(select grp, sum(v) as total from l "
+            " where grp is not null group by grp) s order by s.grp",
+        )
+        assert result == [{"grp": "a", "total": 40},
+                          {"grp": "b", "total": 20}]
+
+    def test_join_with_derived(self, catalog):
+        result = rows(
+            catalog,
+            "select r.label, s.total from r join "
+            "(select grp, sum(v) as total from l group by grp) s "
+            "on r.grp = s.grp order by r.label",
+        )
+        assert [r["label"] for r in result] == ["alpha", "beta"]

@@ -1,0 +1,212 @@
+"""Unit tests for the extension features: generator wrapper, EXPLAIN,
+and the max-errors error-handling policy."""
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.descriptors.model import LifeCycleConfig
+from repro.descriptors.xml_io import descriptor_from_xml, descriptor_to_xml
+from repro.exceptions import ValidationError, WrapperError
+from repro.gsntime.clock import VirtualClock
+from repro.query.processor import QueryProcessor
+from repro.sqlengine.executor import Catalog
+from repro.sqlengine.explain import expression_to_sql
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.relation import Relation
+from repro.wrappers.generator import GeneratorWrapper
+
+from tests.conftest import simple_mote_descriptor
+
+
+class TestGeneratorWrapper:
+    def make(self, **predicates):
+        wrapper = GeneratorWrapper()
+        wrapper.attach(VirtualClock(0))
+        wrapper.configure({k.replace("_", "-"): str(v)
+                           for k, v in predicates.items()})
+        wrapper.start()
+        return wrapper
+
+    def test_sine_signal(self):
+        wrapper = self.make(signal="sine", amplitude=10, period=1000)
+        quarter = wrapper.produce(250)
+        assert quarter["value"] == pytest.approx(10.0)
+        half = wrapper.produce(500)
+        assert half["value"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_square_signal(self):
+        wrapper = self.make(signal="square", amplitude=5)
+        assert wrapper.produce(0)["value"] == 5.0
+        assert wrapper.produce(30_001)["value"] == -5.0
+
+    def test_ramp_signal(self):
+        wrapper = self.make(signal="ramp", amplitude=1, period=100)
+        assert wrapper.produce(0)["value"] == -1.0
+        assert wrapper.produce(50)["value"] == 0.0
+        assert wrapper.produce(99)["value"] == pytest.approx(0.98)
+
+    def test_constant_and_offset(self):
+        wrapper = self.make(signal="constant", amplitude=3, offset=10)
+        assert wrapper.produce(12345)["value"] == 13.0
+
+    def test_noise_bounded_and_seeded(self):
+        a = self.make(signal="noise", amplitude=2, seed=5)
+        b = self.make(signal="noise", amplitude=2, seed=5)
+        values_a = [a.produce(i)["value"] for i in range(50)]
+        values_b = [b.produce(i)["value"] for i in range(50)]
+        assert values_a == values_b
+        assert all(-2 <= v <= 2 for v in values_a)
+
+    def test_unknown_signal(self):
+        with pytest.raises(WrapperError):
+            self.make(signal="triangle")
+
+    def test_registered(self):
+        from repro.wrappers import default_registry
+        assert "generator" in default_registry()
+
+    def test_deployable_in_container(self, container):
+        XML = """
+        <virtual-sensor name="wave">
+          <output-structure><field name="value" type="double"/>
+          </output-structure>
+          <storage permanent-storage="true"/>
+          <input-stream name="in">
+            <stream-source alias="s" storage-size="1">
+              <address wrapper="generator">
+                <predicate key="signal" val="ramp"/>
+                <predicate key="interval" val="250"/>
+                <predicate key="period" val="1000"/>
+              </address>
+              <query>select * from wrapper</query>
+            </stream-source>
+            <query>select value from s</query>
+          </input-stream>
+        </virtual-sensor>
+        """
+        container.deploy(XML)
+        container.run_for(2_000)
+        rows = container.query(
+            "select count(*) n, min(value) lo, max(value) hi from vs_wave"
+        ).first()
+        assert rows["n"] == 8
+        assert -100 <= rows["lo"] < rows["hi"] <= 100
+
+
+class TestExplain:
+    def test_hash_join_visible(self):
+        catalog = Catalog({"t": Relation(["a"], []),
+                           "u": Relation(["a"], [])})
+        processor = QueryProcessor(lambda: catalog)
+        plan = processor.explain(
+            "select t.a from t join u on t.a = u.a where t.a > 5"
+        )
+        assert "HASH JOIN" in plan
+        assert "SCAN t" in plan and "SCAN u" in plan
+        assert "filter:" in plan
+
+    def test_nested_loop_for_non_equi(self):
+        processor = QueryProcessor(Catalog)
+        plan = processor.explain("select * from t join u on t.a < u.a")
+        assert "NESTED LOOP" in plan
+
+    def test_aggregate_and_order(self):
+        processor = QueryProcessor(Catalog)
+        plan = processor.explain(
+            "select b, count(*) n from t group by b "
+            "having count(*) > 1 order by n desc limit 5"
+        )
+        assert "AGGREGATE BY [b]" in plan
+        assert "LIMIT 5" in plan
+        assert "having:" in plan
+
+    def test_set_operations_and_derived(self):
+        processor = QueryProcessor(Catalog)
+        plan = processor.explain(
+            "select a from (select a from t) s union select a from u"
+        )
+        assert "DERIVED s:" in plan
+        assert "UNION:" in plan
+
+    def test_web_endpoint(self, container):
+        from repro.interfaces.web import WebInterface
+        container.deploy(simple_mote_descriptor())
+        web = WebInterface(container)
+        response = web.explain("select * from vs_probe where temperature > 0")
+        assert response["status"] == 200
+        assert any("SCAN vs_probe" in line for line in response["plan"])
+        assert web.explain("not sql")["status"] == 400
+
+    def test_expression_rendering(self):
+        stmt = parse_select(
+            "select * from t where a between 1 and 2 and b like 'x%' "
+            "and c is not null and d in (1, 2) and not (e = 'q''t')"
+        )
+        text = expression_to_sql(stmt.where)
+        assert "BETWEEN" in text
+        assert "LIKE 'x%'" in text
+        assert "IS NOT NULL" in text
+        assert "IN (1, 2)" in text
+        assert "'q''t'" in text
+
+
+class TestErrorPolicy:
+    def failing_sensor(self, container, max_errors):
+        from dataclasses import replace
+        descriptor = simple_mote_descriptor(interval_ms=500)
+        descriptor = replace(
+            descriptor,
+            lifecycle=LifeCycleConfig(pool_size=1, max_errors=max_errors),
+        )
+        sensor = container.deploy(descriptor)
+        # Break the output table so every pipeline run fails.
+        sensor.output_table.append = _boom
+        return sensor
+
+    def test_fails_after_threshold(self, container):
+        sensor = self.failing_sensor(container, max_errors=3)
+        container.run_for(5_000)
+        assert sensor.lifecycle.state.value == "failed"
+        assert "3 consecutive" in sensor.lifecycle.failure_reason
+        assert sensor.lifecycle.pool.tasks_failed == 3  # stopped trying
+
+    def test_unlimited_by_default(self, container):
+        sensor = self.failing_sensor(container, max_errors=0)
+        container.run_for(3_000)
+        assert sensor.lifecycle.state.value == "running"
+        assert sensor.lifecycle.pool.tasks_failed == 6
+
+    def test_success_resets_counter(self, container):
+        from dataclasses import replace
+        descriptor = replace(
+            simple_mote_descriptor(interval_ms=500),
+            lifecycle=LifeCycleConfig(pool_size=1, max_errors=3),
+        )
+        sensor = container.deploy(descriptor)
+        original_append = sensor.output_table.append
+
+        # Fail twice, then recover.
+        sensor.output_table.append = _boom
+        container.run_for(1_000)
+        sensor.output_table.append = original_append
+        container.run_for(1_000)
+        sensor.output_table.append = _boom
+        container.run_for(1_000)
+        assert sensor.lifecycle.state.value == "running"  # never hit 3 in a row
+
+    def test_xml_roundtrip_max_errors(self):
+        from dataclasses import replace
+        descriptor = replace(
+            simple_mote_descriptor(),
+            lifecycle=LifeCycleConfig(pool_size=4, max_errors=7),
+        )
+        again = descriptor_from_xml(descriptor_to_xml(descriptor))
+        assert again.lifecycle == LifeCycleConfig(4, 7)
+
+    def test_negative_max_errors_rejected(self):
+        with pytest.raises(ValidationError):
+            LifeCycleConfig(max_errors=-1)
+
+
+def _boom(element):
+    raise RuntimeError("storage exploded")

@@ -1,0 +1,134 @@
+"""Coverage for remaining corner paths across subsystems."""
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.sqlengine.executor import Catalog, execute
+from repro.sqlengine.relation import Relation
+from repro.storage.manager import StorageManager
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+
+from tests.conftest import simple_mote_descriptor
+
+
+class TestMixedDirectionOrdering:
+    def test_multi_key_mixed_directions(self):
+        catalog = Catalog({"t": Relation(
+            ["g", "v"],
+            [("a", 1), ("a", 2), ("b", 1), ("b", 2), (None, 9)],
+        )})
+        result = execute(
+            "select g, v from t order by g desc, v asc", catalog
+        ).to_dicts()
+        assert result == [
+            {"g": "b", "v": 1}, {"g": "b", "v": 2},
+            {"g": "a", "v": 1}, {"g": "a", "v": 2},
+            {"g": None, "v": 9},   # NULL last when descending
+        ]
+
+    def test_matches_sqlite_semantics(self):
+        import sqlite3
+        rows = [(1, "x"), (2, None), (None, "y"), (2, "a"), (1, None)]
+        catalog = Catalog({"t": Relation(["a", "s"], rows)})
+        ours = execute("select a, s from t order by a desc, s", catalog).rows
+
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE t (a INTEGER, s TEXT)")
+        connection.executemany("INSERT INTO t VALUES (?, ?)", rows)
+        theirs = connection.execute(
+            "select a, s from t order by a desc, s").fetchall()
+        connection.close()
+        assert ours == theirs
+
+
+class TestStorageCatalogSnapshot:
+    def test_catalog_respects_reference_time(self):
+        manager = StorageManager()
+        schema = StreamSchema.build(v=DataType.INTEGER)
+        table = manager.create_stream("s", schema, retention="1s")
+        for timed in (1_000, 1_500, 2_000):
+            table.append(StreamElement({"v": timed}, timed=timed))
+        # As of t=2000 the 1 s retention window is (1000, 2000].
+        catalog = manager.catalog(now=2_000)
+        assert [r[1] for r in catalog.get("s").rows] == [1_500, 2_000]
+        # Eviction on append is destructive: after a newer element
+        # arrives, rows older than its window are gone for good.
+        table.append(StreamElement({"v": 3_000}, timed=3_000))
+        later = manager.catalog()
+        assert [r[1] for r in later.get("s").rows] == [3_000]
+        manager.close()
+
+
+class TestSealSignMode:
+    def test_sign_only_transport(self):
+        from repro import GSNContainer, PeerNetwork
+        from repro.gsntime.clock import VirtualClock
+        from repro.gsntime.scheduler import EventScheduler
+
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        network = PeerNetwork(scheduler=scheduler)
+        a = GSNContainer("signer", network=network, clock=clock,
+                         scheduler=scheduler, seal="sign")
+        b = GSNContainer("reader", network=network, clock=clock,
+                         scheduler=scheduler)
+        try:
+            a.deploy(simple_mote_descriptor(interval_ms=500))
+            seen = []
+            __, cancel = b.peer.subscribe({"type": "temperature"},
+                                          seen.append)
+            scheduler.run_for(1_500)
+            cancel()
+            assert len(seen) == 3
+            assert a.integrity.sealed == 3
+            assert b.integrity.opened == 3
+            # Signed but not encrypted: the payload is readable on the wire.
+            envelope_bodies = a.integrity.status()
+            assert envelope_bodies["sealed"] == 3
+        finally:
+            b.shutdown()
+            a.shutdown()
+
+
+class TestPlanCacheAcrossContainerQueries:
+    def test_repeated_adhoc_queries_hit_cache(self, container):
+        container.deploy(simple_mote_descriptor(interval_ms=500))
+        container.run_for(1_000)
+        sql = "select count(*) n from vs_probe"
+        for __ in range(5):
+            container.query(sql)
+        cache = container.processor.plan_cache
+        assert cache.hits >= 4
+        assert cache.hit_ratio > 0.5
+
+    def test_undeploy_does_not_poison_cache(self, container):
+        container.deploy(simple_mote_descriptor(interval_ms=500))
+        container.run_for(500)
+        sql = "select count(*) n from vs_probe"
+        container.query(sql)
+        container.undeploy("probe")
+        # Cached plan remains, but execution now correctly fails: the
+        # table is gone from the catalog.
+        from repro.exceptions import SQLPlanError
+        with pytest.raises(SQLPlanError):
+            container.query(sql)
+        # Redeploying brings it back with the same cached plan.
+        container.deploy(simple_mote_descriptor(interval_ms=500))
+        container.run_for(500)
+        assert container.query(sql).first()["n"] == 1
+
+
+class TestQueueChannelOverflowInLongRuns:
+    def test_bounded_channel_for_slow_consumers(self, container):
+        from repro.notifications.channels import QueueChannel
+        container.notifications.add_channel(
+            QueueChannel("bounded", maxlen=5))
+        container.deploy(simple_mote_descriptor(interval_ms=200))
+        container.register_query("select count(*) n from vs_probe",
+                                 channel="bounded")
+        container.run_for(10_000)  # 50 notifications offered
+        channel = container.notifications.channel("bounded")
+        assert channel.pending == 5  # oldest dropped, newest kept
+        newest = channel.drain()[-1]
+        assert newest["rows"][0]["n"] == 50

@@ -1,0 +1,104 @@
+"""Unit tests for scalar and aggregate SQL functions."""
+
+import pytest
+
+from repro.exceptions import SQLExecutionError
+from repro.sqlengine.executor import Catalog, execute
+from repro.sqlengine.functions import call_aggregate, call_scalar
+
+
+def scalar(sql):
+    return execute(sql, Catalog()).rows[0][0]
+
+
+class TestScalarFunctions:
+    def test_abs(self):
+        assert scalar("select abs(-5)") == 5
+
+    def test_round_half_away_from_zero(self):
+        assert scalar("select round(2.5)") == 3
+        assert scalar("select round(-2.5)") == -3
+        assert scalar("select round(2.345, 2)") == 2.35
+
+    def test_floor_ceil(self):
+        assert scalar("select floor(2.7)") == 2
+        assert scalar("select ceil(2.1)") == 3
+        assert scalar("select ceiling(-2.1)") == -2
+
+    def test_sqrt_power_mod_sign(self):
+        assert scalar("select sqrt(16)") == 4.0
+        assert scalar("select power(2, 10)") == 1024
+        assert scalar("select mod(7, 3)") == 1
+        assert scalar("select sign(-3)") == -1
+        assert scalar("select sign(0)") == 0
+
+    def test_string_functions(self):
+        assert scalar("select upper('abc')") == "ABC"
+        assert scalar("select lower('ABC')") == "abc"
+        assert scalar("select length('hello')") == 5
+        assert scalar("select trim('  x  ')") == "x"
+        assert scalar("select replace('aaa', 'a', 'b')") == "bbb"
+        assert scalar("select instr('hello', 'll')") == 3
+        assert scalar("select instr('hello', 'z')") == 0
+        assert scalar("select concat('a', 1, 'b')") == "a1b"
+
+    def test_substr_one_based(self):
+        assert scalar("select substr('hello', 2)") == "ello"
+        assert scalar("select substr('hello', 2, 2)") == "el"
+        assert scalar("select substr('hello', -3)") == "llo"
+        assert scalar("select substr('hello', 1, 0)") == ""
+
+    def test_coalesce_ifnull_nullif(self):
+        assert scalar("select coalesce(null, null, 7)") == 7
+        assert scalar("select coalesce(null, null)") is None
+        assert scalar("select ifnull(null, 'x')") == "x"
+        assert scalar("select nullif(3, 3)") is None
+        assert scalar("select nullif(3, 4)") == 3
+
+    def test_octet_length(self):
+        assert scalar("select octet_length('abc')") == 3
+        assert scalar("select octet_length(X'001122')") == 3
+
+    def test_null_propagation(self):
+        assert scalar("select abs(null)") is None
+        assert scalar("select upper(null)") is None
+        assert scalar("select substr(null, 1)") is None
+
+    def test_unknown_function(self):
+        with pytest.raises(SQLExecutionError):
+            scalar("select frobnicate(1)")
+
+    def test_error_wrapped(self):
+        with pytest.raises(SQLExecutionError):
+            scalar("select sqrt(-1)")
+
+
+class TestAggregateDispatch:
+    def test_skips_nulls(self):
+        assert call_aggregate("sum", [1, None, 2]) == 3
+        assert call_aggregate("avg", [None, None]) is None
+        assert call_aggregate("count", [1, None, 2]) == 2
+
+    def test_count_star_counts_rows(self):
+        assert call_aggregate("count", [], star=True, row_count=7) == 7
+
+    def test_star_invalid_for_others(self):
+        with pytest.raises(SQLExecutionError):
+            call_aggregate("sum", [], star=True, row_count=7)
+
+    def test_distinct(self):
+        assert call_aggregate("sum", [1, 1, 2], distinct=True) == 3
+        assert call_aggregate("count", [b"x", b"x"], distinct=True) == 1
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SQLExecutionError):
+            call_aggregate("nope", [1])
+
+    def test_variance_and_stddev(self):
+        values = [2, 4, 4, 4, 5, 5, 7, 9]
+        assert call_aggregate("variance", values) == 4.0
+        assert call_aggregate("stddev", values) == 2.0
+
+    def test_scalar_dispatch_error_context(self):
+        with pytest.raises(SQLExecutionError, match="mod"):
+            call_scalar("mod", ["a", 2])

@@ -1,0 +1,210 @@
+"""Unit tests for the time substrate: clocks, durations, scheduler."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gsntime.clock import SystemClock, VirtualClock
+from repro.gsntime.duration import (
+    Duration, format_duration, parse_duration, parse_window_spec,
+)
+from repro.gsntime.scheduler import EventScheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(42).now() == 42
+
+    def test_defaults_to_epoch(self):
+        assert VirtualClock().now() == 0
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock(100)
+        assert clock.advance(50) == 150
+        assert clock.now() == 150
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_set_rejects_past(self):
+        clock = VirtualClock(100)
+        with pytest.raises(ValueError):
+            clock.set(99)
+
+    def test_set_accepts_same_instant(self):
+        clock = VirtualClock(100)
+        clock.set(100)
+        assert clock.now() == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1)
+
+    def test_now_seconds(self):
+        assert VirtualClock(1_500).now_seconds() == 1.5
+
+
+class TestSystemClock:
+    def test_monotone_nondecreasing(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_epoch_scale(self):
+        # Sanity: the year is after 2020 in epoch milliseconds.
+        assert SystemClock().now() > 1_577_836_800_000
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize("text,millis", [
+        ("10s", 10_000),
+        ("500ms", 500),
+        ("1h", 3_600_000),
+        ("2m", 120_000),
+        ("1d", 86_400_000),
+        ("2m30s", 150_000),
+        ("1h30m", 5_400_000),
+        ("0s", 0),
+        ("1.5s", 1_500),
+        ("10 s", 10_000),
+        ("5MIN", 300_000),
+    ])
+    def test_valid(self, text, millis):
+        assert parse_duration(text).millis == millis
+
+    @pytest.mark.parametrize("text", ["", "  ", "10", "s10", "10x", "-5s",
+                                      "10s extra", "ten seconds"])
+    def test_invalid(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_duration(text)
+
+    def test_duration_arithmetic(self):
+        assert (Duration(100) + Duration(50)).millis == 150
+        assert (Duration(100) * 3).millis == 300
+        assert bool(Duration(0)) is False
+        assert bool(Duration(1)) is True
+        assert int(Duration(250)) == 250
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Duration(-1)
+
+
+class TestWindowSpec:
+    def test_bare_number_is_count(self):
+        assert parse_window_spec("10") == ("count", 10)
+
+    def test_suffixed_is_time(self):
+        assert parse_window_spec("10s") == ("time", 10_000)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_window_spec("0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_window_spec("   ")
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize("millis,text", [
+        (0, "0ms"),
+        (500, "500ms"),
+        (10_000, "10s"),
+        (90_000, "1m30s"),
+        (3_600_000, "1h"),
+        (90_061_001, "1d1h1m1s1ms"),
+    ])
+    def test_round_numbers(self, millis, text):
+        assert format_duration(millis) == text
+
+    def test_roundtrip(self):
+        for millis in (1, 999, 1_000, 61_000, 3_661_000):
+            assert parse_duration(format_duration(millis)).millis == millis
+
+
+class TestEventScheduler:
+    def test_one_shot_fires_at_time(self, clock, scheduler):
+        fired = []
+        scheduler.at(clock.now() + 100, fired.append)
+        scheduler.run_until(clock.now() + 99)
+        assert fired == []
+        scheduler.run_until(clock.now() + 1)
+        assert fired == [1_000_100]
+
+    def test_after_schedules_relative(self, clock, scheduler):
+        fired = []
+        scheduler.after(50, fired.append)
+        scheduler.run_for(50)
+        assert fired == [1_000_050]
+
+    def test_periodic_fires_repeatedly(self, clock, scheduler):
+        fired = []
+        scheduler.every(100, fired.append)
+        scheduler.run_for(1_000)
+        assert len(fired) == 10
+        assert fired[0] == 1_000_100
+        assert fired[-1] == 1_001_000
+
+    def test_periodic_with_phase(self, clock, scheduler):
+        fired = []
+        scheduler.every(100, fired.append, start_delay=30)
+        scheduler.run_for(250)
+        assert fired == [1_000_030, 1_000_130, 1_000_230]
+
+    def test_cancel_stops_recurrence(self, clock, scheduler):
+        fired = []
+        event = scheduler.every(100, fired.append)
+        scheduler.run_for(250)
+        event.cancel()
+        scheduler.run_for(1_000)
+        assert len(fired) == 2
+
+    def test_same_time_fifo_order(self, clock, scheduler):
+        order = []
+        scheduler.at(clock.now() + 10, lambda t: order.append("first"))
+        scheduler.at(clock.now() + 10, lambda t: order.append("second"))
+        scheduler.run_for(10)
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_end(self, clock, scheduler):
+        scheduler.run_for(500)
+        assert clock.now() == 1_000_500
+
+    def test_cannot_schedule_in_past(self, clock, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.at(clock.now() - 1, lambda t: None)
+
+    def test_rejects_bad_intervals(self, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.every(0, lambda t: None)
+        with pytest.raises(ConfigurationError):
+            scheduler.after(-5, lambda t: None)
+
+    def test_step_fires_single_event(self, clock, scheduler):
+        fired = []
+        scheduler.after(10, fired.append)
+        scheduler.after(20, fired.append)
+        assert scheduler.step() is True
+        assert len(fired) == 1
+        assert scheduler.step() is True
+        assert len(fired) == 2
+        assert scheduler.step() is False
+
+    def test_events_fired_counter(self, clock, scheduler):
+        scheduler.every(10, lambda t: None)
+        scheduler.run_for(100)
+        assert scheduler.events_fired == 10
+
+    def test_callback_scheduling_more_events(self, clock, scheduler):
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if len(fired) < 3:
+                scheduler.after(10, chain)
+
+        scheduler.after(10, chain)
+        scheduler.run_for(100)
+        assert len(fired) == 3

@@ -1,0 +1,121 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            (TokenType.KEYWORD, "select")] * 3
+
+    def test_identifiers_lowercased(self):
+        assert kinds("Temp_1") == [(TokenType.IDENTIFIER, "temp_1")]
+
+    def test_end_token_always_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.END
+
+    def test_operators(self):
+        assert [v for __, v in kinds("= <> != <= >= < > + - * / % || ( ) , .")] \
+            == ["=", "<>", "!=", "<=", ">=", "<", ">", "+", "-", "*", "/",
+                "%", "||", "(", ")", ",", "."]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select @x")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text,value", [
+        ("42", 42),
+        ("0", 0),
+        ("3.14", 3.14),
+        (".5", 0.5),
+        ("1e3", 1000.0),
+        ("2.5e-2", 0.025),
+        ("1E+2", 100.0),
+    ])
+    def test_literals(self, text, value):
+        tokens = tokenize(text)
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == value
+
+    def test_int_stays_int(self):
+        assert isinstance(tokenize("7")[0].value, int)
+
+    def test_float_is_float(self):
+        assert isinstance(tokenize("7.0")[0].value, float)
+
+    def test_identifier_starting_with_e_after_number(self):
+        # "1e" followed by non-digit: `1` then identifier `e`.
+        tokens = tokenize("1e")
+        assert tokens[0].value == 1
+        assert tokens[1].value == "e"
+
+
+class TestStrings:
+    def test_simple(self):
+        assert tokenize("'hello'")[0].value == "hello"
+
+    def test_quote_escaping(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_case_preserved(self):
+        assert tokenize("'MiXeD'")[0].value == "MiXeD"
+
+
+class TestBlobs:
+    def test_hex_blob(self):
+        assert tokenize("X'0aFF'")[0].value == b"\x0a\xff"
+
+    def test_lower_x(self):
+        assert tokenize("x'00'")[0].value == b"\x00"
+
+    def test_bad_hex(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("X'zz'")
+
+    def test_unterminated(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("X'00")
+
+
+class TestCommentsAndQuoting:
+    def test_line_comment(self):
+        assert kinds("select -- everything here\n 1") == [
+            (TokenType.KEYWORD, "select"), (TokenType.NUMBER, 1)]
+
+    def test_block_comment(self):
+        assert kinds("select /* x */ 1") == [
+            (TokenType.KEYWORD, "select"), (TokenType.NUMBER, 1)]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select /* oops")
+
+    def test_double_quoted_identifier(self):
+        tokens = tokenize('"From"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "from"
+
+    def test_matches_helper(self):
+        token = Token(TokenType.KEYWORD, "select", 0)
+        assert token.matches(TokenType.KEYWORD)
+        assert token.matches(TokenType.KEYWORD, "select")
+        assert not token.matches(TokenType.KEYWORD, "from")
+        assert not token.matches(TokenType.IDENTIFIER)

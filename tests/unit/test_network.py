@@ -1,0 +1,210 @@
+"""Unit tests for the P2P directory, message bus, and peering."""
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.exceptions import DiscoveryError, TransportError
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.network.directory import PeerDirectory
+from repro.network.peer import (
+    PeerNetwork, PeerNode, schema_from_wire, schema_to_wire,
+)
+from repro.network.transport import MessageBus
+from repro.streams.element import StreamElement
+from repro.streams.schema import StreamSchema
+
+
+class TestDirectory:
+    def test_publish_and_lookup(self):
+        directory = PeerDirectory()
+        directory.publish("node1", "s1", {"type": "temp", "loc": "bc"})
+        matches = directory.lookup({"type": "temp"})
+        assert len(matches) == 1
+        assert matches[0].sensor == "s1"
+
+    def test_all_predicates_must_match(self):
+        directory = PeerDirectory()
+        directory.publish("n", "s", {"type": "temp", "loc": "bc"})
+        assert directory.lookup({"type": "temp", "loc": "bc"})
+        assert not directory.lookup({"type": "temp", "loc": "xx"})
+        assert not directory.lookup({"missing": "key"})
+
+    def test_case_insensitive_matching(self):
+        directory = PeerDirectory()
+        directory.publish("N", "S", {"Type": "Temp"})
+        assert directory.lookup({"type": "TEMP"})
+
+    def test_empty_query_matches_all(self):
+        directory = PeerDirectory()
+        directory.publish("n", "a", {})
+        directory.publish("n", "b", {})
+        assert len(directory.lookup({})) == 2
+
+    def test_republish_overwrites(self):
+        directory = PeerDirectory()
+        directory.publish("n", "s", {"v": "1"})
+        directory.publish("n", "s", {"v": "2"})
+        assert len(directory) == 1
+        assert directory.lookup_one({"v": "2"}).sensor == "s"
+
+    def test_unpublish(self):
+        directory = PeerDirectory()
+        directory.publish("n", "s", {})
+        directory.unpublish("n", "s")
+        assert len(directory) == 0
+
+    def test_unpublish_container(self):
+        directory = PeerDirectory()
+        directory.publish("n1", "a", {})
+        directory.publish("n1", "b", {})
+        directory.publish("n2", "c", {})
+        directory.unpublish_container("n1")
+        assert [e.sensor for e in directory.entries()] == ["c"]
+
+    def test_lookup_one_deterministic(self):
+        directory = PeerDirectory()
+        directory.publish("zeta", "s", {"t": "x"})
+        directory.publish("alpha", "s", {"t": "x"})
+        assert directory.lookup_one({"t": "x"}).container == "alpha"
+
+    def test_lookup_one_raises_when_empty(self):
+        with pytest.raises(DiscoveryError):
+            PeerDirectory().lookup_one({"t": "x"})
+
+
+class TestMessageBus:
+    def test_route(self):
+        bus = MessageBus()
+        seen = []
+        bus.register("dst", seen.append)
+        assert bus.send("src", "dst", "ping", {"n": 1})
+        assert seen[0].kind == "ping"
+        assert seen[0].payload == {"n": 1}
+        assert (bus.sent, bus.delivered) == (1, 1)
+
+    def test_unknown_destination(self):
+        bus = MessageBus()
+        with pytest.raises(TransportError):
+            bus.send("a", "ghost", "x")
+
+    def test_duplicate_registration(self):
+        bus = MessageBus()
+        bus.register("a", lambda m: None)
+        with pytest.raises(TransportError):
+            bus.register("A", lambda m: None)
+
+    def test_loss_injection(self):
+        bus = MessageBus(loss_rate=0.5, seed=42)
+        bus.register("dst", lambda m: None)
+        outcomes = [bus.send("s", "dst", "x") for __ in range(200)]
+        assert 60 < sum(outcomes) < 140
+        assert bus.dropped == 200 - sum(outcomes)
+
+    def test_latency_via_scheduler(self):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        bus = MessageBus(scheduler=scheduler, latency_ms=50)
+        seen = []
+        bus.register("dst", seen.append)
+        bus.send("s", "dst", "x")
+        assert seen == []  # in flight
+        scheduler.run_for(50)
+        assert len(seen) == 1
+
+    def test_bad_parameters(self):
+        with pytest.raises(TransportError):
+            MessageBus(latency_ms=-1)
+        with pytest.raises(TransportError):
+            MessageBus(loss_rate=1.0)
+
+
+class FakeSensor:
+    """Stands in for a VirtualSensor on the producer side."""
+
+    def __init__(self):
+        self.listeners = []
+        self.schema = StreamSchema.build(v=DataType.INTEGER)
+
+    def add_listener(self, listener):
+        self.listeners.append(listener)
+
+    def remove_listener(self, listener):
+        self.listeners.remove(listener)
+
+    def emit(self, value, timed):
+        for listener in list(self.listeners):
+            listener(StreamElement({"v": value}, timed=timed,
+                                   producer="fake"))
+
+
+class TestPeering:
+    def make_nodes(self, seal="none"):
+        network = PeerNetwork()
+        sensor = FakeSensor()
+        from repro.access.integrity import IntegrityService
+        producer = PeerNode(network, "producer",
+                            sensor_getter=lambda name: sensor,
+                            integrity=IntegrityService("producer"),
+                            seal=seal)
+        consumer = PeerNode(network, "consumer",
+                            sensor_getter=lambda name: None,
+                            integrity=IntegrityService("consumer"))
+        producer.publish("s", {"type": "x"}, sensor.schema)
+        return network, sensor, producer, consumer
+
+    def test_subscribe_streams_elements(self):
+        __, sensor, __, consumer = self.make_nodes()
+        seen = []
+        schema, cancel = consumer.subscribe({"type": "x"}, seen.append)
+        assert schema.field_names == ("v",)
+        sensor.emit(42, timed=7)
+        assert seen[0]["v"] == 42
+        assert seen[0].timed == 7
+
+    def test_cancel_stops_stream(self):
+        __, sensor, producer, consumer = self.make_nodes()
+        seen = []
+        __, cancel = consumer.subscribe({"type": "x"}, seen.append)
+        cancel()
+        sensor.emit(1, timed=1)
+        assert seen == []
+        assert sensor.listeners == []  # producer side detached
+
+    def test_unknown_predicates(self):
+        __, __, __, consumer = self.make_nodes()
+        with pytest.raises(DiscoveryError):
+            consumer.subscribe({"type": "nothing"}, lambda e: None)
+
+    def test_sealed_streaming(self):
+        __, sensor, __, consumer = self.make_nodes(seal="encrypt")
+        seen = []
+        consumer.subscribe({"type": "x"}, seen.append)
+        sensor.emit(9, timed=3)
+        assert seen[0]["v"] == 9
+
+    def test_seal_requires_integrity(self):
+        network = PeerNetwork()
+        with pytest.raises(TransportError):
+            PeerNode(network, "x", sensor_getter=lambda n: None,
+                     integrity=None, seal="sign")
+
+    def test_leave_cleans_up(self):
+        network, sensor, producer, consumer = self.make_nodes()
+        consumer.subscribe({"type": "x"}, lambda e: None)
+        producer.leave()
+        assert len(network.directory) == 0
+        assert sensor.listeners == []
+        with pytest.raises(TransportError):
+            network.bus.send("consumer", "producer", "subscribe", {})
+
+    def test_schema_wire_roundtrip(self):
+        schema = StreamSchema.build(a=DataType.INTEGER, b=DataType.BINARY)
+        assert schema_from_wire(schema_to_wire(schema)) == schema
+
+    def test_counters(self):
+        __, sensor, producer, consumer = self.make_nodes()
+        consumer.subscribe({"type": "x"}, lambda e: None)
+        sensor.emit(1, timed=1)
+        assert producer.elements_forwarded == 1
+        assert consumer.elements_received == 1

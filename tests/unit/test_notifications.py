@@ -1,0 +1,142 @@
+"""Unit tests for notification channels and the manager."""
+
+import logging
+
+import pytest
+
+from repro.exceptions import NotificationError
+from repro.notifications.channels import (
+    CallbackChannel, EmailChannel, LogChannel, QueueChannel, WebhookChannel,
+)
+from repro.notifications.manager import NotificationManager
+from repro.query.subscription import Subscription
+from repro.sqlengine.relation import Relation
+
+
+def make_subscription(channel="queue", name="watch"):
+    return Subscription(sql="select 1", channel=channel, name=name,
+                        client="bob", tables=frozenset({"vs_x"}))
+
+
+class TestChannels:
+    def test_queue_buffers_and_drains(self):
+        channel = QueueChannel()
+        channel.deliver({"a": 1})
+        channel.deliver({"a": 2})
+        assert channel.pending == 2
+        assert channel.peek() == {"a": 2}
+        assert channel.drain() == [{"a": 1}, {"a": 2}]
+        assert channel.pending == 0
+
+    def test_queue_maxlen(self):
+        channel = QueueChannel(maxlen=2)
+        for i in range(5):
+            channel.deliver({"i": i})
+        assert [p["i"] for p in channel.drain()] == [3, 4]
+
+    def test_callback(self):
+        seen = []
+        channel = CallbackChannel("cb", seen.append)
+        channel.deliver({"x": 1})
+        assert seen == [{"x": 1}]
+        assert channel.delivered == 1
+
+    def test_callback_failure_counted(self):
+        def boom(payload):
+            raise RuntimeError("nope")
+        channel = CallbackChannel("cb", boom)
+        with pytest.raises(NotificationError):
+            channel.deliver({})
+        assert channel.failed == 1
+
+    def test_email_outbox(self):
+        channel = EmailChannel(recipient="ops@example.org")
+        channel.deliver({"subscription": "s", "client": "c"})
+        assert channel.outbox[0]["to"] == "ops@example.org"
+
+    def test_email_bad_recipient(self):
+        with pytest.raises(NotificationError):
+            EmailChannel(recipient="not-an-address")
+
+    def test_webhook_records_requests(self):
+        channel = WebhookChannel(url="https://example.org/hook")
+        channel.deliver({"x": 1})
+        assert channel.requests == [
+            {"url": "https://example.org/hook", "json": {"x": 1}}]
+
+    def test_webhook_bad_url(self):
+        with pytest.raises(NotificationError):
+            WebhookChannel(url="ftp://nope")
+
+    def test_log_channel(self, caplog):
+        channel = LogChannel(logger=logging.getLogger("test.notify"))
+        with caplog.at_level(logging.INFO, logger="test.notify"):
+            channel.deliver({"subscription": "s", "summary": "1 row"})
+        assert "notification" in caplog.text
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NotificationError):
+            QueueChannel("  ")
+
+
+class TestNotificationManager:
+    def test_default_queue_channel(self):
+        manager = NotificationManager()
+        assert manager.has_channel("queue")
+        assert manager.channel_names() == ["queue"]
+
+    def test_add_remove_channel(self):
+        manager = NotificationManager()
+        manager.add_channel(EmailChannel("mail", "a@b.c"))
+        assert manager.has_channel("mail")
+        manager.remove_channel("mail")
+        assert not manager.has_channel("mail")
+
+    def test_queue_channel_protected(self):
+        manager = NotificationManager()
+        with pytest.raises(NotificationError):
+            manager.remove_channel("queue")
+
+    def test_duplicate_channel_rejected(self):
+        manager = NotificationManager()
+        with pytest.raises(NotificationError):
+            manager.add_channel(QueueChannel("queue"))
+
+    def test_deliver_shapes_payload(self):
+        manager = NotificationManager()
+        result = Relation(["n"], [(3,)])
+        notification = manager.deliver(make_subscription(), result)
+        assert notification.row_count == 1
+        assert notification.rows == ({"n": 3},)
+        assert "vs_x" in notification.summary
+        assert manager.dispatched == 1
+
+    def test_deliver_truncates_rows(self):
+        manager = NotificationManager()
+        big = Relation(["n"], [(i,) for i in range(500)])
+        notification = manager.deliver(make_subscription(), big)
+        assert notification.row_count == 500
+        assert len(notification.rows) == NotificationManager.MAX_ROWS
+
+    def test_channel_failure_does_not_propagate(self):
+        manager = NotificationManager()
+
+        def boom(payload):
+            raise RuntimeError("client gone")
+        manager.add_channel(CallbackChannel("bad", boom))
+        manager.deliver(make_subscription(channel="bad"),
+                        Relation(["n"], [(1,)]))
+        assert manager.failures == 1
+
+    def test_emit_event(self):
+        manager = NotificationManager()
+        manager.emit_event("queue", {"kind": "sensor-deployed"})
+        queue = manager.channel("queue")
+        assert queue.drain() == [{"kind": "sensor-deployed"}]
+
+    def test_status(self):
+        manager = NotificationManager()
+        manager.deliver(make_subscription(), Relation(["n"], [(1,)]))
+        status = manager.status()
+        assert status["dispatched"] == 1
+        assert status["channels"]["queue"]["delivered"] == 1

@@ -1,0 +1,202 @@
+"""Unit tests for the Chord-style distributed directory."""
+
+import math
+
+import pytest
+
+from repro.exceptions import DiscoveryError, TransportError
+from repro.network.overlay import (
+    BITS, ChordRing, DistributedDirectory, ring_hash,
+)
+
+
+class TestRingHash:
+    def test_deterministic_and_case_insensitive(self):
+        assert ring_hash("Node-A") == ring_hash("node-a")
+
+    def test_in_space(self):
+        for name in ("a", "b", "some-long-name"):
+            assert 0 <= ring_hash(name) < (1 << BITS)
+
+
+class TestChordRing:
+    def test_join_and_leave(self):
+        ring = ChordRing()
+        for name in ("a", "b", "c"):
+            ring.join(name)
+        assert ring.node_names() == ["a", "b", "c"]
+        ring.leave("b")
+        assert ring.node_names() == ["a", "c"]
+        ring.leave("b")  # idempotent
+
+    def test_duplicate_join_rejected(self):
+        ring = ChordRing()
+        ring.join("a")
+        with pytest.raises(TransportError):
+            ring.join("A")
+
+    def test_owner_is_successor(self):
+        ring = ChordRing()
+        nodes = [ring.join(f"n{i}") for i in range(8)]
+        ids = sorted(node.node_id for node in nodes)
+        for key in (0, ids[0], ids[3] + 1, (1 << BITS) - 1):
+            owner = ring.owner_of(key)
+            expected = next((i for i in ids if i >= key), ids[0])
+            assert owner.node_id == expected
+
+    def test_routing_reaches_owner_from_any_start(self):
+        ring = ChordRing()
+        nodes = [ring.join(f"peer-{i}") for i in range(16)]
+        for start in nodes:
+            for probe in ("x", "y", "key=value", "name=s1"):
+                key = ring_hash(probe)
+                owner, hops = ring.route(start, key)
+                assert owner is ring.owner_of(key)
+                assert hops <= BITS
+
+    def test_hops_logarithmic(self):
+        ring = ChordRing()
+        nodes = [ring.join(f"peer-{i}") for i in range(64)]
+        ring.total_hops = 0
+        ring.lookups_routed = 0
+        for start in nodes:
+            for probe in range(8):
+                ring.route(start, ring_hash(f"probe-{probe}"))
+        mean_hops = ring.total_hops / ring.lookups_routed
+        assert mean_hops <= 2 * math.log2(64), mean_hops
+
+    def test_keys_move_on_join(self):
+        ring = ChordRing()
+        first = ring.join("only")
+        key = ring_hash("the-key")
+        first.store[key] = {"payload"}
+        # Join nodes until one of them takes over the key.
+        for i in range(32):
+            ring.join(f"extra-{i}")
+        owner = ring.owner_of(key)
+        assert owner.store.get(key) == {"payload"}
+        total = sum(1 for node in ring._nodes.values()
+                    if key in node.store)
+        assert total == 1  # exactly one home
+
+    def test_keys_move_on_leave(self):
+        ring = ChordRing()
+        for i in range(8):
+            ring.join(f"n{i}")
+        key = ring_hash("survivor-key")
+        owner = ring.owner_of(key)
+        owner.store[key] = {"data"}
+        ring.leave(owner.name)
+        assert ring.owner_of(key).store.get(key) == {"data"}
+
+
+class TestDistributedDirectory:
+    def build(self, peers=8, sensors=10):
+        directory = DistributedDirectory()
+        for i in range(peers):
+            directory.add_peer(f"node-{i}")
+        for i in range(sensors):
+            directory.publish(
+                f"node-{i % peers}", f"sensor-{i}",
+                {"type": "mote" if i % 2 == 0 else "camera",
+                 "location": f"room-{i % 3}"},
+                schema=(("v", "integer"),),
+            )
+        return directory
+
+    def test_lookup_semantics_match_centralized(self):
+        from repro.network.directory import PeerDirectory
+        distributed = self.build()
+        central = PeerDirectory()
+        for entry in distributed.entries():
+            central.publish(entry.container, entry.sensor,
+                            entry.predicate_dict(), entry.schema)
+        for query in ({}, {"type": "mote"},
+                      {"type": "camera", "location": "room-1"},
+                      {"type": "mote", "location": "room-0"},
+                      {"missing": "x"}):
+            assert [(e.container, e.sensor)
+                    for e in distributed.lookup(query)] \
+                == [(e.container, e.sensor) for e in central.lookup(query)]
+
+    def test_lookup_one(self):
+        directory = self.build()
+        entry = directory.lookup_one({"name": "sensor-3"})
+        assert entry.sensor == "sensor-3"
+        with pytest.raises(DiscoveryError):
+            directory.lookup_one({"type": "nothing"})
+
+    def test_entries_sharded_across_peers(self):
+        directory = self.build(peers=8, sensors=16)
+        populated = [node for node in directory.ring._nodes.values()
+                     if node.store]
+        assert len(populated) >= 2, "entries should spread over the ring"
+
+    def test_republish_replaces(self):
+        directory = self.build(peers=4, sensors=0)
+        directory.publish("node-0", "s", {"v": "1"})
+        directory.publish("node-0", "s", {"v": "2"})
+        assert len(directory) == 1
+        assert directory.lookup({"v": "2"})
+        assert not directory.lookup({"v": "1"})
+
+    def test_unpublish_container(self):
+        directory = self.build(peers=4, sensors=8)
+        directory.unpublish_container("node-0")
+        assert all(e.container != "node-0" for e in directory.entries())
+
+    def test_publisher_autojoins_ring(self):
+        directory = DistributedDirectory()
+        directory.publish("newcomer", "s", {"k": "v"})
+        assert "newcomer" in directory.ring.node_names()
+        assert directory.lookup_one({"k": "v"}).sensor == "s"
+
+    def test_peer_departure_preserves_other_entries(self):
+        directory = self.build(peers=6, sensors=12)
+        before = {(e.container, e.sensor) for e in directory.entries()
+                  if e.container != "node-2"}
+        directory.unpublish_container("node-2")
+        directory.remove_peer("node-2")
+        after = {(e.container, e.sensor) for e in directory.entries()}
+        assert after == before
+
+
+class TestPeerNetworkIntegration:
+    def test_containers_over_distributed_directory(self):
+        from repro import GSNContainer, PeerNetwork
+        from repro.gsntime.clock import VirtualClock
+        from repro.gsntime.scheduler import EventScheduler
+        from tests.conftest import simple_mote_descriptor
+
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        network = PeerNetwork(scheduler=scheduler, distributed=True)
+        a = GSNContainer("node-a", network=network, clock=clock,
+                         scheduler=scheduler)
+        b = GSNContainer("node-b", network=network, clock=clock,
+                         scheduler=scheduler)
+        try:
+            a.deploy(simple_mote_descriptor(interval_ms=500))
+            b.deploy("""
+            <virtual-sensor name="mirror">
+              <output-structure>
+                <field name="temperature" type="integer"/>
+              </output-structure>
+              <input-stream name="in">
+                <stream-source alias="r" storage-size="1">
+                  <address wrapper="remote">
+                    <predicate key="type" val="temperature"/>
+                  </address>
+                  <query>select * from wrapper</query>
+                </stream-source>
+                <query>select * from r</query>
+              </input-stream>
+            </virtual-sensor>
+            """)
+            scheduler.run_for(3_000)
+            assert b.query("select count(*) n from vs_mirror"
+                           ).first()["n"] == 6
+            assert network.status()["overlay_hops"] >= 0
+        finally:
+            b.shutdown()
+            a.shutdown()

@@ -1,0 +1,287 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sqlengine.ast_nodes import (
+    BetweenExpr, BinaryOp, CaseExpr, ColumnRef, ExistsExpr, FunctionCall,
+    InExpr, IsNullExpr, Join, LikeExpr, Literal, ScalarSubquery, Star,
+    SubqueryRef, TableRef, UnaryOp, contains_aggregate,
+)
+from repro.sqlengine.parser import parse_select
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse_select("select * from t")
+        assert isinstance(stmt.items[0].expression, Star)
+
+    def test_qualified_star(self):
+        stmt = parse_select("select t.* from t")
+        assert stmt.items[0].expression == Star("t")
+
+    def test_alias_with_as(self):
+        stmt = parse_select("select a as x from t")
+        assert stmt.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        stmt = parse_select("select a x from t")
+        assert stmt.items[0].alias == "x"
+
+    def test_multiple_items(self):
+        stmt = parse_select("select a, b + 1, count(*) from t")
+        assert len(stmt.items) == 3
+
+    def test_distinct(self):
+        assert parse_select("select distinct a from t").distinct
+        assert not parse_select("select all a from t").distinct
+
+
+class TestFromClause:
+    def test_table_alias(self):
+        stmt = parse_select("select * from temps t1")
+        ref = stmt.from_items[0]
+        assert isinstance(ref, TableRef)
+        assert (ref.name, ref.alias) == ("temps", "t1")
+
+    def test_comma_join(self):
+        stmt = parse_select("select * from a, b, c")
+        assert len(stmt.from_items) == 3
+
+    def test_inner_join_on(self):
+        stmt = parse_select("select * from a join b on a.x = b.x")
+        join = stmt.from_items[0]
+        assert isinstance(join, Join)
+        assert join.kind == "inner"
+        assert isinstance(join.condition, BinaryOp)
+
+    def test_left_join(self):
+        stmt = parse_select("select * from a left outer join b on a.x = b.x")
+        assert stmt.from_items[0].kind == "left"
+
+    def test_cross_join(self):
+        stmt = parse_select("select * from a cross join b")
+        assert stmt.from_items[0].kind == "cross"
+
+    def test_right_join_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select * from a right join b on a.x = b.x")
+
+    def test_chained_joins(self):
+        stmt = parse_select(
+            "select * from a join b on a.x = b.x join c on b.y = c.y"
+        )
+        outer = stmt.from_items[0]
+        assert isinstance(outer, Join)
+        assert isinstance(outer.left, Join)
+
+    def test_derived_table(self):
+        stmt = parse_select("select * from (select a from t) sub")
+        ref = stmt.from_items[0]
+        assert isinstance(ref, SubqueryRef)
+        assert ref.alias == "sub"
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select * from (select a from t)")
+
+    def test_no_from(self):
+        stmt = parse_select("select 1 + 2")
+        assert stmt.from_items == ()
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_select("select 1 + 2 * 3").items[0].expression
+        assert expr == BinaryOp("+", Literal(1),
+                                BinaryOp("*", Literal(2), Literal(3)))
+
+    def test_precedence_and_or(self):
+        expr = parse_select("select a or b and c from t").items[0].expression
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_select("select not a and b from t").items[0].expression
+        assert expr.op == "and"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_parentheses(self):
+        expr = parse_select("select (1 + 2) * 3").items[0].expression
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse_select("select -a from t").items[0].expression
+        assert expr == UnaryOp("-", ColumnRef("a"))
+
+    def test_concat(self):
+        expr = parse_select("select a || b from t").items[0].expression
+        assert expr.op == "||"
+
+    def test_qualified_column(self):
+        expr = parse_select("select t.a from t").items[0].expression
+        assert expr == ColumnRef("a", table="t")
+
+    def test_literals(self):
+        stmt = parse_select("select 1, 2.5, 'x', null, true, false, X'ff'")
+        values = [item.expression.value for item in stmt.items]
+        assert values == [1, 2.5, "x", None, True, False, b"\xff"]
+
+    def test_bang_equals_normalized(self):
+        expr = parse_select("select a != b from t").items[0].expression
+        assert expr.op == "<>"
+
+
+class TestPredicates:
+    def test_in_list(self):
+        stmt = parse_select("select * from t where a in (1, 2, 3)")
+        assert isinstance(stmt.where, InExpr)
+        assert len(stmt.where.options) == 3
+
+    def test_not_in(self):
+        stmt = parse_select("select * from t where a not in (1)")
+        assert stmt.where.negated
+
+    def test_in_subquery(self):
+        stmt = parse_select("select * from t where a in (select b from u)")
+        assert stmt.where.subquery is not None
+
+    def test_between(self):
+        stmt = parse_select("select * from t where a between 1 and 10")
+        assert isinstance(stmt.where, BetweenExpr)
+
+    def test_not_between(self):
+        stmt = parse_select("select * from t where a not between 1 and 10")
+        assert stmt.where.negated
+
+    def test_like(self):
+        stmt = parse_select("select * from t where name like 'a%'")
+        assert isinstance(stmt.where, LikeExpr)
+
+    def test_is_null_and_not_null(self):
+        assert not parse_select(
+            "select * from t where a is null").where.negated
+        assert parse_select(
+            "select * from t where a is not null").where.negated
+
+    def test_exists(self):
+        stmt = parse_select(
+            "select * from t where exists (select 1 from u)")
+        assert isinstance(stmt.where, ExistsExpr)
+
+    def test_scalar_subquery(self):
+        stmt = parse_select("select (select max(a) from t) m from u")
+        assert isinstance(stmt.items[0].expression, ScalarSubquery)
+
+
+class TestFunctionsAndCase:
+    def test_count_star(self):
+        expr = parse_select("select count(*) from t").items[0].expression
+        assert expr == FunctionCall("count", (), star=True)
+
+    def test_distinct_aggregate(self):
+        expr = parse_select("select count(distinct a) from t"
+                            ).items[0].expression
+        assert expr.distinct
+
+    def test_multi_arg_function(self):
+        expr = parse_select("select coalesce(a, b, 0) from t"
+                            ).items[0].expression
+        assert len(expr.args) == 3
+
+    def test_searched_case(self):
+        expr = parse_select(
+            "select case when a > 1 then 'big' else 'small' end from t"
+        ).items[0].expression
+        assert isinstance(expr, CaseExpr)
+        assert expr.operand is None
+        assert expr.default == Literal("small")
+
+    def test_simple_case(self):
+        expr = parse_select(
+            "select case a when 1 then 'one' when 2 then 'two' end from t"
+        ).items[0].expression
+        assert expr.operand == ColumnRef("a")
+        assert len(expr.branches) == 2
+        assert expr.default is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select case else 1 end from t")
+
+    def test_contains_aggregate(self):
+        stmt = parse_select("select avg(a) + 1 from t")
+        assert contains_aggregate(stmt.items[0].expression)
+        stmt = parse_select("select a + 1 from t")
+        assert not contains_aggregate(stmt.items[0].expression)
+
+    def test_aggregate_in_subquery_not_counted(self):
+        stmt = parse_select("select (select avg(a) from t) from u")
+        assert not contains_aggregate(stmt.items[0].expression)
+
+
+class TestClauses:
+    def test_group_by_having(self):
+        stmt = parse_select(
+            "select b, count(*) from t group by b having count(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_select("select * from t order by a desc, b asc, c")
+        directions = [item.ascending for item in stmt.order_by]
+        assert directions == [False, True, True]
+
+    def test_limit_offset(self):
+        stmt = parse_select("select * from t limit 10 offset 5")
+        assert (stmt.limit, stmt.offset) == (10, 5)
+
+    def test_mysql_limit_comma(self):
+        stmt = parse_select("select * from t limit 5, 10")
+        assert (stmt.limit, stmt.offset) == (10, 5)
+
+    def test_limit_requires_nonnegative_int(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select * from t limit -1")
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select * from t limit 1.5")
+
+    def test_union_and_friends(self):
+        stmt = parse_select(
+            "select a from t union select a from u "
+            "intersect select a from v"
+        )
+        assert [op.op for op in stmt.set_operations] == ["union",
+                                                         "intersect"]
+
+    def test_union_all(self):
+        stmt = parse_select("select a from t union all select a from u")
+        assert stmt.set_operations[0].all
+
+    def test_order_by_applies_after_set_ops(self):
+        stmt = parse_select(
+            "select a from t union select a from u order by a"
+        )
+        assert stmt.order_by
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "update t set a = 1",
+        "select",
+        "select from t",
+        "select * from",
+        "select a from t where",
+        "select a from t group by",
+        "select a from t trailing garbage",
+        "select (1 from t",
+        "select a from t order",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse_select(bad)
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_select("select 1;") is not None

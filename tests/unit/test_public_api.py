@@ -1,0 +1,75 @@
+"""Public API surface regression tests.
+
+Downstream code imports from ``repro`` directly; this pins the exported
+surface so refactors cannot silently drop it.
+"""
+
+import inspect
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_entry_points(self):
+        assert inspect.isclass(repro.GSNContainer)
+        assert inspect.isclass(repro.PeerNetwork)
+        assert inspect.isclass(repro.GSNClient)
+        assert inspect.isclass(repro.WebInterface)
+        assert callable(repro.descriptor_from_xml)
+        assert callable(repro.descriptor_to_xml)
+        assert callable(repro.validate_descriptor)
+        assert callable(repro.default_registry)
+
+    def test_version_is_semver(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_exception_root(self):
+        from repro import exceptions
+        for name in dir(exceptions):
+            value = getattr(exceptions, name)
+            if inspect.isclass(value) and issubclass(value, Exception) \
+                    and value is not repro.GSNError:
+                assert issubclass(value, repro.GSNError), (
+                    f"{name} must derive from GSNError"
+                )
+
+    def test_container_signature_stability(self):
+        parameters = inspect.signature(repro.GSNContainer).parameters
+        for expected in ("name", "simulated", "storage_path", "registry",
+                         "network", "access_enabled", "synchronous",
+                         "seal", "seed", "clock", "scheduler"):
+            assert expected in parameters, expected
+
+    def test_subsystem_imports(self):
+        # Every subpackage must import cleanly on its own.
+        import repro.access
+        import repro.descriptors
+        import repro.experiments
+        import repro.gsntime
+        import repro.interfaces
+        import repro.metrics
+        import repro.network
+        import repro.notifications
+        import repro.query
+        import repro.simulation
+        import repro.sqlengine
+        import repro.storage
+        import repro.streams
+        import repro.tools
+        import repro.vsensor
+        import repro.wrappers
+
+    def test_public_callables_documented(self):
+        """Every public class/function exported at top level has a
+        docstring — documentation is a deliverable, not an accident."""
+        for name in repro.__all__:
+            value = getattr(repro, name)
+            if inspect.isclass(value) or inspect.isfunction(value):
+                assert (value.__doc__ or "").strip(), (
+                    f"{name} lacks a docstring"
+                )

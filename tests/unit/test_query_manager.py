@@ -1,0 +1,171 @@
+"""Unit tests for the plan cache, query processor, and repository."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError, ValidationError
+from repro.gsntime.clock import VirtualClock
+from repro.notifications.manager import NotificationManager
+from repro.query.plan_cache import PlanCache
+from repro.query.processor import QueryProcessor
+from repro.query.repository import QueryRepository
+from repro.sqlengine.executor import Catalog
+from repro.sqlengine.relation import Relation
+
+
+def make_catalog():
+    return Catalog({
+        "vs_temp": Relation(["temperature", "timed"],
+                            [(20, 1), (25, 2), (30, 3)]),
+        "vs_light": Relation(["light", "timed"], [(500, 1)]),
+    })
+
+
+@pytest.fixture
+def processor():
+    return QueryProcessor(make_catalog)
+
+
+@pytest.fixture
+def repo(processor):
+    return QueryRepository(processor, NotificationManager(),
+                           VirtualClock(5_000))
+
+
+class TestPlanCache:
+    def test_hit_after_miss(self):
+        cache = PlanCache()
+        cache.compile("select 1")
+        cache.compile("select 1")
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_ratio == 0.5
+
+    def test_same_plan_object_returned(self):
+        cache = PlanCache()
+        first = cache.compile("select 1")
+        second = cache.compile("select 1")
+        assert first[1] is second[1]
+
+    def test_whitespace_normalized(self):
+        cache = PlanCache()
+        cache.compile("select 1")
+        cache.compile("  select 1  ")
+        assert cache.hits == 1
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.compile("select 1")
+        cache.compile("select 2")
+        cache.compile("select 1")  # refresh 1
+        cache.compile("select 3")  # evicts 2
+        cache.compile("select 2")
+        assert cache.misses == 4
+
+    def test_zero_capacity_disables(self):
+        cache = PlanCache(capacity=0)
+        cache.compile("select 1")
+        cache.compile("select 1")
+        assert cache.hits == 0
+        assert len(cache) == 0
+
+    def test_invalidate(self):
+        cache = PlanCache()
+        cache.compile("select 1")
+        cache.invalidate("select 1")
+        cache.compile("select 1")
+        assert cache.misses == 2
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_syntax_errors_propagate(self):
+        with pytest.raises(SQLSyntaxError):
+            PlanCache().compile("not sql")
+
+
+class TestQueryProcessor:
+    def test_execute(self, processor):
+        result = processor.execute("select count(*) as n from vs_temp")
+        assert result.to_dicts() == [{"n": 3}]
+        assert processor.queries_executed == 1
+
+    def test_catalog_override(self, processor):
+        pinned = Catalog({"vs_temp": Relation(["temperature", "timed"],
+                                              [(99, 9)])})
+        result = processor.execute("select max(temperature) m from vs_temp",
+                                   pinned)
+        assert result.to_dicts() == [{"m": 99}]
+
+    def test_latency_tracked(self, processor):
+        processor.execute("select 1")
+        assert processor.latency.count == 1
+
+    def test_status(self, processor):
+        processor.execute("select 1")
+        processor.execute("select 1")
+        status = processor.status()
+        assert status["queries_executed"] == 2
+        assert status["plan_cache"]["hits"] == 1
+
+
+class TestQueryRepository:
+    def test_register_and_trigger(self, repo):
+        sub = repo.register("select max(temperature) m from vs_temp")
+        assert sub.tables == {"vs_temp"}
+        fired = repo.data_arrived("vs_temp")
+        assert fired == 1
+        assert sub.notifications_sent == 1
+        assert sub.last_result.to_dicts() == [{"m": 30}]
+
+    def test_only_affected_subscriptions_fire(self, repo):
+        temp_sub = repo.register("select * from vs_temp")
+        light_sub = repo.register("select * from vs_light")
+        repo.data_arrived("vs_temp")
+        assert temp_sub.notifications_sent == 1
+        assert light_sub.notifications_sent == 0
+
+    def test_multi_table_subscription(self, repo):
+        sub = repo.register(
+            "select * from vs_temp, vs_light"
+        )
+        repo.data_arrived("vs_light")
+        repo.data_arrived("vs_temp")
+        assert sub.notifications_sent == 2
+
+    def test_unregister(self, repo):
+        sub = repo.register("select * from vs_temp")
+        repo.unregister(sub.id)
+        assert repo.data_arrived("vs_temp") == 0
+        with pytest.raises(ValidationError):
+            repo.unregister(sub.id)
+
+    def test_invalid_sql_rejected_eagerly(self, repo):
+        with pytest.raises(ValidationError):
+            repo.register("selectt wat")
+
+    def test_unknown_channel_rejected(self, repo):
+        with pytest.raises(ValidationError):
+            repo.register("select 1", channel="carrier-pigeon")
+
+    def test_notification_payload_via_queue(self, repo):
+        repo.register("select avg(temperature) a from vs_temp",
+                      name="avg-watch", client="alice")
+        repo.data_arrived("vs_temp")
+        queue = repo.notifications.channel("queue")
+        payload = queue.drain()[0]
+        assert payload["subscription"] == "avg-watch"
+        assert payload["client"] == "alice"
+        assert payload["rows"] == [{"a": 25.0}]
+
+    def test_data_arrived_uses_one_snapshot(self, repo):
+        repo.register("select count(*) n from vs_temp")
+        repo.register("select max(temperature) m from vs_temp")
+        pinned = Catalog({"vs_temp": Relation(["temperature", "timed"],
+                                              [(1, 1)])})
+        assert repo.data_arrived("vs_temp", pinned) == 2
+        results = [s.last_result.to_dicts() for s in repo.subscriptions()]
+        assert results == [[{"n": 1}], [{"m": 1}]]
+
+    def test_status(self, repo):
+        repo.register("select * from vs_temp")
+        status = repo.status()
+        assert status["registered"] == 1
+        assert status["by_table"] == {"vs_temp": 1}

@@ -1,0 +1,150 @@
+"""Unit tests for relations and the WRAPPER/table-name rewriter."""
+
+import pytest
+
+from repro.exceptions import SQLExecutionError
+from repro.sqlengine.executor import Catalog, execute
+from repro.sqlengine.relation import Relation
+from repro.sqlengine.rewriter import (
+    referenced_tables, rewrite_table_names, rewrite_wrapper,
+)
+
+
+class TestRelation:
+    def test_columns_lowercased(self):
+        relation = Relation(["A", "B"])
+        assert relation.columns == ("a", "b")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SQLExecutionError):
+            Relation(["a", "A"])
+
+    def test_append_checks_width(self):
+        relation = Relation(["a", "b"])
+        with pytest.raises(SQLExecutionError):
+            relation.append((1,))
+
+    def test_from_dicts_fills_missing(self):
+        relation = Relation.from_dicts(["a", "b"], [{"A": 1}])
+        assert relation.rows == [(1, None)]
+
+    def test_column_access(self):
+        relation = Relation(["a", "b"], [(1, 2), (3, 4)])
+        assert relation.column("b") == [2, 4]
+        with pytest.raises(SQLExecutionError):
+            relation.column("z")
+
+    def test_scalar(self):
+        assert Relation(["a"], [(7,)]).scalar() == 7
+        assert Relation(["a"]).scalar() is None
+        with pytest.raises(SQLExecutionError):
+            Relation(["a"], [(1,), (2,)]).scalar()
+        with pytest.raises(SQLExecutionError):
+            Relation(["a", "b"], [(1, 2)]).scalar()
+
+    def test_first_and_dicts(self):
+        relation = Relation(["a"], [(1,), (2,)])
+        assert relation.first() == {"a": 1}
+        assert Relation(["a"]).first() is None
+        assert relation.to_dicts() == [{"a": 1}, {"a": 2}]
+
+    def test_contains_and_len_and_iter(self):
+        relation = Relation(["a"], [(1,)])
+        assert "a" in relation and "z" not in relation
+        assert len(relation) == 1
+        assert list(relation) == [(1,)]
+
+    def test_pretty_truncates(self):
+        relation = Relation(["a"], [(i,) for i in range(30)])
+        text = relation.pretty(limit=5)
+        assert "more rows" in text
+
+    def test_pretty_renders_bytes_placeholder(self):
+        relation = Relation(["blob"], [(b"\x00\x01",)])
+        assert "<bytes>" in relation.pretty()
+
+
+class TestReferencedTables:
+    def test_simple(self):
+        assert referenced_tables("select * from t") == {"t"}
+
+    def test_joins_and_subqueries(self):
+        tables = referenced_tables(
+            "select * from a join b on a.x = b.x "
+            "where a.y in (select y from c)"
+        )
+        assert tables == {"a", "b", "c"}
+
+    def test_derived_tables(self):
+        assert referenced_tables(
+            "select * from (select * from inner_t) s"
+        ) == {"inner_t"}
+
+    def test_no_tables(self):
+        assert referenced_tables("select 1") == set()
+
+
+class TestRewriter:
+    def test_wrapper_rewritten(self):
+        sql = rewrite_wrapper("select avg(temp) from WRAPPER", "win_1")
+        assert "win_1" in sql and "wrapper" not in sql.lower().replace(
+            "win_1", "")
+
+    def test_qualifier_rewritten(self):
+        sql = rewrite_wrapper(
+            "select wrapper.temp from wrapper where wrapper.temp > 1",
+            "w1",
+        )
+        assert sql.count("w1") == 3
+
+    def test_column_named_wrapper_untouched(self):
+        # "wrapper" as a bare column (not in table position, not a
+        # qualifier) must survive.
+        sql = rewrite_table_names(
+            "select wrapper from t where wrapper = 1", {"t": "t2"}
+        )
+        assert "select wrapper from t2 where wrapper = 1" == sql
+
+    def test_string_literals_untouched(self):
+        sql = rewrite_table_names(
+            "select * from t where name = 'wrapper'", {"wrapper": "x"}
+        )
+        assert "'wrapper'" in sql
+
+    def test_multiple_tables(self):
+        sql = rewrite_table_names(
+            "select * from a, b where a.x = b.x",
+            {"a": "t_a", "b": "t_b"},
+        )
+        assert "t_a" in sql and "t_b" in sql
+
+    def test_join_position(self):
+        sql = rewrite_table_names(
+            "select * from a join wrapper on a.x = wrapper.x",
+            {"wrapper": "w"},
+        )
+        assert "join w on" in sql
+        assert "w.x" in sql
+
+    def test_subquery_from(self):
+        sql = rewrite_table_names(
+            "select * from (select * from wrapper) s", {"wrapper": "w"}
+        )
+        assert "from w" in sql
+
+    def test_rewritten_sql_still_parses_and_runs(self):
+        catalog = Catalog({"w1": Relation(["temp", "timed"],
+                                          [(10, 1), (20, 2)])})
+        sql = rewrite_wrapper(
+            "select avg(temp) as t from WRAPPER where temp > 5", "w1"
+        )
+        assert execute(sql, catalog).to_dicts() == [{"t": 15.0}]
+
+    def test_preserves_literals_and_numbers(self):
+        original = ("select 'it''s', 2.5, X'ff' from wrapper "
+                    "where a like '%x%'")
+        sql = rewrite_wrapper(original, "w")
+        assert "'it''s'" in sql
+        assert "2.5" in sql
+        assert "X'ff'" in sql
+        assert "'%x%'" in sql

@@ -1,0 +1,205 @@
+"""Unit tests for samplers, rate bounders, disconnect buffers, and the
+stream quality monitor."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.streams.buffer import DisconnectBuffer
+from repro.streams.element import StreamElement
+from repro.streams.quality import StreamQualityMonitor
+from repro.streams.sampling import (
+    FilterChain, ProbabilisticSampler, RateBounder, SystematicSampler,
+)
+
+
+def element(timed=None, arrival=None, **values):
+    e = StreamElement(values or {"v": 1}, timed=timed)
+    if arrival is not None:
+        e = e.with_arrival(arrival)
+    return e
+
+
+class TestProbabilisticSampler:
+    def test_rate_one_admits_all(self):
+        sampler = ProbabilisticSampler(1.0)
+        assert all(sampler.admit(element(i)) for i in range(100))
+
+    def test_rate_zero_admits_none(self):
+        sampler = ProbabilisticSampler(0.0)
+        assert not any(sampler.admit(element(i)) for i in range(100))
+
+    def test_rate_half_is_roughly_half(self):
+        sampler = ProbabilisticSampler(0.5, seed=42)
+        admitted = sum(sampler.admit(element(i)) for i in range(2_000))
+        assert 850 < admitted < 1_150
+
+    def test_seeded_reproducible(self):
+        a = ProbabilisticSampler(0.3, seed=7)
+        b = ProbabilisticSampler(0.3, seed=7)
+        pattern_a = [a.admit(element(i)) for i in range(50)]
+        pattern_b = [b.admit(element(i)) for i in range(50)]
+        assert pattern_a == pattern_b
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_bad_rate(self, bad):
+        with pytest.raises(StreamError):
+            ProbabilisticSampler(bad)
+
+
+class TestSystematicSampler:
+    def test_every_third(self):
+        sampler = SystematicSampler(3)
+        results = [sampler.admit(element(i)) for i in range(9)]
+        assert results == [False, False, True] * 3
+
+    def test_every_one_admits_all(self):
+        sampler = SystematicSampler(1)
+        assert all(sampler.admit(element(i)) for i in range(5))
+
+    def test_reset(self):
+        sampler = SystematicSampler(2)
+        sampler.admit(element(0))
+        sampler.reset()
+        assert sampler.admit(element(1)) is False
+
+    def test_bad_every(self):
+        with pytest.raises(StreamError):
+            SystematicSampler(0)
+
+
+class TestRateBounder:
+    def test_enforces_spacing(self):
+        bounder = RateBounder(10)  # max 10/s => 100 ms spacing
+        assert bounder.admit(element(1_000))
+        assert not bounder.admit(element(1_050))
+        assert bounder.admit(element(1_100))
+        assert bounder.dropped == 1
+
+    def test_first_element_always_admitted(self):
+        assert RateBounder(1).admit(element(0))
+
+    def test_requires_timestamps(self):
+        with pytest.raises(StreamError):
+            RateBounder(1).admit(StreamElement({"v": 1}))
+
+    def test_reset(self):
+        bounder = RateBounder(1)
+        bounder.admit(element(1_000))
+        bounder.reset()
+        assert bounder.admit(element(1_001))
+        assert bounder.dropped == 0
+
+    def test_bad_rate(self):
+        with pytest.raises(StreamError):
+            RateBounder(0)
+
+
+class TestFilterChain:
+    def test_all_must_admit(self):
+        chain = FilterChain(SystematicSampler(1), RateBounder(10))
+        assert chain.admit(element(1_000))
+        assert not chain.admit(element(1_010))
+
+    def test_short_circuits(self):
+        bounder = RateBounder(1000)
+        chain = FilterChain(SystematicSampler(2), bounder)
+        chain.admit(element(1_000))  # rejected by sampler
+        assert bounder.dropped == 0  # bounder never saw it
+
+
+class TestDisconnectBuffer:
+    def test_connected_passthrough(self):
+        buffer = DisconnectBuffer(5)
+        assert buffer.offer(element(1)) is True
+        assert buffer.pending == 0
+
+    def test_buffers_while_disconnected(self):
+        buffer = DisconnectBuffer(5)
+        buffer.disconnect()
+        for i in range(3):
+            assert buffer.offer(element(i)) is False
+        assert buffer.pending == 3
+
+    def test_reconnect_replays_in_order(self):
+        buffer = DisconnectBuffer(5)
+        buffer.disconnect()
+        for i in range(3):
+            buffer.offer(element(i))
+        replay = buffer.reconnect()
+        assert [e.timed for e in replay] == [0, 1, 2]
+        assert buffer.connected
+        assert buffer.pending == 0
+
+    def test_overflow_drops_oldest(self):
+        buffer = DisconnectBuffer(2)
+        buffer.disconnect()
+        for i in range(4):
+            buffer.offer(element(i))
+        replay = buffer.reconnect()
+        assert [e.timed for e in replay] == [2, 3]
+        assert buffer.total_dropped == 2
+
+    def test_zero_capacity_drops_everything(self):
+        buffer = DisconnectBuffer(0)
+        buffer.disconnect()
+        buffer.offer(element(1))
+        assert buffer.reconnect() == []
+        assert buffer.total_dropped == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StreamError):
+            DisconnectBuffer(-1)
+
+
+class TestQualityMonitor:
+    def test_counts_elements(self):
+        monitor = StreamQualityMonitor()
+        monitor.observe(element(timed=1, arrival=1))
+        monitor.observe(element(timed=2, arrival=2))
+        assert monitor.report.elements_seen == 2
+
+    def test_missing_values_tracked_per_field(self):
+        monitor = StreamQualityMonitor()
+        monitor.observe(StreamElement({"a": None, "b": 1}, timed=1))
+        monitor.observe(StreamElement({"a": None, "b": None}, timed=2))
+        report = monitor.report
+        assert report.missing_value_count == 3
+        assert report.missing_by_field == {"a": 2, "b": 1}
+        assert report.missing_value_ratio == 1.5  # per element average > 1
+
+    def test_late_detection(self):
+        monitor = StreamQualityMonitor(late_threshold_ms=100)
+        monitor.observe(element(timed=1_000, arrival=1_050))   # on time
+        monitor.observe(element(timed=1_000, arrival=1_500))   # late
+        assert monitor.report.late_count == 1
+        assert monitor.report.max_delay_ms == 500
+
+    def test_out_of_order_detection(self):
+        monitor = StreamQualityMonitor()
+        monitor.observe(element(timed=2_000, arrival=2_000))
+        monitor.observe(element(timed=1_000, arrival=2_001))
+        assert monitor.report.out_of_order_count == 1
+
+    def test_interarrival_mean(self):
+        monitor = StreamQualityMonitor()
+        for arrival in (1_000, 1_100, 1_200):
+            monitor.observe(element(timed=arrival, arrival=arrival))
+        assert monitor.report.mean_interarrival_ms == 100.0
+
+    def test_disconnect_recorded(self):
+        monitor = StreamQualityMonitor()
+        monitor.record_disconnect()
+        assert monitor.report.disconnect_count == 1
+
+    def test_healthy_verdict(self):
+        monitor = StreamQualityMonitor(late_threshold_ms=10)
+        assert monitor.healthy()  # vacuously healthy with no data
+        monitor.observe(element(timed=1_000, arrival=2_000))
+        monitor.observe(StreamElement({"v": None}, timed=3_000,
+                                      ).with_arrival(4_000))
+        assert not monitor.healthy(max_missing_ratio=0.4,
+                                   max_late_ratio=0.4)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            StreamQualityMonitor(late_threshold_ms=-1)

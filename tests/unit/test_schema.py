@@ -1,0 +1,185 @@
+"""Unit tests for stream schemas and data types."""
+
+import pytest
+
+from repro.datatypes import DataType, sql_affinity
+from repro.exceptions import SchemaError
+from repro.streams.schema import Field, StreamSchema, schema_from_example
+
+
+class TestDataType:
+    @pytest.mark.parametrize("text,expected", [
+        ("integer", DataType.INTEGER),
+        ("INT", DataType.INTEGER),
+        ("bigint", DataType.INTEGER),
+        ("double", DataType.DOUBLE),
+        ("Float", DataType.DOUBLE),
+        ("varchar", DataType.VARCHAR),
+        ("string", DataType.VARCHAR),
+        ("binary", DataType.BINARY),
+        ("blob", DataType.BINARY),
+        ("boolean", DataType.BOOLEAN),
+        ("timestamp", DataType.TIMESTAMP),
+    ])
+    def test_parse_aliases(self, text, expected):
+        assert DataType.parse(text) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            DataType.parse("quaternion")
+
+    def test_coerce_integer(self):
+        assert DataType.INTEGER.coerce("42") == 42
+        assert DataType.INTEGER.coerce(3.0) == 3
+        assert DataType.INTEGER.coerce(None) is None
+        with pytest.raises(SchemaError):
+            DataType.INTEGER.coerce(3.5)
+        with pytest.raises(SchemaError):
+            DataType.INTEGER.coerce("abc")
+
+    def test_coerce_double(self):
+        assert DataType.DOUBLE.coerce("2.5") == 2.5
+        assert DataType.DOUBLE.coerce(3) == 3.0
+
+    def test_coerce_binary(self):
+        assert DataType.BINARY.coerce("hi") == b"hi"
+        assert DataType.BINARY.coerce(bytearray(b"x")) == b"x"
+        with pytest.raises(SchemaError):
+            DataType.BINARY.coerce(3.14)
+
+    def test_coerce_boolean(self):
+        assert DataType.BOOLEAN.coerce("true") is True
+        assert DataType.BOOLEAN.coerce("0") is False
+        assert DataType.BOOLEAN.coerce(1) is True
+        with pytest.raises(SchemaError):
+            DataType.BOOLEAN.coerce("maybe")
+
+    def test_accepts(self):
+        assert DataType.INTEGER.accepts(5)
+        assert not DataType.INTEGER.accepts(True)   # bools are not ints here
+        assert not DataType.INTEGER.accepts(5.0)
+        assert DataType.DOUBLE.accepts(5)           # ints widen to double
+        assert DataType.DOUBLE.accepts(5.5)
+        assert DataType.VARCHAR.accepts("x")
+        assert DataType.BINARY.accepts(b"x")
+        assert DataType.BOOLEAN.accepts(False)
+        assert all(t.accepts(None) for t in DataType)
+
+    def test_sql_affinity(self):
+        assert sql_affinity(1) is DataType.INTEGER
+        assert sql_affinity(1.5) is DataType.DOUBLE
+        assert sql_affinity("x") is DataType.VARCHAR
+        assert sql_affinity(b"x") is DataType.BINARY
+        assert sql_affinity(True) is DataType.BOOLEAN
+        assert sql_affinity(None) is None
+        with pytest.raises(SchemaError):
+            sql_affinity(object())
+
+
+class TestField:
+    def test_name_normalized_lowercase(self):
+        assert Field("Temperature", DataType.INTEGER).name == "temperature"
+
+    @pytest.mark.parametrize("bad", ["", "  ", "1abc", "a-b", "a b", "a.b"])
+    def test_invalid_names(self, bad):
+        with pytest.raises(SchemaError):
+            Field(bad, DataType.INTEGER)
+
+    def test_underscore_names_ok(self):
+        assert Field("_x", DataType.INTEGER).name == "_x"
+        assert Field("accel_x", DataType.DOUBLE).name == "accel_x"
+
+
+class TestStreamSchema:
+    def test_build_shorthand(self):
+        schema = StreamSchema.build(a=DataType.INTEGER, b=DataType.VARCHAR)
+        assert schema.field_names == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            StreamSchema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            StreamSchema([Field("a", DataType.INTEGER),
+                          Field("A", DataType.DOUBLE)])
+
+    def test_timed_reserved(self):
+        with pytest.raises(SchemaError):
+            StreamSchema([Field("timed", DataType.TIMESTAMP)])
+
+    def test_lookup_case_insensitive(self):
+        schema = StreamSchema.build(temp=DataType.INTEGER)
+        assert schema["TEMP"].type is DataType.INTEGER
+        assert "Temp" in schema
+        with pytest.raises(SchemaError):
+            schema["missing"]
+
+    def test_validate_fills_missing_with_none(self):
+        schema = StreamSchema.build(a=DataType.INTEGER, b=DataType.VARCHAR)
+        assert schema.validate({"a": 1}) == {"a": 1, "b": None}
+
+    def test_validate_rejects_unknown_field(self):
+        schema = StreamSchema.build(a=DataType.INTEGER)
+        with pytest.raises(SchemaError):
+            schema.validate({"zz": 1})
+
+    def test_validate_rejects_wrong_type(self):
+        schema = StreamSchema.build(a=DataType.INTEGER)
+        with pytest.raises(SchemaError):
+            schema.validate({"a": "not-a-number"})
+
+    def test_validate_ignores_timed_key(self):
+        schema = StreamSchema.build(a=DataType.INTEGER)
+        assert schema.validate({"a": 1, "timed": 99}) == {"a": 1}
+
+    def test_coerce_converts(self):
+        schema = StreamSchema.build(a=DataType.INTEGER, b=DataType.DOUBLE)
+        assert schema.coerce({"a": "7", "b": "1.5"}) == {"a": 7, "b": 1.5}
+
+    def test_project(self):
+        schema = StreamSchema.build(a=DataType.INTEGER, b=DataType.VARCHAR,
+                                    c=DataType.DOUBLE)
+        projected = schema.project(["c", "a"])
+        assert projected.field_names == ("c", "a")
+
+    def test_merge(self):
+        left = StreamSchema.build(a=DataType.INTEGER)
+        right = StreamSchema.build(b=DataType.VARCHAR)
+        assert left.merge(right).field_names == ("a", "b")
+
+    def test_merge_conflict(self):
+        left = StreamSchema.build(a=DataType.INTEGER)
+        with pytest.raises(SchemaError):
+            left.merge(left)
+        assert left.merge(left, on_conflict="skip").field_names == ("a",)
+
+    def test_equality_and_hash(self):
+        a = StreamSchema.build(x=DataType.INTEGER)
+        b = StreamSchema.build(x=DataType.INTEGER)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != StreamSchema.build(x=DataType.DOUBLE)
+
+
+class TestSchemaFromExample:
+    def test_infers_types(self):
+        schema = schema_from_example(
+            {"n": 1, "f": 2.5, "s": "x", "b": b"z"}
+        )
+        assert schema["n"].type is DataType.INTEGER
+        assert schema["f"].type is DataType.DOUBLE
+        assert schema["s"].type is DataType.VARCHAR
+        assert schema["b"].type is DataType.BINARY
+
+    def test_skips_timed(self):
+        schema = schema_from_example({"n": 1, "timed": 123})
+        assert schema.field_names == ("n",)
+
+    def test_none_without_default_raises(self):
+        with pytest.raises(SchemaError):
+            schema_from_example({"n": None})
+
+    def test_none_with_default(self):
+        schema = schema_from_example({"n": None}, default=DataType.DOUBLE)
+        assert schema["n"].type is DataType.DOUBLE

@@ -1,0 +1,81 @@
+"""Unit + integration tests for subscription history windows."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gsntime.clock import VirtualClock
+from repro.notifications.manager import NotificationManager
+from repro.query.processor import QueryProcessor
+from repro.query.repository import QueryRepository
+from repro.sqlengine.executor import Catalog
+from repro.sqlengine.relation import Relation
+
+from tests.conftest import simple_mote_descriptor
+
+
+def make_catalog():
+    # Elements at t = 1000, 2000, ..., 10000.
+    return Catalog({
+        "vs_s": Relation(["v", "timed"],
+                         [(i, i * 1_000) for i in range(1, 11)]),
+    })
+
+
+@pytest.fixture
+def repo():
+    clock = VirtualClock(10_000)
+    return QueryRepository(QueryProcessor(make_catalog),
+                           NotificationManager(), clock)
+
+
+class TestHistoryWindows:
+    def test_history_restricts_visible_rows(self, repo):
+        sub = repo.register("select count(*) n from vs_s", history="3s")
+        repo.data_arrived("vs_s")
+        # now = 10_000, window (7000, 10000]: t = 8000, 9000, 10000.
+        assert sub.last_result.to_dicts() == [{"n": 3}]
+
+    def test_no_history_sees_everything(self, repo):
+        sub = repo.register("select count(*) n from vs_s")
+        repo.data_arrived("vs_s")
+        assert sub.last_result.to_dicts() == [{"n": 10}]
+
+    def test_mixed_subscriptions_one_arrival(self, repo):
+        bounded = repo.register("select count(*) n from vs_s",
+                                history="1s")
+        unbounded = repo.register("select count(*) n from vs_s")
+        repo.data_arrived("vs_s")
+        assert bounded.last_result.to_dicts() == [{"n": 1}]
+        assert unbounded.last_result.to_dicts() == [{"n": 10}]
+
+    def test_bad_history_rejected(self, repo):
+        with pytest.raises(ValidationError, match="history"):
+            repo.register("select 1", history="yesterday")
+
+    def test_history_in_summary(self, repo):
+        sub = repo.register("select 1", history="5s")
+        assert sub.summary()["history_ms"] == 5_000
+
+
+class TestContainerIntegration:
+    def test_active_query_last_10_minutes(self, container):
+        """The demo's flagship active query: averages over the last
+        window only, even though retention holds more."""
+        container.deploy(simple_mote_descriptor(interval_ms=500,
+                                                history="1h"))
+        sub = container.register_query(
+            "select count(*) n from vs_probe", history="2s",
+        )
+        container.run_for(10_000)
+        # At the final arrival, the 2 s window holds 4 elements
+        # (500 ms cadence, window (t-2000, t]).
+        assert sub.last_result.to_dicts() == [{"n": 4}]
+
+    def test_web_interface_passes_history(self, container):
+        from repro.interfaces.web import WebInterface
+        container.deploy(simple_mote_descriptor(interval_ms=500))
+        web = WebInterface(container)
+        response = web.register_query("select count(*) n from vs_probe",
+                                      history="1s")
+        assert response["status"] == 200
+        assert response["subscription"]["history_ms"] == 1_000

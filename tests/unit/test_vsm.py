@@ -1,0 +1,145 @@
+"""Unit tests for the Virtual Sensor Manager (deploy/undeploy/reconfigure)."""
+
+import pytest
+
+from repro.exceptions import DeploymentError, ValidationError
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.storage.manager import StorageManager
+from repro.vsensor.manager import VirtualSensorManager
+from repro.wrappers.registry import default_registry
+
+from tests.conftest import simple_mote_descriptor
+
+
+@pytest.fixture
+def vsm():
+    clock = VirtualClock(1_000)
+    scheduler = EventScheduler(clock)
+    storage = StorageManager()
+    manager = VirtualSensorManager(clock, storage, default_registry(),
+                                   scheduler=scheduler)
+    yield manager
+    manager.stop_all()
+    storage.close()
+
+
+class TestDeploy:
+    def test_deploy_creates_running_sensor(self, vsm):
+        sensor = vsm.deploy(simple_mote_descriptor())
+        assert sensor.lifecycle.state.value == "running"
+        assert "probe" in vsm
+        assert vsm.sensor_names() == ["probe"]
+
+    def test_deploy_without_start(self, vsm):
+        sensor = vsm.deploy(simple_mote_descriptor(), start=False)
+        assert sensor.lifecycle.state.value == "loaded"
+
+    def test_output_stream_created(self, vsm):
+        vsm.deploy(simple_mote_descriptor())
+        assert "vs_probe" in vsm.storage
+
+    def test_duplicate_name_rejected(self, vsm):
+        vsm.deploy(simple_mote_descriptor())
+        with pytest.raises(DeploymentError):
+            vsm.deploy(simple_mote_descriptor())
+
+    def test_invalid_descriptor_leaves_no_residue(self, vsm):
+        bad = simple_mote_descriptor(
+            stream_query="select * from not_an_alias"
+        )
+        with pytest.raises(ValidationError):
+            vsm.deploy(bad)
+        assert vsm.sensor_names() == []
+        assert "vs_probe" not in vsm.storage
+
+    def test_unknown_wrapper_rejected(self, vsm):
+        descriptor = simple_mote_descriptor()
+        source = descriptor.input_streams[0].sources[0]
+        from dataclasses import replace
+        bad_source = replace(source, address=type(source.address)(
+            "hologram", {}))
+        bad_stream = replace(descriptor.input_streams[0],
+                             sources=(bad_source,))
+        bad = replace(descriptor, input_streams=(bad_stream,))
+        with pytest.raises(ValidationError):
+            vsm.deploy(bad)
+
+    def test_remote_without_network_rejected(self, vsm):
+        from dataclasses import replace
+        descriptor = simple_mote_descriptor()
+        source = descriptor.input_streams[0].sources[0]
+        remote_source = replace(source, address=type(source.address)(
+            "remote", {"type": "temperature"}))
+        stream = replace(descriptor.input_streams[0],
+                         sources=(remote_source,))
+        bad = replace(descriptor, input_streams=(stream,))
+        with pytest.raises(DeploymentError, match="peer network"):
+            vsm.deploy(bad)
+
+    def test_deploy_hooks_fire(self, vsm):
+        deployed = []
+        undeployed = []
+        vsm.on_deploy(lambda s: deployed.append(s.name))
+        vsm.on_undeploy(undeployed.append)
+        vsm.deploy(simple_mote_descriptor())
+        vsm.undeploy("probe")
+        assert deployed == ["probe"]
+        assert undeployed == ["probe"]
+
+
+class TestUndeploy:
+    def test_undeploy_stops_and_cleans(self, vsm):
+        sensor = vsm.deploy(simple_mote_descriptor())
+        vsm.undeploy("probe")
+        assert sensor.lifecycle.state.value == "stopped"
+        assert "probe" not in vsm
+        assert "vs_probe" not in vsm.storage
+
+    def test_unknown_name(self, vsm):
+        with pytest.raises(DeploymentError):
+            vsm.undeploy("ghost")
+
+    def test_case_insensitive(self, vsm):
+        vsm.deploy(simple_mote_descriptor())
+        vsm.undeploy("  PROBE ")
+        assert vsm.sensor_names() == []
+
+
+class TestReconfigure:
+    def test_replaces_running_sensor(self, vsm):
+        original = vsm.deploy(simple_mote_descriptor(interval_ms=100))
+        replacement = vsm.reconfigure(simple_mote_descriptor(
+            interval_ms=1_000))
+        assert original.lifecycle.state.value == "stopped"
+        assert replacement is vsm.get("probe")
+        assert replacement is not original
+
+    def test_reconfigure_fresh_name_deploys(self, vsm):
+        sensor = vsm.reconfigure(simple_mote_descriptor(name="new"))
+        assert sensor.name == "new"
+
+    def test_invalid_replacement_keeps_original(self, vsm):
+        original = vsm.deploy(simple_mote_descriptor())
+        bad = simple_mote_descriptor(
+            stream_query="select * from wrong_alias"
+        )
+        with pytest.raises(ValidationError):
+            vsm.reconfigure(bad)
+        assert vsm.get("probe") is original
+        assert original.lifecycle.state.value == "running"
+
+
+class TestStatus:
+    def test_status_document(self, vsm):
+        vsm.deploy(simple_mote_descriptor())
+        status = vsm.status()
+        assert status["deployed"] == ["probe"]
+        assert status["deploy_count"] == 1
+        assert "probe" in status["sensors"]
+
+    def test_stop_all(self, vsm):
+        vsm.deploy(simple_mote_descriptor(name="a"))
+        vsm.deploy(simple_mote_descriptor(name="b"))
+        vsm.stop_all()
+        assert vsm.sensor_names() == []

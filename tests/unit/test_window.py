@@ -1,0 +1,124 @@
+"""Unit tests for count- and time-based windows."""
+
+import pytest
+
+from repro.exceptions import WindowError
+from repro.streams.element import StreamElement
+from repro.streams.window import CountWindow, TimeWindow, make_window
+
+
+def element(timed, value=0):
+    return StreamElement({"v": value}, timed=timed)
+
+
+class TestCountWindow:
+    def test_keeps_last_n(self):
+        window = CountWindow(3)
+        for i in range(5):
+            window.append(element(i * 10, i))
+        assert [e["v"] for e in window.contents()] == [2, 3, 4]
+
+    def test_under_capacity(self):
+        window = CountWindow(5)
+        window.append(element(1))
+        assert len(window) == 1
+
+    def test_rejects_nonpositive_size(self):
+        for bad in (0, -1):
+            with pytest.raises(WindowError):
+                CountWindow(bad)
+
+    def test_rejects_unstamped(self):
+        with pytest.raises(WindowError):
+            CountWindow(2).append(StreamElement({"v": 1}))
+
+    def test_clear(self):
+        window = CountWindow(3)
+        window.append(element(1))
+        window.clear()
+        assert window.contents() == []
+
+    def test_spec_roundtrip(self):
+        assert make_window(CountWindow(7).spec()).size == 7
+
+
+class TestTimeWindow:
+    def test_keeps_trailing_span(self):
+        window = TimeWindow(100)
+        window.append(element(1_000))
+        window.append(element(1_050))
+        window.append(element(1_150))
+        held = window.contents(now=1_150)
+        # (1050, 1150] given span 100: 1000 expired, 1050 is exactly at
+        # the cutoff and excluded, 1150 included.
+        assert [e.timed for e in held] == [1_150]
+
+    def test_contents_without_now_uses_latest(self):
+        window = TimeWindow(200)
+        window.append(element(1_000))
+        window.append(element(1_100))
+        assert [e.timed for e in window.contents()] == [1_000, 1_100]
+
+    def test_empty_window(self):
+        assert TimeWindow(100).contents() == []
+
+    def test_out_of_order_arrivals_tolerated(self):
+        window = TimeWindow(1_000)
+        window.append(element(2_000))
+        window.append(element(1_500))  # late arrival, still in span
+        held = window.contents(now=2_000)
+        assert sorted(e.timed for e in held) == [1_500, 2_000]
+
+    def test_out_of_order_expired_dropped(self):
+        window = TimeWindow(100)
+        window.append(element(2_000))
+        window.append(element(1_000))  # too old already
+        held = window.contents(now=2_000)
+        assert [e.timed for e in held] == [2_000]
+
+    def test_query_older_reference(self):
+        window = TimeWindow(100)
+        window.append(element(1_000))
+        window.append(element(1_200))
+        # Querying "as of" 1000 must not show the future element.
+        assert [e.timed for e in window.contents(now=1_000)] == [1_000]
+
+    def test_rejects_nonpositive_span(self):
+        with pytest.raises(WindowError):
+            TimeWindow(0)
+
+    def test_rejects_unstamped(self):
+        with pytest.raises(WindowError):
+            TimeWindow(10).append(StreamElement({"v": 1}))
+
+    def test_clear_resets(self):
+        window = TimeWindow(100)
+        window.append(element(1_000))
+        window.clear()
+        assert window.contents() == []
+        window.append(element(5))
+        assert len(window.contents()) == 1
+
+    def test_expiry_frees_memory(self):
+        window = TimeWindow(50)
+        for t in range(0, 1_000, 10):
+            window.append(element(t + 1))
+        window.contents()
+        assert len(window._elements) <= 6
+
+
+class TestMakeWindow:
+    def test_count_spec(self):
+        window = make_window("10")
+        assert isinstance(window, CountWindow)
+        assert window.size == 10
+
+    def test_time_spec(self):
+        window = make_window("10s")
+        assert isinstance(window, TimeWindow)
+        assert window.span_millis == 10_000
+
+    @pytest.mark.parametrize("bad", ["", "0", "abc", "-5s"])
+    def test_bad_specs(self, bad):
+        with pytest.raises(WindowError):
+            make_window(bad)

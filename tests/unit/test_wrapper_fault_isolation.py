@@ -1,0 +1,74 @@
+"""Faulty devices must not take the node's event loop down."""
+
+from repro.datatypes import DataType
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.streams.schema import StreamSchema
+from repro.wrappers.base import WrapperState
+from repro.wrappers.scripted import ScriptedWrapper
+
+
+def flaky_producer(fail_at):
+    state = {"count": 0}
+
+    def produce(now):
+        state["count"] += 1
+        if state["count"] in fail_at:
+            raise RuntimeError("device glitch")
+        return {"v": state["count"]}
+
+    return produce
+
+
+def build(producer):
+    clock = VirtualClock(0)
+    scheduler = EventScheduler(clock)
+    wrapper = ScriptedWrapper()
+    wrapper.script(producer, StreamSchema.build(v=DataType.INTEGER))
+    wrapper.attach(clock, scheduler)
+    wrapper.configure({"interval": "100"})
+    wrapper.start()
+    return scheduler, wrapper
+
+
+class TestFaultIsolation:
+    def test_single_glitch_skips_one_cycle(self):
+        scheduler, wrapper = build(flaky_producer(fail_at={3}))
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(1_000)  # exception must not escape here
+        assert wrapper.produce_failures == 1
+        assert len(seen) == 9
+        assert wrapper.state is WrapperState.RUNNING
+
+    def test_persistent_fault_stops_wrapper(self):
+        scheduler, wrapper = build(flaky_producer(fail_at=set(range(1, 100))))
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(5_000)
+        assert wrapper.state is WrapperState.STOPPED
+        assert wrapper.produce_failures == wrapper.MAX_CONSECUTIVE_FAILURES
+        assert seen == []
+        # Once stopped, no further events fire for this wrapper.
+        fired_before = scheduler.events_fired
+        scheduler.run_for(2_000)
+        assert scheduler.events_fired == fired_before
+
+    def test_recovery_resets_consecutive_count(self):
+        # Fail 9 in a row (below the cap of 10), recover once, fail 9 more:
+        # the wrapper must survive both stretches.
+        fail_at = set(range(1, 10)) | set(range(11, 20))
+        scheduler, wrapper = build(flaky_producer(fail_at=fail_at))
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(2_500)
+        assert wrapper.state is WrapperState.RUNNING
+        assert wrapper.produce_failures == 18
+        assert len(seen) == 25 - 18
+
+    def test_manual_tick_still_raises(self):
+        """tick() is the caller's direct request — failures propagate."""
+        import pytest
+        __, wrapper = build(flaky_producer(fail_at={1}))
+        with pytest.raises(RuntimeError):
+            wrapper.tick()

@@ -1,0 +1,372 @@
+"""Unit tests for the wrapper API, registry, and device wrappers."""
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.exceptions import WrapperError
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.streams.schema import StreamSchema
+from repro.wrappers.base import PeriodicWrapper, Wrapper, WrapperState
+from repro.wrappers.camera import CameraWrapper
+from repro.wrappers.motes import MoteWrapper
+from repro.wrappers.registry import WrapperRegistry, default_registry
+from repro.wrappers.replay import ReplayWrapper
+from repro.wrappers.rfid import RFIDReaderWrapper
+from repro.wrappers.scripted import ScriptedWrapper, SystemClockWrapper
+
+
+@pytest.fixture
+def wired():
+    clock = VirtualClock(1_000_000)
+    scheduler = EventScheduler(clock)
+
+    def build(wrapper, predicates=None):
+        wrapper.attach(clock, scheduler)
+        wrapper.configure(predicates or {})
+        wrapper.start()
+        return wrapper
+
+    return clock, scheduler, build
+
+
+class TestWrapperBase:
+    def test_lifecycle_states(self):
+        wrapper = SystemClockWrapper()
+        assert wrapper.state is WrapperState.CREATED
+        wrapper.configure({})
+        assert wrapper.state is WrapperState.CONFIGURED
+        wrapper.start()
+        assert wrapper.state is WrapperState.RUNNING
+        wrapper.stop()
+        assert wrapper.state is WrapperState.STOPPED
+
+    def test_start_autoconfigures(self):
+        wrapper = SystemClockWrapper()
+        wrapper.start()
+        assert wrapper.state is WrapperState.RUNNING
+
+    def test_cannot_reconfigure_running(self):
+        wrapper = SystemClockWrapper()
+        wrapper.start()
+        with pytest.raises(WrapperError):
+            wrapper.configure({"interval": "5"})
+
+    def test_listeners_receive_emits(self, wired):
+        __, __, build = wired
+        wrapper = build(SystemClockWrapper(), {"interval": "100"})
+        seen = []
+        wrapper.add_listener(seen.append)
+        wrapper.tick()
+        assert len(seen) == 1
+        wrapper.remove_listener(seen.append)
+        wrapper.tick()
+        assert len(seen) == 1
+
+    def test_config_helpers(self):
+        wrapper = SystemClockWrapper()
+        wrapper.config = {"n": "5", "f": "2.5", "s": "txt"}
+        assert wrapper.config_int("n", 0) == 5
+        assert wrapper.config_float("f", 0) == 2.5
+        assert wrapper.config_str("s") == "txt"
+        assert wrapper.config_int("missing", 9) == 9
+        with pytest.raises(WrapperError):
+            wrapper.config_int("s", 0)
+
+    def test_bad_interval(self):
+        wrapper = SystemClockWrapper()
+        with pytest.raises(WrapperError):
+            wrapper.configure({"interval": "0"})
+
+
+class TestPeriodicScheduling:
+    def test_scheduler_driven_production(self, wired):
+        __, scheduler, build = wired
+        wrapper = build(SystemClockWrapper(), {"interval": "100"})
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(1_000)
+        assert len(seen) == 10
+
+    def test_stop_cancels_events(self, wired):
+        __, scheduler, build = wired
+        wrapper = build(SystemClockWrapper(), {"interval": "100"})
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(300)
+        wrapper.stop()
+        scheduler.run_for(1_000)
+        assert len(seen) == 3
+
+    def test_phase_offsets_first_firing(self, wired):
+        __, scheduler, build = wired
+        wrapper = build(SystemClockWrapper(), {"interval": "100",
+                                               "phase": "30"})
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(130)
+        assert [e.timed for e in seen] == [1_000_030, 1_000_130]
+
+    def test_tick_requires_running(self):
+        wrapper = SystemClockWrapper()
+        with pytest.raises(WrapperError):
+            wrapper.tick()
+
+
+class TestMoteWrapper:
+    def test_schema(self):
+        assert set(MoteWrapper().output_schema().field_names) == {
+            "node_id", "light", "temperature", "accel_x", "accel_y"}
+
+    def test_produces_plausible_readings(self, wired):
+        __, __, build = wired
+        mote = build(MoteWrapper(), {"node-id": "3", "seed": "3"})
+        reading = mote.tick()
+        assert reading["node_id"] == 3
+        assert reading["light"] >= 0
+        assert 10 <= reading["temperature"] <= 35
+
+    def test_seeded_reproducibility(self, wired):
+        clock, __, build = wired
+        a = build(MoteWrapper(), {"seed": "7"})
+        b = build(MoteWrapper(), {"seed": "7"})
+        assert a.tick().values == b.tick().values
+
+    def test_cover_light_sensor(self, wired):
+        __, __, build = wired
+        mote = build(MoteWrapper(), {"light-base": "1000", "seed": "1"})
+        normal = mote.tick()["light"]
+        mote.cover_light_sensor()
+        covered = mote.tick()["light"]
+        assert covered < normal / 5
+        mote.uncover_light_sensor()
+        assert mote.tick()["light"] > covered
+
+    def test_missing_rate_produces_nulls(self, wired):
+        __, __, build = wired
+        mote = build(MoteWrapper(), {"missing-rate": "1.0"})
+        reading = mote.tick()
+        assert reading["light"] is None
+        assert reading["temperature"] is None
+
+
+class TestRFIDWrapper:
+    def test_manual_detection(self, wired):
+        __, __, build = wired
+        reader = build(RFIDReaderWrapper(), {"reader-id": "2"})
+        seen = []
+        reader.add_listener(seen.append)
+        reader.detect("tag-42")
+        assert seen[0]["tag_id"] == "tag-42"
+        assert seen[0]["reader_id"] == 2
+        assert -60 <= seen[0]["signal_strength"] <= -30
+
+    def test_detect_requires_running(self):
+        reader = RFIDReaderWrapper()
+        reader.configure({})
+        with pytest.raises(WrapperError):
+            reader.detect("t")
+
+    def test_polling_rate(self, wired):
+        __, scheduler, build = wired
+        reader = build(RFIDReaderWrapper(), {
+            "interval": "100", "tags": "a,b", "detection-rate": "1.0",
+            "seed": "1",
+        })
+        seen = []
+        reader.add_listener(seen.append)
+        scheduler.run_for(1_000)
+        assert len(seen) == 10
+        assert {e["tag_id"] for e in seen} <= {"a", "b"}
+
+    def test_zero_rate_detects_nothing(self, wired):
+        __, scheduler, build = wired
+        reader = build(RFIDReaderWrapper(), {"interval": "100",
+                                             "tags": "a"})
+        seen = []
+        reader.add_listener(seen.append)
+        scheduler.run_for(1_000)
+        assert seen == []
+
+    def test_bad_detection_rate(self):
+        reader = RFIDReaderWrapper()
+        with pytest.raises(WrapperError):
+            reader.configure({"detection-rate": "1.5"})
+
+
+class TestCameraWrapper:
+    def test_frame_size_exact(self, wired):
+        __, __, build = wired
+        camera = build(CameraWrapper(), {"image-size": "1024"})
+        reading = camera.tick()
+        assert len(reading["image"]) == 1024
+        assert reading["image"][:2] == b"\xff\xd8"  # JPEG magic
+
+    def test_snapshot_distinct_frames(self, wired):
+        clock, __, build = wired
+        camera = build(CameraWrapper(), {"image-size": "64"})
+        first = camera.snapshot()
+        clock.advance(5)
+        second = camera.snapshot()
+        assert first["image"] != second["image"]
+        assert len(first["image"]) == 64
+
+    def test_too_small_size_rejected(self):
+        camera = CameraWrapper()
+        with pytest.raises(WrapperError):
+            camera.configure({"image-size": "2"})
+
+    def test_metadata(self, wired):
+        __, __, build = wired
+        camera = build(CameraWrapper(), {"camera-id": "5", "width": "320",
+                                         "height": "240"})
+        reading = camera.tick()
+        assert (reading["camera_id"], reading["width"],
+                reading["height"]) == (5, 320, 240)
+
+
+class TestReplayWrapper:
+    TRACE = [
+        {"timed": 100, "v": 1},
+        {"timed": 300, "v": 2},
+        {"timed": 600, "v": 3},
+    ]
+
+    def test_replay_all(self):
+        wrapper = ReplayWrapper()
+        wrapper.load_rows(self.TRACE)
+        wrapper.configure({})
+        seen = []
+        wrapper.add_listener(seen.append)
+        wrapper.start()
+        assert wrapper.replay_all() == 3
+        assert [e.timed for e in seen] == [100, 300, 600]
+        assert [e["v"] for e in seen] == [1, 2, 3]
+
+    def test_scheduled_replay_preserves_gaps(self, wired):
+        __, scheduler, build = wired
+        wrapper = ReplayWrapper()
+        wrapper.load_rows(self.TRACE)
+        build(wrapper, {})
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(10_000)
+        gaps = [b.timed - a.timed for a, b in zip(seen, seen[1:])]
+        assert gaps == [200, 300]
+
+    def test_speedup(self, wired):
+        __, scheduler, build = wired
+        wrapper = ReplayWrapper()
+        wrapper.load_rows(self.TRACE)
+        build(wrapper, {"speedup": "2"})
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(10_000)
+        gaps = [b.timed - a.timed for a, b in zip(seen, seen[1:])]
+        assert gaps == [100, 150]
+
+    def test_csv_loading(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("timed,v,name\n100,1,a\n200,,b\n")
+        wrapper = ReplayWrapper()
+        wrapper.configure({"file": str(path)})
+        wrapper.start()
+        seen = []
+        wrapper.add_listener(seen.append)
+        wrapper.replay_all()
+        assert seen[0]["v"] == 1
+        assert seen[1]["v"] is None
+        assert seen[1]["name"] == "b"
+
+    def test_empty_trace_rejected(self):
+        wrapper = ReplayWrapper()
+        with pytest.raises(WrapperError):
+            wrapper.load_rows([])
+
+    def test_trace_needs_timed(self):
+        wrapper = ReplayWrapper()
+        with pytest.raises(WrapperError):
+            wrapper.load_rows([{"v": 1}])
+
+    def test_start_without_trace(self):
+        wrapper = ReplayWrapper()
+        wrapper.configure({})
+        with pytest.raises(WrapperError):
+            wrapper.start()
+
+
+class TestScriptedWrapper:
+    def test_produces_from_callable(self, wired):
+        __, scheduler, build = wired
+        wrapper = ScriptedWrapper()
+        wrapper.script(lambda now: {"n": now % 7},
+                       StreamSchema.build(n=DataType.INTEGER))
+        build(wrapper, {"interval": "100"})
+        seen = []
+        wrapper.add_listener(seen.append)
+        scheduler.run_for(300)
+        assert len(seen) == 3
+
+    def test_requires_script(self):
+        wrapper = ScriptedWrapper()
+        with pytest.raises(WrapperError):
+            wrapper.output_schema()
+
+    def test_none_skips_cycle(self, wired):
+        __, __, build = wired
+        wrapper = ScriptedWrapper()
+        wrapper.script(lambda now: None,
+                       StreamSchema.build(n=DataType.INTEGER))
+        build(wrapper, {})
+        assert wrapper.tick() is None
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        registry = default_registry()
+        for name in ("mote", "mica2", "tinynode", "rfid", "camera",
+                     "remote", "replay", "scripted", "system-clock"):
+            assert name in registry
+
+    def test_create_returns_fresh_instances(self):
+        registry = default_registry()
+        assert registry.create("mote") is not registry.create("mote")
+
+    def test_unknown_wrapper(self):
+        registry = WrapperRegistry()
+        with pytest.raises(WrapperError):
+            registry.create("nope")
+
+    def test_register_custom(self):
+        registry = WrapperRegistry()
+
+        @registry.register
+        class MyWrapper(PeriodicWrapper):
+            wrapper_name = "custom"
+
+            def output_schema(self):
+                return StreamSchema.build(x=DataType.INTEGER)
+
+            def produce(self, now):
+                return {"x": 1}
+
+        assert isinstance(registry.create("custom"), MyWrapper)
+
+    def test_abstract_name_rejected(self):
+        registry = WrapperRegistry()
+        with pytest.raises(WrapperError):
+            registry.register(Wrapper)
+
+    def test_conflicting_registration_rejected(self):
+        registry = WrapperRegistry()
+        registry.register(MoteWrapper)
+        with pytest.raises(WrapperError):
+            class Impostor(Wrapper):
+                wrapper_name = "mote"
+            registry.register(Impostor)
+
+    def test_alias(self):
+        registry = WrapperRegistry()
+        registry.register(MoteWrapper)
+        registry.register_alias("mica999", "mote")
+        assert isinstance(registry.create("mica999"), MoteWrapper)
