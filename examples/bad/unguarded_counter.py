@@ -1,0 +1,36 @@
+"""Seeded-bad module for the concurrency lint (GSN4xx rules).
+
+Running ``gsn-lint examples/bad/unguarded_counter.py`` reports:
+
+- GSN401 — ``bump`` writes the guarded counter without the lock and
+  ``record`` mutates the guarded list without the lock;
+- GSN402 — ``history`` declares a lock attribute the class never has;
+- GSN403 — ``flush`` calls a ``requires-lock`` method lock-free.
+"""
+
+import threading
+
+
+class UnguardedCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+        self.events = []  # guarded-by: _lock
+        self.history = []  # guarded-by: _history_lock
+
+    def bump(self) -> None:
+        self.value += 1  # GSN401: no lock held
+
+    def record(self, event: str) -> None:
+        self.events.append(event)  # GSN401: mutation without the lock
+
+    def _drain(self) -> list:  # requires-lock: _lock
+        drained, self.events = self.events, []
+        return drained
+
+    def flush(self) -> list:
+        return self._drain()  # GSN403: caller does not hold _lock
+
+    def safe_bump(self) -> None:
+        with self._lock:
+            self.value += 1  # correct: lock held

@@ -1,0 +1,42 @@
+"""gsn-lint: deployment-time static analysis for GSN.
+
+A multi-pass analyzer over virtual-sensor deployment descriptors (schema
+inference & type checking, dependency-graph analysis, resource
+estimation) plus a concurrency lint over Python sources following the
+``# guarded-by:`` convention. See ``docs/analysis-reference.md`` for the
+rule catalogue.
+
+Programmatic entry points::
+
+    from repro.analysis import analyze, analyze_descriptor, lint_files
+
+    report = analyze(descriptors, registry=default_registry())
+    if not report.ok:
+        print(report.render())
+
+Command line::
+
+    gsn-lint examples/descriptors/*.xml
+    python -m repro.analysis --self-check
+"""
+
+from repro.analysis.locklint import lint_file, lint_files, lint_source
+from repro.analysis.passes import (
+    DEFAULT_MEMORY_BUDGET, analyze, analyze_descriptor,
+    estimate_window_memory, schema_check,
+)
+from repro.analysis.rules import (
+    ERROR, WARNING, Finding, Report, Rule, catalogue, describe,
+)
+from repro.analysis.schema_infer import (
+    SchemaInferencer, infer_output_schema, wrapper_relation_schema,
+)
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET", "ERROR", "WARNING",
+    "Finding", "Report", "Rule", "SchemaInferencer",
+    "analyze", "analyze_descriptor", "catalogue", "describe",
+    "estimate_window_memory", "infer_output_schema",
+    "lint_file", "lint_files", "lint_source", "schema_check",
+    "wrapper_relation_schema",
+]

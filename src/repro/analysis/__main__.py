@@ -1,0 +1,9 @@
+"""``python -m repro.analysis`` — same interface as the ``gsn-lint``
+console script."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

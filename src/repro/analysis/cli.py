@@ -1,0 +1,133 @@
+"""The ``gsn-lint`` command line interface.
+
+Usage::
+
+    gsn-lint [options] PATH...
+
+``.xml`` paths are parsed as virtual-sensor descriptors and run through
+the schema, graph, and resource passes *as one deployment set* (so
+cross-sensor references resolve). ``.py`` paths are run through the
+concurrency lint. ``--self-check`` lints the bundled concurrency-
+sensitive modules of repro itself.
+
+Exit codes: 0 — clean (or warnings only), 1 — error findings,
+2 — bad invocation or unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis import locklint
+from repro.analysis.passes import DEFAULT_MEMORY_BUDGET, analyze
+from repro.analysis.rules import Report, catalogue
+from repro.descriptors.model import VirtualSensorDescriptor
+from repro.descriptors.xml_io import descriptor_from_file
+from repro.exceptions import GSNError
+from repro.wrappers.registry import default_registry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gsn-lint",
+        description="Static analyzer for GSN virtual-sensor deployments.",
+    )
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="descriptor .xml files and/or python .py "
+                             "files to lint")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run the concurrency lint over repro's own "
+                             "lock-guarded modules")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="findings output format")
+    parser.add_argument("--memory-budget-mb", type=int, default=None,
+                        metavar="MB",
+                        help="per-source window memory budget for GSN301 "
+                             "(default 64)")
+    parser.add_argument("--strict-warnings", action="store_true",
+                        help="exit nonzero on warnings too")
+    parser.add_argument("--external-producers", action="store_true",
+                        help="assume remote sources may resolve on other "
+                             "nodes (suppresses GSN202/GSN203)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line when clean")
+    return parser
+
+
+def _load_descriptors(paths: Sequence[str], report: Report
+                      ) -> Tuple[List[VirtualSensorDescriptor], List[str]]:
+    descriptors: List[VirtualSensorDescriptor] = []
+    sources: List[str] = []
+    for path in paths:
+        try:
+            descriptors.append(descriptor_from_file(path))
+            sources.append(path)
+        except GSNError as exc:
+            report.add("GSN100", str(exc), source=path)
+    return descriptors, sources
+
+
+def _print_rules() -> None:
+    for rule in catalogue():
+        print(f"{rule.id}  {rule.severity:7s}  {rule.title}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    xml_paths = [p for p in args.paths if p.lower().endswith(".xml")]
+    py_paths = [p for p in args.paths if p.lower().endswith(".py")]
+    other = [p for p in args.paths if p not in xml_paths + py_paths]
+    if other:
+        parser.error(f"unsupported input(s): {other} "
+                     f"(expected .xml descriptors or .py sources)")
+    if args.self_check:
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))  # .../src/repro
+        for relative in locklint.SELF_CHECK_MODULES:
+            py_paths.append(os.path.join(package_root, relative))
+    if not xml_paths and not py_paths:
+        parser.error("nothing to lint: pass descriptor/python paths or "
+                     "--self-check")
+
+    report = Report()
+    descriptors, sources = _load_descriptors(xml_paths, report)
+    if descriptors:
+        budget = (args.memory_budget_mb * 1024 * 1024
+                  if args.memory_budget_mb else DEFAULT_MEMORY_BUDGET)
+        report.extend(analyze(
+            descriptors, registry=default_registry(), sources=sources,
+            memory_budget=budget,
+            external_producers=args.external_producers,
+        ))
+
+    missing = [p for p in py_paths if not os.path.exists(p)]
+    if missing:
+        print(f"gsn-lint: cannot read {missing}", file=sys.stderr)
+        return 2
+    locklint.lint_files(py_paths, report)
+
+    failed = bool(report.errors) or (args.strict_warnings
+                                     and bool(report.warnings))
+    if args.format == "json":
+        print(json.dumps({"findings": report.as_dicts(),
+                          "errors": len(report.errors),
+                          "warnings": len(report.warnings)}, indent=2))
+    elif report.findings or not args.quiet:
+        print(report.render())
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""The gsn-lint rule catalogue.
+
+Every finding carries a stable rule ID (``GSN101``, ``GSN201``, ...) so
+CI output stays diffable across analyzer versions. IDs are grouped by
+pass:
+
+- ``GSN1xx`` — schema inference & type checking over descriptor queries
+- ``GSN2xx`` — cross-virtual-sensor graph analysis
+- ``GSN3xx`` — resource estimation (window memory, storage growth)
+- ``GSN4xx`` — concurrency lint over Python sources (``# guarded-by:``)
+
+Severities: ``error`` findings would fail (or silently corrupt) a
+deployment and make :func:`repro.analysis.analyze` callers such as
+``Container.deploy(strict=True)`` reject the descriptor; ``warning``
+findings are reported but do not fail the lint run unless the caller
+opts in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One statically-decidable deployment defect class."""
+
+    id: str
+    severity: str
+    title: str
+
+
+_CATALOGUE: List[Rule] = [
+    # -- schema pass -------------------------------------------------------
+    Rule("GSN100", ERROR, "descriptor fails basic validation "
+                          "(query parse, window spec, table use)"),
+    Rule("GSN101", ERROR, "unknown column reference"),
+    Rule("GSN102", ERROR, "query reads an unknown or illegal table"),
+    Rule("GSN103", ERROR, "type mismatch in comparison, join or arithmetic"),
+    Rule("GSN104", ERROR, "call to an unknown SQL function"),
+    Rule("GSN105", ERROR, "declared output field is never produced"),
+    Rule("GSN106", WARNING, "query column not in output-structure (dropped)"),
+    Rule("GSN107", ERROR, "produced type cannot convert to declared type"),
+    Rule("GSN108", WARNING, "schema not statically derivable; checks skipped"),
+    Rule("GSN109", ERROR, "wrapper unknown or rejects its configuration"),
+    Rule("GSN110", WARNING, "ambiguous unqualified column reference"),
+    # -- graph pass --------------------------------------------------------
+    Rule("GSN201", ERROR, "virtual-sensor dependency cycle"),
+    Rule("GSN202", ERROR, "remote source matches no known producer"),
+    Rule("GSN203", WARNING, "remote source matches multiple producers"),
+    Rule("GSN204", ERROR, "addressing predicates are unsatisfiable"),
+    Rule("GSN205", ERROR, "duplicate virtual-sensor name in deployment set"),
+    # -- resource pass -----------------------------------------------------
+    Rule("GSN301", ERROR, "estimated window memory exceeds budget"),
+    Rule("GSN302", WARNING, "permanent storage with unbounded history"),
+    Rule("GSN303", WARNING, "unbounded history fed at full trigger rate "
+                            "(no slide)"),
+    Rule("GSN304", WARNING, "very large count-based window"),
+    Rule("GSN305", WARNING, "remote source without disconnect buffer"),
+    # -- concurrency lint --------------------------------------------------
+    Rule("GSN401", ERROR, "guarded field touched outside its declared lock"),
+    Rule("GSN402", ERROR, "guard annotation names an unknown lock"),
+    Rule("GSN403", ERROR, "requires-lock method called without the lock"),
+]
+
+RULES: Dict[str, Rule] = {rule.id: rule for rule in _CATALOGUE}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule_id: str
+    message: str
+    location: str = ""
+    source: str = ""  # file path (or "<descriptor>" for in-memory input)
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    @property
+    def severity(self) -> str:
+        return self.rule.severity
+
+    def render(self) -> str:
+        prefix = f"{self.source}: " if self.source else ""
+        where = f" [{self.location}]" if self.location else ""
+        return (f"{prefix}{self.rule_id} {self.severity}{where}: "
+                f"{self.message}")
+
+
+@dataclass
+class Report:
+    """The accumulated findings of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, rule_id: str, message: str, location: str = "",
+            source: str = "") -> Finding:
+        if rule_id not in RULES:
+            raise KeyError(f"unknown rule id {rule_id!r}")
+        finding = Finding(rule_id, message, location, source)
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, other: "Report") -> None:
+        self.findings.extend(other.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def by_rule(self, rule_id: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+    def rule_ids(self) -> List[str]:
+        return sorted({f.rule_id for f in self.findings})
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"gsn-lint: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def as_dicts(self) -> List[Dict[str, str]]:
+        return [
+            {
+                "rule": f.rule_id,
+                "severity": f.severity,
+                "message": f.message,
+                "location": f.location,
+                "source": f.source,
+            }
+            for f in self.findings
+        ]
+
+
+def catalogue() -> List[Rule]:
+    """All rules, in ID order (the reference docs are generated from
+    this)."""
+    return sorted(_CATALOGUE, key=lambda rule: rule.id)
+
+
+def describe(rule_id: str) -> Optional[Rule]:
+    return RULES.get(rule_id)

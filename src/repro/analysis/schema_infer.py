@@ -1,0 +1,438 @@
+"""Schema and type inference over SQL ASTs.
+
+Given relation schemas for every table a query may read (column name →
+:class:`~repro.datatypes.DataType`, ``None`` when statically unknown),
+this module derives the output schema of a ``SELECT`` statement and
+reports unknown columns, unknown functions, and type-mismatched
+comparisons/joins as findings. Inference mirrors the executor: output
+column names come from :mod:`repro.sqlengine.introspect` so the derived
+schema matches the relation the engine would actually produce.
+
+Unknown types propagate silently (``None``): the analyzer only flags
+what it can *prove* wrong, never what it merely cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.datatypes import DataType, sql_affinity
+from repro.exceptions import SchemaError
+from repro.sqlengine.ast_nodes import (
+    AGGREGATE_FUNCTIONS, BetweenExpr, BinaryOp, CaseExpr, CastExpr,
+    ColumnRef, ExistsExpr, FunctionCall, InExpr, IsNullExpr, Join,
+    LikeExpr, Literal, Node, ScalarSubquery, SelectStatement, Star,
+    SubqueryRef, TableRef, UnaryOp,
+)
+from repro.sqlengine.functions import SCALAR_FUNCTIONS
+from repro.sqlengine.introspect import dedupe_columns, expression_name
+from repro.streams.schema import TIMED_FIELD, StreamSchema
+
+from repro.analysis.rules import Report
+
+#: An inferred relation schema: ordered column name -> type (None=unknown).
+RelSchema = Dict[str, Optional[DataType]]
+
+_COMPARISONS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+_ARITHMETIC = {"+", "-", "*", "/", "%"}
+_NUMERIC = {DataType.INTEGER, DataType.DOUBLE, DataType.BOOLEAN,
+            DataType.TIMESTAMP}
+
+#: Return-type rules for scalar functions: a DataType, "arg" (same as the
+#: first argument), or None (statically unknown).
+_SCALAR_RETURNS: Dict[str, object] = {
+    "abs": "arg", "round": "arg", "mod": "arg",
+    "floor": DataType.INTEGER, "ceil": DataType.INTEGER,
+    "ceiling": DataType.INTEGER, "sign": DataType.INTEGER,
+    "length": DataType.INTEGER, "instr": DataType.INTEGER,
+    "octet_length": DataType.INTEGER,
+    "sqrt": DataType.DOUBLE, "power": DataType.DOUBLE,
+    "upper": DataType.VARCHAR, "lower": DataType.VARCHAR,
+    "trim": DataType.VARCHAR, "ltrim": DataType.VARCHAR,
+    "rtrim": DataType.VARCHAR, "substr": DataType.VARCHAR,
+    "substring": DataType.VARCHAR, "replace": DataType.VARCHAR,
+    "concat": DataType.VARCHAR,
+    "coalesce": "arg", "ifnull": "arg", "nullif": "arg",
+}
+
+#: Scalar functions whose arguments must be numeric.
+_NUMERIC_ARG_FUNCTIONS = {"abs", "round", "floor", "ceil", "ceiling",
+                          "sqrt", "power", "mod", "sign"}
+
+_AGGREGATE_RETURNS: Dict[str, object] = {
+    "avg": DataType.DOUBLE, "stddev": DataType.DOUBLE,
+    "variance": DataType.DOUBLE, "median": DataType.DOUBLE,
+    "count": DataType.INTEGER,
+    "sum": "arg", "min": "arg", "max": "arg",
+    "first": "arg", "last": "arg",
+    "group_concat": DataType.VARCHAR,
+}
+
+#: Aggregates whose argument must be numeric.
+_NUMERIC_AGGREGATES = {"avg", "sum", "stddev", "variance", "median"}
+
+
+def wrapper_relation_schema(schema: StreamSchema) -> RelSchema:
+    """The relation a source window exposes as ``WRAPPER``: the wrapper's
+    fields plus the implicit ``timed`` timestamp column."""
+    relation: RelSchema = {f.name: f.type for f in schema}
+    relation[TIMED_FIELD] = DataType.TIMESTAMP
+    return relation
+
+
+def type_group(dtype: DataType) -> str:
+    if dtype in _NUMERIC:
+        return "numeric"
+    return dtype.value  # varchar / binary form their own groups
+
+
+def comparable(left: Optional[DataType], right: Optional[DataType]) -> bool:
+    """Whether a comparison between the two types can ever be true without
+    a runtime type error. Unknown types compare with anything."""
+    if left is None or right is None:
+        return True
+    return type_group(left) == type_group(right)
+
+
+class _Scope:
+    """Resolution scope: the FROM bindings of a query, chained outward for
+    correlated subqueries (inner-first lookup, like the executor's Env)."""
+
+    def __init__(self, bindings: "Dict[str, RelSchema]",
+                 outer: "Optional[_Scope]" = None) -> None:
+        self.bindings = bindings
+        self.outer = outer
+
+    def resolve(self, ref: ColumnRef) -> Tuple[bool, List[str],
+                                               Optional[DataType]]:
+        """Resolve a column reference.
+
+        Returns ``(found, bindings_that_have_it, type)``; more than one
+        binding means the unqualified reference is ambiguous (the
+        executor takes the first, and so do we).
+        """
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if ref.table is not None:
+                relation = scope.bindings.get(ref.table)
+                if relation is not None:
+                    if ref.name in relation:
+                        return True, [ref.table], relation[ref.name]
+                    return False, [ref.table], None
+            else:
+                hits = [
+                    binding for binding, relation in scope.bindings.items()
+                    if ref.name in relation
+                ]
+                if hits:
+                    return True, hits, scope.bindings[hits[0]][ref.name]
+            scope = scope.outer
+        return False, [], None
+
+    def known_columns(self) -> List[str]:
+        names: List[str] = []
+        for relation in self.bindings.values():
+            for column in relation:
+                if column not in names:
+                    names.append(column)
+        return names
+
+
+class SchemaInferencer:
+    """Infers output schemas and type-checks expressions, accumulating
+    findings into a :class:`Report` instead of raising."""
+
+    def __init__(self, tables: Dict[str, RelSchema], report: Report,
+                 context: str, source: str = "") -> None:
+        self.tables = tables
+        self.report = report
+        self.context = context
+        self.source = source
+
+    def _add(self, rule_id: str, message: str) -> None:
+        self.report.add(rule_id, message, location=self.context,
+                        source=self.source)
+
+    # -- statement level ---------------------------------------------------
+
+    def infer_statement(self, statement: SelectStatement,
+                        outer: Optional[_Scope] = None
+                        ) -> Optional[RelSchema]:
+        """Infer the output schema of a SELECT, or ``None`` when the FROM
+        clause is unresolvable (findings are reported either way)."""
+        scope = self._build_scope(statement, outer)
+        if scope is None:
+            return None
+
+        for clause in (statement.where, statement.having):
+            if clause is not None:
+                self.infer_expression(clause, scope)
+        for expr in statement.group_by:
+            self.infer_expression(expr, scope)
+        for order in statement.order_by:
+            # ORDER BY may name an output column or a positional index;
+            # only check obvious expression forms.
+            if not isinstance(order.expression, (ColumnRef, Literal)):
+                self.infer_expression(order.expression, scope)
+
+        names: List[str] = []
+        types: List[Optional[DataType]] = []
+        for item in statement.items:
+            expr = item.expression
+            if isinstance(expr, Star):
+                for column, dtype in self._expand_star(expr, scope):
+                    names.append(column)
+                    types.append(dtype)
+                continue
+            dtype = self.infer_expression(expr, scope)
+            names.append(item.alias or expression_name(expr))
+            types.append(dtype)
+
+        for op in statement.set_operations:
+            self.infer_statement(op.right, outer)
+
+        deduped = dedupe_columns(names)
+        return dict(zip(deduped, types))
+
+    def _build_scope(self, statement: SelectStatement,
+                     outer: Optional[_Scope]) -> Optional[_Scope]:
+        bindings: Dict[str, RelSchema] = {}
+        resolvable = True
+        join_conditions: List[Node] = []
+
+        def collect(item: Node) -> None:
+            nonlocal resolvable
+            if isinstance(item, TableRef):
+                relation = self.tables.get(item.name)
+                if relation is None:
+                    self._add(
+                        "GSN102",
+                        f"query reads unknown table {item.name!r}; "
+                        f"known: {sorted(self.tables)}",
+                    )
+                    resolvable = False
+                else:
+                    bindings[item.binding] = relation
+            elif isinstance(item, SubqueryRef):
+                inner = self.infer_statement(item.subquery, outer)
+                if inner is None:
+                    resolvable = False
+                else:
+                    bindings[item.alias] = inner
+            elif isinstance(item, Join):
+                collect(item.left)
+                collect(item.right)
+                if item.condition is not None:
+                    join_conditions.append(item.condition)
+
+        for item in statement.from_items:
+            collect(item)
+        if not resolvable:
+            return None
+        scope = _Scope(bindings, outer)
+        for condition in join_conditions:
+            self.infer_expression(condition, scope)
+        return scope
+
+    def _expand_star(self, star: Star, scope: _Scope
+                     ) -> List[Tuple[str, Optional[DataType]]]:
+        columns: List[Tuple[str, Optional[DataType]]] = []
+        if star.table is not None:
+            relation = scope.bindings.get(star.table)
+            if relation is None:
+                self._add("GSN102",
+                          f"{star.table}.* references unknown table "
+                          f"{star.table!r}")
+                return columns
+            return list(relation.items())
+        for relation in scope.bindings.values():
+            columns.extend(relation.items())
+        return columns
+
+    # -- expression level --------------------------------------------------
+
+    def infer_expression(self, node: Node, scope: _Scope
+                         ) -> Optional[DataType]:
+        if isinstance(node, Literal):
+            try:
+                return sql_affinity(node.value)
+            except SchemaError:
+                return None
+        if isinstance(node, ColumnRef):
+            return self._infer_column(node, scope)
+        if isinstance(node, UnaryOp):
+            operand = self.infer_expression(node.operand, scope)
+            if node.op in ("-", "+"):
+                if operand is not None and operand not in _NUMERIC:
+                    self._add("GSN103",
+                              f"unary {node.op!r} on non-numeric "
+                              f"{operand.value} operand")
+                return operand
+            return DataType.BOOLEAN  # not
+        if isinstance(node, BinaryOp):
+            return self._infer_binary(node, scope)
+        if isinstance(node, FunctionCall):
+            return self._infer_call(node, scope)
+        if isinstance(node, InExpr):
+            operand = self.infer_expression(node.operand, scope)
+            if node.options:
+                for option in node.options:
+                    option_type = self.infer_expression(option, scope)
+                    if not comparable(operand, option_type):
+                        self._add(
+                            "GSN103",
+                            f"IN list mixes {operand.value} with "  # type: ignore[union-attr]
+                            f"{option_type.value}",  # type: ignore[union-attr]
+                        )
+            if node.subquery is not None:
+                self.infer_statement(node.subquery, scope)
+            return DataType.BOOLEAN
+        if isinstance(node, BetweenExpr):
+            operand = self.infer_expression(node.operand, scope)
+            for bound in (node.low, node.high):
+                bound_type = self.infer_expression(bound, scope)
+                if not comparable(operand, bound_type):
+                    self._add(
+                        "GSN103",
+                        f"BETWEEN bound type {bound_type.value} does not "  # type: ignore[union-attr]
+                        f"match operand type {operand.value}",  # type: ignore[union-attr]
+                    )
+            return DataType.BOOLEAN
+        if isinstance(node, LikeExpr):
+            operand = self.infer_expression(node.operand, scope)
+            self.infer_expression(node.pattern, scope)
+            if operand is DataType.BINARY:
+                self._add("GSN103", "LIKE on a binary operand")
+            return DataType.BOOLEAN
+        if isinstance(node, IsNullExpr):
+            self.infer_expression(node.operand, scope)
+            return DataType.BOOLEAN
+        if isinstance(node, ExistsExpr):
+            self.infer_statement(node.subquery, scope)
+            return DataType.BOOLEAN
+        if isinstance(node, ScalarSubquery):
+            inner = self.infer_statement(node.subquery, scope)
+            if inner:
+                return next(iter(inner.values()))
+            return None
+        if isinstance(node, CastExpr):
+            self.infer_expression(node.operand, scope)
+            try:
+                return DataType.parse(node.target)
+            except SchemaError:
+                return None
+        if isinstance(node, CaseExpr):
+            if node.operand is not None:
+                self.infer_expression(node.operand, scope)
+            result: Optional[DataType] = None
+            for condition, branch in node.branches:
+                self.infer_expression(condition, scope)
+                branch_type = self.infer_expression(branch, scope)
+                result = result or branch_type
+            if node.default is not None:
+                default_type = self.infer_expression(node.default, scope)
+                result = result or default_type
+            return result
+        return None
+
+    def _infer_column(self, ref: ColumnRef, scope: _Scope
+                      ) -> Optional[DataType]:
+        found, hits, dtype = scope.resolve(ref)
+        if not found:
+            if hits:  # qualified reference into a known table
+                relation = scope.bindings.get(hits[0], {})
+                self._add(
+                    "GSN101",
+                    f"unknown column {ref!s}; {hits[0]!r} has: "
+                    f"{', '.join(relation) or '(none)'}",
+                )
+            else:
+                self._add(
+                    "GSN101",
+                    f"unknown column {ref!s}; known: "
+                    f"{', '.join(scope.known_columns()) or '(none)'}",
+                )
+            return None
+        if len(hits) > 1:
+            self._add(
+                "GSN110",
+                f"unqualified column {ref.name!r} exists in "
+                f"{sorted(hits)}; using {hits[0]!r}",
+            )
+        return dtype
+
+    def _infer_binary(self, node: BinaryOp, scope: _Scope
+                      ) -> Optional[DataType]:
+        left = self.infer_expression(node.left, scope)
+        right = self.infer_expression(node.right, scope)
+        op = node.op
+        if op in _COMPARISONS:
+            if not comparable(left, right):
+                self._add(
+                    "GSN103",
+                    f"comparison {left.value} {op} {right.value} "  # type: ignore[union-attr]
+                    f"can never hold",
+                )
+            return DataType.BOOLEAN
+        if op in ("and", "or"):
+            return DataType.BOOLEAN
+        if op == "||":
+            return DataType.VARCHAR
+        if op in _ARITHMETIC:
+            for side, name in ((left, "left"), (right, "right")):
+                if side is not None and side not in _NUMERIC:
+                    self._add(
+                        "GSN103",
+                        f"arithmetic {op!r} on non-numeric {name} operand "
+                        f"({side.value})",
+                    )
+            if op == "/":
+                return DataType.DOUBLE
+            if left is DataType.DOUBLE or right is DataType.DOUBLE:
+                return DataType.DOUBLE
+            if left is None or right is None:
+                return None
+            return DataType.INTEGER
+        return None
+
+    def _infer_call(self, node: FunctionCall, scope: _Scope
+                    ) -> Optional[DataType]:
+        name = node.name
+        arg_types = [self.infer_expression(arg, scope) for arg in node.args]
+        first = arg_types[0] if arg_types else None
+
+        if name in AGGREGATE_FUNCTIONS:
+            if name in _NUMERIC_AGGREGATES and first is not None \
+                    and first not in _NUMERIC:
+                self._add("GSN103",
+                          f"aggregate {name}() over non-numeric "
+                          f"{first.value} argument")
+            returns = _AGGREGATE_RETURNS.get(name)
+            if node.star and name == "count":
+                return DataType.INTEGER
+            return first if returns == "arg" else returns  # type: ignore[return-value]
+
+        if name not in SCALAR_FUNCTIONS:
+            self._add("GSN104",
+                      f"unknown function {name}(); known functions: "
+                      f"{', '.join(sorted(SCALAR_FUNCTIONS))}")
+            return None
+        if name in _NUMERIC_ARG_FUNCTIONS and first is not None \
+                and first not in _NUMERIC:
+            self._add("GSN103",
+                      f"{name}() expects a numeric argument, got "
+                      f"{first.value}")
+        returns = _SCALAR_RETURNS.get(name)
+        if returns == "arg":
+            return first
+        return returns  # type: ignore[return-value]
+
+
+def infer_output_schema(statement: SelectStatement,
+                        tables: Dict[str, RelSchema],
+                        report: Report, context: str,
+                        source: str = "") -> Optional[RelSchema]:
+    """Convenience wrapper: infer ``statement``'s output schema over
+    ``tables``, reporting findings into ``report``."""
+    inferencer = SchemaInferencer(tables, report, context, source)
+    return inferencer.infer_statement(statement)

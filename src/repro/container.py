@@ -17,7 +17,7 @@ peer node used for discovery and GSN-to-GSN streaming.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Union
+from typing import List, Optional, Union
 
 from repro.access.control import AccessController, Permission
 from repro.access.integrity import IntegrityService
@@ -139,24 +139,30 @@ class GSNContainer:
     # -- deployment API ----------------------------------------------------------
 
     def deploy(self, descriptor: DescriptorLike, start: bool = True,
-               client: str = "", api_key: str = "") -> VirtualSensor:
+               client: str = "", api_key: str = "",
+               strict: bool = False) -> VirtualSensor:
         """Deploy a virtual sensor from a descriptor object, an XML string,
         or a path to an XML file — "without any programming effort just by
-        providing a simple XML configuration file"."""
+        providing a simple XML configuration file".
+
+        ``strict=True`` runs the gsn-lint static analysis (schema, graph,
+        resource passes) as a pre-deploy gate and rejects descriptors
+        with error findings the basic validator would let through."""
         parsed = self._coerce_descriptor(descriptor)
         self.access.check(Permission.DEPLOY, parsed.name, client, api_key)
-        return self.vsm.deploy(parsed, start=start)
+        return self.vsm.deploy(parsed, start=start, strict=strict)
 
     def undeploy(self, name: str, client: str = "", api_key: str = "") -> None:
         self.access.check(Permission.DEPLOY, name, client, api_key)
         self.vsm.undeploy(name)
 
     def reconfigure(self, descriptor: DescriptorLike,
-                    client: str = "", api_key: str = "") -> VirtualSensor:
+                    client: str = "", api_key: str = "",
+                    strict: bool = False) -> VirtualSensor:
         """Replace a deployed sensor on the fly (the demo's headline act)."""
         parsed = self._coerce_descriptor(descriptor)
         self.access.check(Permission.DEPLOY, parsed.name, client, api_key)
-        return self.vsm.reconfigure(parsed)
+        return self.vsm.reconfigure(parsed, strict=strict)
 
     @staticmethod
     def _coerce_descriptor(descriptor: DescriptorLike) -> VirtualSensorDescriptor:

@@ -5,11 +5,16 @@ descriptors that would fail at deployment time: queries that do not parse,
 source queries reading tables other than ``WRAPPER``, stream queries
 reading tables that are not source aliases, unknown window specs, and —
 when a wrapper registry is supplied — unknown wrapper names.
+
+Passing ``registry=`` additionally runs the gsn-lint schema pass: wrapper
+output schemas are propagated through the source and stream queries and
+checked against the declared ``<output-structure>``, turning ``SELECT *``
+and column/type mistakes into static errors instead of runtime surprises.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.descriptors.model import VirtualSensorDescriptor
 from repro.exceptions import SQLError, ValidationError
@@ -17,16 +22,22 @@ from repro.gsntime.duration import parse_duration, parse_window_spec
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.rewriter import WRAPPER_TABLE, statement_tables
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wrappers.registry import WrapperRegistry
+
 
 def validate_descriptor(
     descriptor: VirtualSensorDescriptor,
     known_wrapper: Optional[Callable[[str], bool]] = None,
+    registry: Optional["WrapperRegistry"] = None,
 ) -> List[str]:
     """Validate ``descriptor``, returning a list of warnings.
 
     Hard violations raise :class:`ValidationError`; recoverable oddities
-    (e.g. an output query selecting ``*``, which defers schema checking to
-    runtime) are returned as warnings.
+    are returned as warnings. Without a ``registry`` an output query
+    selecting ``*`` defers schema checking to runtime; with one, the
+    gsn-lint schema pass runs and column/type mistakes (including those
+    hidden behind ``SELECT *``) become :class:`ValidationError`\\ s.
     """
     warnings: List[str] = []
 
@@ -94,6 +105,17 @@ def validate_descriptor(
 
     if len(descriptor.output_structure) == 0:
         raise ValidationError("output structure cannot be empty")
+
+    if registry is not None:
+        # Deferred import: repro.analysis builds on this module.
+        from repro.analysis.passes import schema_check
+
+        report = schema_check(descriptor, registry)
+        if report.errors:
+            raise ValidationError(
+                "; ".join(finding.render() for finding in report.errors)
+            )
+        warnings.extend(finding.render() for finding in report.warnings)
 
     return warnings
 

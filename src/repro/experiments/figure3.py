@@ -15,7 +15,7 @@ floor at roughly 4 readings/second or less; larger payloads sit higher.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.container import GSNContainer
 from repro.metrics.report import Series, format_series_table

@@ -52,7 +52,8 @@ class GSNHttpServer:
         self.web = WebInterface(container)
         handler = _build_handler(self)
         self._server = ThreadingHTTPServer((host, port), handler)
-        self._thread: Optional[threading.Thread] = None
+        self._state_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _state_lock
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -64,22 +65,25 @@ class GSNHttpServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "GSNHttpServer":
-        if self._thread is not None:
-            return self
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            name="gsn-http", daemon=True,
-        )
-        self._thread.start()
+        with self._state_lock:
+            if self._thread is not None:
+                return self
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="gsn-http", daemon=True,
+            )
+            self._thread.start()
         return self
 
     def stop(self) -> None:
-        if self._thread is None:
+        with self._state_lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
             return
         self._server.shutdown()
         self._server.server_close()
-        self._thread.join(timeout=5.0)
-        self._thread = None
+        thread.join(timeout=5.0)
 
     def __enter__(self) -> "GSNHttpServer":
         return self.start()

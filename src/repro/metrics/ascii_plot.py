@@ -8,7 +8,7 @@ shows the shapes (the part we claim to reproduce) at a glance.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.metrics.report import Series
 

@@ -23,11 +23,11 @@ class LatencyRecorder:
 
     def __init__(self, keep_samples: bool = True) -> None:
         self.keep_samples = keep_samples
-        self.samples: List[float] = []
-        self.count = 0
-        self.total_ms = 0.0
-        self.max_ms = 0.0
-        self.min_ms = math.inf
+        self.samples: List[float] = []  # guarded-by: _lock
+        self.count = 0  # guarded-by: _lock
+        self.total_ms = 0.0  # guarded-by: _lock
+        self.max_ms = 0.0  # guarded-by: _lock
+        self.min_ms = math.inf  # guarded-by: _lock
         self._local = threading.local()
         self._lock = threading.Lock()
 

@@ -8,8 +8,8 @@ and column references, the rewriter to find table names).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Tuple, Union
 
 
 def _nodes_in(value: Any) -> Iterator["Node"]:

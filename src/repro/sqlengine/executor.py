@@ -23,6 +23,7 @@ from repro.sqlengine.ast_nodes import (
     Star, UnaryOp,
 )
 from repro.sqlengine.functions import call_aggregate, call_scalar
+from repro.sqlengine.introspect import dedupe_columns, expression_name
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.planner import (
     HashJoinPlan, NestedLoopJoinPlan, Plan, ScanPlan, SelectPlan,
@@ -874,31 +875,10 @@ def _null_frame(template: Template) -> Frame:
     }
 
 
-def _dedupe(names: List[str]) -> List[str]:
-    seen: Dict[str, int] = {}
-    result = []
-    for name in names:
-        if name in seen:
-            seen[name] += 1
-            result.append(f"{name}_{seen[name]}")
-        else:
-            seen[name] = 1
-            result.append(name)
-    return result
-
-
-def _expression_name(expr: Node) -> str:
-    if isinstance(expr, ColumnRef):
-        return expr.name
-    if isinstance(expr, FunctionCall):
-        if expr.star:
-            return f"{expr.name}_star"
-        if len(expr.args) == 1 and isinstance(expr.args[0], ColumnRef):
-            return f"{expr.name}_{expr.args[0].name}"
-        return expr.name
-    if isinstance(expr, Literal):
-        return "literal"
-    return "expr"
+# Column naming lives in repro.sqlengine.introspect so the static
+# analyzer infers exactly the names the executor will produce.
+_dedupe = dedupe_columns
+_expression_name = expression_name
 
 
 def _distinct(rows: List[Tuple[Any, ...]], contexts: List[Any]):

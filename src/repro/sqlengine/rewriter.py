@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-from repro.sqlengine.ast_nodes import SelectStatement, SubqueryRef, TableRef
+from repro.sqlengine.ast_nodes import SelectStatement, TableRef
 from repro.sqlengine.lexer import Token, TokenType, tokenize
 from repro.sqlengine.parser import parse_select
 

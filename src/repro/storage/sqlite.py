@@ -37,7 +37,7 @@ class SQLiteStreamTable(StreamTable):
                  connection: sqlite3.Connection,
                  lock: threading.Lock) -> None:
         super().__init__(name, schema, retention)
-        self._connection = connection
+        self._connection = connection  # guarded-by: _lock
         self._lock = lock
         columns = ", ".join(
             f'"{field.name}" {_SQLITE_TYPES[field.type]}'
@@ -77,7 +77,7 @@ class SQLiteStreamTable(StreamTable):
             self._evict(element.timed)
             self._connection.commit()
 
-    def _evict(self, reference: int) -> None:
+    def _evict(self, reference: int) -> None:  # requires-lock: _lock
         if self.retention.kind == "time":
             cutoff = reference - self.retention.amount
             self._connection.execute(
@@ -142,7 +142,8 @@ class SQLiteStorage(StorageBackend):
         super().__init__()
         self.path = path
         try:
-            self._connection = sqlite3.connect(path, check_same_thread=False)
+            self._connection = sqlite3.connect(  # guarded-by: _lock
+                path, check_same_thread=False)
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open database {path!r}: {exc}") from exc
         self._lock = threading.Lock()

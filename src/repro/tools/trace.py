@@ -15,7 +15,7 @@ survive the text format.
 from __future__ import annotations
 
 import csv
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.container import GSNContainer
 from repro.exceptions import GSNError

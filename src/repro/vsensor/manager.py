@@ -62,13 +62,17 @@ class VirtualSensorManager:
     # -- deployment ----------------------------------------------------------
 
     def deploy(self, descriptor: VirtualSensorDescriptor,
-               start: bool = True) -> VirtualSensor:
+               start: bool = True, strict: bool = False) -> VirtualSensor:
         """Deploy a virtual sensor from its descriptor.
 
         Validates the descriptor, instantiates one wrapper per stream
         source, creates the output stream table, builds the runtime, and
         (by default) starts it. Raises :class:`DeploymentError` on any
         failure, leaving the container state untouched.
+
+        With ``strict=True`` the full gsn-lint analysis (schema, graph,
+        and resource passes) runs over the already-deployed set plus the
+        candidate first, and any *new* error finding rejects the deploy.
         """
         if descriptor.name in self._sensors:
             raise DeploymentError(
@@ -76,6 +80,8 @@ class VirtualSensorManager:
                 f"deployed; undeploy it first or use reconfigure()"
             )
         validate_descriptor(descriptor, known_wrapper=self._knows_wrapper)
+        if strict:
+            self._strict_check(descriptor)
 
         wrappers = self._build_wrappers(descriptor)
         table_name = OUTPUT_TABLE_PREFIX + descriptor.name
@@ -105,6 +111,35 @@ class VirtualSensorManager:
 
     def _knows_wrapper(self, name: str) -> bool:
         return name in self.registry
+
+    def _strict_check(self, descriptor: VirtualSensorDescriptor) -> None:
+        """The ``strict=True`` pre-deploy gate.
+
+        Runs :func:`repro.analysis.analyze` over the deployed set plus
+        the candidate and rejects the candidate on any error finding the
+        candidate *introduces* (pre-existing findings in the running set
+        never block an unrelated deploy).
+        """
+        from repro.analysis import analyze  # deferred: avoid import cycle
+
+        existing = [s.descriptor for s in self._sensors.values()]
+        external = self.remote_subscribe is not None
+        baseline = {
+            (f.rule_id, f.location, f.message)
+            for f in analyze(existing, registry=self.registry,
+                             external_producers=external)
+        }
+        report = analyze(existing + [descriptor], registry=self.registry,
+                         external_producers=external)
+        introduced = [
+            f for f in report.errors
+            if (f.rule_id, f.location, f.message) not in baseline
+        ]
+        if introduced:
+            detail = "; ".join(f.render() for f in introduced)
+            raise DeploymentError(
+                f"strict deployment rejected {descriptor.name!r}: {detail}"
+            )
 
     def _build_wrappers(self,
                         descriptor: VirtualSensorDescriptor) -> Dict[str, Wrapper]:
@@ -145,13 +180,14 @@ class VirtualSensorManager:
         for hook in self._undeploy_hooks:
             hook(key)
 
-    def reconfigure(self, descriptor: VirtualSensorDescriptor) -> VirtualSensor:
+    def reconfigure(self, descriptor: VirtualSensorDescriptor,
+                    strict: bool = False) -> VirtualSensor:
         """Replace a running sensor with a new descriptor atomically-ish:
         the old instance stops only after the new descriptor validates."""
         validate_descriptor(descriptor, known_wrapper=self._knows_wrapper)
         if descriptor.name in self._sensors:
             self.undeploy(descriptor.name)
-        return self.deploy(descriptor)
+        return self.deploy(descriptor, strict=strict)
 
     # -- access --------------------------------------------------------------
 

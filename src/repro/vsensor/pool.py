@@ -31,9 +31,9 @@ class WorkerPool:
             raise LifecycleError("pool size must be at least 1")
         self.size = size
         self.synchronous = synchronous
-        self.tasks_completed = 0
-        self.tasks_failed = 0
-        self._errors: List[BaseException] = []
+        self.tasks_completed = 0  # guarded-by: _lock
+        self.tasks_failed = 0  # guarded-by: _lock
+        self._errors: List[BaseException] = []  # guarded-by: _lock
         self._lock = threading.Lock()
         self._queue: Optional["queue.Queue[Optional[Task]]"] = None
         self._threads: List[threading.Thread] = []

@@ -10,7 +10,7 @@ the remote element flow back into this wrapper.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.exceptions import WrapperError
 from repro.streams.element import StreamElement

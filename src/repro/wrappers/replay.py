@@ -15,7 +15,6 @@ from __future__ import annotations
 import csv
 from typing import Any, Dict, List, Optional
 
-from repro.datatypes import sql_affinity
 from repro.exceptions import WrapperError
 from repro.streams.schema import StreamSchema, schema_from_example
 from repro.wrappers.base import Wrapper

@@ -9,7 +9,6 @@ import pytest
 from repro import GSNContainer
 from repro.interfaces.http_server import GSNHttpServer
 
-from tests.conftest import simple_mote_descriptor
 
 XML = """
 <virtual-sensor name="probe">

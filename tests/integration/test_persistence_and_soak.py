@@ -1,6 +1,5 @@
 """Persistence across restarts, delay observability, and a soak run."""
 
-import pytest
 
 from repro import GSNContainer, PeerNetwork
 from repro.gsntime.clock import VirtualClock

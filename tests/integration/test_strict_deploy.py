@@ -1,0 +1,102 @@
+"""Integration tests for the ``strict=True`` pre-deploy gate: the
+gsn-lint analysis rejecting descriptors the basic validator accepts."""
+
+import pytest
+
+from repro.container import GSNContainer
+from repro.descriptors.validation import validate_descriptor
+from repro.exceptions import DeploymentError, ValidationError
+from repro.wrappers.registry import default_registry
+
+# The basic validator accepts this: the source query parses, reads only
+# WRAPPER, and the window spec is fine. Only schema inference can tell
+# that the mote wrapper never produces ``missing_col``.
+SUBTLY_BROKEN = """
+<virtual-sensor name="subtle">
+  <output-structure>
+    <field name="avg_temp" type="double"/>
+  </output-structure>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="10">
+      <address wrapper="mica2"/>
+      <query>select missing_col from WRAPPER</query>
+    </stream-source>
+    <query>select avg(missing_col) as avg_temp from s</query>
+  </input-stream>
+</virtual-sensor>
+"""
+
+HEALTHY = """
+<virtual-sensor name="healthy">
+  <output-structure>
+    <field name="avg_temp" type="double"/>
+  </output-structure>
+  <input-stream name="in">
+    <stream-source alias="s" storage-size="10">
+      <address wrapper="mica2"/>
+      <query>select temperature from WRAPPER</query>
+    </stream-source>
+    <query>select avg(temperature) as avg_temp from s</query>
+  </input-stream>
+</virtual-sensor>
+"""
+
+
+class TestStrictDeploy:
+    def test_old_validator_accepts_the_broken_descriptor(self, container):
+        sensor = container.deploy(SUBTLY_BROKEN)
+        assert sensor.name == "subtle"
+
+    def test_strict_rejects_what_the_validator_accepted(self, container):
+        with pytest.raises(DeploymentError) as excinfo:
+            container.deploy(SUBTLY_BROKEN, strict=True)
+        assert "GSN101" in str(excinfo.value)
+        assert "subtle" not in container.sensor_names()
+
+    def test_strict_accepts_a_healthy_descriptor(self, container):
+        sensor = container.deploy(HEALTHY, strict=True)
+        assert sensor.name == "healthy"
+
+    def test_strict_reconfigure(self, container):
+        container.deploy(HEALTHY, strict=True)
+        broken = HEALTHY.replace('name="healthy"', 'name="healthy"').replace(
+            "select temperature from WRAPPER",
+            "select missing_col from WRAPPER",
+        ).replace("avg(temperature)", "avg(missing_col)")
+        with pytest.raises(DeploymentError):
+            container.reconfigure(broken, strict=True)
+
+    def test_preexisting_findings_do_not_block_unrelated_deploys(
+            self, container):
+        # A sensor deployed non-strictly with an error finding must not
+        # poison later strict deploys of healthy descriptors.
+        container.deploy(SUBTLY_BROKEN)
+        sensor = container.deploy(HEALTHY, strict=True)
+        assert sensor.name == "healthy"
+
+
+class TestValidatorRegistryParam:
+    def test_registry_turns_select_star_into_a_static_check(self):
+        from repro.descriptors.xml_io import descriptor_from_xml
+
+        xml = HEALTHY.replace(
+            '<field name="avg_temp" type="double"/>',
+            '<field name="humidity" type="double"/>',
+        ).replace("select avg(temperature) as avg_temp from s",
+                  "select * from s")
+        descriptor = descriptor_from_xml(xml)
+        assert validate_descriptor(descriptor) == []
+        with pytest.raises(ValidationError) as excinfo:
+            validate_descriptor(descriptor, registry=default_registry())
+        assert "GSN105" in str(excinfo.value)
+
+    def test_registry_warnings_are_returned_not_raised(self):
+        from repro.descriptors.xml_io import descriptor_from_xml
+
+        xml = HEALTHY.replace(
+            "select avg(temperature) as avg_temp from s",
+            "select avg(temperature) as avg_temp, temperature from s",
+        )
+        warnings = validate_descriptor(descriptor_from_xml(xml),
+                                       registry=default_registry())
+        assert any("GSN106" in warning for warning in warnings)

@@ -8,7 +8,6 @@ and raised error types — as ``ex.eval(node, env)``.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import SQLError

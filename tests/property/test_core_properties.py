@@ -1,6 +1,6 @@
 """Property-based tests on core data structures and invariants."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.gsntime.duration import format_duration, parse_duration
 from repro.streams.element import StreamElement

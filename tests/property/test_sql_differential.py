@@ -10,7 +10,6 @@ from __future__ import annotations
 import sqlite3
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sqlengine.executor import Catalog, execute

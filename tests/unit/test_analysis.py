@@ -1,0 +1,513 @@
+"""Unit tests for gsn-lint: one test (at least) per rule ID, plus the
+CLI surface and the hypothesis guarantee that structurally-valid
+descriptors never make the analyzer raise."""
+
+import textwrap
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    analyze, analyze_descriptor, catalogue, describe, lint_source,
+    schema_check,
+)
+from repro.analysis.cli import main as lint_main
+from repro.datatypes import DataType
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, StorageConfig, StreamSourceSpec,
+    VirtualSensorDescriptor,
+)
+from repro.streams.schema import Field, StreamSchema
+from repro.wrappers.registry import default_registry
+from tests.conftest import simple_mote_descriptor
+
+
+def make_descriptor(name="probe", fields=None, wrapper="mica2",
+                    predicates=None, source_query=(
+                        "select avg(temperature) as temperature "
+                        "from wrapper"),
+                    stream_query="select * from src",
+                    storage_size="5s", slide=None, sampling=1.0,
+                    disconnect_buffer=0, permanent=False, history="1h",
+                    addressing=None):
+    if fields is None:
+        fields = [("temperature", DataType.INTEGER)]
+    if predicates is None:
+        predicates = {"interval": "500"}
+    return VirtualSensorDescriptor(
+        name=name,
+        output_structure=StreamSchema(
+            [Field(n, t) for n, t in fields]
+        ),
+        input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(
+                alias="src",
+                address=AddressSpec(wrapper, dict(predicates)),
+                query=source_query,
+                storage_size=storage_size,
+                slide=slide,
+                sampling_rate=sampling,
+                disconnect_buffer=disconnect_buffer,
+            ),),
+            query=stream_query,
+        ),),
+        storage=StorageConfig(permanent=permanent, history_size=history),
+        addressing=addressing or {},
+    )
+
+
+def rule_ids(report):
+    return set(report.rule_ids())
+
+
+class TestCatalogue:
+    def test_every_rule_has_id_severity_title(self):
+        for rule in catalogue():
+            assert rule.id.startswith("GSN")
+            assert rule.severity in ("error", "warning")
+            assert rule.title
+
+    def test_describe(self):
+        assert describe("GSN101") is not None
+        assert describe("GSN999") is None
+
+    def test_ids_are_stable(self):
+        ids = {rule.id for rule in catalogue()}
+        assert {"GSN100", "GSN101", "GSN102", "GSN103", "GSN104",
+                "GSN105", "GSN106", "GSN107", "GSN108", "GSN109",
+                "GSN110", "GSN201", "GSN202", "GSN203", "GSN204",
+                "GSN205", "GSN301", "GSN302", "GSN303", "GSN304",
+                "GSN305", "GSN401", "GSN402", "GSN403"} <= ids
+
+
+class TestSchemaPass:
+    def test_clean_descriptor_has_no_findings(self):
+        report = analyze([simple_mote_descriptor()],
+                         registry=default_registry())
+        assert report.ok
+        assert not report.findings
+
+    def test_gsn100_basic_validation_failure(self):
+        bad = make_descriptor(storage_size="5 parsecs")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert rule_ids(report) == {"GSN100"}
+
+    def test_gsn101_unknown_column(self):
+        bad = make_descriptor(
+            source_query="select humidty as temperature from wrapper")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN101" in rule_ids(report)
+
+    def test_gsn102_unknown_table_in_subquery(self):
+        bad = make_descriptor(
+            stream_query="select temperature from "
+                         "(select temperature from elsewhere) t")
+        report = schema_check(bad, default_registry())
+        assert "GSN102" in rule_ids(report)
+
+    def test_gsn103_type_mismatch_comparison(self):
+        bad = make_descriptor(
+            source_query="select avg(temperature) as temperature "
+                         "from wrapper where temperature > 'hot'")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN103" in rule_ids(report)
+
+    def test_gsn104_unknown_function(self):
+        bad = make_descriptor(
+            stream_query="select frobnicate(temperature) as temperature "
+                         "from src")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN104" in rule_ids(report)
+
+    def test_gsn105_missing_output_field(self):
+        bad = make_descriptor(fields=[("humidity", DataType.DOUBLE)],
+                              source_query="select temperature from wrapper",
+                              stream_query="select temperature from src")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN105" in rule_ids(report)
+
+    def test_gsn106_extra_column_dropped_is_warning(self):
+        chatty = make_descriptor(
+            source_query="select temperature, light from wrapper",
+            stream_query="select temperature, light from src")
+        report = analyze_descriptor(chatty, registry=default_registry())
+        assert "GSN106" in rule_ids(report)
+        assert report.ok  # warning only
+
+    def test_gsn107_inconvertible_output_type(self):
+        bad = make_descriptor(
+            fields=[("temperature", DataType.BINARY)],
+            source_query="select temperature from wrapper",
+            stream_query="select temperature from src")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN107" in rule_ids(report)
+
+    def test_double_into_integer_is_fine(self):
+        # The runtime rounds floats into integer fields.
+        ok = make_descriptor(
+            fields=[("temperature", DataType.INTEGER)],
+            source_query="select avg(temperature) as temperature "
+                         "from wrapper")
+        report = analyze_descriptor(ok, registry=default_registry())
+        assert report.ok
+
+    def test_gsn108_remote_schema_unknown_is_warning(self):
+        remote = make_descriptor(
+            wrapper="remote", predicates={"type": "temperature"},
+            source_query="select temperature from wrapper",
+            stream_query="select temperature from src",
+            disconnect_buffer=10)
+        report = analyze_descriptor(remote, registry=default_registry())
+        assert "GSN108" in rule_ids(report)
+
+    def test_gsn109_unknown_wrapper(self):
+        bad = make_descriptor(wrapper="thermometer", predicates={})
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN109" in rule_ids(report)
+
+    def test_gsn109_wrapper_rejects_predicates(self):
+        bad = make_descriptor(predicates={"interval": "0"})
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN109" in rule_ids(report)
+
+    def test_gsn110_ambiguous_column(self):
+        two_motes = VirtualSensorDescriptor(
+            name="pair",
+            output_structure=StreamSchema(
+                [Field("temperature", DataType.INTEGER)]
+            ),
+            input_streams=(InputStreamSpec(
+                name="in",
+                sources=(
+                    StreamSourceSpec(
+                        alias="a",
+                        address=AddressSpec("mica2", {"node-id": "1"}),
+                        query="select temperature from wrapper",
+                        storage_size="1",
+                    ),
+                    StreamSourceSpec(
+                        alias="b",
+                        address=AddressSpec("mica2", {"node-id": "2"}),
+                        query="select temperature from wrapper",
+                        storage_size="1",
+                    ),
+                ),
+                query="select temperature from a, b",
+            ),),
+            storage=StorageConfig(),
+        )
+        report = analyze_descriptor(two_motes, registry=default_registry())
+        assert "GSN110" in rule_ids(report)
+
+    def test_select_star_mismatch_caught_statically(self):
+        # The headline example: SELECT * used to defer all schema
+        # checking to runtime.
+        bad = make_descriptor(fields=[("humidity", DataType.DOUBLE)],
+                              source_query="select * from wrapper")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN105" in rule_ids(report)
+
+
+def remote_consumer(name, predicates, **kwargs):
+    return make_descriptor(
+        name=name, wrapper="remote", predicates=predicates,
+        source_query="select temperature from wrapper",
+        stream_query="select temperature from src",
+        disconnect_buffer=10, **kwargs)
+
+
+class TestGraphPass:
+    def test_gsn201_cycle(self):
+        a = remote_consumer("a", {"name": "b"})
+        b = remote_consumer("b", {"name": "a"})
+        report = analyze([a, b], registry=default_registry())
+        assert "GSN201" in rule_ids(report)
+
+    def test_gsn201_self_cycle(self):
+        loop = remote_consumer("loop", {"name": "loop"})
+        report = analyze([loop], registry=default_registry())
+        assert "GSN201" in rule_ids(report)
+
+    def test_gsn202_dangling_producer(self):
+        orphan = remote_consumer("orphan", {"type": "nothing"})
+        report = analyze([orphan], registry=default_registry())
+        assert "GSN202" in rule_ids(report)
+
+    def test_gsn202_suppressed_for_external_producers(self):
+        orphan = remote_consumer("orphan", {"type": "nothing"})
+        report = analyze([orphan], registry=default_registry(),
+                         external_producers=True)
+        assert "GSN202" not in rule_ids(report)
+
+    def test_gsn203_multiple_producers(self):
+        p1 = make_descriptor(name="p1",
+                             addressing={"type": "temperature"})
+        p2 = make_descriptor(name="p2",
+                             addressing={"type": "temperature"})
+        consumer = remote_consumer("consumer", {"type": "temperature"})
+        report = analyze([p1, p2, consumer], registry=default_registry())
+        assert "GSN203" in rule_ids(report)
+
+    def test_gsn204_conflicting_predicates(self):
+        producer = make_descriptor(name="producer",
+                                   addressing={"location": "lab"})
+        consumer = remote_consumer(
+            "consumer", {"name": "producer", "location": "roof"})
+        report = analyze([producer, consumer],
+                         registry=default_registry())
+        assert "GSN204" in rule_ids(report)
+
+    def test_gsn205_duplicate_names(self):
+        report = analyze([make_descriptor(), make_descriptor()],
+                         registry=default_registry())
+        assert "GSN205" in rule_ids(report)
+
+    def test_chain_without_cycle_is_clean(self):
+        producer = make_descriptor(name="producer",
+                                   addressing={"type": "temperature"})
+        consumer = remote_consumer("consumer", {"name": "producer"})
+        report = analyze([producer, consumer],
+                         registry=default_registry())
+        assert "GSN201" not in rule_ids(report)
+        assert report.ok
+
+
+class TestResourcePass:
+    def test_gsn301_window_over_budget(self):
+        greedy = make_descriptor(storage_size="1h")
+        report = analyze_descriptor(greedy, registry=default_registry(),
+                                    memory_budget=1024)
+        assert "GSN301" in rule_ids(report)
+
+    def test_gsn302_and_gsn303_unbounded_history(self):
+        hoarder = make_descriptor(permanent=True, history=None)
+        report = analyze_descriptor(hoarder, registry=default_registry())
+        assert {"GSN302", "GSN303"} <= rule_ids(report)
+        assert report.ok  # warnings only
+
+    def test_gsn303_suppressed_by_slide(self):
+        paced = make_descriptor(permanent=True, history=None, slide="10")
+        report = analyze_descriptor(paced, registry=default_registry())
+        assert "GSN303" not in rule_ids(report)
+
+    def test_gsn304_huge_count_window(self):
+        greedy = make_descriptor(storage_size="2000000")
+        report = analyze_descriptor(greedy, registry=default_registry())
+        assert "GSN304" in rule_ids(report)
+
+    def test_gsn305_remote_without_disconnect_buffer(self):
+        fragile = make_descriptor(
+            wrapper="remote", predicates={"type": "temperature"},
+            source_query="select temperature from wrapper",
+            stream_query="select temperature from src",
+            disconnect_buffer=0)
+        report = analyze_descriptor(fragile, registry=default_registry())
+        assert "GSN305" in rule_ids(report)
+
+
+LOCKED_TEMPLATE = """
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+{body}
+"""
+
+
+def lint(body):
+    return lint_source(LOCKED_TEMPLATE.format(
+        body=textwrap.indent(textwrap.dedent(body), "    ")))
+
+
+class TestLockLint:
+    def test_gsn401_unlocked_write(self):
+        report = lint("""
+            def bump(self):
+                self.value += 1
+        """)
+        assert rule_ids(report) == {"GSN401"}
+
+    def test_locked_write_is_clean(self):
+        report = lint("""
+            def bump(self):
+                with self._lock:
+                    self.value += 1
+        """)
+        assert report.ok and not report.findings
+
+    def test_gsn401_unlocked_mutating_call(self):
+        source = """
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # guarded-by: _lock
+
+    def push(self, item):
+        self.items.append(item)
+"""
+        report = lint_source(source)
+        assert rule_ids(report) == {"GSN401"}
+
+    def test_plain_read_is_not_flagged(self):
+        report = lint("""
+            def peek(self):
+                return self.value
+        """)
+        assert not report.findings
+
+    def test_init_is_exempt(self):
+        report = lint("""
+            def noop(self):
+                pass
+        """)
+        assert not report.findings
+
+    def test_gsn402_unknown_lock(self):
+        source = """
+class Odd:
+    def __init__(self):
+        self.value = 0  # guarded-by: _missing_lock
+"""
+        report = lint_source(source)
+        assert "GSN402" in rule_ids(report)
+
+    def test_gsn403_requires_lock_violation(self):
+        report = lint("""
+            def _unsafe_reset(self):  # requires-lock: _lock
+                self.value = 0
+
+            def reset(self):
+                self._unsafe_reset()
+        """)
+        assert "GSN403" in rule_ids(report)
+
+    def test_requires_lock_satisfied(self):
+        report = lint("""
+            def _unsafe_reset(self):  # requires-lock: _lock
+                self.value = 0
+
+            def reset(self):
+                with self._lock:
+                    self._unsafe_reset()
+        """)
+        assert not report.findings
+
+    def test_syntax_error_reports_gsn100(self):
+        report = lint_source("def broken(:\n    pass")
+        assert "GSN100" in rule_ids(report)
+
+
+class TestCli:
+    def test_clean_examples_exit_zero(self, capsys):
+        assert lint_main(["examples/descriptors/sine-wave.xml"]) == 0
+
+    def test_bad_descriptor_exits_nonzero_with_rule_id(self, capsys):
+        code = lint_main(["examples/bad/unknown-column.xml"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "GSN101" in out
+
+    def test_each_seeded_bad_input_fails(self, capsys):
+        import glob
+        paths = sorted(glob.glob("examples/bad/*"))
+        assert len(paths) >= 6
+        for path in paths:
+            assert lint_main([path]) == 1, path
+
+    def test_self_check_is_clean(self, capsys):
+        assert lint_main(["--self-check"]) == 0
+
+    def test_strict_warnings_escalates(self, capsys):
+        remote = "examples/bad/dangling-remote.xml"
+        assert lint_main(["--external-producers", remote]) == 0
+        assert lint_main(["--external-producers", "--strict-warnings",
+                          remote]) == 1
+
+    def test_json_format(self, capsys):
+        import json
+        code = lint_main(["--format", "json",
+                          "examples/bad/type-mismatch.xml"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["errors"] >= 1
+        assert any(f["rule"] == "GSN103" for f in payload["findings"])
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "GSN101" in out and "GSN401" in out
+
+
+_identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+_types = st.sampled_from(list(DataType))
+_windows = st.one_of(
+    st.integers(min_value=1, max_value=10_000).map(str),
+    st.integers(min_value=1, max_value=3_600).map(lambda n: f"{n}s"),
+    st.integers(min_value=1, max_value=60).map(lambda n: f"{n}m"),
+)
+_wrappers = st.sampled_from(
+    ["mica2", "rfid", "camera", "generator", "remote", "no-such-wrapper"]
+)
+_queries = st.one_of(
+    st.just("select * from wrapper"),
+    _identifiers.map(lambda c: f"select {c} from wrapper"),
+    _identifiers.map(
+        lambda c: f"select avg({c}) as {c} from wrapper"),
+    st.just("select temperature from wrapper where light > 5"),
+)
+
+
+@st.composite
+def descriptors(draw):
+    fields = draw(st.dictionaries(_identifiers, _types,
+                                  min_size=1, max_size=4))
+    wrapper = draw(_wrappers)
+    predicates = draw(st.dictionaries(
+        st.sampled_from(["interval", "type", "location", "name"]),
+        st.one_of(_identifiers,
+                  st.integers(min_value=1, max_value=10_000).map(str)),
+        max_size=3))
+    if wrapper == "remote" and not predicates:
+        predicates = {"type": "anything"}
+    return VirtualSensorDescriptor(
+        name=draw(_identifiers),
+        output_structure=StreamSchema(
+            [Field(n, t) for n, t in fields.items()]
+        ),
+        input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(
+                alias="src",
+                address=AddressSpec(wrapper, predicates),
+                query=draw(_queries),
+                storage_size=draw(_windows),
+                slide=draw(st.one_of(st.none(), _windows)),
+            ),),
+            query=draw(st.one_of(
+                st.just("select * from src"),
+                _identifiers.map(lambda c: f"select {c} from src"),
+            )),
+        ),),
+        storage=StorageConfig(
+            permanent=draw(st.booleans()),
+            history_size=draw(st.one_of(st.none(), _windows)),
+        ),
+        addressing=draw(st.dictionaries(_identifiers, _identifiers,
+                                        max_size=2)),
+    )
+
+
+class TestAnalyzerTotality:
+    @given(st.lists(descriptors(), min_size=1, max_size=3))
+    def test_analyze_never_raises(self, batch):
+        report = analyze(batch, registry=default_registry())
+        for finding in report:
+            assert finding.rule is not None
+        report.render()

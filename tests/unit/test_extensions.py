@@ -3,7 +3,6 @@ and the max-errors error-handling policy."""
 
 import pytest
 
-from repro.datatypes import DataType
 from repro.descriptors.model import LifeCycleConfig
 from repro.descriptors.xml_io import descriptor_from_xml, descriptor_to_xml
 from repro.exceptions import ValidationError, WrapperError

@@ -7,7 +7,6 @@ from repro.gsntime.clock import SystemClock, VirtualClock
 from repro.gsntime.duration import (
     Duration, format_duration, parse_duration, parse_window_spec,
 )
-from repro.gsntime.scheduler import EventScheduler
 
 
 class TestVirtualClock:

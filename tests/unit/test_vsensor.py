@@ -10,7 +10,6 @@ from repro.exceptions import LifecycleError, StreamError
 from repro.gsntime.clock import VirtualClock
 from repro.storage.base import RetentionPolicy
 from repro.storage.memory import MemoryStorage
-from repro.streams.element import StreamElement
 from repro.streams.schema import StreamSchema
 from repro.vsensor.input_manager import InputStreamManager
 from repro.vsensor.lifecycle import LifecycleState, LifeCycleManager
