@@ -4,18 +4,41 @@ Figure benchmarks register their regenerated tables here; a terminal
 summary hook prints them after the pytest-benchmark timing tables, so
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
 both the timings and the figure data the paper plots.
+
+Micro-benchmarks additionally register machine-readable metrics with
+:func:`register_metric`; a session-finish hook persists them to
+``BENCH_micro.json`` at the repo root so CI can archive the numbers and
+the incremental-vs-legacy speedup is tracked across revisions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import json
+import os
+from typing import Any, Dict, List, Tuple
 
 _REPORTS: List[Tuple[str, str]] = []
+_METRICS: Dict[str, Any] = {}
 
 
 def register_report(title: str, body: str) -> None:
     """Queue a rendered figure/table for the end-of-run summary."""
     _REPORTS.append((title, body))
+
+
+def register_metric(name: str, payload: Any) -> None:
+    """Record one machine-readable measurement for BENCH_micro.json."""
+    _METRICS[name] = payload
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if not _METRICS:
+        return
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "BENCH_micro.json")
+    with open(path, "w") as handle:
+        json.dump(_METRICS, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:

@@ -8,14 +8,29 @@ can tolerate high rates").
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import pytest
 
 from repro.container import GSNContainer
+from repro.datatypes import DataType
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, StreamSourceSpec,
+    VirtualSensorDescriptor,
+)
+from repro.gsntime.clock import VirtualClock
 from repro.simulation.workload import payload_descriptor
 from repro.sqlengine.executor import Catalog, execute, execute_plan
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.planner import plan_select
 from repro.sqlengine.relation import Relation
+from repro.storage.base import RetentionPolicy
+from repro.storage.memory import MemoryStorage
+from repro.streams.schema import StreamSchema
+from repro.vsensor.virtual_sensor import VirtualSensor
+from repro.wrappers.scripted import ScriptedWrapper
+
+from benchmarks.conftest import register_metric
 
 
 @pytest.fixture(scope="module")
@@ -86,6 +101,112 @@ def test_pipeline_element_cost(benchmark) -> None:
 
         benchmark(one_element)
         assert sensor.elements_produced > 0
+
+
+# -- incremental hot path ----------------------------------------------------
+
+_AGG_QUERY = ("select count(*) as n, sum(v) as s, avg(v) as a, "
+              "min(v) as lo, max(v) as hi from wrapper")
+_AGG_FIELDS = dict(n=DataType.INTEGER, s=DataType.INTEGER,
+                   a=DataType.DOUBLE, lo=DataType.INTEGER,
+                   hi=DataType.INTEGER)
+
+
+def _sensor_descriptor(source_specs, stream_query):
+    return VirtualSensorDescriptor(
+        name="bench",
+        output_structure=StreamSchema.build(**_AGG_FIELDS),
+        input_streams=(InputStreamSpec(
+            name="in",
+            sources=tuple(
+                StreamSourceSpec(alias=alias,
+                                 address=AddressSpec("scripted"),
+                                 query=query, storage_size=window)
+                for alias, window, query in source_specs
+            ),
+            query=stream_query,
+        ),),
+    )
+
+
+def _build_sensor(descriptor, aliases, incremental):
+    clock = VirtualClock(1_000_000)
+    wrappers = {}
+    for alias in aliases:
+        wrapper = ScriptedWrapper()
+        wrapper.script(lambda now: {"v": (now * 37) % 1_000},
+                       StreamSchema.build(v=DataType.INTEGER))
+        wrapper.attach(clock)
+        wrapper.configure({})
+        wrappers[alias] = wrapper
+    table = MemoryStorage().create("out", descriptor.output_structure,
+                                   RetentionPolicy("count", 1_000))
+    sensor = VirtualSensor(descriptor, clock, wrappers,
+                           output_table=table, incremental=incremental)
+    sensor.start()
+    return sensor, wrappers, clock
+
+
+def _per_trigger_seconds(descriptor, aliases, incremental,
+                         fire, warmup=1_000, ticks=200):
+    """Mean wall-clock seconds of one trigger after the window is full."""
+    sensor, wrappers, clock = _build_sensor(descriptor, aliases,
+                                            incremental)
+    firing = [wrappers[alias] for alias in fire]
+    for _ in range(warmup):
+        clock.advance(1)
+        for wrapper in wrappers.values():
+            wrapper.tick()
+    produced = sensor.elements_produced
+    start = perf_counter()
+    for _ in range(ticks):
+        clock.advance(1)
+        for wrapper in firing:
+            wrapper.tick()
+    elapsed = perf_counter() - start
+    assert sensor.elements_produced > produced
+    return elapsed / ticks
+
+
+def test_incremental_aggregate_window_speedup() -> None:
+    """Per-trigger cost of a 1000-element count-window aggregate query,
+    incremental accumulators vs. the legacy rebuild-and-execute path.
+    Both numbers land in BENCH_micro.json; the speedup is the tentpole
+    claim of the incremental pipeline."""
+    descriptor = _sensor_descriptor([("src", "1000", _AGG_QUERY)],
+                                    "select * from src")
+    incremental = _per_trigger_seconds(descriptor, ("src",), True,
+                                       fire=("src",))
+    legacy = _per_trigger_seconds(descriptor, ("src",), False,
+                                  fire=("src",))
+    register_metric("per_trigger_aggregate_window1000", {
+        "window": 1000,
+        "incremental_ms": incremental * 1_000,
+        "legacy_ms": legacy * 1_000,
+        "speedup": legacy / incremental,
+    })
+
+
+def test_incremental_multi_source_cache_speedup() -> None:
+    """Two 1000-element sources where only one fires per trigger: the
+    idle source's temporary is served from the version-keyed cache on
+    the incremental path instead of being re-executed."""
+    descriptor = _sensor_descriptor(
+        [("a", "1000", _AGG_QUERY), ("b", "1000", _AGG_QUERY)],
+        "select a.n as n, a.s + b.s as s, a.a as a, "
+        "b.lo as lo, b.hi as hi from a, b",
+    )
+    incremental = _per_trigger_seconds(descriptor, ("a", "b"), True,
+                                       fire=("a",))
+    legacy = _per_trigger_seconds(descriptor, ("a", "b"), False,
+                                  fire=("a",))
+    register_metric("per_trigger_multi_source_one_firing", {
+        "window": 1000,
+        "sources": 2,
+        "incremental_ms": incremental * 1_000,
+        "legacy_ms": legacy * 1_000,
+        "speedup": legacy / incremental,
+    })
 
 
 def test_node_throughput(benchmark) -> None:

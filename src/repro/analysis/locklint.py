@@ -41,7 +41,10 @@ REQUIRES_LOCK = re.compile(r"#\s*requires-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
 #: under locklint — ``gsn-lint --self-check``.
 SELF_CHECK_MODULES = (
     "vsensor/pool.py",
+    "vsensor/input_manager.py",
     "storage/sqlite.py",
+    "streams/materialized.py",
+    "sqlengine/incremental.py",
     "metrics/collectors.py",
     "interfaces/http_server.py",
 )

@@ -61,6 +61,12 @@ class GSNContainer:
         Turns the access-control layer on (off matches the open demo).
     synchronous:
         Run pipelines inline (deterministic) instead of on pool threads.
+    incremental:
+        Container-wide escape hatch for the incremental pipeline
+        (delta-maintained window relations, temporary caching and
+        incremental aggregates). ``False`` forces the legacy per-trigger
+        rebuild for every sensor; individual descriptors can also opt
+        out via ``<storage incremental="false">``.
     """
 
     def __init__(self, name: str = "gsn", simulated: bool = True,
@@ -72,7 +78,8 @@ class GSNContainer:
                  seal: str = "none",
                  seed: Optional[int] = 0,
                  clock: Optional[Clock] = None,
-                 scheduler: Optional[EventScheduler] = None) -> None:
+                 scheduler: Optional[EventScheduler] = None,
+                 incremental: bool = True) -> None:
         if not name.strip():
             raise ConfigurationError("container needs a name")
         self.name = name.strip().lower()
@@ -111,6 +118,7 @@ class GSNContainer:
             remote_subscribe=self.peer.subscribe if self.peer else None,
             synchronous=synchronous,
             seed=seed,
+            incremental=incremental,
         )
         self.vsm.on_deploy(self._after_deploy)
         self.vsm.on_undeploy(self._after_undeploy)

@@ -42,10 +42,15 @@ class StorageConfig:
     ``history_size`` bounds how much of the output stream is kept; it is a
     window spec (``"10s"`` time-based, ``"10"`` count-based, ``None``
     unbounded).
+
+    ``incremental`` is the per-sensor escape hatch for the incremental
+    pipeline: ``incremental="false"`` forces the legacy per-trigger
+    window rebuild and generic query execution for this sensor.
     """
 
     permanent: bool = False
     history_size: Optional[str] = None
+    incremental: bool = True
 
 
 @dataclass(frozen=True)

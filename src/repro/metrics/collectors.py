@@ -87,6 +87,76 @@ class LatencyRecorder:
         }
 
 
+class FastPathCounters:
+    """Per-sensor counters for the incremental pipeline's fast paths.
+
+    Every counter answers "did the optimization actually engage?" —
+    exposed through ``VirtualSensor.status()`` and the dashboard so a
+    deployment can verify it is running incrementally, and so the
+    equivalence tests can assert which path produced a result.
+    """
+
+    def __init__(self) -> None:
+        self.view_hits = 0  # guarded-by: _lock
+        self.view_misses = 0  # guarded-by: _lock
+        self.cache_hits = 0  # guarded-by: _lock
+        self.cache_misses = 0  # guarded-by: _lock
+        self.identity_hits = 0  # guarded-by: _lock
+        self.aggregate_hits = 0  # guarded-by: _lock
+        self.aggregate_fallbacks = 0  # guarded-by: _lock
+        self.legacy_queries = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def record_view(self, from_view: bool) -> None:
+        """Step 2 served by the materialized view vs a full rebuild."""
+        with self._lock:
+            if from_view:
+                self.view_hits += 1
+            else:
+                self.view_misses += 1
+
+    def record_cache(self, hit: bool) -> None:
+        """Per-source temporary relation reused (source unchanged)."""
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_identity(self) -> None:
+        """``select * from wrapper`` answered by the view directly."""
+        with self._lock:
+            self.identity_hits += 1
+
+    def record_aggregate(self) -> None:
+        """Aggregate answered from running accumulators."""
+        with self._lock:
+            self.aggregate_hits += 1
+
+    def record_aggregate_fallback(self) -> None:
+        """An accumulator poisoned itself; query rerouted to legacy."""
+        with self._lock:
+            self.aggregate_fallbacks += 1
+
+    def record_legacy(self) -> None:
+        """Per-source query executed by the generic SQL engine."""
+        with self._lock:
+            self.legacy_queries += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "view_hits": self.view_hits,
+                "view_misses": self.view_misses,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "identity_hits": self.identity_hits,
+                "aggregate_hits": self.aggregate_hits,
+                "aggregate_fallbacks": self.aggregate_fallbacks,
+                "legacy_queries": self.legacy_queries,
+            }
+
+
 class ThroughputCounter:
     """Counts events against a (virtual or wall) clock timespan."""
 

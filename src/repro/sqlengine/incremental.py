@@ -1,0 +1,359 @@
+"""Incremental evaluation of qualifying per-source queries.
+
+The per-source queries of pipeline step 3 are standing queries over a
+single window relation. Two common shapes don't need re-execution on
+every trigger:
+
+* **identity** — ``select * from wrapper``: the answer *is* the window
+  relation, which the incremental pipeline already maintains in place
+  (:mod:`repro.streams.materialized`).
+* **simple aggregates** — ``select avg(v), count(*) from wrapper
+  [where <row predicate>]``: every aggregate in ``count/sum/avg/min/max``
+  is maintainable under the window's append/evict deltas with O(1) work
+  per element (``min``/``max`` degrade to a rescan only when the current
+  extremum is evicted).
+
+:func:`classify` inspects a compiled :class:`SelectPlan` and reports
+which shape (if any) applies; :class:`IncrementalAggregateState` is the
+running accumulator, fed row deltas by a
+:class:`~repro.streams.materialized.WindowRelation`.
+
+Equivalence contract: for every qualifying query the produced relation is
+row-for-row identical to executing the plan against a freshly rebuilt
+window relation (the property tests assert this). Queries that would
+*fail* under the legacy executor (unknown columns, mixed-type sums, …)
+must keep failing at query time — accumulators therefore never raise out
+of the delta callbacks; they mark themselves unhealthy and the sensor
+falls back to the legacy path, which re-raises the legacy error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.sqlengine.ast_nodes import (
+    ColumnRef, FunctionCall, Node, SelectItem, Star, contains_aggregate,
+)
+from repro.sqlengine.compiler import compile_expression, has_subquery
+from repro.sqlengine.executor import Catalog, Env, LazyRow, _Executor, _truthy
+from repro.sqlengine.introspect import (
+    dedupe_columns, expression_columns, expression_name,
+)
+from repro.sqlengine.planner import ScanPlan, SelectPlan
+from repro.sqlengine.relation import Relation
+from repro.streams.materialized import RowListener, WindowRelation
+
+#: Aggregates maintainable under append/evict deltas.
+INCREMENTAL_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+@dataclass(frozen=True)
+class IdentityQuery:
+    """``select * from wrapper`` — answerable by the window relation."""
+    binding: str
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """One select item of a qualifying aggregate query."""
+    kind: str                    # "count_star", "count", "sum", "avg", ...
+    column: Optional[str]        # argument column name (None for count(*))
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A qualifying single-table aggregate query."""
+    binding: str
+    items: Tuple[AggregateItem, ...]
+    columns: Tuple[str, ...]               # output column names, deduped
+    where: Optional[Node]
+    referenced: FrozenSet[str]             # every column the query reads
+
+
+Classified = Union[IdentityQuery, AggregateQuery]
+
+
+def classify(plan: SelectPlan) -> Optional[Classified]:
+    """Decide whether ``plan`` qualifies for an incremental fast path.
+
+    Returns an :class:`IdentityQuery`, an :class:`AggregateQuery`, or
+    ``None`` when only the generic executor can answer it. The check is
+    deliberately conservative: any feature with semantics the
+    accumulators don't replicate exactly (joins, subqueries, DISTINCT,
+    GROUP BY, ORDER BY/LIMIT, expressions inside aggregates) disqualifies
+    the plan.
+    """
+    if not isinstance(plan.source, ScanPlan):
+        return None
+    if plan.set_operations or plan.group_by or plan.having is not None \
+            or plan.order_by or plan.distinct \
+            or plan.limit is not None or plan.offset is not None:
+        return None
+    binding = plan.source.binding
+
+    if not plan.is_aggregate:
+        return _classify_identity(plan, binding)
+    return _classify_aggregate(plan, binding)
+
+
+def _classify_identity(plan: SelectPlan,
+                       binding: str) -> Optional[IdentityQuery]:
+    if plan.where is not None or len(plan.items) != 1:
+        return None
+    expr = plan.items[0].expression
+    if not isinstance(expr, Star):
+        return None
+    if expr.table is not None and expr.table != binding:
+        return None
+    return IdentityQuery(binding)
+
+
+def _classify_aggregate(plan: SelectPlan,
+                        binding: str) -> Optional[AggregateQuery]:
+    referenced: List[str] = []
+    items: List[AggregateItem] = []
+    for item in plan.items:
+        parsed = _classify_item(item, binding)
+        if parsed is None:
+            return None
+        items.append(parsed)
+        if parsed.column is not None:
+            referenced.append(parsed.column)
+
+    if plan.where is not None:
+        if has_subquery(plan.where) or contains_aggregate(plan.where):
+            return None
+        for ref in expression_columns(plan.where):
+            if ref.table is not None and ref.table != binding:
+                return None
+            referenced.append(ref.name)
+
+    columns = dedupe_columns([
+        item.alias or expression_name(item.expression)
+        for item in plan.items
+    ])
+    return AggregateQuery(
+        binding=binding,
+        items=tuple(items),
+        columns=tuple(columns),
+        where=plan.where,
+        referenced=frozenset(referenced),
+    )
+
+
+def _classify_item(item: SelectItem,
+                   binding: str) -> Optional[AggregateItem]:
+    expr = item.expression
+    if not isinstance(expr, FunctionCall) or expr.distinct:
+        return None
+    if expr.name not in INCREMENTAL_AGGREGATES:
+        return None
+    if expr.star:
+        # Only count(*) is legal SQL; anything else must keep raising
+        # through the generic path.
+        if expr.name != "count":
+            return None
+        return AggregateItem("count_star", None)
+    if len(expr.args) != 1:
+        return None
+    arg = expr.args[0]
+    if not isinstance(arg, ColumnRef):
+        return None
+    if arg.table is not None and arg.table != binding:
+        return None
+    return AggregateItem(expr.name, arg.name)
+
+
+# --------------------------------------------------------------------------
+# Running accumulators
+# --------------------------------------------------------------------------
+
+
+class _ItemState:
+    """Mutable accumulator for one :class:`AggregateItem`."""
+
+    __slots__ = ("kind", "position", "nonnull", "total", "extremum", "dirty")
+
+    def __init__(self, kind: str, position: Optional[int]) -> None:
+        self.kind = kind
+        self.position = position          # column position in the relation
+        self.nonnull = 0                  # non-null inputs currently included
+        self.total: Any = 0               # running sum (sum/avg)
+        self.extremum: Any = None         # current min/max
+        self.dirty = False                # extremum evicted: rescan needed
+
+
+class IncrementalAggregateState(RowListener):
+    """Maintains one qualifying aggregate query under window deltas.
+
+    Attached as a listener to the source's :class:`WindowRelation`; all
+    callbacks run inside the owning SourceRuntime's lock, so no locking
+    happens here. If any delta update fails (mixed-type arithmetic, a
+    predicate raising, …) the state poisons itself (``healthy = False``)
+    and stays poisoned: the sensor then routes the query through the
+    legacy executor, which surfaces the same error at query time exactly
+    like the non-incremental pipeline would.
+    """
+
+    def __init__(self, spec: AggregateQuery,
+                 relation: WindowRelation) -> None:
+        self.spec = spec
+        self.relation = relation
+        self.healthy = True
+        self.updates = 0                  # delta applications (observability)
+        self._included = 0                # rows passing WHERE
+        self._binding = spec.binding
+        self._index = relation._index
+        # WHERE is compiled once; LIKE needs a live executor for its
+        # pattern cache, hence the private throwaway instance.
+        self._executor = _Executor(Catalog())
+        self._where = (compile_expression(spec.where)
+                       if spec.where is not None else None)
+        self._items = [
+            _ItemState(item.kind,
+                       None if item.column is None
+                       else self._index[item.column])
+            for item in spec.items
+        ]
+        self.rows_reset(list(relation.rows))
+
+    # -- RowListener protocol ----------------------------------------------
+
+    def row_appended(self, row: Tuple[Any, ...]) -> None:
+        if not self.healthy:
+            return
+        try:
+            if self._passes(row):
+                self._include(row)
+            self.updates += 1
+        except Exception:
+            self.healthy = False
+
+    def row_evicted(self, row: Tuple[Any, ...]) -> None:
+        if not self.healthy:
+            return
+        try:
+            if self._passes(row):
+                self._exclude(row)
+            self.updates += 1
+        except Exception:
+            self.healthy = False
+
+    def rows_reset(self, rows: Sequence[Tuple[Any, ...]]) -> None:
+        if not self.healthy:
+            return
+        try:
+            self._included = 0
+            for state in self._items:
+                state.nonnull = 0
+                state.total = 0
+                state.extremum = None
+                state.dirty = False
+            for row in rows:
+                if self._passes(row):
+                    self._include(row)
+            self.updates += 1
+        except Exception:
+            self.healthy = False
+
+    # -- delta application --------------------------------------------------
+
+    def _passes(self, row: Tuple[Any, ...]) -> bool:
+        if self._where is None:
+            return True
+        env = Env.root({self._binding: LazyRow(self._index, row)})
+        return _truthy(self._where(self._executor, env))
+
+    def _include(self, row: Tuple[Any, ...]) -> None:
+        self._included += 1
+        for state in self._items:
+            if state.kind == "count_star":
+                continue
+            value = row[state.position]
+            if value is None:
+                continue
+            state.nonnull += 1
+            if state.kind in ("sum", "avg"):
+                # Always fold into the 0-seeded total: sum() over
+                # non-numeric values must raise exactly like the legacy
+                # aggregate does.
+                state.total = state.total + value
+            elif not state.dirty:
+                if state.nonnull == 1:
+                    state.extremum = value
+                elif state.kind == "min":
+                    if value < state.extremum:
+                        state.extremum = value
+                elif value > state.extremum:
+                    state.extremum = value
+
+    def _exclude(self, row: Tuple[Any, ...]) -> None:
+        self._included -= 1
+        for state in self._items:
+            if state.kind == "count_star":
+                continue
+            value = row[state.position]
+            if value is None:
+                continue
+            state.nonnull -= 1
+            if state.kind in ("sum", "avg"):
+                state.total = state.total - value if state.nonnull else 0
+            elif state.nonnull == 0:
+                state.extremum = None
+                state.dirty = False
+            elif not state.dirty and value == state.extremum:
+                # The extremum left the window; only a rescan of the
+                # retained rows can find the runner-up.
+                state.dirty = True
+
+    # -- result ------------------------------------------------------------
+
+    def snapshot(self) -> Relation:
+        """The query's current answer as a single-row relation.
+
+        May raise (a ``min``/``max`` rescan inherits the executor's
+        mixed-type comparison errors); callers must treat a raising
+        snapshot as poisoning and fall back to the legacy path.
+        """
+        values: List[Any] = []
+        for state in self._items:
+            values.append(self._value_of(state))
+        return Relation(self.spec.columns, [tuple(values)])
+
+    def _value_of(self, state: _ItemState) -> Any:
+        if state.kind == "count_star":
+            return self._included
+        if state.kind == "count":
+            return state.nonnull
+        if state.nonnull == 0:
+            return None
+        if state.kind == "sum":
+            return state.total
+        if state.kind == "avg":
+            return state.total / state.nonnull
+        if state.dirty:
+            self._rescan(state)
+        return state.extremum
+
+    def _rescan(self, state: _ItemState) -> None:
+        best: Any = None
+        for row in self.relation.rows:
+            if not self._passes(row):
+                continue
+            value = row[state.position]
+            if value is None:
+                continue
+            if best is None:
+                best = value
+            elif state.kind == "min":
+                if value < best:
+                    best = value
+            elif value > best:
+                best = value
+        state.extremum = best
+        state.dirty = False
+
+    def __repr__(self) -> str:
+        return (f"IncrementalAggregateState({self.spec.columns}, "
+                f"included={self._included}, healthy={self.healthy})")

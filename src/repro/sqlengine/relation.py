@@ -42,10 +42,21 @@ class Relation:
         """Build from mapping rows; missing keys become ``None``."""
         relation = cls(columns)
         lowered = relation.columns
+        # Rows off one producer share a key set; normalize it once per
+        # distinct shape instead of lower-casing every key of every row.
+        key_maps: Dict[Tuple[str, ...], Tuple[Optional[str], ...]] = {}
         for mapping in dicts:
-            normalized = {k.lower(): v for k, v in mapping.items()}
+            shape = tuple(mapping.keys())
+            lookup = key_maps.get(shape)
+            if lookup is None:
+                # Duplicate keys differing only in case: the last one
+                # wins, matching the dict-comprehension this replaces.
+                by_lower = {key.lower(): key for key in shape}
+                lookup = tuple(by_lower.get(col) for col in lowered)
+                key_maps[shape] = lookup
             relation.rows.append(
-                tuple(normalized.get(col) for col in lowered)
+                tuple(None if key is None else mapping.get(key)
+                      for key in lookup)
             )
         return relation
 

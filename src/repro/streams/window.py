@@ -3,6 +3,13 @@
 Paper, Section 3: "a windowing mechanism which allows the user to define
 count- or time-based windows on data streams". Windows maintain the set of
 stream elements visible to the per-source query of pipeline step 2.
+
+Windows broadcast element-level deltas to
+:class:`~repro.streams.materialized.WindowObserver`\\ s (append, FIFO
+eviction, bulk reset) and carry a monotonically increasing ``version``
+that bumps on every content change — the dirty-tracking signal the
+incremental pipeline uses to skip re-executing per-source queries for
+windows that did not move.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Deque, List, Optional
 from repro.exceptions import WindowError
 from repro.gsntime.duration import parse_window_spec
 from repro.streams.element import StreamElement
+from repro.streams.materialized import WindowObserver
 
 
 class SlidingWindow(abc.ABC):
@@ -23,6 +31,13 @@ class SlidingWindow(abc.ABC):
     currently inside the window, oldest first. Time windows need the query
     time to expire elements, so ``contents`` takes ``now``.
     """
+
+    def __init__(self) -> None:
+        #: Bumped on every content change (append, evict, reset). Cached
+        #: derivations of the window (temporary relations, accumulators)
+        #: are valid exactly as long as the version they were built at.
+        self.version = 0
+        self._observers: List[WindowObserver] = []
 
     @abc.abstractmethod
     def append(self, element: StreamElement) -> None:
@@ -36,33 +51,82 @@ class SlidingWindow(abc.ABC):
     def spec(self) -> str:
         """The descriptor string this window was built from."""
 
+    @abc.abstractmethod
     def __len__(self) -> int:
-        return len(self.contents())
+        """Number of elements currently held — O(1), never materializes
+        the contents list."""
+
+    def synchronize(self, now: Optional[int] = None) -> bool:
+        """Apply any pending expiry for query time ``now``.
+
+        Returns ``True`` when, afterwards, the retained elements are
+        exactly ``contents(now)`` — i.e. a materialized mirror of the
+        retained set is a faithful window relation. Count windows always
+        are; time windows are unless ``now`` lies before the newest
+        element's timestamp (elements "from the future" are retained but
+        outside the queried span).
+        """
+        return True
 
     def clear(self) -> None:
         """Drop all buffered elements."""
         raise NotImplementedError
+
+    # -- observers ---------------------------------------------------------
+
+    def add_observer(self, observer: WindowObserver) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: WindowObserver) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify_append(self, element: StreamElement) -> None:
+        self.version += 1
+        for observer in self._observers:
+            observer.window_appended(element)
+
+    def _notify_evict(self, element: StreamElement) -> None:
+        self.version += 1
+        for observer in self._observers:
+            observer.window_evicted(element)
+
+    def _notify_reset(self, retained: List[StreamElement]) -> None:
+        self.version += 1
+        for observer in self._observers:
+            observer.window_reset(retained)
 
 
 class CountWindow(SlidingWindow):
     """Keeps the last ``size`` elements regardless of their timestamps."""
 
     def __init__(self, size: int) -> None:
+        super().__init__()
         if size <= 0:
             raise WindowError("count windows must hold at least one element")
         self.size = size
-        self._elements: Deque[StreamElement] = deque(maxlen=size)
+        self._elements: Deque[StreamElement] = deque()
 
     def append(self, element: StreamElement) -> None:
         if element.timed is None:
             raise WindowError("cannot window an unstamped element")
+        if len(self._elements) >= self.size:
+            evicted = self._elements.popleft()
+            self._notify_evict(evicted)
         self._elements.append(element)
+        self._notify_append(element)
 
     def contents(self, now: Optional[int] = None) -> List[StreamElement]:
         return list(self._elements)
 
+    def __len__(self) -> int:
+        return len(self._elements)
+
     def clear(self) -> None:
         self._elements.clear()
+        self._notify_reset([])
 
     def spec(self) -> str:
         return str(self.size)
@@ -81,6 +145,7 @@ class TimeWindow(SlidingWindow):
     """
 
     def __init__(self, span_millis: int) -> None:
+        super().__init__()
         if span_millis <= 0:
             raise WindowError("time windows must span a positive duration")
         self.span_millis = span_millis
@@ -96,6 +161,7 @@ class TimeWindow(SlidingWindow):
         self._elements.append(element)
         if element.timed > self._latest_seen:
             self._latest_seen = element.timed
+        self._notify_append(element)
 
     def _expire(self, now: int) -> None:
         cutoff = now - self.span_millis
@@ -103,13 +169,25 @@ class TimeWindow(SlidingWindow):
         # the left. A full rebuild only happens after out-of-order
         # arrivals, where stale elements can hide mid-deque.
         while self._elements and self._elements[0].timed <= cutoff:
-            self._elements.popleft()
+            evicted = self._elements.popleft()
+            self._notify_evict(evicted)
         if not self._monotonic and any(
             e.timed <= cutoff for e in self._elements
         ):
             self._elements = deque(
                 e for e in self._elements if e.timed > cutoff
             )
+            self._notify_reset(list(self._elements))
+
+    def synchronize(self, now: Optional[int] = None) -> bool:
+        if self._latest_seen < 0:
+            return True
+        reference = self._latest_seen if now is None else now
+        self._expire(reference)
+        # After expiry every retained element has timed > cutoff; the
+        # retained set equals contents(now) unless some element is newer
+        # than the reference (an out-of-order "future" stamp).
+        return reference >= self._latest_seen
 
     def contents(self, now: Optional[int] = None) -> List[StreamElement]:
         reference = self._latest_seen if now is None else now
@@ -123,10 +201,18 @@ class TimeWindow(SlidingWindow):
         return [e for e in self._elements
                 if cutoff < e.timed <= reference]
 
+    def __len__(self) -> int:
+        # Expire against the newest seen timestamp, then count what is
+        # left — O(1) plus expiry work that had to happen anyway.
+        if self._latest_seen >= 0:
+            self._expire(self._latest_seen)
+        return len(self._elements)
+
     def clear(self) -> None:
         self._elements.clear()
         self._latest_seen = -1
         self._monotonic = True
+        self._notify_reset([])
 
     def spec(self) -> str:
         from repro.gsntime.duration import format_duration

@@ -46,6 +46,10 @@ def render_dashboard(container: GSNContainer) -> str:
     sensor_rows = []
     for name, doc in sorted(sensors.items()):
         processing = doc["processing"]
+        incremental = doc.get("incremental", {})
+        counters = incremental.get("counters", {})
+        fast_hits = (counters.get("identity_hits", 0)
+                     + counters.get("aggregate_hits", 0))
         sensor_rows.append([
             name,
             doc["lifecycle"]["state"],
@@ -53,6 +57,10 @@ def render_dashboard(container: GSNContainer) -> str:
             f"{processing['mean_ms']:.3f}",
             f"{processing['p95_ms']:.3f}",
             "yes" if doc["permanent_storage"] else "no",
+            ("off" if not incremental.get("enabled")
+             else f"{fast_hits} fast / {counters.get('legacy_queries', 0)}"
+                  f" legacy"),
+            counters.get("cache_hits", 0),
         ])
 
     stream_rows = []
@@ -88,7 +96,8 @@ def render_dashboard(container: GSNContainer) -> str:
         f"{queries['plan_cache']['hit_ratio']:.2%}</p>",
         "<h2>Virtual sensors</h2>",
         _table(["sensor", "state", "produced", "mean ms", "p95 ms",
-                "persistent"], sensor_rows) if sensor_rows
+                "persistent", "incremental", "cache reuse"],
+               sensor_rows) if sensor_rows
         else "<p>none deployed</p>",
         "<h2>Stream sources</h2>",
         _table(["source", "wrapper", "window", "admitted", "link",

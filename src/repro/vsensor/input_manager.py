@@ -11,7 +11,8 @@ processing pipeline.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.descriptors.model import InputStreamSpec, StreamSourceSpec
 from repro.exceptions import StreamError
@@ -20,6 +21,7 @@ from repro.gsntime.duration import parse_duration, parse_window_spec
 from repro.sqlengine.relation import Relation
 from repro.streams.buffer import DisconnectBuffer
 from repro.streams.element import StreamElement
+from repro.streams.materialized import WindowRelation
 from repro.streams.quality import StreamQualityMonitor
 from repro.streams.sampling import ProbabilisticSampler, RateBounder
 from repro.streams.window import SlidingWindow, make_window
@@ -36,13 +38,28 @@ class SourceRuntime:
     """Everything the ISM keeps per ``<stream-source>``."""
 
     def __init__(self, spec: StreamSourceSpec, wrapper: Wrapper,
-                 clock: Clock, sampler_seed: Optional[int] = None) -> None:
+                 clock: Clock, sampler_seed: Optional[int] = None,
+                 incremental: bool = True) -> None:
         self.spec = spec
         self.wrapper = wrapper
         self.clock = clock
-        self.window: SlidingWindow = make_window(
+        # The lock serializes window mutation (wrapper threads) against
+        # window reads (pipeline threads); in synchronous containers it
+        # is uncontended and nearly free.
+        self._lock = threading.Lock()
+        self.window: SlidingWindow = make_window(  # guarded-by: _lock
             spec.storage_size or _DEFAULT_WINDOW_SPEC
         )
+        self.incremental = incremental
+        self.materializer: Optional[WindowRelation] = None  # guarded-by: _lock
+        if incremental:
+            try:
+                schema = wrapper.output_schema()
+            except Exception:
+                schema = None  # wrapper can't tell yet: stay on legacy
+            if schema is not None:
+                self.materializer = WindowRelation(schema.field_names)
+                self.window.add_observer(self.materializer)
         self.sampler = ProbabilisticSampler(spec.sampling_rate,
                                             seed=sampler_seed)
         self.buffer = DisconnectBuffer(spec.disconnect_buffer)
@@ -76,9 +93,15 @@ class SourceRuntime:
     def _admit(self, element: StreamElement) -> Optional[StreamElement]:
         if not self.sampler.admit(element):
             return None
-        self.window.append(element)
+        with self._lock:
+            self.window.append(element)
         self.elements_admitted += 1
         return element
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing window-content version (dirty flag)."""
+        return self.window.version
 
     def slide_allows(self, element: StreamElement) -> bool:
         """Whether this admission should fire the pipeline.
@@ -122,22 +145,64 @@ class SourceRuntime:
         return admitted
 
     def window_relation(self, now: Optional[int] = None) -> Relation:
-        """Window contents unnested into a flat relation (step 2)."""
+        """Window contents unnested into a flat relation (step 2).
+
+        This is the legacy per-trigger rebuild: O(window) tuples built
+        from scratch. The incremental pipeline uses
+        :meth:`snapshot_state` instead.
+        """
+        with self._lock:
+            return self._rebuild(now)
+
+    def _rebuild(self, now: Optional[int] = None) -> Relation:  # requires-lock: _lock
         schema = self.wrapper.output_schema()
         columns = tuple(schema.field_names) + ("timed",)
-        rows = (
+        rows = [
             tuple(element.get(field) for field in schema.field_names)
             + (element.timed,)
             for element in self.window.contents(now)
-        )
+        ]
         return Relation(columns, rows)
 
+    def snapshot_state(
+        self, now: Optional[int] = None, zero_copy: bool = False,
+    ) -> Tuple[Relation, int, bool, bool]:
+        """The window relation plus the metadata the cache needs.
+
+        Returns ``(relation, version, from_view, cacheable)``:
+
+        * ``relation`` — the step-2 window relation;
+        * ``version`` — the window version it corresponds to (sampled
+          *after* expiry, so it is a sound cache key);
+        * ``from_view`` — True when the relation came from the
+          delta-maintained materialization rather than a rebuild;
+        * ``cacheable`` — False when the contents depend on ``now``
+          beyond what ``version`` captures (a time window holding
+          elements stamped ahead of the query time), so derived results
+          must not be reused across triggers.
+
+        With ``zero_copy`` the live :class:`WindowRelation` itself is
+        returned — only safe when the caller finishes reading it before
+        this source admits another element (synchronous containers).
+        """
+        with self._lock:
+            faithful = self.window.synchronize(now)
+            mat = self.materializer
+            if mat is None or not faithful:
+                return (self._rebuild(now), self.window.version,
+                        False, faithful)
+            relation: Relation = mat if zero_copy else mat.snapshot()
+            return relation, self.window.version, True, True
+
     def status(self) -> dict:
+        with self._lock:
+            window_spec = self.window.spec()
+            window_size = len(self.window)
         return {
             "alias": self.spec.alias,
             "wrapper": self.spec.address.wrapper,
-            "window": self.window.spec(),
-            "window_size": len(self.window.contents()),
+            "window": window_spec,
+            "window_size": window_size,
             "admitted": self.elements_admitted,
             "connected": self.buffer.connected,
             "buffered": self.buffer.pending,
@@ -152,6 +217,7 @@ class StreamRuntime:
                  started_at: int) -> None:
         self.spec = spec
         self.sources = sources
+        self._by_alias = {source.spec.alias: source for source in sources}
         self.rate_bounder: Optional[RateBounder] = (
             RateBounder(spec.rate) if spec.rate > 0 else None
         )
@@ -167,23 +233,25 @@ class StreamRuntime:
         return self.expires_at is not None and now >= self.expires_at
 
     def source(self, alias: str) -> SourceRuntime:
-        for runtime in self.sources:
-            if runtime.spec.alias == alias:
-                return runtime
-        raise StreamError(f"input stream {self.spec.name!r} has no source "
-                          f"{alias!r}")
+        try:
+            return self._by_alias[alias]
+        except KeyError:
+            raise StreamError(f"input stream {self.spec.name!r} has no "
+                              f"source {alias!r}") from None
 
 
 class InputStreamManager:
     """Wires wrappers to windows and fires the processing trigger."""
 
     def __init__(self, clock: Clock, trigger: TriggerCallback,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 incremental: bool = True) -> None:
         self.clock = clock
         self._trigger = trigger
         self._streams: Dict[str, StreamRuntime] = {}
         self._enabled = True
         self._seed = seed
+        self._incremental = incremental
 
     def add_stream(self, spec: InputStreamSpec,
                    wrappers: Dict[str, Wrapper]) -> StreamRuntime:
@@ -195,7 +263,8 @@ class InputStreamManager:
         for index, source_spec in enumerate(spec.sources):
             wrapper = wrappers[source_spec.alias]
             seed = None if self._seed is None else self._seed + index
-            runtime = SourceRuntime(source_spec, wrapper, self.clock, seed)
+            runtime = SourceRuntime(source_spec, wrapper, self.clock, seed,
+                                    incremental=self._incremental)
             wrapper.add_listener(
                 self._listener(spec.name, runtime)
             )

@@ -38,7 +38,8 @@ class VirtualSensorManager:
                  scheduler: Optional[EventScheduler] = None,
                  remote_subscribe: Optional[SubscribeFunc] = None,
                  synchronous: bool = True,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 incremental: bool = True) -> None:
         self.clock = clock
         self.storage = storage
         self.registry = registry
@@ -46,6 +47,7 @@ class VirtualSensorManager:
         self.remote_subscribe = remote_subscribe
         self.synchronous = synchronous
         self.seed = seed
+        self.incremental = incremental
         self._sensors: Dict[str, VirtualSensor] = {}
         self._deploy_hooks: List[DeployHook] = []
         self._undeploy_hooks: List[UndeployHook] = []
@@ -97,6 +99,7 @@ class VirtualSensorManager:
                 output_table=output_table,
                 synchronous=self.synchronous,
                 seed=self.seed,
+                incremental=self.incremental,
             )
         except Exception:
             self.storage.drop_stream(table_name)

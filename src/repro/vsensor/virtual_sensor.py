@@ -14,22 +14,32 @@ Paper, Section 3 — on each input-stream arrival:
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.descriptors.model import VirtualSensorDescriptor
 from repro.exceptions import DeploymentError, SchemaError
 from repro.gsntime.clock import Clock
-from repro.metrics.collectors import LatencyRecorder
+from repro.metrics.collectors import FastPathCounters, LatencyRecorder
 from repro.sqlengine.executor import Catalog, execute_plan
+from repro.sqlengine.incremental import (
+    AggregateQuery, Classified, IdentityQuery, IncrementalAggregateState,
+    classify,
+)
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.planner import SelectPlan, plan_select
+from repro.sqlengine.relation import Relation
 from repro.sqlengine.rewriter import WRAPPER_TABLE
 from repro.storage.base import StreamTable
 from repro.streams.element import StreamElement
 from repro.streams.schema import StreamSchema
-from repro.vsensor.input_manager import InputStreamManager
+from repro.streams.window import CountWindow
+from repro.vsensor.input_manager import InputStreamManager, SourceRuntime
 from repro.vsensor.lifecycle import LifeCycleManager
 from repro.wrappers.base import Wrapper
+
+#: Key for everything kept per stream source: aliases are only unique
+#: within one input stream, so (stream name, alias) is the real identity.
+SourceKey = Tuple[str, str]
 
 OutputListener = Callable[[StreamElement], None]
 
@@ -47,7 +57,8 @@ class VirtualSensor:
                  wrappers: Dict[str, Wrapper],
                  output_table: Optional[StreamTable] = None,
                  synchronous: bool = True,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 incremental: bool = True) -> None:
         self.descriptor = descriptor
         self.name = descriptor.name
         self.clock = clock
@@ -56,8 +67,17 @@ class VirtualSensor:
         self.lifecycle = LifeCycleManager(descriptor.name,
                                           descriptor.lifecycle,
                                           synchronous=synchronous)
-        self.ism = InputStreamManager(clock, self._on_trigger, seed=seed)
+        # Escape hatch: the container option AND the descriptor's
+        # <storage incremental="..."> flag must both allow the
+        # incremental pipeline; either one forces the legacy rebuild.
+        self.incremental = incremental and descriptor.storage.incremental
+        # The live window view may only be handed to the executor when
+        # nothing can mutate it mid-query: synchronous pipelines.
+        self._zero_copy = synchronous and self.incremental
+        self.ism = InputStreamManager(clock, self._on_trigger, seed=seed,
+                                      incremental=self.incremental)
         self.latency = LatencyRecorder(keep_samples=True)
+        self.fast_paths = FastPathCounters()
         self.elements_produced = 0
         self._consecutive_errors = 0
         self._listeners: List[OutputListener] = []
@@ -71,11 +91,17 @@ class VirtualSensor:
 
         # Plans are prepared once per deployment and reused per trigger —
         # this is the plan cache half of GSN's "adaptive query execution".
-        self._source_plans: Dict[str, SelectPlan] = {}
+        self._source_plans: Dict[SourceKey, SelectPlan] = {}
         self._stream_plans: Dict[str, SelectPlan] = {}
+        # Fast-path classification of per-source plans, plus the running
+        # aggregate accumulators attached to window materializations.
+        self._fast_paths: Dict[SourceKey, Classified] = {}
+        self._agg_states: Dict[SourceKey, IncrementalAggregateState] = {}
+        # Step-3 result cache: (window version, temporary relation).
+        self._temp_cache: Dict[SourceKey, Tuple[int, Relation]] = {}
         for stream in descriptor.input_streams:
             for source in stream.sources:
-                self._source_plans[source.alias] = plan_select(
+                self._source_plans[(stream.name, source.alias)] = plan_select(
                     parse_select(source.query)
                 )
             self._stream_plans[stream.name] = plan_select(
@@ -88,10 +114,13 @@ class VirtualSensor:
                     f"{descriptor.name}: no wrapper instance for "
                     f"source(s) {missing}"
                 )
-            self.ism.add_stream(
+            runtime = self.ism.add_stream(
                 stream,
                 {s.alias: self.wrappers[s.alias] for s in stream.sources},
             )
+            if self.incremental:
+                for source_runtime in runtime.sources:
+                    self._attach_fast_path(stream.name, source_runtime)
 
     # -- output stream -------------------------------------------------------
 
@@ -135,11 +164,44 @@ class VirtualSensor:
         self.ism.resume()
 
     def _unique_wrappers(self) -> List[Wrapper]:
-        seen: List[Wrapper] = []
+        seen: Dict[int, Wrapper] = {}
         for wrapper in self.wrappers.values():
-            if all(wrapper is not existing for existing in seen):
-                seen.append(wrapper)
-        return seen
+            seen.setdefault(id(wrapper), wrapper)
+        return list(seen.values())
+
+    # -- fast-path wiring ------------------------------------------------------
+
+    def _attach_fast_path(self, stream_name: str,
+                          source: SourceRuntime) -> None:
+        """Classify one per-source plan and wire up its fast path.
+
+        Anything that doesn't qualify simply stays on the generic
+        executor — classification is advisory, never load-bearing.
+        """
+        key = (stream_name, source.spec.alias)
+        classified = classify(self._source_plans[key])
+        if classified is None:
+            return
+        mat = source.materializer
+        if mat is None:
+            return
+        if isinstance(classified, IdentityQuery):
+            self._fast_paths[key] = classified
+            return
+        # Running accumulators are only attached over count windows (the
+        # ISSUE scope); the referenced columns must all exist in the
+        # materialized relation, otherwise the legacy path must keep
+        # raising its unknown-column error at query time.
+        if not isinstance(source.window, CountWindow):
+            return
+        if any(name not in mat._index for name in classified.referenced):
+            return
+        state = IncrementalAggregateState(classified, mat)
+        if not state.healthy:
+            return
+        mat.add_listener(state)
+        self._fast_paths[key] = classified
+        self._agg_states[key] = state
 
     # -- the pipeline ----------------------------------------------------------
 
@@ -160,12 +222,7 @@ class VirtualSensor:
             # relations, one per stream source.
             temporaries = Catalog()
             for source in stream.sources:
-                window_catalog = Catalog(
-                    {WRAPPER_TABLE: source.window_relation(now)}
-                )
-                temporary = execute_plan(
-                    self._source_plans[source.spec.alias], window_catalog
-                )
+                temporary = self._source_temporary(stream_name, source, now)
                 temporaries.register(source.spec.alias, temporary)
 
             # Step 4: the output query over the temporary relations.
@@ -185,6 +242,82 @@ class VirtualSensor:
             for hook in self.processing_hooks:
                 hook(trigger.timed if trigger.timed is not None else now,
                      service_ms)
+
+    def _source_temporary(self, stream_name: str, source: SourceRuntime,
+                          now: int) -> Relation:
+        """Step 3 for one source: its per-source query's result relation.
+
+        The incremental ladder, cheapest rung first:
+
+        1. temporary cache — the source's window hasn't moved since the
+           last trigger, reuse the previous result outright;
+        2. identity fast path — the query is ``select * from wrapper``,
+           hand back the delta-maintained window relation;
+        3. incremental aggregates — answer from running accumulators;
+        4. legacy — execute the plan over a (possibly still
+           zero-copy) window relation.
+        """
+        key = (stream_name, source.spec.alias)
+        plan = self._source_plans[key]
+        if not self.incremental:
+            self.fast_paths.record_legacy()
+            window_catalog = Catalog(
+                {WRAPPER_TABLE: source.window_relation(now)}
+            )
+            return execute_plan(plan, window_catalog)
+
+        relation, version, from_view, cacheable = source.snapshot_state(
+            now, zero_copy=self._zero_copy
+        )
+        self.fast_paths.record_view(from_view)
+
+        cached = self._temp_cache.get(key)
+        if cacheable and cached is not None and cached[0] == version:
+            self.fast_paths.record_cache(True)
+            return cached[1]
+        self.fast_paths.record_cache(False)
+
+        temporary: Optional[Relation] = None
+        fast = self._fast_paths.get(key)
+        if from_view and fast is not None:
+            if isinstance(fast, IdentityQuery):
+                self.fast_paths.record_identity()
+                temporary = relation
+            else:
+                temporary = self._aggregate_snapshot(key, source, fast)
+        if temporary is None:
+            self.fast_paths.record_legacy()
+            window_catalog = Catalog({WRAPPER_TABLE: relation})
+            temporary = execute_plan(plan, window_catalog)
+        if cacheable:
+            self._temp_cache[key] = (version, temporary)
+        return temporary
+
+    def _aggregate_snapshot(self, key: SourceKey, source: SourceRuntime,
+                            spec: AggregateQuery) -> Optional[Relation]:
+        """The accumulator's current answer, or ``None`` to fall back.
+
+        A poisoned (or poisoning) accumulator routes the query through
+        the legacy executor so errors surface at query time exactly as
+        the non-incremental pipeline would raise them.
+        """
+        state = self._agg_states.get(key)
+        if state is None:
+            return None
+        if not state.healthy:
+            self.fast_paths.record_aggregate_fallback()
+            return None
+        try:
+            # Under the source lock: accumulators are updated inside the
+            # window's notification path, which holds the same lock.
+            with source._lock:
+                snapshot = state.snapshot()
+        except Exception:
+            state.healthy = False
+            self.fast_paths.record_aggregate_fallback()
+            return None
+        self.fast_paths.record_aggregate()
+        return snapshot
 
     def _on_pipeline_error(self, exc: Exception) -> None:
         """Apply the descriptor's error-handling policy: after
@@ -249,6 +382,24 @@ class VirtualSensor:
             "processing": self.latency.summary(),
             "input_streams": self.ism.status(),
             "permanent_storage": self.descriptor.storage.permanent,
+            "incremental": self.incremental_status(),
+        }
+
+    def incremental_status(self) -> dict:
+        """Fast-path wiring and hit counters (dashboard/status block)."""
+        kinds = {}
+        for (stream_name, alias), classified in self._fast_paths.items():
+            if isinstance(classified, IdentityQuery):
+                kind = "identity"
+            else:
+                state = self._agg_states.get((stream_name, alias))
+                kind = "aggregate" if state is None or state.healthy \
+                    else "aggregate (poisoned)"
+            kinds[f"{stream_name}/{alias}"] = kind
+        return {
+            "enabled": self.incremental,
+            "fast_paths": kinds,
+            "counters": self.fast_paths.snapshot(),
         }
 
     def __repr__(self) -> str:

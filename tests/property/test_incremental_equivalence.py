@@ -1,0 +1,183 @@
+"""Property: the incremental pipeline is row-for-row equivalent to the
+legacy rebuild pipeline.
+
+Two sensors are built from descriptors that differ only in
+``StorageConfig.incremental`` and driven through the same random
+operation sequence — emissions with jittered (out-of-order and future)
+timestamps, clock advances, disconnect/reconnect cycles — and every
+output element (values and timestamp) must match exactly.
+
+Values are integers so sums/averages are bit-exact on both paths.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datatypes import DataType
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, StorageConfig, StreamSourceSpec,
+    VirtualSensorDescriptor,
+)
+from repro.gsntime.clock import VirtualClock
+from repro.storage.base import RetentionPolicy
+from repro.storage.memory import MemoryStorage
+from repro.streams.schema import StreamSchema
+from repro.vsensor.virtual_sensor import VirtualSensor
+from repro.wrappers.scripted import ScriptedWrapper
+
+SCHEMA = StreamSchema.build(temperature=DataType.INTEGER)
+
+START = 10_000
+
+values = st.one_of(st.none(), st.integers(-50, 50))
+jitters = st.integers(-2_500, 2_500)
+selectors = st.integers(0, 1)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("emit"), selectors, values, jitters),
+        st.tuples(st.just("advance"), st.integers(1, 3_000)),
+        st.tuples(st.just("disconnect"), selectors),
+        st.tuples(st.just("reconnect"), selectors),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def make_descriptor(source_specs, stream_query, output_fields,
+                    incremental):
+    return VirtualSensorDescriptor(
+        name="equiv",
+        output_structure=StreamSchema.build(**output_fields),
+        input_streams=(InputStreamSpec(
+            name="in",
+            sources=tuple(
+                StreamSourceSpec(
+                    alias=alias, address=AddressSpec("scripted"),
+                    query=query, storage_size=window,
+                    disconnect_buffer=4,
+                )
+                for alias, window, query in source_specs
+            ),
+            query=stream_query,
+        ),),
+        storage=StorageConfig(incremental=incremental),
+    )
+
+
+def run_ops(descriptor, aliases, ops):
+    """Drive one sensor through the op sequence; return its outputs."""
+    clock = VirtualClock(START)
+    wrappers = {}
+    for alias in aliases:
+        wrapper = ScriptedWrapper()
+        wrapper.script(lambda now: None, SCHEMA)
+        wrapper.attach(clock)
+        wrapper.configure({})
+        wrappers[alias] = wrapper
+    table = MemoryStorage().create("out", descriptor.output_structure,
+                                   RetentionPolicy("all"))
+    sensor = VirtualSensor(descriptor, clock, wrappers,
+                           output_table=table)
+    outputs = []
+    sensor.add_listener(
+        lambda el, sink=outputs: sink.append((el.timed, dict(el.values)))
+    )
+    sensor.start()
+    for op in ops:
+        kind = op[0]
+        if kind == "emit":
+            alias = aliases[op[1] % len(aliases)]
+            wrappers[alias].emit({"temperature": op[2]},
+                                 timed=clock.now() + op[3])
+        elif kind == "advance":
+            clock.advance(op[1])
+        elif kind == "disconnect":
+            alias = aliases[op[1] % len(aliases)]
+            sensor.ism.stream("in").source(alias).disconnect()
+        elif kind == "reconnect":
+            alias = aliases[op[1] % len(aliases)]
+            sensor.ism.stream("in").source(alias).reconnect()
+    return outputs, sensor
+
+
+def assert_equivalent(source_specs, stream_query, output_fields, ops,
+                      aliases=("src",)):
+    inc = make_descriptor(source_specs, stream_query, output_fields,
+                          incremental=True)
+    leg = make_descriptor(source_specs, stream_query, output_fields,
+                          incremental=False)
+    inc_out, inc_sensor = run_ops(inc, aliases, ops)
+    leg_out, leg_sensor = run_ops(leg, aliases, ops)
+    assert inc_out == leg_out
+    assert inc_sensor.elements_produced == leg_sensor.elements_produced
+    leg_counters = leg_sensor.fast_paths.snapshot()
+    assert leg_counters["identity_hits"] == 0
+    assert leg_counters["aggregate_hits"] == 0
+    assert leg_counters["cache_hits"] == 0
+    return inc_sensor.fast_paths.snapshot()
+
+
+AGG_FIELDS = {
+    "n": DataType.INTEGER, "c": DataType.INTEGER, "s": DataType.INTEGER,
+    "a": DataType.DOUBLE, "lo": DataType.INTEGER, "hi": DataType.INTEGER,
+}
+AGG_QUERY = (
+    "select count(*) as n, count(temperature) as c, "
+    "sum(temperature) as s, avg(temperature) as a, "
+    "min(temperature) as lo, max(temperature) as hi from wrapper"
+)
+
+
+class TestIncrementalEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_count_window_aggregates(self, ops):
+        assert_equivalent(
+            [("src", "4", AGG_QUERY)], "select * from src", AGG_FIELDS,
+            ops,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_count_window_aggregates_with_where(self, ops):
+        assert_equivalent(
+            [("src", "5",
+              AGG_QUERY + " where temperature >= 5")],
+            "select * from src", AGG_FIELDS, ops,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_identity_over_count_window(self, ops):
+        assert_equivalent(
+            [("src", "6", "select * from wrapper")],
+            "select temperature, timed from src",
+            {"temperature": DataType.INTEGER},
+            ops,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_time_window_with_out_of_order_arrivals(self, ops):
+        # Time windows route aggregates through the legacy executor but
+        # still exercise the materialized view, faithfulness checks
+        # (future-stamped elements), and the temporary cache.
+        assert_equivalent(
+            [("src", "2s", AGG_QUERY)], "select * from src", AGG_FIELDS,
+            ops,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_multi_source_single_firing(self, ops):
+        # Only one source fires per emission: the idle source's
+        # temporary must be served from the cache on the incremental
+        # path and still join identically.
+        assert_equivalent(
+            [("a", "3", "select min(temperature) as lo from wrapper"),
+             ("b", "5", "select max(temperature) as hi from wrapper")],
+            "select a.lo as lo, b.hi as hi from a, b",
+            {"lo": DataType.INTEGER, "hi": DataType.INTEGER},
+            ops,
+            aliases=("a", "b"),
+        )

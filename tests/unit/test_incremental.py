@@ -1,0 +1,272 @@
+"""Unit tests for the incremental hot path.
+
+Covers: fast-path classification, the per-path counters, the escape
+hatches, accumulator poisoning, window-relation mirroring, O(1) window
+lengths, and the ``from_dicts`` key normalization.
+"""
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.descriptors.model import StorageConfig
+from repro.descriptors.xml_io import descriptor_from_xml, descriptor_to_xml
+from repro.gsntime.clock import VirtualClock
+from repro.sqlengine.incremental import (
+    AggregateQuery, IdentityQuery, classify,
+)
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import plan_select
+from repro.sqlengine.relation import Relation
+from repro.storage.base import RetentionPolicy
+from repro.storage.memory import MemoryStorage
+from repro.streams.element import StreamElement
+from repro.streams.materialized import WindowRelation
+from repro.streams.schema import StreamSchema
+from repro.streams.window import CountWindow, TimeWindow
+from repro.vsensor.virtual_sensor import VirtualSensor
+from repro.wrappers.scripted import ScriptedWrapper
+
+from tests.conftest import simple_mote_descriptor
+
+
+def plan(sql):
+    return plan_select(parse_select(sql))
+
+
+class TestClassify:
+    def test_identity(self):
+        classified = classify(plan("select * from wrapper"))
+        assert isinstance(classified, IdentityQuery)
+        assert classified.binding == "wrapper"
+
+    def test_identity_with_alias_star(self):
+        classified = classify(plan("select w.* from wrapper w"))
+        assert isinstance(classified, IdentityQuery)
+        assert classified.binding == "w"
+
+    def test_aggregates_with_where(self):
+        classified = classify(plan(
+            "select count(*) as n, sum(v) as s, avg(v), min(v), max(v) "
+            "from wrapper where v > 3"
+        ))
+        assert isinstance(classified, AggregateQuery)
+        assert [item.kind for item in classified.items] == [
+            "count_star", "sum", "avg", "min", "max",
+        ]
+        assert classified.columns == ("n", "s", "avg_v", "min_v", "max_v")
+        assert classified.referenced == frozenset({"v"})
+
+    @pytest.mark.parametrize("sql", [
+        "select v from wrapper",                         # projection
+        "select * from wrapper where v > 1",             # filtered identity
+        "select count(*) from wrapper group by v",       # group by
+        "select distinct v from wrapper",                # distinct rows
+        "select count(distinct v) from wrapper",         # distinct aggregate
+        "select sum(v + 1) from wrapper",                # expression arg
+        "select median(v) from wrapper",                 # unsupported agg
+        "select sum(v) from wrapper order by 1",         # order by
+        "select sum(v) from wrapper limit 1",            # limit
+        "select count(*) from wrapper a, wrapper2 b",    # join
+        "select sum(v) from wrapper "
+        "where v in (select v from t)",                  # subquery
+        "select * from wrapper union select * from w2",  # set op
+    ])
+    def test_disqualified(self, sql):
+        assert classify(plan(sql)) is None
+
+
+class TestWindowRelation:
+    def element(self, v, timed):
+        return StreamElement({"v": v}, timed=timed)
+
+    def test_mirrors_count_window(self):
+        window = CountWindow(3)
+        mat = WindowRelation(["v"])
+        window.add_observer(mat)
+        for i in range(5):
+            window.append(self.element(i, 100 + i))
+        assert list(mat.rows) == [(2, 102), (3, 103), (4, 104)]
+        assert mat.columns == ("v", "timed")
+
+    def test_mirrors_time_window_with_out_of_order(self):
+        window = TimeWindow(100)
+        mat = WindowRelation(["v"])
+        window.add_observer(mat)
+        window.append(self.element(1, 1_000))
+        window.append(self.element(2, 950))   # out of order
+        window.append(self.element(3, 1_060))
+        window.contents(1_060)  # expiry: cutoff 960 drops the 950 element
+        assert sorted(mat.rows) == [(1, 1_000), (3, 1_060)]
+
+    def test_version_bumps_on_every_change(self):
+        window = CountWindow(1)
+        v0 = window.version
+        window.append(self.element(1, 1))
+        assert window.version == v0 + 1
+        window.append(self.element(2, 2))     # evict + append
+        assert window.version == v0 + 3
+        window.clear()
+        assert window.version == v0 + 4
+
+    def test_window_len_is_consistent(self):
+        count = CountWindow(3)
+        for i in range(5):
+            count.append(self.element(i, i))
+        assert len(count) == len(count.contents()) == 3
+        time_window = TimeWindow(50)
+        for stamp in (100, 120, 400):
+            time_window.append(self.element(1, stamp))
+        assert len(time_window) == len(time_window.contents()) == 1
+
+    def test_time_window_synchronize_reports_future_elements(self):
+        window = TimeWindow(100)
+        window.append(self.element(1, 1_000))
+        assert window.synchronize(1_000) is True
+        window.append(self.element(2, 2_000))
+        # Query time behind the newest stamp: retained != contents(now).
+        assert window.synchronize(1_500) is False
+        assert window.synchronize(2_000) is True
+
+
+def build_sensor(descriptor, incremental=True, value=7):
+    clock = VirtualClock(10_000)
+    wrapper = ScriptedWrapper()
+    wrapper.script(lambda now: {"temperature": value},
+                   StreamSchema.build(temperature=DataType.INTEGER))
+    wrapper.attach(clock)
+    wrapper.configure({})
+    storage = MemoryStorage()
+    table = storage.create("out", descriptor.output_structure,
+                           RetentionPolicy("all"))
+    sensor = VirtualSensor(descriptor, clock, {"src": wrapper},
+                           output_table=table, incremental=incremental)
+    return sensor, wrapper, clock, table
+
+
+class TestFastPathCounters:
+    def test_aggregate_path_counts_hits(self):
+        descriptor = simple_mote_descriptor(window="10")
+        sensor, wrapper, clock, table = build_sensor(descriptor)
+        sensor.start()
+        for value in (10, 20, 30):
+            wrapper._producer = lambda now, v=value: {"temperature": v}
+            clock.advance(100)
+            wrapper.tick()
+        assert table.latest()["temperature"] == 20
+        counters = sensor.fast_paths.snapshot()
+        assert counters["aggregate_hits"] == 3
+        assert counters["legacy_queries"] == 0
+        assert counters["view_hits"] == 3
+        doc = sensor.status()["incremental"]
+        assert doc["enabled"] is True
+        assert doc["fast_paths"] == {"in/src": "aggregate"}
+
+    def test_identity_path_counts_hits(self):
+        descriptor = simple_mote_descriptor(
+            window="10",
+            source_query="select * from wrapper",
+            stream_query="select avg(temperature) as temperature from src",
+        )
+        sensor, wrapper, clock, table = build_sensor(descriptor)
+        sensor.start()
+        wrapper.tick()
+        assert table.latest()["temperature"] == 7
+        counters = sensor.fast_paths.snapshot()
+        assert counters["identity_hits"] == 1
+        assert sensor.status()["incremental"]["fast_paths"] == {
+            "in/src": "identity",
+        }
+
+    def test_descriptor_escape_hatch_forces_legacy(self):
+        descriptor = simple_mote_descriptor(window="10")
+        descriptor = type(descriptor)(
+            **{**descriptor.__dict__,
+               "storage": StorageConfig(permanent=True, history_size="1h",
+                                        incremental=False)}
+        )
+        sensor, wrapper, clock, table = build_sensor(descriptor)
+        sensor.start()
+        wrapper.tick()
+        assert table.latest()["temperature"] == 7
+        counters = sensor.fast_paths.snapshot()
+        assert counters["legacy_queries"] == 1
+        assert counters["aggregate_hits"] == 0
+        assert sensor.status()["incremental"]["enabled"] is False
+
+    def test_container_escape_hatch_forces_legacy(self):
+        descriptor = simple_mote_descriptor(window="10")
+        sensor, wrapper, clock, table = build_sensor(descriptor,
+                                                     incremental=False)
+        sensor.start()
+        wrapper.tick()
+        assert sensor.fast_paths.snapshot()["legacy_queries"] == 1
+        assert sensor.status()["incremental"]["enabled"] is False
+
+    def test_poisoned_aggregate_falls_back_and_error_surfaces(self):
+        # sum() over strings fails in the legacy engine at query time;
+        # the accumulator must poison itself and reroute to legacy so
+        # the pipeline error is identical.
+        descriptor = simple_mote_descriptor(
+            window="10",
+            source_query="select sum(temperature) as temperature "
+                         "from wrapper",
+        )
+        sensor, wrapper, clock, table = build_sensor(descriptor)
+        sensor.start()
+        wrapper._producer = lambda now: {"temperature": "boom"}
+        wrapper.tick()
+        assert sensor.lifecycle.pool.tasks_failed == 1
+        assert sensor.elements_produced == 0
+        counters = sensor.fast_paths.snapshot()
+        assert counters["aggregate_fallbacks"] == 1
+        assert counters["legacy_queries"] == 1
+        assert sensor.status()["incremental"]["fast_paths"] == {
+            "in/src": "aggregate (poisoned)",
+        }
+
+    def test_temporary_cache_reused_when_source_idle(self):
+        # Time-window aggregate (legacy execution) whose window never
+        # changes between triggers on the same version: second trigger
+        # must reuse the cached temporary. Easier to see on a two-source
+        # sensor, covered by the property tests; here we check the
+        # single-source miss accounting stays exact.
+        descriptor = simple_mote_descriptor(window="10")
+        sensor, wrapper, clock, table = build_sensor(descriptor)
+        sensor.start()
+        wrapper.tick()
+        wrapper.tick()
+        counters = sensor.fast_paths.snapshot()
+        # Every trigger mutates this source's window: no reuse possible.
+        assert counters["cache_hits"] == 0
+        assert counters["cache_misses"] == 2
+
+
+class TestDescriptorFlag:
+    def test_default_not_serialized_and_roundtrips(self):
+        descriptor = simple_mote_descriptor()
+        xml = descriptor_to_xml(descriptor)
+        assert "incremental" not in xml
+        assert descriptor_from_xml(xml).storage.incremental is True
+
+    def test_disabled_serialized_and_roundtrips(self):
+        descriptor = simple_mote_descriptor()
+        descriptor = type(descriptor)(
+            **{**descriptor.__dict__,
+               "storage": StorageConfig(incremental=False)}
+        )
+        xml = descriptor_to_xml(descriptor)
+        assert 'incremental="false"' in xml
+        assert descriptor_from_xml(xml).storage.incremental is False
+
+
+class TestFromDicts:
+    def test_keys_normalized_per_shape(self):
+        relation = Relation.from_dicts(
+            ["a", "b"],
+            [{"A": 1, "B": 2}, {"a": 3}, {"A": 4, "B": 5}],
+        )
+        assert relation.rows == [(1, 2), (3, None), (4, 5)]
+
+    def test_duplicate_case_keys_last_wins(self):
+        relation = Relation.from_dicts(["a"], [{"A": 1, "a": 2}])
+        assert relation.rows == [(2,)]
