@@ -8,6 +8,7 @@ can tolerate high rates").
 
 from __future__ import annotations
 
+import dataclasses
 from time import perf_counter
 
 import pytest
@@ -19,6 +20,7 @@ from repro.descriptors.model import (
     VirtualSensorDescriptor,
 )
 from repro.gsntime.clock import VirtualClock
+from repro.metrics.tracing import PipelineTracer, TraceBuffer
 from repro.simulation.workload import payload_descriptor
 from repro.sqlengine.executor import Catalog, execute, execute_plan
 from repro.sqlengine.parser import parse_select
@@ -207,6 +209,84 @@ def test_incremental_multi_source_cache_speedup() -> None:
         "legacy_ms": legacy * 1_000,
         "speedup": legacy / incremental,
     })
+
+
+# -- tracing overhead --------------------------------------------------------
+
+
+def _traced_node(sampling: float, warmup: int = 200):
+    """A warmed container-deployed sensor at one trace-sampling rate;
+    returns (container, tick) where ``tick`` advances the clock one
+    wrapper interval and produces one element — the window stays at its
+    steady-state size instead of growing across measurement rounds."""
+    descriptor = dataclasses.replace(
+        payload_descriptor("s", 1, 100, 1_024),  # default 10s window
+        trace_sampling=sampling,
+    )
+    node = GSNContainer(f"trace-bench-{sampling}")
+    node.deploy(descriptor)
+    node.run_for(10_000)  # warm the window
+    wrapper = node.sensor("s").wrappers["src"]
+    clock = node.clock
+
+    def tick() -> None:
+        clock.advance(100)
+        wrapper.tick()
+
+    for _ in range(warmup):
+        tick()
+    return node, tick
+
+
+def test_tracing_overhead() -> None:
+    """Per-trigger cost of full pipeline tracing: sampling every trigger
+    must stay within 10% of the sampling-off cost (sampling off bails
+    out of the tracer after two attribute reads, so it is effectively
+    the pre-tracing pipeline). Rounds of the two configurations are
+    interleaved and the per-config minimum taken, so machine-load drift
+    between measurements cancels out."""
+    sampled_node, sampled_tick = _traced_node(1.0)
+    unsampled_node, unsampled_tick = _traced_node(0.0)
+    ticks = 500
+    sampled = unsampled = float("inf")
+    try:
+        for _ in range(7):
+            start = perf_counter()
+            for _ in range(ticks):
+                sampled_tick()
+            sampled = min(sampled, (perf_counter() - start) / ticks)
+            start = perf_counter()
+            for _ in range(ticks):
+                unsampled_tick()
+            unsampled = min(unsampled, (perf_counter() - start) / ticks)
+    finally:
+        sampled_node.shutdown()
+        unsampled_node.shutdown()
+    overhead_pct = (sampled - unsampled) / unsampled * 100.0
+
+    # The sampling-off path in isolation: sample() declines, begin()
+    # returns None, finish(None) returns — the whole per-trigger cost
+    # of a deployed-but-unsampled tracer.
+    tracer = PipelineTracer("s", sampling=0.0, sink=TraceBuffer())
+    rounds = 100_000
+    start = perf_counter()
+    for _ in range(rounds):
+        tracer.sample()
+        tracer.finish(tracer.begin(None, 0))
+    untraced_path = (perf_counter() - start) / rounds
+    untraced_pct = untraced_path / unsampled * 100.0
+
+    register_metric("tracing_overhead_per_trigger", {
+        "sampled_ms": sampled * 1_000,
+        "unsampled_ms": unsampled * 1_000,
+        "overhead_pct": overhead_pct,
+        "untraced_path_ns": untraced_path * 1e9,
+        "untraced_pct_of_trigger": untraced_pct,
+    })
+    assert overhead_pct <= 10.0, \
+        f"tracing overhead {overhead_pct:.1f}% exceeds the 10% budget"
+    assert untraced_pct < 1.0, \
+        f"sampling-off path costs {untraced_pct:.2f}% of a trigger"
 
 
 def test_node_throughput(benchmark) -> None:

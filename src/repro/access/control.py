@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
 from repro.exceptions import AccessDeniedError
+from repro.status import UptimeTracker, status_doc
 
 #: Grant scope meaning "the whole container".
 CONTAINER_SCOPE = "*"
@@ -66,6 +67,7 @@ class AccessController:
         self._principals: Dict[str, Principal] = {}
         self.checks_passed = 0
         self.checks_denied = 0
+        self._uptime = UptimeTracker()
 
     # -- principal management -------------------------------------------------
 
@@ -118,9 +120,14 @@ class AccessController:
         self.checks_passed += 1
 
     def status(self) -> dict:
-        return {
-            "enabled": self.enabled,
-            "principals": sorted(self._principals),
-            "checks_passed": self.checks_passed,
-            "checks_denied": self.checks_denied,
-        }
+        return status_doc(
+            "access-control",
+            "enabled" if self.enabled else "disabled",
+            counters={"checks_passed": self.checks_passed,
+                      "checks_denied": self.checks_denied},
+            uptime_ms=self._uptime.uptime_ms(),
+            enabled=self.enabled,
+            principals=sorted(self._principals),
+            checks_passed=self.checks_passed,
+            checks_denied=self.checks_denied,
+        )

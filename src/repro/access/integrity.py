@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.exceptions import IntegrityError
+from repro.status import UptimeTracker, status_doc
 
 
 def _canonical(payload: Dict[str, Any]) -> bytes:
@@ -84,6 +85,7 @@ class IntegrityService:
         self.sealed = 0
         self.opened = 0
         self.rejected = 0
+        self._uptime = UptimeTracker()
 
     def seal(self, payload: Dict[str, Any],
              encrypt: bool = False) -> SealedEnvelope:
@@ -128,8 +130,12 @@ class IntegrityService:
         return _decode(decoded)
 
     def status(self) -> dict:
-        return {
-            "sealed": self.sealed,
-            "opened": self.opened,
-            "rejected": self.rejected,
-        }
+        return status_doc(
+            "integrity", "running",
+            counters={"sealed": self.sealed, "opened": self.opened,
+                      "rejected": self.rejected},
+            uptime_ms=self._uptime.uptime_ms(),
+            sealed=self.sealed,
+            opened=self.opened,
+            rejected=self.rejected,
+        )

@@ -46,6 +46,8 @@ SELF_CHECK_MODULES = (
     "streams/materialized.py",
     "sqlengine/incremental.py",
     "metrics/collectors.py",
+    "metrics/registry.py",
+    "metrics/tracing.py",
     "interfaces/http_server.py",
 )
 

@@ -17,6 +17,7 @@ peer node used for discovery and GSN-to-GSN streaming.
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional, Union
 
 from repro.access.control import AccessController, Permission
@@ -26,12 +27,18 @@ from repro.descriptors.xml_io import descriptor_from_file, descriptor_from_xml
 from repro.exceptions import ConfigurationError
 from repro.gsntime.clock import Clock, SystemClock, VirtualClock
 from repro.gsntime.scheduler import EventScheduler
+from repro.logging_setup import configure_logging
+from repro.metrics.registry import (
+    FamilySnapshot, MetricsRegistry, counter_family, gauge_family,
+)
+from repro.metrics.tracing import TraceBuffer
 from repro.network.peer import PeerNetwork, PeerNode
 from repro.notifications.manager import NotificationManager
 from repro.query.processor import QueryProcessor
 from repro.query.repository import QueryRepository
 from repro.query.subscription import Subscription
 from repro.sqlengine.relation import Relation
+from repro.status import UptimeTracker
 from repro.storage.manager import StorageManager, safe_table_name
 from repro.streams.element import StreamElement
 from repro.vsensor.manager import OUTPUT_TABLE_PREFIX, VirtualSensorManager
@@ -39,6 +46,8 @@ from repro.vsensor.virtual_sensor import VirtualSensor
 from repro.wrappers.registry import WrapperRegistry, default_registry
 
 DescriptorLike = Union[VirtualSensorDescriptor, str]
+
+logger = logging.getLogger("repro.container")
 
 
 class GSNContainer:
@@ -67,6 +76,14 @@ class GSNContainer:
         incremental aggregates). ``False`` forces the legacy per-trigger
         rebuild for every sensor; individual descriptors can also opt
         out via ``<storage incremental="false">``.
+    trace_capacity:
+        Size of the ring buffer of recent pipeline span trees served at
+        ``/trace`` (per-sensor sampling comes from the descriptor's
+        ``trace-sampling`` attribute).
+    log_level:
+        When given (e.g. ``"INFO"`` or ``logging.DEBUG``), sets the
+        level of the ``repro`` logger hierarchy and attaches a stderr
+        handler if none is configured — the quick-start logging knob.
     """
 
     def __init__(self, name: str = "gsn", simulated: bool = True,
@@ -79,11 +96,18 @@ class GSNContainer:
                  seed: Optional[int] = 0,
                  clock: Optional[Clock] = None,
                  scheduler: Optional[EventScheduler] = None,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 trace_capacity: int = 256,
+                 log_level: Union[int, str, None] = None) -> None:
         if not name.strip():
             raise ConfigurationError("container needs a name")
+        if log_level is not None:
+            configure_logging(log_level)
         self.name = name.strip().lower()
         self.simulated = simulated
+        self.metrics = MetricsRegistry()
+        self.traces = TraceBuffer(trace_capacity)
+        self._uptime = UptimeTracker()
 
         if clock is not None:
             # Externally supplied time source: multi-container simulations
@@ -110,7 +134,10 @@ class GSNContainer:
         if network is not None:
             self.peer = PeerNode(network, self.name,
                                  sensor_getter=self._sensor_for_peer,
-                                 integrity=self.integrity, seal=seal)
+                                 integrity=self.integrity, seal=seal,
+                                 clock=self.clock,
+                                 trace_sink=self.traces,
+                                 metrics=self.metrics)
 
         self.vsm = VirtualSensorManager(
             self.clock, self.storage, self.registry,
@@ -119,10 +146,15 @@ class GSNContainer:
             synchronous=synchronous,
             seed=seed,
             incremental=incremental,
+            node=self.name,
+            metrics=self.metrics,
+            trace_sink=self.traces,
         )
         self.vsm.on_deploy(self._after_deploy)
         self.vsm.on_undeploy(self._after_undeploy)
+        self.metrics.register_collector(self._collect_metrics)
         self._closed = False
+        logger.info("container %s up (simulated=%s)", self.name, simulated)
 
     # -- deployment hooks ------------------------------------------------------
 
@@ -241,6 +273,7 @@ class GSNContainer:
         if self.peer is not None:
             self.peer.leave()
         self.storage.close()
+        logger.info("container %s shut down", self.name)
 
     def __enter__(self) -> "GSNContainer":
         return self
@@ -250,10 +283,82 @@ class GSNContainer:
 
     # -- monitoring ----------------------------------------------------------------
 
+    def _collect_metrics(self) -> List[FamilySnapshot]:
+        """Pull-at-scrape-time metrics over the live component counters.
+
+        Registered as a registry collector so the hot paths keep their
+        existing cheap counters; the Prometheus families materialize
+        only when ``/metrics`` is scraped. Iterates the deployed set at
+        call time, so deploy/undeploy need no (un)registration.
+        """
+        produced = []
+        fast_paths = []
+        for sensor in self.vsm.sensors():
+            produced.append(({"sensor": sensor.name},
+                             sensor.elements_produced))
+            for counter, value in sensor.fast_paths.snapshot().items():
+                fast_paths.append(
+                    ({"sensor": sensor.name, "counter": counter}, value)
+                )
+        families = [
+            counter_family("gsn_sensor_elements_produced_total",
+                           "Output elements emitted per virtual sensor.",
+                           produced),
+            counter_family("gsn_fast_path_events_total",
+                           "Incremental-pipeline fast-path counters.",
+                           fast_paths),
+            counter_family("gsn_queries_executed_total",
+                           "Ad-hoc and standing queries executed.",
+                           [({}, self.processor.queries_executed)]),
+            gauge_family("gsn_storage_streams",
+                         "Stream tables currently held by the container.",
+                         [({}, len(self.storage.stream_names()))]),
+            gauge_family("gsn_container_time_ms",
+                         "The container's (possibly virtual) clock.",
+                         [({}, self.clock.now())]),
+        ]
+        if self.peer is not None:
+            bus = self.peer.network.bus
+            families.append(counter_family(
+                "gsn_bus_messages_total",
+                "Messages sent/delivered/dropped on the peer bus.",
+                [({"event": "sent"}, bus.sent),
+                 ({"event": "delivered"}, bus.delivered),
+                 ({"event": "dropped"}, bus.dropped)],
+            ))
+            families.append(counter_family(
+                "gsn_peer_elements_total",
+                "Stream elements crossing this node's peer link.",
+                [({"direction": "forwarded"}, self.peer.elements_forwarded),
+                 ({"direction": "received"}, self.peer.elements_received)],
+            ))
+        return families
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition served at ``/metrics``."""
+        return self.metrics.expose_text()
+
+    def trace_documents(self, trace_id: Optional[str] = None,
+                        limit: Optional[int] = None) -> List[dict]:
+        """Recent span trees as JSON-ready dicts (the ``/trace`` feed)."""
+        if trace_id is not None:
+            spans = self.traces.find(trace_id)
+        else:
+            spans = self.traces.recent(limit)
+        return [span.to_dict() for span in spans]
+
     def status(self) -> dict:
         """The container-wide status document the web interface serves."""
         return {
             "name": self.name,
+            "state": "stopped" if self._closed else "running",
+            "counters": {
+                "sensors_deployed": len(self.vsm.sensor_names()),
+                "deploy_count": self.vsm.deploy_count,
+                "queries_executed": self.processor.queries_executed,
+                "traces_buffered": len(self.traces),
+            },
+            "uptime_ms": self._uptime.uptime_ms(),
             "time": self.clock.now(),
             "simulated": self.simulated,
             "virtual_sensors": self.vsm.status(),
@@ -264,6 +369,8 @@ class GSNContainer:
             "integrity": self.integrity.status(),
             "storage": {"streams": self.storage.stream_names()},
             "peer": self.peer.status() if self.peer else None,
+            "metrics": self.metrics.status(),
+            "traces": self.traces.status(),
         }
 
     def __repr__(self) -> str:

@@ -162,6 +162,11 @@ class VirtualSensorDescriptor:
     addressing: Dict[str, str] = field(default_factory=dict)
     description: str = ""
     priority: int = 10
+    #: Fraction of fresh elements whose pipeline runs are traced
+    #: (``trace-sampling`` XML attribute). 1.0 traces everything, 0.0
+    #: disables tracing; elements arriving with an upstream trace id are
+    #: always traced regardless.
+    trace_sampling: float = 1.0
 
     def __post_init__(self) -> None:
         name = self.name.strip().lower()
@@ -183,6 +188,8 @@ class VirtualSensorDescriptor:
         )
         if not 0 <= self.priority <= 20:
             raise ValidationError("priority must be within [0, 20]")
+        if not 0.0 <= self.trace_sampling <= 1.0:
+            raise ValidationError("trace-sampling must be in [0, 1]")
 
     @property
     def discovery_predicates(self) -> Dict[str, str]:

@@ -69,6 +69,7 @@ def _parse_root(root: ET.Element) -> VirtualSensorDescriptor:
     name = _required_attr(root, "name")
     priority = _int_attr(root, "priority", default=10)
     description = root.attrib.get("description", "")
+    trace_sampling = _float_attr(root, "trace-sampling", default=1.0)
 
     lifecycle = _parse_lifecycle(root.find("life-cycle"))
     output_structure = _parse_output_structure(root.find("output-structure"))
@@ -94,6 +95,7 @@ def _parse_root(root: ET.Element) -> VirtualSensorDescriptor:
             addressing=addressing,
             description=description,
             priority=priority,
+            trace_sampling=trace_sampling,
         )
     except Exception as exc:
         raise DescriptorError(str(exc)) from exc
@@ -271,6 +273,10 @@ def descriptor_to_xml(descriptor: VirtualSensorDescriptor) -> str:
     attrs = f" name={quoteattr(descriptor.name)} priority=\"{descriptor.priority}\""
     if descriptor.description:
         attrs += f" description={quoteattr(descriptor.description)}"
+    if descriptor.trace_sampling != 1.0:
+        # Serialized only when non-default so round-tripping descriptors
+        # written before the attribute existed stays byte-stable.
+        attrs += f' trace-sampling="{_format_number(descriptor.trace_sampling)}"'
     lines.append(f"<virtual-sensor{attrs}>")
     lifecycle_attrs = f'pool-size="{descriptor.lifecycle.pool_size}"'
     if descriptor.lifecycle.max_errors:

@@ -17,6 +17,8 @@ Routes
 ``GET  /query?sql=...``     ad-hoc SQL
 ``GET  /explain?sql=...``   query plan
 ``GET  /network``           peer-network view
+``GET  /metrics``           Prometheus text exposition (0.0.4)
+``GET  /trace?id=...&limit=...``  recent pipeline traces (JSON)
 ``POST /deploy``            body = descriptor XML
 ``POST /reconfigure``       body = descriptor XML
 ``POST /undeploy/<name>``   remove a sensor
@@ -132,6 +134,14 @@ def _build_handler(owner: GSNHttpServer):
             self.end_headers()
             self.wfile.write(payload)
 
+        def _send_text(self, text: str, content_type: str) -> None:
+            payload = text.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
         def _not_found(self) -> None:
             self._send_json({"status": 404, "error": "NotFound",
                              "message": self.path})
@@ -164,6 +174,19 @@ def _build_handler(owner: GSNHttpServer):
                 self._send_json(web.explain(params.get("sql", "")))
             elif route == "/network":
                 self._send_json(web.directory())
+            elif route == "/metrics":
+                self._send_text(web.metrics_text(),
+                                "text/plain; version=0.0.4; charset=utf-8")
+            elif route == "/trace":
+                limit_text = params.get("limit", "")
+                try:
+                    limit = int(limit_text) if limit_text else None
+                except ValueError:
+                    self._send_json({"status": 400, "error": "BadRequest",
+                                     "message": f"bad limit {limit_text!r}"})
+                    return
+                self._send_json(web.traces(trace_id=params.get("id"),
+                                           limit=limit))
             else:
                 self._not_found()
 

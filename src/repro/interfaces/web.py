@@ -101,6 +101,18 @@ class WebInterface:
             return _ok({"network": None})
         return _ok({"network": self.container.peer.network.status()})
 
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — Prometheus text exposition (not JSON)."""
+        return self.container.metrics_text()
+
+    def traces(self, trace_id: Optional[str] = None,
+               limit: Optional[int] = None) -> Dict[str, Any]:
+        """``GET /trace`` — recent span trees, or one trace by id."""
+        documents = self.container.trace_documents(trace_id=trace_id,
+                                                   limit=limit)
+        return _ok({"container": self.container.name,
+                    "trace_count": len(documents), "traces": documents})
+
     # -- POST endpoints ----------------------------------------------------------
 
     def deploy(self, descriptor_xml: str, client: str = "",

@@ -1,0 +1,45 @@
+"""Logging conventions of the ``repro`` package.
+
+Every component logs through a child of the ``repro`` logger —
+``repro.container``, ``repro.vsensor``, ``repro.wrappers``,
+``repro.network``, ``repro.storage`` — so deployments can tune
+subsystems individually with the standard :mod:`logging` machinery.
+
+As a library, ``repro`` stays silent by default (a ``NullHandler`` on
+the root of the hierarchy). ``GSNContainer(log_level=...)`` or a direct
+call to :func:`configure_logging` turns output on for quick starts;
+applications with their own logging config need neither.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Union
+
+ROOT_LOGGER_NAME = "repro"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+#: Marker on the stderr handler configure_logging() attaches, so
+#: repeated calls adjust the level instead of stacking handlers.
+_HANDLER_FLAG = "_repro_default_handler"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def configure_logging(level: Union[int, str] = "INFO") -> logging.Logger:
+    """Set the ``repro`` hierarchy's level; attach a stderr handler once.
+
+    Idempotent: calling again only adjusts the level. Returns the root
+    ``repro`` logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            return root
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    return root

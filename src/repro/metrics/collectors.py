@@ -173,8 +173,15 @@ class ThroughputCounter:
 
     @property
     def per_second(self) -> float:
-        if self.events < 2 or self.first_at is None or self.last_at is None \
-                or self.last_at == self.first_at:
+        """Observed event rate over the recorded timespan.
+
+        Fewer than two events carry no rate information and yield 0.0.
+        A single burst (all events on the same millisecond) clamps the
+        span to 1 ms instead of reporting 0.0 — the measurement is
+        coarse, but "at least N-1 events per millisecond" is the honest
+        lower bound, not zero.
+        """
+        if self.events < 2 or self.first_at is None or self.last_at is None:
             return 0.0
-        span_seconds = (self.last_at - self.first_at) / 1000.0
-        return (self.events - 1) / span_seconds
+        span_ms = max(self.last_at - self.first_at, 1)
+        return (self.events - 1) / (span_ms / 1000.0)

@@ -1,0 +1,435 @@
+"""Container-wide metrics registry with Prometheus-style exposition.
+
+One :class:`MetricsRegistry` lives on each :class:`~repro.container.
+GSNContainer`; every subsystem either owns *instruments* (counters,
+gauges, histograms created through the registry and updated on the hot
+path) or registers a *collector* (a pull hook sampled only at scrape
+time, so components that already keep their own locked counters add zero
+hot-path overhead).
+
+The design follows the Prometheus client-library data model:
+
+- a *metric family* has a name, a kind, help text, and a fixed tuple of
+  label names;
+- each distinct label-value combination materializes one *child*
+  (:class:`Counter`, :class:`Gauge` or :class:`Histogram`) holding the
+  actual value(s);
+- :meth:`MetricsRegistry.expose_text` renders everything in the
+  Prometheus text exposition format (version 0.0.4), which is what the
+  ``/metrics`` HTTP endpoint serves.
+
+All mutable state follows the repo's ``# guarded-by:`` lock discipline
+(checked by ``gsn-lint --self-check``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import (
+    Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
+)
+
+from repro.exceptions import ConfigurationError
+
+#: Default latency buckets in milliseconds: the pipeline's interesting
+#: range spans sub-0.1 ms incremental triggers to multi-second overload.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+#: One rendered sample: (label dict, value). Histograms use
+#: :class:`HistogramSnapshot` as the value instead of a float.
+Sample = Tuple[Dict[str, str], Any]
+
+
+class HistogramSnapshot:
+    """Immutable copy of a histogram child's state at collect time."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...], counts: Tuple[int, ...],
+                 total: float, count: int) -> None:
+        self.bounds = bounds      # upper bounds, exclusive of +Inf
+        self.counts = counts      # per-bucket (non-cumulative), +Inf last
+        self.sum = total
+        self.count = count
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs including the ``+Inf`` bucket."""
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.counts):
+            running += bucket
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + self.counts[-1]))
+        return pairs
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class FamilySnapshot:
+    """One metric family as seen at collect time (instrument or collector)."""
+
+    __slots__ = ("name", "kind", "help", "labelnames", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 labelnames: Tuple[str, ...],
+                 samples: List[Sample]) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = labelnames
+        self.samples = samples
+
+
+#: A pull hook: returns family snapshots computed from live component
+#: state. Sampled only when the registry is scraped.
+Collector = Callable[[], Iterable[FamilySnapshot]]
+
+
+def gauge_family(name: str, help_text: str,
+                 samples: Iterable[Tuple[Mapping[str, str], float]]
+                 ) -> FamilySnapshot:
+    """Convenience for collectors exposing point-in-time gauge readings."""
+    rendered = [(dict(labels), float(value)) for labels, value in samples]
+    labelnames = tuple(rendered[0][0]) if rendered else ()
+    return FamilySnapshot(name, "gauge", help_text, labelnames, rendered)
+
+
+def counter_family(name: str, help_text: str,
+                   samples: Iterable[Tuple[Mapping[str, str], float]]
+                   ) -> FamilySnapshot:
+    """Convenience for collectors exposing monotonic totals."""
+    rendered = [(dict(labels), float(value)) for labels, value in samples]
+    labelnames = tuple(rendered[0][0]) if rendered else ()
+    return FamilySnapshot(name, "counter", help_text, labelnames, rendered)
+
+
+# ---------------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    def __init__(self) -> None:
+        self._value = 0.0  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    def __init__(self) -> None:
+        self._value = 0.0  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``observe`` is the hot-path call: one binary search plus three
+    locked writes, cheap enough for per-pipeline-step latencies.
+    """
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        ordered = tuple(sorted(float(b) for b in bounds))
+        if not ordered:
+            raise ConfigurationError("histogram needs at least one bucket")
+        if len(set(ordered)) != len(ordered):
+            raise ConfigurationError("duplicate histogram bucket bounds")
+        self.bounds = ordered
+        # One slot per finite bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(ordered) + 1)  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            return HistogramSnapshot(self.bounds, tuple(self._counts),
+                                     self._sum, self._count)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric plus its per-label-value children."""
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 labelnames: Sequence[str] = (),
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        _check_metric_name(name)
+        if kind not in _KINDS:
+            raise ConfigurationError(f"unknown metric kind {kind!r}")
+        for label in labelnames:
+            _check_label_name(label)
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None \
+            else DEFAULT_LATENCY_BUCKETS_MS
+        self._children: Dict[LabelValues, Any] = {}  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: str) -> Any:
+        """The child instrument for one label-value combination.
+
+        Children are created on first use and cached; callers on hot
+        paths should keep the returned handle instead of re-resolving.
+        """
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(self._buckets)
+                else:
+                    child = _KINDS[self.kind]()
+                self._children[key] = child
+        return child
+
+    def child(self) -> Any:
+        """The single child of an unlabeled family."""
+        if self.labelnames:
+            raise ConfigurationError(
+                f"metric {self.name!r} is labeled; use labels()"
+            )
+        return self.labels()
+
+    def collect(self) -> FamilySnapshot:
+        with self._lock:
+            children = list(self._children.items())
+        samples: List[Sample] = []
+        for values, child in sorted(children, key=lambda item: item[0]):
+            labels = dict(zip(self.labelnames, values))
+            if self.kind == "histogram":
+                samples.append((labels, child.snapshot()))
+            else:
+                samples.append((labels, child.value))
+        return FamilySnapshot(self.name, self.kind, self.help,
+                              self.labelnames, samples)
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """All metric families and collectors of one container."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}  # guarded-by: _lock
+        self._collectors: List[Collector] = []  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    # -- instrument creation ------------------------------------------------
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, "counter", help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, "gauge", help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        return self._family(name, "histogram", help_text, labelnames,
+                            buckets=buckets)
+
+    def _family(self, name: str, kind: str, help_text: str,
+                labelnames: Sequence[str],
+                buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        """Get-or-create: repeated registration with a matching signature
+        returns the existing family (sensors share per-step histograms)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help_text, labelnames,
+                                      buckets=buckets)
+                self._families[name] = family
+                return family
+        if family.kind != kind or family.labelnames != tuple(labelnames):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {family.kind} "
+                f"with labels {family.labelnames}"
+            )
+        return family
+
+    def register_collector(self, collector: Collector) -> None:
+        """Add a pull hook sampled at scrape time (zero hot-path cost)."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- scraping -----------------------------------------------------------
+
+    def collect(self) -> List[FamilySnapshot]:
+        """Snapshot every family (instruments first, then collectors)."""
+        with self._lock:
+            families = [self._families[name]
+                        for name in sorted(self._families)]
+            collectors = list(self._collectors)
+        snapshots = [family.collect() for family in families]
+        seen = {snapshot.name for snapshot in snapshots}
+        for collector in collectors:
+            for snapshot in collector():
+                if snapshot.name in seen:
+                    continue  # instruments win over late collectors
+                seen.add(snapshot.name)
+                snapshots.append(snapshot)
+        snapshots.sort(key=lambda snapshot: snapshot.name)
+        return snapshots
+
+    def expose_text(self) -> str:
+        """The Prometheus text exposition (format version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.collect():
+            if family.help:
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, value in family.samples:
+                if family.kind == "histogram":
+                    _render_histogram(lines, family.name, labels, value)
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} "
+                        f"{_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def status(self) -> dict:
+        snapshots = self.collect()
+        return {
+            "families": len(snapshots),
+            "samples": sum(len(s.samples) for s in snapshots),
+        }
+
+
+# ---------------------------------------------------------------------------
+# text format helpers
+# ---------------------------------------------------------------------------
+
+
+def _check_metric_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) \
+            or name[0].isdigit():
+        raise ConfigurationError(f"bad metric name {name!r}")
+
+
+def _check_label_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c == "_" for c in name) \
+            or name[0].isdigit() or name.startswith("__"):
+        raise ConfigurationError(f"bad label name {name!r}")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _render_labels(labels: Mapping[str, str],
+                   extra: Optional[Mapping[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(bound)
+
+
+def _render_histogram(lines: List[str], name: str,
+                      labels: Mapping[str, str],
+                      snapshot: HistogramSnapshot) -> None:
+    for bound, cumulative in snapshot.cumulative():
+        lines.append(
+            f"{name}_bucket"
+            f"{_render_labels(labels, {'le': _format_bound(bound)})} "
+            f"{cumulative}"
+        )
+    lines.append(f"{name}_sum{_render_labels(labels)} "
+                 f"{_format_value(snapshot.sum)}")
+    lines.append(f"{name}_count{_render_labels(labels)} {snapshot.count}")

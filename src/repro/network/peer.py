@@ -16,18 +16,25 @@ two roles:
 from __future__ import annotations
 
 import itertools
+import logging
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.access.integrity import IntegrityService, SealedEnvelope
 from repro.datatypes import DataType
 from repro.exceptions import DiscoveryError, TransportError
+from repro.gsntime.clock import Clock
 from repro.gsntime.scheduler import EventScheduler
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import REMOTE_HOP_STEP, Span, TraceBuffer
 from repro.network.directory import DirectoryEntry, PeerDirectory
 from repro.network.transport import Message, MessageBus
+from repro.status import UptimeTracker, status_doc
 from repro.streams.element import StreamElement
 from repro.streams.schema import Field, StreamSchema
 
 ElementListener = Callable[[StreamElement], None]
+
+logger = logging.getLogger("repro.network")
 
 _subscription_ids = itertools.count(1)
 
@@ -51,17 +58,21 @@ class PeerNetwork:
         else:
             self.directory = PeerDirectory()
         self.bus = MessageBus(scheduler, latency_ms, loss_rate, seed)
+        self._uptime = UptimeTracker()
 
     def status(self) -> dict:
-        doc = {
-            "directory_entries": len(self.directory),
-            "directory": [
+        doc = status_doc(
+            "peer-network", "running",
+            counters={"directory_entries": len(self.directory)},
+            uptime_ms=self._uptime.uptime_ms(),
+            directory_entries=len(self.directory),
+            directory=[
                 {"container": e.container, "sensor": e.sensor,
                  "predicates": e.predicate_dict()}
                 for e in self.directory.entries()
             ],
-            "bus": self.bus.status(),
-        }
+            bus=self.bus.status(),
+        )
         total_hops = getattr(self.directory, "total_hops", None)
         if total_hops is not None:
             doc["overlay_hops"] = total_hops
@@ -84,7 +95,10 @@ class PeerNode:
     def __init__(self, network: PeerNetwork, name: str,
                  sensor_getter: Callable[[str], "object"],
                  integrity: Optional[IntegrityService] = None,
-                 seal: str = "none") -> None:
+                 seal: str = "none",
+                 clock: Optional[Clock] = None,
+                 trace_sink: Optional[TraceBuffer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if seal not in ("none", "sign", "encrypt"):
             raise TransportError(f"unknown seal level {seal!r}")
         if seal != "none" and integrity is None:
@@ -94,12 +108,22 @@ class PeerNode:
         self._sensor_getter = sensor_getter
         self.integrity = integrity
         self.seal = seal
+        self.clock = clock
+        self.trace_sink = trace_sink
+        self._hop_latency = None
+        if metrics is not None:
+            self._hop_latency = metrics.histogram(
+                "gsn_remote_hop_latency_ms",
+                "Container-to-container delivery latency (shared clock).",
+                labelnames=("producer", "subscriber"),
+            )
         # producer side: subscription id -> (sensor_name, detach callable)
         self._served: Dict[int, Tuple[str, Callable[[], None]]] = {}
         # consumer side: subscription id -> local listener
         self._listening: Dict[int, ElementListener] = {}
         self.elements_forwarded = 0
         self.elements_received = 0
+        self._uptime = UptimeTracker()
         network.bus.register(self.name, self._on_message)
         add_peer = getattr(network.directory, "add_peer", None)
         if add_peer is not None:  # distributed overlay: join the ring
@@ -193,6 +217,12 @@ class PeerNode:
                 "timed": element.timed,
                 "producer": f"{self.name}/{sensor_name}",
             }
+            if element.trace_id is not None:
+                # Trace provenance travels inside the (sealable) payload
+                # so the receiving container stitches the same trace.
+                payload["trace_id"] = element.trace_id
+                if self.clock is not None:
+                    payload["sent_at"] = self.clock.now()
             if self.seal != "none":
                 assert self.integrity is not None
                 envelope = self.integrity.seal(
@@ -204,7 +234,11 @@ class PeerNode:
             try:
                 self.network.bus.send(self.name, subscriber, "element", wire)
                 self.elements_forwarded += 1
-            except TransportError:
+            except TransportError as exc:
+                logger.warning(
+                    "%s: dropping subscription %s to %s: %s",
+                    self.name, subscription_id, subscriber, exc,
+                )
                 self._detach(subscription_id)
 
         sensor.add_listener(forward)
@@ -233,20 +267,51 @@ class PeerNode:
         listener = self._listening.get(subscription_id)
         if listener is None:
             return  # cancelled while in flight
+        trace_id = payload.get("trace_id")
         element = StreamElement(
             payload["values"],
             timed=payload["timed"],
             producer=payload.get("producer", "remote"),
+            trace_id=trace_id,
         )
+        if trace_id is not None:
+            self._record_hop(payload, trace_id)
         self.elements_received += 1
         listener(element)
 
+    def _record_hop(self, payload: Mapping[str, object],
+                    trace_id: str) -> None:
+        """Record the remote-hop span of a traced inbound element.
+
+        The hop duration comes from the deployment's shared clock
+        (``sent_at`` stamped by the producer), not this process's wall
+        clock, so it is meaningful in simulation too.
+        """
+        sent_at = payload.get("sent_at")
+        producer = str(payload.get("producer", "remote"))
+        now = self.clock.now() if self.clock is not None else None
+        duration = float(now - sent_at) \
+            if isinstance(sent_at, int) and now is not None else 0.0
+        if self._hop_latency is not None:
+            self._hop_latency.labels(
+                producer=producer, subscriber=self.name
+            ).observe(duration)
+        if self.trace_sink is not None:
+            span = Span(trace_id, REMOTE_HOP_STEP,
+                        sent_at if isinstance(sent_at, int) else (now or 0),
+                        producer=producer, subscriber=self.name)
+            span.close(duration)
+            self.trace_sink.add(span)
+
     def status(self) -> dict:
-        return {
-            "name": self.name,
-            "serving": len(self._served),
-            "listening": len(self._listening),
-            "elements_forwarded": self.elements_forwarded,
-            "elements_received": self.elements_received,
-            "seal": self.seal,
-        }
+        return status_doc(
+            self.name, "joined",
+            counters={"elements_forwarded": self.elements_forwarded,
+                      "elements_received": self.elements_received},
+            uptime_ms=self._uptime.uptime_ms(),
+            serving=len(self._served),
+            listening=len(self._listening),
+            elements_forwarded=self.elements_forwarded,
+            elements_received=self.elements_received,
+            seal=self.seal,
+        )

@@ -9,12 +9,16 @@ are *parameters* here where the paper had cables — the code paths above
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.exceptions import TransportError
 from repro.gsntime.scheduler import EventScheduler
+from repro.status import UptimeTracker, status_doc
+
+logger = logging.getLogger("repro.network")
 
 
 @dataclass(frozen=True)
@@ -48,6 +52,7 @@ class MessageBus:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        self._uptime = UptimeTracker()
 
     def register(self, name: str, handler: Handler) -> None:
         key = name.lower()
@@ -81,6 +86,8 @@ class MessageBus:
         if not reliable and self.loss_rate > 0.0 \
                 and self._rng.random() < self.loss_rate:
             self.dropped += 1
+            logger.debug("dropped %s message %s -> %s (simulated loss)",
+                         kind, source, destination)
             return False
         if self.latency_ms > 0 and self.scheduler is not None:
             self.scheduler.after(
@@ -97,11 +104,15 @@ class MessageBus:
         self.delivered += 1
 
     def status(self) -> dict:
-        return {
-            "endpoints": self.endpoints(),
-            "latency_ms": self.latency_ms,
-            "loss_rate": self.loss_rate,
-            "sent": self.sent,
-            "delivered": self.delivered,
-            "dropped": self.dropped,
-        }
+        return status_doc(
+            "message-bus", "running",
+            counters={"sent": self.sent, "delivered": self.delivered,
+                      "dropped": self.dropped},
+            uptime_ms=self._uptime.uptime_ms(),
+            endpoints=self.endpoints(),
+            latency_ms=self.latency_ms,
+            loss_rate=self.loss_rate,
+            sent=self.sent,
+            delivered=self.delivered,
+            dropped=self.dropped,
+        )

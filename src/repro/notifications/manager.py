@@ -8,6 +8,7 @@ from typing import TYPE_CHECKING, Any, Dict, List
 from repro.exceptions import NotificationError
 from repro.notifications.channels import NotificationChannel, QueueChannel
 from repro.sqlengine.relation import Relation
+from repro.status import UptimeTracker, status_doc
 
 if TYPE_CHECKING:  # avoid a circular import with repro.query
     from repro.query.subscription import Subscription
@@ -45,6 +46,7 @@ class NotificationManager:
         self.add_channel(QueueChannel("queue"))
         self.dispatched = 0
         self.failures = 0
+        self._uptime = UptimeTracker()
 
     def add_channel(self, channel: NotificationChannel) -> None:
         if channel.name in self._channels:
@@ -106,11 +108,15 @@ class NotificationManager:
             self.failures += 1
 
     def status(self) -> dict:
-        return {
-            "channels": {
+        return status_doc(
+            "notifications", "running",
+            counters={"dispatched": self.dispatched,
+                      "failures": self.failures},
+            uptime_ms=self._uptime.uptime_ms(),
+            channels={
                 name: {"delivered": ch.delivered, "failed": ch.failed}
                 for name, ch in self._channels.items()
             },
-            "dispatched": self.dispatched,
-            "failures": self.failures,
-        }
+            dispatched=self.dispatched,
+            failures=self.failures,
+        )

@@ -12,6 +12,7 @@ from typing import Callable, Optional
 
 from repro.metrics.collectors import LatencyRecorder
 from repro.query.plan_cache import PlanCache
+from repro.status import UptimeTracker, status_doc
 from repro.sqlengine.executor import Catalog, execute_plan
 from repro.sqlengine.relation import Relation
 
@@ -27,6 +28,7 @@ class QueryProcessor:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.latency = LatencyRecorder(keep_samples=True)
         self.queries_executed = 0
+        self._uptime = UptimeTracker()
 
     def execute(self, sql: str, catalog: Optional[Catalog] = None) -> Relation:
         """Run ``sql`` and return its result relation.
@@ -57,13 +59,20 @@ class QueryProcessor:
         return self._catalog_provider()
 
     def status(self) -> dict:
-        return {
-            "queries_executed": self.queries_executed,
-            "plan_cache": {
+        return status_doc(
+            "query-processor", "running",
+            counters={
+                "queries_executed": self.queries_executed,
+                "plan_cache_hits": self.plan_cache.hits,
+                "plan_cache_misses": self.plan_cache.misses,
+            },
+            uptime_ms=self._uptime.uptime_ms(),
+            queries_executed=self.queries_executed,
+            plan_cache={
                 "entries": len(self.plan_cache),
                 "hits": self.plan_cache.hits,
                 "misses": self.plan_cache.misses,
                 "hit_ratio": round(self.plan_cache.hit_ratio, 4),
             },
-            "latency": self.latency.summary(),
-        }
+            latency=self.latency.summary(),
+        )

@@ -20,6 +20,7 @@ from repro.query.subscription import Subscription
 from repro.sqlengine.executor import Catalog
 from repro.sqlengine.relation import Relation
 from repro.sqlengine.rewriter import referenced_tables
+from repro.status import UptimeTracker, status_doc
 
 
 def _windowed_catalog(base: Catalog, tables: FrozenSet[str], now: int,
@@ -53,6 +54,8 @@ class QueryRepository:
         self.clock = clock
         self._subscriptions: Dict[int, Subscription] = {}
         self._by_table: Dict[str, List[int]] = {}
+        self._uptime = UptimeTracker()
+        self.evaluations = 0
 
     # -- registration --------------------------------------------------------
 
@@ -149,12 +152,17 @@ class QueryRepository:
             subscription.notifications_sent += 1
             self.notifications.deliver(subscription, result)
             dispatched += 1
+        self.evaluations += dispatched
         return dispatched
 
     def status(self) -> dict:
-        return {
-            "registered": len(self._subscriptions),
-            "by_table": {table: len(ids)
-                         for table, ids in self._by_table.items()},
-            "subscriptions": [s.summary() for s in self.subscriptions()],
-        }
+        return status_doc(
+            "query-repository", "running",
+            counters={"registered": len(self._subscriptions),
+                      "evaluations": self.evaluations},
+            uptime_ms=self._uptime.uptime_ms(),
+            registered=len(self._subscriptions),
+            by_table={table: len(ids)
+                      for table, ids in self._by_table.items()},
+            subscriptions=[s.summary() for s in self.subscriptions()],
+        )

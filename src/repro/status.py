@@ -1,0 +1,72 @@
+"""The shared status-document schema.
+
+Every component's ``status()`` historically grew its own dict shape,
+so the dashboard and the HTTP API silently diverged. All status docs now
+share four top-level keys (asserted by ``tests/unit/test_status_schema.py``):
+
+``name``
+    The component's identity: a container, sensor, or subsystem name.
+``state``
+    One lowercase word for the life-cycle state (``"running"``,
+    ``"stopped"``, ``"enabled"``, ...).
+``counters``
+    A flat ``str -> number`` dict of the component's monotonic counters.
+``uptime_ms``
+    Wall-clock milliseconds since the component was constructed (or
+    started), so operators can turn counters into rates.
+
+Components keep their legacy keys alongside these — existing dashboards
+and tests continue to work — but every new consumer should rely only on
+the shared schema.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+from typing import Any, Dict, Mapping, Optional, Union
+
+#: The keys every status() document must carry.
+SHARED_STATUS_KEYS = ("name", "state", "counters", "uptime_ms")
+
+Number = Union[int, float]
+
+
+class UptimeTracker:
+    """Milliseconds since construction (process wall clock).
+
+    Status documents use the process clock, not the container's possibly
+    virtual clock: uptime answers "how long has this been running here",
+    which is a property of the process.
+    """
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = monotonic()
+
+    def uptime_ms(self) -> int:
+        return int((monotonic() - self._started) * 1_000)
+
+
+def status_doc(name: str, state: str,
+               counters: Optional[Mapping[str, Number]] = None,
+               uptime_ms: int = 0,
+               **extra: Any) -> Dict[str, Any]:
+    """Build a status document carrying the shared schema plus legacy keys.
+
+    ``extra`` keys must not collide with the shared ones — collisions
+    mean a component tried to redefine the schema, which is exactly the
+    divergence this module exists to stop.
+    """
+    for key in SHARED_STATUS_KEYS:
+        if key in extra:
+            raise ValueError(f"status_doc(): {key!r} is a shared key; "
+                             f"pass it positionally")
+    doc: Dict[str, Any] = {
+        "name": name,
+        "state": state,
+        "counters": dict(counters or {}),
+        "uptime_ms": uptime_ms,
+    }
+    doc.update(extra)
+    return doc

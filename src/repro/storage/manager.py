@@ -9,6 +9,7 @@ read any stream hosted by the container.
 
 from __future__ import annotations
 
+import logging
 import re
 from typing import Dict, Optional
 
@@ -21,6 +22,8 @@ from repro.storage.sqlite import SQLiteStorage
 from repro.streams.schema import StreamSchema
 
 _SAFE_NAME = re.compile(r"[^a-z0-9_]")
+
+logger = logging.getLogger("repro.storage")
 
 
 def safe_table_name(raw: str) -> str:
@@ -58,6 +61,9 @@ class StorageManager:
         table = backend.create(table_name, schema,
                                RetentionPolicy.parse(retention))
         self._homes[table_name] = backend
+        logger.info("created %s stream %s (retention=%s)",
+                    "persistent" if permanent else "memory",
+                    table_name, retention or "unbounded")
         return table
 
     def drop_stream(self, name: str) -> None:
@@ -66,6 +72,7 @@ class StorageManager:
         if backend is None:
             raise StorageError(f"no stream {name!r}")
         backend.drop(table_name)
+        logger.info("dropped stream %s", table_name)
 
     def release_stream(self, name: str) -> None:
         """Detach a stream, preserving persistent data on disk.

@@ -28,11 +28,12 @@ class StreamElement:
         timestamping of tuples upon arrival"). ``None`` until received.
     """
 
-    __slots__ = ("_values", "_timed", "_arrival_time", "_producer")
+    __slots__ = ("_values", "_timed", "_arrival_time", "_producer",
+                 "_trace_id")
 
     def __init__(self, values: Mapping[str, Any], timed: Optional[int] = None,
                  arrival_time: Optional[int] = None,
-                 producer: str = "") -> None:
+                 producer: str = "", trace_id: Optional[str] = None) -> None:
         if timed is not None and timed < 0:
             raise SchemaError("timestamps cannot be negative")
         self._values: Dict[str, Any] = {
@@ -42,6 +43,7 @@ class StreamElement:
         self._timed = timed
         self._arrival_time = arrival_time
         self._producer = producer
+        self._trace_id = trace_id
 
     # -- accessors ---------------------------------------------------------
 
@@ -57,6 +59,14 @@ class StreamElement:
     def producer(self) -> str:
         """Name of the wrapper or virtual sensor that produced the element."""
         return self._producer
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """Pipeline-trace id, or ``None`` when the element is untraced.
+
+        Provenance only: not part of the payload, equality, or storage.
+        """
+        return self._trace_id
 
     @property
     def values(self) -> Dict[str, Any]:
@@ -98,18 +108,28 @@ class StreamElement:
         """A copy stamped with ``timed`` (used for step 1 of the pipeline)."""
         return StreamElement(self._values, timed=timed,
                              arrival_time=self._arrival_time,
-                             producer=self._producer)
+                             producer=self._producer,
+                             trace_id=self._trace_id)
 
     def with_arrival(self, arrival_time: int) -> "StreamElement":
         """A copy carrying the container reception time."""
         return StreamElement(self._values, timed=self._timed,
                              arrival_time=arrival_time,
-                             producer=self._producer)
+                             producer=self._producer,
+                             trace_id=self._trace_id)
 
     def with_producer(self, producer: str) -> "StreamElement":
         return StreamElement(self._values, timed=self._timed,
                              arrival_time=self._arrival_time,
-                             producer=producer)
+                             producer=producer,
+                             trace_id=self._trace_id)
+
+    def with_trace(self, trace_id: Optional[str]) -> "StreamElement":
+        """A copy stamped with a pipeline-trace id."""
+        return StreamElement(self._values, timed=self._timed,
+                             arrival_time=self._arrival_time,
+                             producer=self._producer,
+                             trace_id=trace_id)
 
     def with_values(self, **updates: Any) -> "StreamElement":
         """A copy with some payload fields replaced."""
@@ -117,7 +137,8 @@ class StreamElement:
         merged.update({k.lower(): v for k, v in updates.items()})
         return StreamElement(merged, timed=self._timed,
                              arrival_time=self._arrival_time,
-                             producer=self._producer)
+                             producer=self._producer,
+                             trace_id=self._trace_id)
 
     # -- conversion --------------------------------------------------------
 

@@ -14,6 +14,8 @@ from html import escape
 from typing import Any, Dict, List
 
 from repro.container import GSNContainer
+from repro.metrics.ascii_plot import plot_series
+from repro.metrics.report import Series
 
 _STYLE = """
 body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a202c; }
@@ -25,6 +27,8 @@ th, td { border: 1px solid #cbd5e0; padding: .3rem .7rem; text-align: left;
 th { background: #ebf4ff; }
 .ok { color: #276749; } .warn { color: #c05621; }
 .badge { background: #ebf4ff; border-radius: 4px; padding: 0 .4rem; }
+pre.plot { background: #f7fafc; border: 1px solid #cbd5e0; padding: .6rem;
+           font-size: .75rem; line-height: 1.1; overflow-x: auto; }
 """
 
 
@@ -109,6 +113,8 @@ def render_dashboard(container: GSNContainer) -> str:
         else "<p>none registered</p>",
     ]
 
+    sections.extend(_observability_sections(container))
+
     if status["peer"] is not None:
         peer = status["peer"]
         sections.append("<h2>Peer network</h2>")
@@ -126,6 +132,40 @@ def render_dashboard(container: GSNContainer) -> str:
         + "".join(sections)
         + "</body></html>"
     )
+
+
+def _observability_sections(container: GSNContainer) -> List[str]:
+    """Latency/throughput panel fed by the metrics registry and the
+    trace ring buffer (empty lists degrade to 'no data' gracefully)."""
+    sections = ["<h2>Pipeline latency</h2>"]
+
+    stage_rows: List[List[Any]] = []
+    for family in container.metrics.collect():
+        if family.name != "gsn_pipeline_step_latency_ms":
+            continue
+        for labels, snapshot in family.samples:
+            if snapshot.count == 0:
+                continue
+            stage_rows.append([
+                labels.get("sensor", "?"), labels.get("step", "?"),
+                snapshot.count, f"{snapshot.mean:.3f}",
+            ])
+    stage_rows.sort(key=lambda row: (row[0], row[1]))
+    sections.append(
+        _table(["sensor", "step", "observations", "mean ms"], stage_rows)
+        if stage_rows else "<p>no traced triggers yet</p>"
+    )
+
+    roots = [span for span in container.traces.recent()
+             if span.name == "trigger" and span.duration_ms is not None]
+    if roots:
+        series = Series("trigger ms")
+        for span in sorted(roots, key=lambda s: s.started_at):
+            series.add(float(span.started_at), span.duration_ms)
+        chart = plot_series([series], x_label="container time (ms)",
+                            y_label="latency (ms)")
+        sections.append(f"<pre class='plot'>{escape(chart)}</pre>")
+    return sections
 
 
 def write_dashboard(container: GSNContainer, path: str) -> None:

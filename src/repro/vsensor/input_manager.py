@@ -11,6 +11,7 @@ processing pipeline.
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -18,6 +19,7 @@ from repro.descriptors.model import InputStreamSpec, StreamSourceSpec
 from repro.exceptions import StreamError
 from repro.gsntime.clock import Clock
 from repro.gsntime.duration import parse_duration, parse_window_spec
+from repro.metrics.tracing import PipelineTracer, Span, new_trace_id
 from repro.sqlengine.relation import Relation
 from repro.streams.buffer import DisconnectBuffer
 from repro.streams.element import StreamElement
@@ -30,6 +32,8 @@ from repro.wrappers.base import Wrapper
 #: Called by the ISM when an input stream fires: (stream_name, element).
 TriggerCallback = Callable[[str, StreamElement], None]
 
+logger = logging.getLogger("repro.vsensor")
+
 #: Default window when a source declares no storage-size: latest element.
 _DEFAULT_WINDOW_SPEC = "1"
 
@@ -39,10 +43,15 @@ class SourceRuntime:
 
     def __init__(self, spec: StreamSourceSpec, wrapper: Wrapper,
                  clock: Clock, sampler_seed: Optional[int] = None,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 tracer: Optional[PipelineTracer] = None) -> None:
         self.spec = spec
         self.wrapper = wrapper
         self.clock = clock
+        self.tracer = tracer
+        # Most recent finished ingest (step-1) span, adopted by the
+        # pipeline's trigger span when the trace ids match.
+        self.last_ingest_span: Optional[Span] = None
         # The lock serializes window mutation (wrapper threads) against
         # window reads (pipeline threads); in synchronous containers it
         # is uncontended and nearly free.
@@ -55,8 +64,13 @@ class SourceRuntime:
         if incremental:
             try:
                 schema = wrapper.output_schema()
-            except Exception:
+            except Exception as exc:
                 schema = None  # wrapper can't tell yet: stay on legacy
+                logger.info(
+                    "%s: wrapper %s has no schema before start (%s); "
+                    "window stays on the legacy path",
+                    spec.alias, spec.address.wrapper, exc,
+                )
             if schema is not None:
                 self.materializer = WindowRelation(schema.field_names)
                 self.window.add_observer(self.materializer)
@@ -81,14 +95,33 @@ class SourceRuntime:
         was buffered, sampled out, or dropped.
         """
         now = self.clock.now()
+        tracer = self.tracer
+        span: Optional[Span] = None
+        if tracer is not None and tracer.enabled:
+            # Sampling decision: an inbound trace id (remote hop) is
+            # always honored; fresh elements draw against the rate.
+            trace_id = element.trace_id
+            if trace_id is None and tracer.sample():
+                trace_id = new_trace_id()
+                element = element.with_trace(trace_id)
+            if trace_id is not None:
+                span = tracer.ingest_span(
+                    trace_id, now, source=self.spec.alias,
+                    wrapper=self.spec.address.wrapper)
         element = element.with_arrival(now)
         if element.timed is None:
             # Pipeline step 1: stamp with the container's local clock.
             element = element.with_timestamp(now)
         self.quality.observe(element)
         if not self.buffer.offer(element):
-            return None
-        return self._admit(element)
+            admitted: Optional[StreamElement] = None
+        else:
+            admitted = self._admit(element)
+        if span is not None:
+            span.attributes["admitted"] = admitted is not None
+            tracer.record_ingest(span)  # type: ignore[union-attr]
+            self.last_ingest_span = span
+        return admitted
 
     def _admit(self, element: StreamElement) -> Optional[StreamElement]:
         if not self.sampler.admit(element):
@@ -245,13 +278,19 @@ class InputStreamManager:
 
     def __init__(self, clock: Clock, trigger: TriggerCallback,
                  seed: Optional[int] = None,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 tracer: Optional[PipelineTracer] = None) -> None:
         self.clock = clock
         self._trigger = trigger
         self._streams: Dict[str, StreamRuntime] = {}
         self._enabled = True
         self._seed = seed
         self._incremental = incremental
+        self.tracer = tracer
+        # The source whose admission caused the in-flight trigger; lets
+        # the pipeline adopt that source's ingest span without widening
+        # the TriggerCallback signature.
+        self.last_source: Optional[SourceRuntime] = None
 
     def add_stream(self, spec: InputStreamSpec,
                    wrappers: Dict[str, Wrapper]) -> StreamRuntime:
@@ -264,7 +303,8 @@ class InputStreamManager:
             wrapper = wrappers[source_spec.alias]
             seed = None if self._seed is None else self._seed + index
             runtime = SourceRuntime(source_spec, wrapper, self.clock, seed,
-                                    incremental=self._incremental)
+                                    incremental=self._incremental,
+                                    tracer=self.tracer)
             wrapper.add_listener(
                 self._listener(spec.name, runtime)
             )
@@ -297,6 +337,7 @@ class InputStreamManager:
                 stream.triggers_bounded += 1
                 return
             stream.triggers += 1
+            self.last_source = runtime
             self._trigger(stream_name, admitted)
         return on_element
 

@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.descriptors.model import LifeCycleConfig
 from repro.exceptions import LifecycleError
+from repro.status import UptimeTracker, status_doc
 from repro.vsensor.pool import WorkerPool
 
 
@@ -46,6 +47,7 @@ class LifeCycleManager:
         self.failure_reason: Optional[str] = None
         self.started_at: Optional[int] = None
         self.pool = WorkerPool(config.pool_size, synchronous=synchronous)
+        self._uptime = UptimeTracker()
 
     def _transition(self, target: LifecycleState) -> None:
         if target not in _TRANSITIONS[self.state]:
@@ -73,17 +75,25 @@ class LifeCycleManager:
         self._transition(LifecycleState.STOPPED)
         self.pool.shutdown()
 
+    def uptime_ms(self) -> int:
+        return self._uptime.uptime_ms()
+
     @property
     def is_processing(self) -> bool:
         """Whether arrivals should trigger the pipeline right now."""
         return self.state is LifecycleState.RUNNING
 
     def status(self) -> dict:
-        return {
-            "state": self.state.value,
-            "pool_size": self.config.pool_size,
-            "tasks_completed": self.pool.tasks_completed,
-            "tasks_failed": self.pool.tasks_failed,
-            "started_at": self.started_at,
-            "failure_reason": self.failure_reason,
-        }
+        return status_doc(
+            self.sensor_name, self.state.value,
+            counters={
+                "tasks_completed": self.pool.tasks_completed,
+                "tasks_failed": self.pool.tasks_failed,
+            },
+            uptime_ms=self._uptime.uptime_ms(),
+            pool_size=self.config.pool_size,
+            tasks_completed=self.pool.tasks_completed,
+            tasks_failed=self.pool.tasks_failed,
+            started_at=self.started_at,
+            failure_reason=self.failure_reason,
+        )

@@ -17,6 +17,9 @@ from repro.descriptors.validation import validate_descriptor
 from repro.exceptions import DeploymentError
 from repro.gsntime.clock import Clock
 from repro.gsntime.scheduler import EventScheduler
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import TraceBuffer
+from repro.status import UptimeTracker, status_doc
 from repro.storage.manager import StorageManager
 from repro.vsensor.virtual_sensor import VirtualSensor
 from repro.wrappers.base import Wrapper
@@ -39,7 +42,10 @@ class VirtualSensorManager:
                  remote_subscribe: Optional[SubscribeFunc] = None,
                  synchronous: bool = True,
                  seed: Optional[int] = None,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 node: str = "",
+                 metrics: Optional[MetricsRegistry] = None,
+                 trace_sink: Optional[TraceBuffer] = None) -> None:
         self.clock = clock
         self.storage = storage
         self.registry = registry
@@ -48,10 +54,14 @@ class VirtualSensorManager:
         self.synchronous = synchronous
         self.seed = seed
         self.incremental = incremental
+        self.node = node
+        self.metrics = metrics
+        self.trace_sink = trace_sink
         self._sensors: Dict[str, VirtualSensor] = {}
         self._deploy_hooks: List[DeployHook] = []
         self._undeploy_hooks: List[UndeployHook] = []
         self.deploy_count = 0
+        self._uptime = UptimeTracker()
 
     # -- hooks (the container uses these to publish to the directory) -------
 
@@ -100,6 +110,9 @@ class VirtualSensorManager:
                 synchronous=self.synchronous,
                 seed=self.seed,
                 incremental=self.incremental,
+                node=self.node,
+                registry=self.metrics,
+                trace_sink=self.trace_sink,
             )
         except Exception:
             self.storage.drop_stream(table_name)
@@ -215,9 +228,13 @@ class VirtualSensorManager:
             self.undeploy(name, keep_storage=keep_storage)
 
     def status(self) -> dict:
-        return {
-            "deployed": self.sensor_names(),
-            "deploy_count": self.deploy_count,
-            "sensors": {name: sensor.status()
-                        for name, sensor in self._sensors.items()},
-        }
+        return status_doc(
+            self.node or "vsm", "running",
+            counters={"deploy_count": self.deploy_count,
+                      "deployed_sensors": len(self._sensors)},
+            uptime_ms=self._uptime.uptime_ms(),
+            deployed=self.sensor_names(),
+            deploy_count=self.deploy_count,
+            sensors={name: sensor.status()
+                     for name, sensor in self._sensors.items()},
+        )

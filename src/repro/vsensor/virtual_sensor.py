@@ -13,6 +13,7 @@ Paper, Section 3 — on each input-stream arrival:
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -20,6 +21,8 @@ from repro.descriptors.model import VirtualSensorDescriptor
 from repro.exceptions import DeploymentError, SchemaError
 from repro.gsntime.clock import Clock
 from repro.metrics.collectors import FastPathCounters, LatencyRecorder
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import PipelineTracer, Span, TraceBuffer
 from repro.sqlengine.executor import Catalog, execute_plan
 from repro.sqlengine.incremental import (
     AggregateQuery, Classified, IdentityQuery, IncrementalAggregateState,
@@ -43,6 +46,8 @@ SourceKey = Tuple[str, str]
 
 OutputListener = Callable[[StreamElement], None]
 
+logger = logging.getLogger("repro.vsensor")
+
 
 class VirtualSensor:
     """One deployed virtual sensor.
@@ -58,12 +63,22 @@ class VirtualSensor:
                  output_table: Optional[StreamTable] = None,
                  synchronous: bool = True,
                  seed: Optional[int] = None,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 node: str = "",
+                 registry: Optional[MetricsRegistry] = None,
+                 trace_sink: Optional[TraceBuffer] = None) -> None:
         self.descriptor = descriptor
         self.name = descriptor.name
         self.clock = clock
         self.wrappers = dict(wrappers)
         self.output_table = output_table
+        # Disabled (a cheap no-op) unless the container hands us a
+        # registry or a trace sink — bare sensors built in tests keep
+        # the exact pre-observability pipeline.
+        self.tracer = PipelineTracer(descriptor.name, node,
+                                     sampling=descriptor.trace_sampling,
+                                     sink=trace_sink, registry=registry,
+                                     seed=seed)
         self.lifecycle = LifeCycleManager(descriptor.name,
                                           descriptor.lifecycle,
                                           synchronous=synchronous)
@@ -75,7 +90,8 @@ class VirtualSensor:
         # nothing can mutate it mid-query: synchronous pipelines.
         self._zero_copy = synchronous and self.incremental
         self.ism = InputStreamManager(clock, self._on_trigger, seed=seed,
-                                      incremental=self.incremental)
+                                      incremental=self.incremental,
+                                      tracer=self.tracer)
         self.latency = LatencyRecorder(keep_samples=True)
         self.fast_paths = FastPathCounters()
         self.elements_produced = 0
@@ -215,6 +231,9 @@ class VirtualSensor:
     def _process(self, stream_name: str, trigger: StreamElement) -> None:
         self.latency.start()
         now = self.clock.now()
+        root = self.tracer.begin(trigger.trace_id, now, stream=stream_name)
+        if root is not None:
+            self._adopt_ingest_span(root)
         try:
             stream = self.ism.stream(stream_name)
 
@@ -222,29 +241,57 @@ class VirtualSensor:
             # relations, one per stream source.
             temporaries = Catalog()
             for source in stream.sources:
-                temporary = self._source_temporary(stream_name, source, now)
+                temporary = self._source_temporary(stream_name, source, now,
+                                                   parent=root)
                 temporaries.register(source.spec.alias, temporary)
 
             # Step 4: the output query over the temporary relations.
+            span = root.child("output_query") if root is not None else None
             result = execute_plan(self._stream_plans[stream_name],
                                   temporaries)
+            if span is not None:
+                span.attributes["rows"] = len(result)
+                span.finish()
 
             # Step 5: persist and notify, one output element per row.
+            span = root.child("persist_notify") if root is not None else None
+            trace_id = root.trace_id if root is not None else None
             for row in result.to_dicts():
-                self._emit(row, default_timed=trigger.timed or now)
+                self._emit(row, default_timed=trigger.timed or now,
+                           trace_id=trace_id)
+            if span is not None:
+                span.finish()
         except Exception as exc:
+            if root is not None:
+                root.attributes["error"] = repr(exc)
             self._on_pipeline_error(exc)
             raise
         else:
             self._consecutive_errors = 0
         finally:
+            self.tracer.finish(root)
             service_ms = self.latency.stop()
             for hook in self.processing_hooks:
                 hook(trigger.timed if trigger.timed is not None else now,
                      service_ms)
 
+    def _adopt_ingest_span(self, root: Span) -> None:
+        """Attach the step-1 (ingest) span of the triggering element.
+
+        Exact in synchronous containers; in threaded mode a concurrent
+        admission may have replaced the stashed span, so adoption is
+        best-effort and keyed on the trace id matching.
+        """
+        source = self.ism.last_source
+        if source is None:
+            return
+        span = source.last_ingest_span
+        if span is not None and span.trace_id == root.trace_id:
+            root.children.append(span)
+            source.last_ingest_span = None
+
     def _source_temporary(self, stream_name: str, source: SourceRuntime,
-                          now: int) -> Relation:
+                          now: int, parent: Optional[Span] = None) -> Relation:
         """Step 3 for one source: its per-source query's result relation.
 
         The incremental ladder, cheapest rung first:
@@ -256,41 +303,70 @@ class VirtualSensor:
         3. incremental aggregates — answer from running accumulators;
         4. legacy — execute the plan over a (possibly still
            zero-copy) window relation.
+
+        With a ``parent`` span the window selection (step 2) and the
+        query evaluation (step 3) each get a child span; the chosen
+        ladder rung lands in the span's ``path`` attribute.
         """
         key = (stream_name, source.spec.alias)
+        alias = source.spec.alias
         plan = self._source_plans[key]
         if not self.incremental:
             self.fast_paths.record_legacy()
-            window_catalog = Catalog(
-                {WRAPPER_TABLE: source.window_relation(now)}
-            )
-            return execute_plan(plan, window_catalog)
+            span = parent.child("window_select", source=alias) \
+                if parent is not None else None
+            relation = source.window_relation(now)
+            if span is not None:
+                span.finish()
+            span = parent.child("source_query", source=alias,
+                                path="legacy") if parent is not None else None
+            temporary = execute_plan(plan, Catalog({WRAPPER_TABLE: relation}))
+            if span is not None:
+                span.finish()
+            return temporary
 
+        span = parent.child("window_select", source=alias) \
+            if parent is not None else None
         relation, version, from_view, cacheable = source.snapshot_state(
             now, zero_copy=self._zero_copy
         )
+        if span is not None:
+            span.attributes["from_view"] = from_view
+            span.finish()
         self.fast_paths.record_view(from_view)
 
+        span = parent.child("source_query", source=alias) \
+            if parent is not None else None
         cached = self._temp_cache.get(key)
         if cacheable and cached is not None and cached[0] == version:
             self.fast_paths.record_cache(True)
+            if span is not None:
+                span.attributes["path"] = "cache"
+                span.finish()
             return cached[1]
         self.fast_paths.record_cache(False)
 
+        path = "legacy"
         temporary: Optional[Relation] = None
         fast = self._fast_paths.get(key)
         if from_view and fast is not None:
             if isinstance(fast, IdentityQuery):
                 self.fast_paths.record_identity()
                 temporary = relation
+                path = "identity"
             else:
                 temporary = self._aggregate_snapshot(key, source, fast)
+                if temporary is not None:
+                    path = "aggregate"
         if temporary is None:
             self.fast_paths.record_legacy()
             window_catalog = Catalog({WRAPPER_TABLE: relation})
             temporary = execute_plan(plan, window_catalog)
         if cacheable:
             self._temp_cache[key] = (version, temporary)
+        if span is not None:
+            span.attributes["path"] = path
+            span.finish()
         return temporary
 
     def _aggregate_snapshot(self, key: SourceKey, source: SourceRuntime,
@@ -315,6 +391,11 @@ class VirtualSensor:
         except Exception:
             state.healthy = False
             self.fast_paths.record_aggregate_fallback()
+            logger.warning(
+                "%s: aggregate accumulator for %s/%s poisoned itself; "
+                "falling back to the legacy executor", self.name, *key,
+                exc_info=True,
+            )
             return None
         self.fast_paths.record_aggregate()
         return snapshot
@@ -324,6 +405,8 @@ class VirtualSensor:
         ``max-errors`` consecutive failures the sensor fails fast instead
         of burning cycles on a broken source."""
         self._consecutive_errors += 1
+        logger.error("%s: pipeline error (%d consecutive): %s",
+                     self.name, self._consecutive_errors, exc)
         limit = self.descriptor.lifecycle.max_errors
         if limit and self._consecutive_errors >= limit \
                 and self.lifecycle.is_processing:
@@ -333,12 +416,14 @@ class VirtualSensor:
                 f"failures; last: {exc}"
             )
 
-    def _emit(self, row: Dict[str, Any], default_timed: int) -> None:
+    def _emit(self, row: Dict[str, Any], default_timed: int,
+              trace_id: Optional[str] = None) -> None:
         values = self._to_output_values(row)
         timed = row.get("timed")
         if not isinstance(timed, int) or isinstance(timed, bool):
             timed = default_timed
-        element = StreamElement(values, timed=timed, producer=self.name)
+        element = StreamElement(values, timed=timed, producer=self.name,
+                                trace_id=trace_id)
         with self._emit_lock:
             if self.output_table is not None:
                 self.output_table.append(element)
@@ -373,6 +458,13 @@ class VirtualSensor:
     def status(self) -> dict:
         return {
             "name": self.name,
+            "state": self.lifecycle.state.value,
+            "counters": {
+                "elements_produced": self.elements_produced,
+                "tasks_completed": self.lifecycle.pool.tasks_completed,
+                "tasks_failed": self.lifecycle.pool.tasks_failed,
+            },
+            "uptime_ms": self.lifecycle.uptime_ms(),
             "description": self.descriptor.description,
             "lifecycle": self.lifecycle.status(),
             "output_schema": {
@@ -383,6 +475,7 @@ class VirtualSensor:
             "input_streams": self.ism.status(),
             "permanent_storage": self.descriptor.storage.permanent,
             "incremental": self.incremental_status(),
+            "trace_sampling": self.tracer.sampling,
         }
 
     def incremental_status(self) -> dict:

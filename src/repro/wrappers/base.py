@@ -10,6 +10,7 @@ concrete wrappers in the paper's claimed 100-200 lines.
 from __future__ import annotations
 
 import enum
+import logging
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.exceptions import WrapperError
@@ -19,6 +20,8 @@ from repro.streams.element import StreamElement
 from repro.streams.schema import StreamSchema
 
 Listener = Callable[[StreamElement], None]
+
+logger = logging.getLogger("repro.wrappers")
 
 
 class WrapperState(enum.Enum):
@@ -201,13 +204,22 @@ class PeriodicWrapper(Wrapper):
     def _fire(self, fire_time: int) -> None:
         try:
             values = self.produce(fire_time)
-        except Exception:
+        except Exception as exc:
             # Isolate device faults: scheduled production must never kill
             # the container's event loop. Persistent faults stop the
             # wrapper instead of looping forever.
             self.produce_failures += 1
             self._consecutive_failures += 1
+            logger.warning(
+                "%s: produce() failed at t=%d (%d consecutive): %s",
+                self.wrapper_name, fire_time,
+                self._consecutive_failures, exc,
+            )
             if self._consecutive_failures >= self.MAX_CONSECUTIVE_FAILURES:
+                logger.error(
+                    "%s: stopping after %d consecutive produce() failures",
+                    self.wrapper_name, self._consecutive_failures,
+                )
                 self.stop()
             return
         self._consecutive_failures = 0

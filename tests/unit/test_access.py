@@ -134,7 +134,12 @@ class TestIntegrityService:
         b.open(a.seal({"v": 1}))
         assert a.sealed == 1
         assert b.opened == 1
-        assert b.status() == {"sealed": 0, "opened": 1, "rejected": 0}
+        status = b.status()
+        assert status["counters"] == {"sealed": 0, "opened": 1,
+                                      "rejected": 0}
+        assert status["sealed"] == 0
+        assert status["opened"] == 1
+        assert status["rejected"] == 0
 
     def test_bytes_in_nested_structures(self):
         a, b = self.make_pair()

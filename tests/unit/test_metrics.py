@@ -68,13 +68,28 @@ class TestThroughputCounter:
             counter.record(t)
         assert counter.per_second == 1.0
 
-    def test_degenerate_cases(self):
+    def test_no_events_is_zero(self):
+        assert ThroughputCounter().per_second == 0.0
+
+    def test_single_event_is_zero(self):
         counter = ThroughputCounter()
-        assert counter.per_second == 0.0
         counter.record(5)
         assert counter.per_second == 0.0
+
+    def test_identical_timestamps_clamp_to_one_ms(self):
+        # Two events in the same millisecond: the span clamps to 1 ms,
+        # so the rate is a finite lower bound instead of 0.0 (the old
+        # behaviour made every single-burst measurement vanish).
+        counter = ThroughputCounter()
         counter.record(5)
-        assert counter.per_second == 0.0
+        counter.record(5)
+        assert counter.per_second == 1000.0
+
+    def test_two_events_one_second_apart(self):
+        counter = ThroughputCounter()
+        counter.record(0)
+        counter.record(1_000)
+        assert counter.per_second == 1.0
 
 
 class TestReport:

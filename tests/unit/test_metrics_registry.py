@@ -1,0 +1,187 @@
+"""Unit tests for the container-wide metrics registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    counter_family,
+    gauge_family,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("gsn_test_total", "help").child()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("gsn_test_total").child()
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("gsn_depth").child()
+        gauge.set(10)
+        gauge.dec(4)
+        gauge.inc()
+        assert gauge.value == 7.0
+
+    def test_labeled_children_are_distinct_and_cached(self):
+        family = MetricsRegistry().counter("gsn_events_total",
+                                           labelnames=("sensor",))
+        a = family.labels(sensor="a")
+        b = family.labels(sensor="b")
+        a.inc()
+        assert b.value == 0.0
+        assert family.labels(sensor="a") is a
+
+    def test_wrong_labels_rejected(self):
+        family = MetricsRegistry().counter("gsn_events_total",
+                                           labelnames=("sensor",))
+        with pytest.raises(ConfigurationError):
+            family.labels(wrong="x")
+        with pytest.raises(ConfigurationError):
+            family.child()  # labeled family has no anonymous child
+
+    def test_reregistration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("gsn_x_total", labelnames=("s",))
+        again = registry.counter("gsn_x_total", labelnames=("s",))
+        assert first is again
+
+    def test_reregistration_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("gsn_x_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("gsn_x_total")
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(ConfigurationError):
+            registry.counter("has space")
+        with pytest.raises(ConfigurationError):
+            registry.counter("ok_total", labelnames=("__reserved",))
+
+
+class TestHistogramBucketing:
+    def test_value_on_boundary_is_inclusive(self):
+        # Prometheus `le` semantics: value == bound lands in that bucket.
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(1.0)
+        snapshot = histogram.snapshot()
+        assert snapshot.counts == (1, 0, 0)
+
+    def test_value_above_all_bounds_goes_to_inf(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(99.0)
+        assert histogram.snapshot().counts == (0, 0, 1)
+
+    def test_cumulative_includes_inf(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            histogram.observe(value)
+        pairs = histogram.snapshot().cumulative()
+        assert pairs == [(1.0, 1), (2.0, 2), (float("inf"), 3)]
+
+    def test_sum_count_mean(self):
+        histogram = Histogram(bounds=(10.0,))
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        snapshot = histogram.snapshot()
+        assert snapshot.sum == 6.0
+        assert snapshot.count == 2
+        assert snapshot.mean == 3.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram(bounds=(1.0,)).snapshot().mean == 0.0
+
+    def test_default_buckets_are_sorted_unique(self):
+        bounds = DEFAULT_LATENCY_BUCKETS_MS
+        assert tuple(sorted(set(bounds))) == bounds
+
+    def test_bad_bucket_configs(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=())
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=(1.0, 1.0))
+
+
+class TestExposition:
+    def test_counter_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("gsn_events_total", "Number of events.",
+                         labelnames=("sensor",)).labels(sensor="s1").inc(3)
+        text = registry.expose_text()
+        assert "# HELP gsn_events_total Number of events." in text
+        assert "# TYPE gsn_events_total counter" in text
+        assert 'gsn_events_total{sensor="s1"} 3' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_format(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("gsn_latency_ms", "Latency.",
+                                       buckets=(1.0, 5.0)).child()
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        text = registry.expose_text()
+        assert "# TYPE gsn_latency_ms histogram" in text
+        assert 'gsn_latency_ms_bucket{le="1"} 1' in text
+        assert 'gsn_latency_ms_bucket{le="5"} 2' in text
+        assert 'gsn_latency_ms_bucket{le="+Inf"} 2' in text
+        assert "gsn_latency_ms_sum 3.5" in text
+        assert "gsn_latency_ms_count 2" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("gsn_x_total", labelnames=("p",)) \
+            .labels(p='a"b\\c\nd').inc()
+        text = registry.expose_text()
+        assert r'gsn_x_total{p="a\"b\\c\nd"} 1' in text
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("gsn_zz_total").child().inc()
+        registry.counter("gsn_aa_total").child().inc()
+        text = registry.expose_text()
+        assert text.index("gsn_aa_total") < text.index("gsn_zz_total")
+
+    def test_empty_registry_exposes_empty(self):
+        assert MetricsRegistry().expose_text() == ""
+
+
+class TestCollectors:
+    def test_collector_sampled_at_scrape_time(self):
+        registry = MetricsRegistry()
+        state = {"value": 1.0}
+        registry.register_collector(lambda: [
+            gauge_family("gsn_live", "Live reading.",
+                         [({}, state["value"])])
+        ])
+        assert "gsn_live 1" in registry.expose_text()
+        state["value"] = 2.0
+        assert "gsn_live 2" in registry.expose_text()
+
+    def test_instruments_win_over_collectors(self):
+        registry = MetricsRegistry()
+        registry.counter("gsn_dup_total").child().inc(5)
+        registry.register_collector(lambda: [
+            counter_family("gsn_dup_total", "shadowed", [({}, 99.0)])
+        ])
+        text = registry.expose_text()
+        assert "gsn_dup_total 5" in text
+        assert "99" not in text
+
+    def test_status_counts_families_and_samples(self):
+        registry = MetricsRegistry()
+        family = registry.counter("gsn_x_total", labelnames=("s",))
+        family.labels(s="a").inc()
+        family.labels(s="b").inc()
+        assert registry.status() == {"families": 1, "samples": 2}

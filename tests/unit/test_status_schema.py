@@ -1,0 +1,93 @@
+"""The unified status-document schema.
+
+Every component's ``status()`` shares four documented keys (see
+``repro.status``): ``name`` (str), ``state`` (str), ``counters``
+(dict of int-valued counters) and ``uptime_ms`` (int >= 0). Legacy
+keys remain alongside, so this asserts the shared contract only.
+"""
+
+import pytest
+
+from repro import GSNContainer, PeerNetwork
+from repro.gsntime.clock import VirtualClock
+from repro.gsntime.scheduler import EventScheduler
+from repro.status import SHARED_STATUS_KEYS, UptimeTracker, status_doc
+
+from tests.conftest import simple_mote_descriptor
+
+
+def assert_shared_schema(doc: dict, source: str) -> None:
+    for key in SHARED_STATUS_KEYS:
+        assert key in doc, f"{source}: missing shared key {key!r}"
+    assert isinstance(doc["name"], str) and doc["name"], source
+    assert isinstance(doc["state"], str) and doc["state"], source
+    assert isinstance(doc["counters"], dict), source
+    for counter, value in doc["counters"].items():
+        assert isinstance(counter, str), source
+        assert isinstance(value, int), f"{source}: counter {counter!r}"
+    assert isinstance(doc["uptime_ms"], int), source
+    assert doc["uptime_ms"] >= 0, source
+
+
+class TestStatusDoc:
+    def test_shared_keys_constant(self):
+        assert SHARED_STATUS_KEYS == ("name", "state", "counters",
+                                      "uptime_ms")
+
+    def test_status_doc_builds_schema(self):
+        doc = status_doc("thing", "running", counters={"n": 1},
+                         uptime_ms=5, extra="kept")
+        assert_shared_schema(doc, "status_doc")
+        assert doc["extra"] == "kept"
+
+    def test_status_doc_rejects_shared_key_collision(self):
+        with pytest.raises((TypeError, ValueError)):
+            status_doc("thing", "running", **{"name": "shadow"})
+
+    def test_uptime_tracker_is_monotonic(self):
+        tracker = UptimeTracker()
+        first = tracker.uptime_ms()
+        assert first >= 0
+        assert tracker.uptime_ms() >= first
+
+
+class TestComponentStatuses:
+    """Every component of a live two-node deployment follows the schema."""
+
+    @pytest.fixture
+    def deployment(self):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        network = PeerNetwork(scheduler=scheduler)
+        container = GSNContainer("node-a", network=network, clock=clock,
+                                 scheduler=scheduler)
+        container.deploy(simple_mote_descriptor())
+        scheduler.run_for(2_000)
+        yield network, container
+        container.shutdown()
+
+    def test_every_status_document(self, deployment):
+        network, container = deployment
+        sensor = container.sensor("probe")
+        documents = {
+            "container": container.status(),
+            "virtual_sensor": sensor.status(),
+            "lifecycle": sensor.lifecycle.status(),
+            "vsm": container.vsm.status(),
+            "query_processor": container.processor.status(),
+            "query_repository": container.repository.status(),
+            "notifications": container.notifications.status(),
+            "access": container.access.status(),
+            "integrity": container.integrity.status(),
+            "message_bus": network.bus.status(),
+            "peer_network": network.status(),
+            "peer_node": container.peer.status(),
+        }
+        for source, doc in documents.items():
+            assert_shared_schema(doc, source)
+
+    def test_container_counters_reflect_activity(self, deployment):
+        __, container = deployment
+        counters = container.status()["counters"]
+        assert counters["sensors_deployed"] == 1
+        assert counters["deploy_count"] == 1

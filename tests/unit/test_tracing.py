@@ -1,0 +1,143 @@
+"""Unit tests for pipeline spans, the trace ring buffer, and sampling."""
+
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import (
+    PIPELINE_STEPS,
+    PipelineTracer,
+    Span,
+    TraceBuffer,
+    new_trace_id,
+)
+
+
+class TestSpan:
+    def test_trace_ids_are_fresh_and_short(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert first != second
+        assert len(first) == 16
+        assert all(c in "0123456789abcdef" for c in first)
+
+    def test_children_nest_and_share_trace_id(self):
+        root = Span("abc", "trigger", started_at=100)
+        child = root.child("window_select", source="wind")
+        grandchild = child.child("source_query")
+        assert root.children == [child]
+        assert child.children == [grandchild]
+        assert grandchild.trace_id == "abc"
+        assert child.attributes["source"] == "wind"
+
+    def test_finish_fixes_duration_once(self):
+        span = Span("abc", "trigger", started_at=0)
+        span.finish()
+        first = span.duration_ms
+        assert first is not None and first >= 0.0
+        span.finish()
+        assert span.duration_ms == first
+
+    def test_close_uses_external_duration(self):
+        span = Span("abc", "remote_hop", started_at=0)
+        span.close(42.0)
+        assert span.duration_ms == 42.0
+
+    def test_to_dict_round_trips_the_tree(self):
+        root = Span("abc", "trigger", started_at=7, sensor="s")
+        root.child("output_query", rows=3).finish()
+        root.finish()
+        doc = root.to_dict()
+        assert doc["trace_id"] == "abc"
+        assert doc["started_at"] == 7
+        assert doc["attributes"]["sensor"] == "s"
+        (child,) = doc["children"]
+        assert child["name"] == "output_query"
+        assert child["attributes"]["rows"] == 3
+        assert "children" not in child  # leaf spans omit the key
+
+
+class TestTraceBuffer:
+    def test_ring_buffer_is_bounded(self):
+        buffer = TraceBuffer(capacity=3)
+        for index in range(5):
+            buffer.add(Span(f"t{index}", "trigger", started_at=index))
+        assert len(buffer) == 3
+        status = buffer.status()
+        assert status == {"buffered": 3, "capacity": 3, "recorded": 5}
+        # the oldest two were evicted
+        assert [s.trace_id for s in buffer.recent()] == ["t4", "t3", "t2"]
+
+    def test_recent_respects_limit(self):
+        buffer = TraceBuffer(capacity=10)
+        for index in range(4):
+            buffer.add(Span(f"t{index}", "trigger", started_at=index))
+        assert [s.trace_id for s in buffer.recent(limit=2)] == ["t3", "t2"]
+
+    def test_find_returns_all_trees_of_one_trace(self):
+        buffer = TraceBuffer()
+        buffer.add(Span("aa", "timestamp", started_at=1))
+        buffer.add(Span("bb", "trigger", started_at=2))
+        buffer.add(Span("aa", "trigger", started_at=3))
+        found = buffer.find("aa")
+        assert [s.name for s in found] == ["timestamp", "trigger"]
+
+
+class TestSampling:
+    def test_disabled_tracer_never_samples(self):
+        tracer = PipelineTracer("s", sampling=1.0)  # no sink, no registry
+        assert not tracer.enabled
+        assert tracer.sample() is False
+        assert tracer.begin("abc", 0) is None
+
+    def test_sampling_zero_never_samples(self):
+        tracer = PipelineTracer("s", sampling=0.0, sink=TraceBuffer())
+        assert all(not tracer.sample() for _ in range(50))
+
+    def test_sampling_one_always_samples(self):
+        tracer = PipelineTracer("s", sampling=1.0, sink=TraceBuffer())
+        assert all(tracer.sample() for _ in range(50))
+
+    def test_fractional_sampling_is_seeded_and_partial(self):
+        tracer = PipelineTracer("s", sampling=0.5, sink=TraceBuffer(),
+                                seed=42)
+        draws = [tracer.sample() for _ in range(200)]
+        assert 0 < sum(draws) < 200
+        replay = PipelineTracer("s", sampling=0.5, sink=TraceBuffer(),
+                                seed=42)
+        assert [replay.sample() for _ in range(200)] == draws
+
+    def test_inbound_trace_id_always_honoured(self):
+        # A downstream sensor with sampling 0 still traces elements that
+        # arrive carrying an upstream trace id.
+        tracer = PipelineTracer("s", sampling=0.0, sink=TraceBuffer())
+        assert tracer.begin("upstream-id", 0) is not None
+
+
+class TestTracerPipeline:
+    def test_finish_feeds_sink_and_histograms(self):
+        registry = MetricsRegistry()
+        sink = TraceBuffer()
+        tracer = PipelineTracer("s1", node="n1", sampling=1.0,
+                                sink=sink, registry=registry)
+        root = tracer.begin("abc", 10, stream="input")
+        for step in PIPELINE_STEPS[1:]:
+            root.child(step).finish()
+        tracer.finish(root)
+
+        assert len(sink) == 1
+        assert sink.recent()[0].attributes["node"] == "n1"
+        text = registry.expose_text()
+        for step in PIPELINE_STEPS[1:]:
+            assert (f'gsn_pipeline_step_latency_ms_count'
+                    f'{{sensor="s1",step="{step}"}} 1') in text
+        assert 'gsn_pipeline_trigger_latency_ms_count{sensor="s1"} 1' in text
+        assert 'gsn_traces_recorded_total{sensor="s1"} 1' in text
+
+    def test_ingest_span_feeds_timestamp_histogram(self):
+        registry = MetricsRegistry()
+        tracer = PipelineTracer("s1", sampling=1.0, registry=registry)
+        span = tracer.ingest_span("abc", 5, source="wind")
+        tracer.record_ingest(span)
+        assert span.duration_ms is not None
+        assert ('gsn_pipeline_step_latency_ms_count'
+                '{sensor="s1",step="timestamp"} 1') in registry.expose_text()
+
+    def test_finish_none_is_a_noop(self):
+        PipelineTracer("s", sampling=0.0).finish(None)  # must not raise
