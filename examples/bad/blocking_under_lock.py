@@ -1,0 +1,26 @@
+"""Seeded-bad input: blocking operations while holding a lock.
+
+Every consumer of ``Poller`` serializes on ``_lock`` for the full
+duration of the sleep and the unbounded queue read — ``gsn-lint
+--deadlock`` must report GSN502.
+"""
+
+import queue
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue()
+        self.polled = 0
+
+    def poll(self):
+        with self._lock:
+            time.sleep(0.1)
+            self.polled += 1
+
+    def drain(self):
+        with self._lock:
+            return self._queue.get()

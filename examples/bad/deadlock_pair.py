@@ -1,0 +1,30 @@
+"""Seeded-bad input: two classes acquiring two locks in opposite order.
+
+``Forward.transfer`` takes REGISTRY_LOCK then JOURNAL_LOCK;
+``Backward.audit`` takes them the other way around. Two threads running
+one of each can deadlock — ``gsn-lint --deadlock`` must report GSN501.
+"""
+
+import threading
+
+REGISTRY_LOCK = threading.Lock()
+JOURNAL_LOCK = threading.Lock()
+
+_registry = {}
+_journal = []
+
+
+class Forward:
+    def transfer(self, key, value):
+        with REGISTRY_LOCK:
+            _registry[key] = value
+            with JOURNAL_LOCK:
+                _journal.append((key, value))
+
+
+class Backward:
+    def audit(self):
+        with JOURNAL_LOCK:
+            entries = list(_journal)
+            with REGISTRY_LOCK:
+                return [key for key, _ in entries if key in _registry]

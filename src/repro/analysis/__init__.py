@@ -20,7 +20,12 @@ Command line::
     python -m repro.analysis --self-check
 """
 
+from repro.analysis.callgraph import ProgramIndex
+from repro.analysis.lockgraph import (
+    DeadlockAnalysis, LockGraph, analyze_deadlocks, expand_paths,
+)
 from repro.analysis.locklint import lint_file, lint_files, lint_source
+from repro.analysis.lockwitness import LockOrderViolation, LockWitness
 from repro.analysis.passes import (
     DEFAULT_MEMORY_BUDGET, analyze, analyze_descriptor,
     estimate_window_memory, schema_check,
@@ -34,9 +39,10 @@ from repro.analysis.schema_infer import (
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET", "ERROR", "WARNING",
-    "Finding", "Report", "Rule", "SchemaInferencer",
-    "analyze", "analyze_descriptor", "catalogue", "describe",
-    "estimate_window_memory", "infer_output_schema",
-    "lint_file", "lint_files", "lint_source", "schema_check",
-    "wrapper_relation_schema",
+    "DeadlockAnalysis", "Finding", "LockGraph", "LockOrderViolation",
+    "LockWitness", "ProgramIndex", "Report", "Rule", "SchemaInferencer",
+    "analyze", "analyze_deadlocks", "analyze_descriptor", "catalogue",
+    "describe", "estimate_window_memory", "expand_paths",
+    "infer_output_schema", "lint_file", "lint_files", "lint_source",
+    "schema_check", "wrapper_relation_schema",
 ]

@@ -6,9 +6,13 @@ Usage::
 
 ``.xml`` paths are parsed as virtual-sensor descriptors and run through
 the schema, graph, and resource passes *as one deployment set* (so
-cross-sensor references resolve). ``.py`` paths are run through the
-concurrency lint. ``--self-check`` lints the bundled concurrency-
-sensitive modules of repro itself.
+cross-sensor references resolve). ``.py`` paths (and directories, which
+are walked for ``.py`` sources) are run through the intra-procedural
+concurrency lint *and* the interprocedural deadlock pass (GSN501–GSN504).
+``--deadlock`` restricts python inputs to the deadlock pass alone;
+``--graph`` prints the lock-acquisition-order graph as GraphViz DOT.
+``--self-check`` lints the bundled concurrency-sensitive modules of
+repro itself.
 
 Exit codes: 0 — clean (or warnings only), 1 — error findings,
 2 — bad invocation or unreadable input.
@@ -23,6 +27,7 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis import locklint
+from repro.analysis.lockgraph import analyze_deadlocks, expand_paths
 from repro.analysis.passes import DEFAULT_MEMORY_BUDGET, analyze
 from repro.analysis.rules import Report, catalogue
 from repro.descriptors.model import VirtualSensorDescriptor
@@ -37,11 +42,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="Static analyzer for GSN virtual-sensor deployments.",
     )
     parser.add_argument("paths", nargs="*", metavar="PATH",
-                        help="descriptor .xml files and/or python .py "
-                             "files to lint")
+                        help="descriptor .xml files, python .py files, "
+                             "and/or directories (walked for .py) to lint")
     parser.add_argument("--self-check", action="store_true",
                         help="run the concurrency lint over repro's own "
                              "lock-guarded modules")
+    parser.add_argument("--deadlock", action="store_true",
+                        help="run only the interprocedural lock-order / "
+                             "deadlock pass (GSN501-GSN504) on python "
+                             "inputs")
+    parser.add_argument("--graph", action="store_true",
+                        help="print the lock-acquisition-order graph as "
+                             "GraphViz DOT (implies the deadlock pass)")
+    parser.add_argument("--no-sanctioned-order", action="store_true",
+                        help="ignore repro.concurrency.LOCK_ORDER when "
+                             "building the lock graph")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--format", choices=("text", "json"),
@@ -87,17 +102,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     xml_paths = [p for p in args.paths if p.lower().endswith(".xml")]
-    py_paths = [p for p in args.paths if p.lower().endswith(".py")]
-    other = [p for p in args.paths if p not in xml_paths + py_paths]
+    dirs = [p for p in args.paths if os.path.isdir(p)]
+    py_paths = [p for p in args.paths
+                if p.lower().endswith(".py") and p not in dirs]
+    other = [p for p in args.paths
+             if p not in xml_paths + py_paths + dirs]
     if other:
         parser.error(f"unsupported input(s): {other} "
-                     f"(expected .xml descriptors or .py sources)")
+                     f"(expected .xml descriptors, .py sources, or "
+                     f"directories)")
+    deadlock_only = args.deadlock or args.graph
+    if deadlock_only and xml_paths:
+        parser.error("--deadlock/--graph apply to python inputs only")
     if args.self_check:
         package_root = os.path.dirname(os.path.dirname(
             os.path.abspath(__file__)))  # .../src/repro
         for relative in locklint.SELF_CHECK_MODULES:
             py_paths.append(os.path.join(package_root, relative))
-    if not xml_paths and not py_paths:
+    if not xml_paths and not py_paths and not dirs:
         parser.error("nothing to lint: pass descriptor/python paths or "
                      "--self-check")
 
@@ -112,15 +134,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             external_producers=args.external_producers,
         ))
 
-    missing = [p for p in py_paths if not os.path.exists(p)]
+    missing = [p for p in py_paths + dirs if not os.path.exists(p)]
     if missing:
         print(f"gsn-lint: cannot read {missing}", file=sys.stderr)
         return 2
-    locklint.lint_files(py_paths, report)
+    python_inputs = expand_paths(py_paths + dirs)
+    graph = None
+    if python_inputs:
+        if not deadlock_only:
+            locklint.lint_files(python_inputs, report)
+        __, graph = analyze_deadlocks(
+            python_inputs, report=report,
+            include_sanctioned=not args.no_sanctioned_order,
+        )
 
     failed = bool(report.errors) or (args.strict_warnings
                                      and bool(report.warnings))
-    if args.format == "json":
+    if args.graph and graph is not None:
+        print(graph.to_dot())
+        if report.findings:
+            print(report.render(), file=sys.stderr)
+    elif args.format == "json":
         print(json.dumps({"findings": report.as_dicts(),
                           "errors": len(report.errors),
                           "warnings": len(report.warnings)}, indent=2))

@@ -49,6 +49,9 @@ SELF_CHECK_MODULES = (
     "metrics/registry.py",
     "metrics/tracing.py",
     "interfaces/http_server.py",
+    "vsensor/virtual_sensor.py",
+    "network/peer.py",
+    "notifications/manager.py",
 )
 
 

@@ -8,6 +8,8 @@ pass:
 - ``GSN2xx`` — cross-virtual-sensor graph analysis
 - ``GSN3xx`` — resource estimation (window memory, storage growth)
 - ``GSN4xx`` — concurrency lint over Python sources (``# guarded-by:``)
+- ``GSN5xx`` — interprocedural deadlock pass (lock-order graph,
+  blocking/dispatch under a lock, self-deadlock)
 
 Severities: ``error`` findings would fail (or silently corrupt) a
 deployment and make :func:`repro.analysis.analyze` callers such as
@@ -48,6 +50,7 @@ _CATALOGUE: List[Rule] = [
     Rule("GSN108", WARNING, "schema not statically derivable; checks skipped"),
     Rule("GSN109", ERROR, "wrapper unknown or rejects its configuration"),
     Rule("GSN110", WARNING, "ambiguous unqualified column reference"),
+    Rule("GSN111", ERROR, "known SQL function called with wrong arity"),
     # -- graph pass --------------------------------------------------------
     Rule("GSN201", ERROR, "virtual-sensor dependency cycle"),
     Rule("GSN202", ERROR, "remote source matches no known producer"),
@@ -65,6 +68,13 @@ _CATALOGUE: List[Rule] = [
     Rule("GSN401", ERROR, "guarded field touched outside its declared lock"),
     Rule("GSN402", ERROR, "guard annotation names an unknown lock"),
     Rule("GSN403", ERROR, "requires-lock method called without the lock"),
+    # -- deadlock pass (interprocedural) -----------------------------------
+    Rule("GSN501", ERROR, "lock-acquisition-order cycle (potential "
+                          "deadlock)"),
+    Rule("GSN502", ERROR, "blocking operation while holding a lock"),
+    Rule("GSN503", ERROR, "callback/notification dispatch under a lock"),
+    Rule("GSN504", ERROR, "re-acquisition of a non-reentrant lock "
+                          "(self-deadlock)"),
 ]
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _CATALOGUE}

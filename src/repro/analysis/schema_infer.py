@@ -59,6 +59,30 @@ _SCALAR_RETURNS: Dict[str, object] = {
 _NUMERIC_ARG_FUNCTIONS = {"abs", "round", "floor", "ceil", "ceiling",
                           "sqrt", "power", "mod", "sign"}
 
+#: Argument-count rules: ``(min, max)``; ``max=None`` means variadic.
+#: Mirrors the callables in :mod:`repro.sqlengine.functions` — a call
+#: that violates these would raise SQLExecutionError on the first row.
+_SCALAR_ARITY: Dict[str, Tuple[int, Optional[int]]] = {
+    "abs": (1, 1), "floor": (1, 1), "ceil": (1, 1), "ceiling": (1, 1),
+    "sqrt": (1, 1), "sign": (1, 1), "upper": (1, 1), "lower": (1, 1),
+    "length": (1, 1), "trim": (1, 1), "ltrim": (1, 1), "rtrim": (1, 1),
+    "octet_length": (1, 1),
+    "round": (1, 2),
+    "power": (2, 2), "mod": (2, 2), "instr": (2, 2), "nullif": (2, 2),
+    "ifnull": (2, 2),
+    "substr": (2, 3), "substring": (2, 3),
+    "replace": (3, 3),
+    "concat": (1, None), "coalesce": (1, None),
+}
+
+
+def _arity_text(low: int, high: Optional[int]) -> str:
+    if high is None:
+        return f"at least {low}"
+    if low == high:
+        return str(low)
+    return f"{low}-{high}"
+
 _AGGREGATE_RETURNS: Dict[str, object] = {
     "avg": DataType.DOUBLE, "stddev": DataType.DOUBLE,
     "variance": DataType.DOUBLE, "median": DataType.DOUBLE,
@@ -407,9 +431,14 @@ class SchemaInferencer:
                 self._add("GSN103",
                           f"aggregate {name}() over non-numeric "
                           f"{first.value} argument")
-            returns = _AGGREGATE_RETURNS.get(name)
             if node.star and name == "count":
                 return DataType.INTEGER
+            if not node.star and len(node.args) != 1:
+                star_hint = (" (or count(*))" if name == "count" else "")
+                self._add("GSN111",
+                          f"{name}() takes 1 argument{star_hint}, "
+                          f"got {len(node.args)}")
+            returns = _AGGREGATE_RETURNS.get(name)
             return first if returns == "arg" else returns  # type: ignore[return-value]
 
         if name not in SCALAR_FUNCTIONS:
@@ -417,6 +446,12 @@ class SchemaInferencer:
                       f"unknown function {name}(); known functions: "
                       f"{', '.join(sorted(SCALAR_FUNCTIONS))}")
             return None
+        low, high = _SCALAR_ARITY.get(name, (0, None))
+        if len(node.args) < low or (high is not None
+                                    and len(node.args) > high):
+            self._add("GSN111",
+                      f"{name}() takes {_arity_text(low, high)} "
+                      f"argument(s), got {len(node.args)}")
         if name in _NUMERIC_ARG_FUNCTIONS and first is not None \
                 and first not in _NUMERIC:
             self._add("GSN103",

@@ -9,8 +9,9 @@ experiments are reproducible.
 from __future__ import annotations
 
 import abc
-import threading
 import time
+
+from repro.concurrency import new_lock
 
 
 class Clock(abc.ABC):
@@ -43,7 +44,7 @@ class VirtualClock(Clock):
         if start < 0:
             raise ValueError("virtual clock cannot start before the epoch")
         self._now = start
-        self._lock = threading.Lock()
+        self._lock = new_lock("VirtualClock._lock")
 
     def now(self) -> int:
         with self._lock:

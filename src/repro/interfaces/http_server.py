@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import json
 import threading
+
+from repro.concurrency import new_lock
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -54,7 +56,7 @@ class GSNHttpServer:
         self.web = WebInterface(container)
         handler = _build_handler(self)
         self._server = ThreadingHTTPServer((host, port), handler)
-        self._state_lock = threading.Lock()
+        self._state_lock = new_lock("GSNHttpServer._state_lock")
         self._thread: Optional[threading.Thread] = None  # guarded-by: _state_lock
 
     @property

@@ -13,6 +13,8 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from repro.concurrency import new_lock
+
 
 class LatencyRecorder:
     """Collects durations in milliseconds and reports summary statistics.
@@ -29,7 +31,7 @@ class LatencyRecorder:
         self.max_ms = 0.0  # guarded-by: _lock
         self.min_ms = math.inf  # guarded-by: _lock
         self._local = threading.local()
-        self._lock = threading.Lock()
+        self._lock = new_lock("LatencyRecorder._lock")
 
     def start(self) -> None:
         self._local.started = time.perf_counter()
@@ -105,7 +107,7 @@ class FastPathCounters:
         self.aggregate_hits = 0  # guarded-by: _lock
         self.aggregate_fallbacks = 0  # guarded-by: _lock
         self.legacy_queries = 0  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = new_lock("FastPathCounters._lock")
 
     def record_view(self, from_view: bool) -> None:
         """Step 2 served by the materialized view vs a full rebuild."""

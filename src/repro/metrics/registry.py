@@ -24,12 +24,12 @@ All mutable state follows the repo's ``# guarded-by:`` lock discipline
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from typing import (
     Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
 )
 
+from repro.concurrency import new_lock
 from repro.exceptions import ConfigurationError
 
 #: Default latency buckets in milliseconds: the pipeline's interesting
@@ -121,7 +121,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._value = 0.0  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = new_lock("Counter._lock")
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -140,7 +140,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self._value = 0.0  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = new_lock("Gauge._lock")
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -178,7 +178,7 @@ class Histogram:
         self._counts = [0] * (len(ordered) + 1)  # guarded-by: _lock
         self._sum = 0.0  # guarded-by: _lock
         self._count = 0  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = new_lock("Histogram._lock")
 
     def observe(self, value: float) -> None:
         index = bisect_left(self.bounds, value)
@@ -224,7 +224,7 @@ class MetricFamily:
         self._buckets = tuple(buckets) if buckets is not None \
             else DEFAULT_LATENCY_BUCKETS_MS
         self._children: Dict[LabelValues, Any] = {}  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = new_lock("MetricFamily._lock")
 
     def labels(self, **labels: str) -> Any:
         """The child instrument for one label-value combination.
@@ -281,7 +281,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._families: Dict[str, MetricFamily] = {}  # guarded-by: _lock
         self._collectors: List[Collector] = []  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = new_lock("MetricsRegistry._lock")
 
     # -- instrument creation ------------------------------------------------
 

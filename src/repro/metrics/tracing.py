@@ -24,12 +24,12 @@ arrives carrying a trace id is always traced, one without never is.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from random import Random
 from time import perf_counter
 from typing import Any, Deque, Dict, List, Optional
 
+from repro.concurrency import new_lock
 from repro.metrics.registry import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 
 #: The five pipeline steps, in evaluation order (plus the remote hop).
@@ -42,7 +42,7 @@ REMOTE_HOP_STEP = "remote_hop"
 #: sampled ingest hot path. 64 random bits are plenty for correlating
 #: spans inside one deployment's bounded ring buffers.
 _id_rng = Random()
-_id_lock = threading.Lock()
+_id_lock = new_lock("tracing._id_lock")
 
 
 def new_trace_id() -> str:
@@ -106,7 +106,7 @@ class TraceBuffer:
     def __init__(self, capacity: int = 256) -> None:
         self._spans: Deque[Span] = deque(maxlen=capacity)  # guarded-by: _lock
         self._added = 0  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = new_lock("TraceBuffer._lock")
         self.capacity = capacity
 
     def add(self, span: Span) -> None:

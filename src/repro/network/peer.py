@@ -20,6 +20,7 @@ import logging
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.access.integrity import IntegrityService, SealedEnvelope
+from repro.concurrency import new_lock
 from repro.datatypes import DataType
 from repro.exceptions import DiscoveryError, TransportError
 from repro.gsntime.clock import Clock
@@ -117,12 +118,18 @@ class PeerNode:
                 "Container-to-container delivery latency (shared clock).",
                 labelnames=("producer", "subscriber"),
             )
+        # Guards the subscription maps and counters, which bus callbacks
+        # mutate from scheduler/wrapper threads. Bus sends and listener
+        # dispatch stay OUTSIDE the lock: sends re-enter peer callbacks
+        # on the remote node and listeners run arbitrary wrapper code
+        # (GSN502/GSN503 regression, see CHANGES.md PR 4).
+        self._lock = new_lock("PeerNode._lock")
         # producer side: subscription id -> (sensor_name, detach callable)
-        self._served: Dict[int, Tuple[str, Callable[[], None]]] = {}
+        self._served: Dict[int, Tuple[str, Callable[[], None]]] = {}  # guarded-by: _lock
         # consumer side: subscription id -> local listener
-        self._listening: Dict[int, ElementListener] = {}
-        self.elements_forwarded = 0
-        self.elements_received = 0
+        self._listening: Dict[int, ElementListener] = {}  # guarded-by: _lock
+        self.elements_forwarded = 0  # guarded-by: _lock
+        self.elements_received = 0  # guarded-by: _lock
         self._uptime = UptimeTracker()
         network.bus.register(self.name, self._on_message)
         add_peer = getattr(network.directory, "add_peer", None)
@@ -133,9 +140,12 @@ class PeerNode:
 
     def leave(self) -> None:
         """Detach from the network, tearing down served subscriptions."""
-        for subscription_id in list(self._served):
+        with self._lock:
+            served = list(self._served)
+        for subscription_id in served:
             self._detach(subscription_id)
-        self._listening.clear()
+        with self._lock:
+            self._listening.clear()
         self.network.directory.unpublish_container(self.name)
         remove_peer = getattr(self.network.directory, "remove_peer", None)
         if remove_peer is not None:
@@ -171,7 +181,8 @@ class PeerNode:
                 f"directory entry for {entry.sensor!r} carries no schema"
             )
         subscription_id = next(_subscription_ids)
-        self._listening[subscription_id] = listener
+        with self._lock:
+            self._listening[subscription_id] = listener
         self.network.bus.send(
             self.name, entry.container, "subscribe",
             {"sensor": entry.sensor, "subscription_id": subscription_id,
@@ -180,7 +191,8 @@ class PeerNode:
         )
 
         def cancel() -> None:
-            self._listening.pop(subscription_id, None)
+            with self._lock:
+                self._listening.pop(subscription_id, None)
             try:
                 self.network.bus.send(
                     self.name, entry.container, "unsubscribe",
@@ -233,7 +245,8 @@ class PeerNode:
                 wire = payload
             try:
                 self.network.bus.send(self.name, subscriber, "element", wire)
-                self.elements_forwarded += 1
+                with self._lock:
+                    self.elements_forwarded += 1
             except TransportError as exc:
                 logger.warning(
                     "%s: dropping subscription %s to %s: %s",
@@ -241,16 +254,21 @@ class PeerNode:
                 )
                 self._detach(subscription_id)
 
+        # Attaching to the sensor's output stream takes the sensor's
+        # emit lock; done before publishing the registration so the node
+        # lock is never held across it (PeerNode._lock stays outermost).
         sensor.add_listener(forward)
-        self._served[subscription_id] = (
-            sensor_name, lambda: sensor.remove_listener(forward)
-        )
+        with self._lock:
+            self._served[subscription_id] = (
+                sensor_name, lambda: sensor.remove_listener(forward)
+            )
 
     def _detach(self, subscription_id: int) -> None:
-        entry = self._served.pop(subscription_id, None)
+        with self._lock:
+            entry = self._served.pop(subscription_id, None)
         if entry is not None:
             __, detach = entry
-            detach()
+            detach()  # takes the sensor's emit lock: outside ours
 
     def _receive(self, message: Message) -> None:
         payload = message.payload
@@ -264,7 +282,8 @@ class PeerNode:
                 )
             payload = self.integrity.open(envelope)
         subscription_id = payload["subscription_id"]
-        listener = self._listening.get(subscription_id)
+        with self._lock:
+            listener = self._listening.get(subscription_id)
         if listener is None:
             return  # cancelled while in flight
         trace_id = payload.get("trace_id")
@@ -276,7 +295,10 @@ class PeerNode:
         )
         if trace_id is not None:
             self._record_hop(payload, trace_id)
-        self.elements_received += 1
+        with self._lock:
+            self.elements_received += 1
+        # The listener feeds the local remote-wrapper, which runs the
+        # whole admission + pipeline chain — never under the node lock.
         listener(element)
 
     def _record_hop(self, payload: Mapping[str, object],

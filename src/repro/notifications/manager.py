@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List
 
+from repro.concurrency import new_lock
 from repro.exceptions import NotificationError
 from repro.notifications.channels import NotificationChannel, QueueChannel
 from repro.sqlengine.relation import Relation
@@ -42,36 +43,47 @@ class NotificationManager:
     MAX_ROWS = 100
 
     def __init__(self) -> None:
-        self._channels: Dict[str, NotificationChannel] = {}
+        # Guards the channel registry and the counters; channel
+        # ``deliver`` calls run arbitrary client code, so dispatch is
+        # always resolve-under-lock, deliver-outside (GSN503 regression,
+        # see CHANGES.md PR 4).
+        self._lock = new_lock("NotificationManager._lock")
+        self._channels: Dict[str, NotificationChannel] = {}  # guarded-by: _lock
+        self.dispatched = 0  # guarded-by: _lock
+        self.failures = 0  # guarded-by: _lock
         self.add_channel(QueueChannel("queue"))
-        self.dispatched = 0
-        self.failures = 0
         self._uptime = UptimeTracker()
 
     def add_channel(self, channel: NotificationChannel) -> None:
-        if channel.name in self._channels:
-            raise NotificationError(
-                f"channel {channel.name!r} already registered"
-            )
-        self._channels[channel.name] = channel
+        with self._lock:
+            if channel.name in self._channels:
+                raise NotificationError(
+                    f"channel {channel.name!r} already registered"
+                )
+            self._channels[channel.name] = channel
 
     def remove_channel(self, name: str) -> None:
         if name.lower() == "queue":
             raise NotificationError("the default queue channel cannot be removed")
-        if self._channels.pop(name.lower(), None) is None:
+        with self._lock:
+            removed = self._channels.pop(name.lower(), None)
+        if removed is None:
             raise NotificationError(f"no channel {name!r}")
 
     def has_channel(self, name: str) -> bool:
-        return name.lower() in self._channels
+        with self._lock:
+            return name.lower() in self._channels
 
     def channel(self, name: str) -> NotificationChannel:
-        try:
-            return self._channels[name.lower()]
-        except KeyError:
-            raise NotificationError(f"no channel {name!r}") from None
+        with self._lock:
+            found = self._channels.get(name.lower())
+        if found is None:
+            raise NotificationError(f"no channel {name!r}")
+        return found
 
     def channel_names(self) -> List[str]:
-        return sorted(self._channels)
+        with self._lock:
+            return sorted(self._channels)
 
     def deliver(self, subscription: "Subscription",
                 result: Relation) -> Notification:
@@ -90,33 +102,41 @@ class NotificationManager:
             summary=(f"{len(result)} row(s) from "
                      f"{', '.join(sorted(subscription.tables)) or 'constant'}"),
         )
-        try:
-            self.channel(subscription.channel).deliver(
-                notification.as_payload()
-            )
-            self.dispatched += 1
-        except NotificationError:
-            self.failures += 1
+        self._dispatch(subscription.channel, notification.as_payload())
         return notification
 
     def emit_event(self, channel: str, payload: Dict[str, Any]) -> None:
         """Deliver a raw event (used for lifecycle/monitoring events)."""
+        self._dispatch(channel, payload)
+
+    def _dispatch(self, name: str, payload: Dict[str, Any]) -> None:
         try:
-            self.channel(channel).deliver(payload)
-            self.dispatched += 1
+            target = self.channel(name)
+            # Deliver outside the lock: a channel is client code (it may
+            # block, raise, or call back into this manager) and must not
+            # stall or deadlock other dispatchers.
+            target.deliver(payload)
         except NotificationError:
-            self.failures += 1
+            with self._lock:
+                self.failures += 1
+        else:
+            with self._lock:
+                self.dispatched += 1
 
     def status(self) -> dict:
+        with self._lock:
+            channels = dict(self._channels)
+            dispatched = self.dispatched
+            failures = self.failures
         return status_doc(
             "notifications", "running",
-            counters={"dispatched": self.dispatched,
-                      "failures": self.failures},
+            counters={"dispatched": dispatched,
+                      "failures": failures},
             uptime_ms=self._uptime.uptime_ms(),
             channels={
                 name: {"delivered": ch.delivered, "failed": ch.failed}
-                for name, ch in self._channels.items()
+                for name, ch in channels.items()
             },
-            dispatched=self.dispatched,
-            failures=self.failures,
+            dispatched=dispatched,
+            failures=failures,
         )

@@ -14,6 +14,7 @@ import sqlite3
 import threading
 from typing import Optional
 
+from repro.concurrency import new_lock
 from repro.datatypes import DataType
 from repro.exceptions import StorageError
 from repro.sqlengine.relation import Relation
@@ -38,22 +39,27 @@ class SQLiteStreamTable(StreamTable):
                  lock: threading.Lock) -> None:
         super().__init__(name, schema, retention)
         self._connection = connection  # guarded-by: _lock
+        # The storage backend's own lock, shared by all of its tables —
+        # statically named both SQLiteStreamTable._lock and
+        # SQLiteStorage._lock; LOCK_ORDER declares both aliases.
         self._lock = lock
         columns = ", ".join(
             f'"{field.name}" {_SQLITE_TYPES[field.type]}'
             for field in schema
         )
-        with lock:
-            connection.execute(
+        with self._lock:
+            self._connection.execute(
                 f'CREATE TABLE IF NOT EXISTS "{name}" '
                 f"(_seq INTEGER PRIMARY KEY AUTOINCREMENT, "
                 f'{columns}, "timed" INTEGER NOT NULL)'
             )
-            connection.execute(
+            self._connection.execute(
                 f'CREATE INDEX IF NOT EXISTS "idx_{name}_timed" '
                 f'ON "{name}" ("timed")'
             )
-            connection.commit()
+            # The lock exists to serialize exactly this: statement plus
+            # commit as one atomic unit on the shared connection.
+            self._connection.commit()  # gsn-lint: disable=GSN502
         self._insert_sql = (
             f'INSERT INTO "{name}" ('
             + ", ".join(f'"{c}"' for c in self.columns)
@@ -75,7 +81,11 @@ class SQLiteStreamTable(StreamTable):
             self._connection.execute(self._insert_sql, row)
             self.appended += 1
             self._evict(element.timed)
-            self._connection.commit()
+            # Insert + evict + commit must be one atomic unit on the
+            # shared connection; committing outside would interleave
+            # with other tables' statements. Durability cost is bounded
+            # (single row) and the lock is leaf-level in LOCK_ORDER.
+            self._connection.commit()  # gsn-lint: disable=GSN502
 
     def _evict(self, reference: int) -> None:  # requires-lock: _lock
         if self.retention.kind == "time":
@@ -146,7 +156,7 @@ class SQLiteStorage(StorageBackend):
                 path, check_same_thread=False)
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open database {path!r}: {exc}") from exc
-        self._lock = threading.Lock()
+        self._lock = new_lock("SQLiteStorage._lock")
 
     def _make_table(self, name: str, schema: StreamSchema,
                     retention: RetentionPolicy) -> StreamTable:
@@ -156,7 +166,8 @@ class SQLiteStorage(StorageBackend):
     def _dispose(self, table: StreamTable) -> None:
         with self._lock:
             self._connection.execute(f'DROP TABLE IF EXISTS "{table.name}"')
-            self._connection.commit()
+            # DROP + commit as one unit, same justification as append().
+            self._connection.commit()  # gsn-lint: disable=GSN502
 
     def execute_sql(self, sql: str) -> Relation:
         """Run arbitrary (read-only) SQL directly on the database.

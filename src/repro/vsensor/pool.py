@@ -16,6 +16,7 @@ import queue
 import threading
 from typing import Callable, List, Optional
 
+from repro.concurrency import new_lock
 from repro.exceptions import LifecycleError
 
 Task = Callable[[], None]
@@ -34,7 +35,7 @@ class WorkerPool:
         self.tasks_completed = 0  # guarded-by: _lock
         self.tasks_failed = 0  # guarded-by: _lock
         self._errors: List[BaseException] = []  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = new_lock("WorkerPool._lock")
         self._queue: Optional["queue.Queue[Optional[Task]]"] = None
         self._threads: List[threading.Thread] = []
         self._shutdown = False

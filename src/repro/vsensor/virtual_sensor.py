@@ -14,9 +14,9 @@ Paper, Section 3 — on each input-stream arrival:
 from __future__ import annotations
 
 import logging
-import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.concurrency import new_lock
 from repro.descriptors.model import VirtualSensorDescriptor
 from repro.exceptions import DeploymentError, SchemaError
 from repro.gsntime.clock import Clock
@@ -94,12 +94,14 @@ class VirtualSensor:
                                       tracer=self.tracer)
         self.latency = LatencyRecorder(keep_samples=True)
         self.fast_paths = FastPathCounters()
-        self.elements_produced = 0
+        self.elements_produced = 0  # guarded-by: _emit_lock
         self._consecutive_errors = 0
-        self._listeners: List[OutputListener] = []
+        self._listeners: List[OutputListener] = []  # guarded-by: _emit_lock
         # Serializes step 5 when the pipeline runs on a threaded pool, so
-        # persistence order and counters stay consistent.
-        self._emit_lock = threading.Lock()
+        # persistence order and counters stay consistent. Persisting to a
+        # permanent table takes the storage lock inside the emit lock:
+        # lock-order: VirtualSensor._emit_lock < SQLiteStreamTable._lock
+        self._emit_lock = new_lock("VirtualSensor._emit_lock")
         #: Hooks called after each pipeline run with
         #: ``(trigger_virtual_ms, service_wall_ms)`` — the experiment
         #: harness uses these to feed its node queueing model.
@@ -145,13 +147,15 @@ class VirtualSensor:
         return self.descriptor.output_structure
 
     def add_listener(self, listener: OutputListener) -> None:
-        self._listeners.append(listener)
+        with self._emit_lock:
+            self._listeners.append(listener)
 
     def remove_listener(self, listener: OutputListener) -> None:
-        try:
-            self._listeners.remove(listener)
-        except ValueError:
-            pass
+        with self._emit_lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     def latest_output(self) -> Optional[StreamElement]:
         if self.output_table is None:

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.analysis import lockwitness
 from repro.container import GSNContainer
 from repro.datatypes import DataType
 from repro.descriptors.model import (
@@ -13,6 +16,29 @@ from repro.descriptors.model import (
 from repro.gsntime.clock import VirtualClock
 from repro.gsntime.scheduler import EventScheduler
 from repro.streams.schema import Field, StreamSchema
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_witness():
+    """Run the whole suite under the runtime lock-order witness.
+
+    Every ``new_lock()`` in repro hands out an instrumented lock that
+    records per-thread acquisition order and raises LockOrderViolation
+    the moment two locks are taken in an order inverted against
+    ``repro.concurrency.LOCK_ORDER`` or a previously observed order.
+    Opt out with ``GSN_LOCK_WITNESS=0`` (e.g. when bisecting an
+    unrelated failure).
+    """
+    if os.environ.get("GSN_LOCK_WITNESS", "1") == "0":
+        yield None
+        return
+    witness = lockwitness.enable(strict=True)
+    try:
+        yield witness
+    finally:
+        lockwitness.disable()
+    assert not witness.violations, witness.violations
+    assert not witness.check_acyclic(), witness.check_acyclic()
 
 
 @pytest.fixture

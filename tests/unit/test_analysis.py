@@ -199,6 +199,34 @@ class TestSchemaPass:
         report = analyze_descriptor(two_motes, registry=default_registry())
         assert "GSN110" in rule_ids(report)
 
+    def test_gsn111_scalar_wrong_arity(self):
+        bad = make_descriptor(
+            stream_query="select abs(temperature, 2) as temperature "
+                         "from src")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN111" in rule_ids(report)
+
+    def test_gsn111_variadic_minimum(self):
+        bad = make_descriptor(
+            stream_query="select coalesce() as temperature from src")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN111" in rule_ids(report)
+
+    def test_gsn111_aggregate_wrong_arity(self):
+        bad = make_descriptor(
+            source_query="select avg(temperature, light) as temperature "
+                         "from wrapper")
+        report = analyze_descriptor(bad, registry=default_registry())
+        assert "GSN111" in rule_ids(report)
+
+    def test_gsn111_count_star_and_correct_arities_clean(self):
+        good = make_descriptor(
+            source_query="select count(*) as temperature from wrapper",
+            stream_query="select coalesce(temperature, 0) as temperature "
+                         "from src")
+        report = analyze_descriptor(good, registry=default_registry())
+        assert "GSN111" not in rule_ids(report)
+
     def test_select_star_mismatch_caught_statically(self):
         # The headline example: SELECT * used to defer all schema
         # checking to runtime.
@@ -443,6 +471,36 @@ class TestCli:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         assert "GSN101" in out and "GSN401" in out
+        assert "GSN501" in out and "GSN111" in out
+
+    def test_deadlock_pass_clean_on_repro(self, capsys):
+        # The gating property: zero unsuppressed GSN5xx findings on the
+        # shipped sources.
+        assert lint_main(["--deadlock", "src/repro"]) == 0
+
+    def test_deadlock_pass_flags_seeded_cycle(self, capsys):
+        code = lint_main(["--deadlock", "examples/bad/deadlock_pair.py"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "GSN501" in out
+
+    def test_deadlock_pass_flags_seeded_blocking(self, capsys):
+        code = lint_main(
+            ["--deadlock", "examples/bad/blocking_under_lock.py"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.count("GSN502") == 2
+
+    def test_default_python_lint_includes_deadlock_pass(self, capsys):
+        # Without --deadlock, .py inputs run locklint AND the
+        # interprocedural pass.
+        assert lint_main(["examples/bad/deadlock_pair.py"]) == 1
+
+    def test_graph_dumps_dot(self, capsys):
+        assert lint_main(["--graph", "src/repro"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph lock_order")
+        assert "VirtualSensor._emit_lock" in out
 
 
 _identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)

@@ -1,0 +1,156 @@
+"""Unit tests for the runtime lock-order witness."""
+
+import threading
+
+import pytest
+
+from repro import concurrency
+from repro.analysis.lockwitness import (
+    LockOrderViolation, LockWitness, WitnessedLock,
+)
+
+
+def make_witness(strict=True, declared=()):
+    # An explicit ``declared`` keeps repro's LOCK_ORDER out of these
+    # fixtures; the conftest session witness is untouched (these tests
+    # never install their witness globally).
+    return LockWitness(strict=strict, declared=tuple(declared))
+
+
+class TestOrderedAcquisition:
+    def test_consistent_order_passes_and_records_edges(self):
+        witness = make_witness()
+        a = witness.make_lock("A", reentrant=False)
+        b = witness.make_lock("B", reentrant=False)
+        for __ in range(3):
+            with a:
+                with b:
+                    pass
+        assert witness.edges[("A", "B")] == 3
+        assert witness.violations == []
+        assert witness.check_acyclic() == []
+
+    def test_inversion_against_observed_order_raises(self):
+        witness = make_witness()
+        a = witness.make_lock("A", reentrant=False)
+        b = witness.make_lock("B", reentrant=False)
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderViolation):
+                a.acquire()
+
+    def test_inversion_against_declared_order_raises(self):
+        witness = make_witness(declared=[("A", "B")])
+        a = witness.make_lock("A", reentrant=False)
+        b = witness.make_lock("B", reentrant=False)
+        with b:
+            with pytest.raises(LockOrderViolation):
+                a.acquire()
+
+    def test_non_strict_records_instead_of_raising(self):
+        witness = make_witness(strict=False)
+        a = witness.make_lock("A", reentrant=False)
+        b = witness.make_lock("B", reentrant=False)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert len(witness.violations) == 1
+        assert "inversion" in witness.violations[0]
+        assert witness.check_acyclic() != []
+
+    def test_self_deadlock_always_raises(self):
+        witness = make_witness(strict=False)
+        a = witness.make_lock("A", reentrant=False)
+        with a:
+            with pytest.raises(LockOrderViolation):
+                a.acquire()
+
+    def test_reentrant_lock_may_reacquire(self):
+        witness = make_witness()
+        r = witness.make_lock("R", reentrant=True)
+        with r:
+            with r:
+                pass
+        assert witness.violations == []
+
+    def test_same_name_sibling_instances_are_unordered(self):
+        # Two Counter._lock instances: holding both (in either order)
+        # is not an edge — the naming scheme cannot order them.
+        witness = make_witness()
+        one = witness.make_lock("Counter._lock", reentrant=False)
+        two = witness.make_lock("Counter._lock", reentrant=False)
+        with one:
+            with two:
+                pass
+        with two:
+            with one:
+                pass
+        assert witness.edges == {}
+        assert witness.violations == []
+
+    def test_order_is_tracked_per_thread(self):
+        witness = make_witness()
+        a = witness.make_lock("A", reentrant=False)
+        b = witness.make_lock("B", reentrant=False)
+        failures = []
+
+        def worker():
+            try:
+                with a:
+                    with b:
+                        pass
+            except LockOrderViolation as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for __ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert failures == []
+        assert witness.edges[("A", "B")] == 4
+
+
+class TestFactoryWiring:
+    def test_new_lock_is_plain_without_witness(self):
+        saved = concurrency._witness_factory
+        concurrency.install_witness(None)
+        try:
+            lock = concurrency.new_lock("X._lock")
+            assert not isinstance(lock, WitnessedLock)
+            assert type(lock) is type(threading.Lock())
+        finally:
+            concurrency.install_witness(saved)
+
+    def test_new_lock_is_witnessed_under_factory(self):
+        witness = make_witness()
+        saved = concurrency._witness_factory
+        concurrency.install_witness(witness.make_lock)
+        try:
+            lock = concurrency.new_lock("X._lock")
+            assert isinstance(lock, WitnessedLock)
+            with lock:
+                pass
+            assert witness.acquisitions == 1
+        finally:
+            concurrency.install_witness(saved)
+
+    def test_status_summarizes(self):
+        witness = make_witness()
+        a = witness.make_lock("A", reentrant=False)
+        with a:
+            pass
+        doc = witness.status()
+        assert doc["acquisitions"] == 1
+        assert doc["violations"] == []
+        assert doc["strict"] is True
+
+    def test_sanctioned_order_is_acyclic(self):
+        # The shipped LOCK_ORDER must never itself contain a cycle.
+        witness = LockWitness(strict=True)
+        assert witness.check_acyclic() == []
