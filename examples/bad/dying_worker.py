@@ -1,0 +1,28 @@
+"""Seeded-bad input: a worker thread whose entry point can die.
+
+``poll_device`` raises ``RuntimeError`` when the device disappears and
+``ValueError`` on a malformed reading; neither is caught inside the
+loop, so the first bad reading kills the thread and the sensor keeps
+looking deployed while producing nothing — the classic
+deployed-but-dead failure. ``gsn-lint`` (flow pass) must report GSN602
+at the ``Thread(...)`` construction site.
+"""
+
+import threading
+
+
+def poll_device(device, sink):
+    while True:
+        reading = device.take()
+        if reading is None:
+            raise RuntimeError("device went away")
+        if len(reading) != 2:
+            raise ValueError("malformed reading")
+        sink.append(reading)
+
+
+def start(device, sink):
+    worker = threading.Thread(target=poll_device, args=(device, sink),
+                              daemon=True)
+    worker.start()
+    return worker

@@ -1,0 +1,18 @@
+"""Seeded-bad input: a cursor that leaks on the early and raising paths.
+
+``stale_rows`` closes its cursor only on the happy path: the early
+``return`` skips the ``close()``, and any exception from ``execute`` or
+``fetchall`` leaks it too. Under load the connection runs out of
+cursors. ``gsn-lint`` (flow pass) must report GSN603 — the fix is a
+``with`` block or a ``finally``.
+"""
+
+
+def stale_rows(conn, table, cutoff):
+    cur = conn.cursor()
+    cur.execute("select name, seen_at from " + table)
+    if cur.rowcount == 0:
+        return []
+    rows = [row for row in cur.fetchall() if row[1] < cutoff]
+    cur.close()
+    return rows

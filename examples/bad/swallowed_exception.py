@@ -1,0 +1,19 @@
+"""Seeded-bad input: a broad ``except`` that swallows the error.
+
+``read_sample`` catches ``Exception`` and silently substitutes a
+default — no re-raise, no log line, no error counter. A flaky source
+degrades into garbage readings with zero operator-visible signal.
+``gsn-lint`` (flow pass) must report GSN601.
+"""
+
+
+def read_sample(source):
+    try:
+        return int(source.readline())
+    except Exception:
+        pass
+    return -1
+
+
+def read_all(sources):
+    return [read_sample(source) for source in sources]

@@ -21,6 +21,8 @@ Command line::
 """
 
 from repro.analysis.callgraph import ProgramIndex
+from repro.analysis.crashwitness import CrashWitness
+from repro.analysis.flowgraph import FlowAnalysis, analyze_flow
 from repro.analysis.lockgraph import (
     DeadlockAnalysis, LockGraph, analyze_deadlocks, expand_paths,
 )
@@ -39,10 +41,11 @@ from repro.analysis.schema_infer import (
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET", "ERROR", "WARNING",
-    "DeadlockAnalysis", "Finding", "LockGraph", "LockOrderViolation",
-    "LockWitness", "ProgramIndex", "Report", "Rule", "SchemaInferencer",
-    "analyze", "analyze_deadlocks", "analyze_descriptor", "catalogue",
-    "describe", "estimate_window_memory", "expand_paths",
+    "CrashWitness", "DeadlockAnalysis", "Finding", "FlowAnalysis",
+    "LockGraph", "LockOrderViolation", "LockWitness", "ProgramIndex",
+    "Report", "Rule", "SchemaInferencer",
+    "analyze", "analyze_deadlocks", "analyze_descriptor", "analyze_flow",
+    "catalogue", "describe", "estimate_window_memory", "expand_paths",
     "infer_output_schema", "lint_file", "lint_files", "lint_source",
     "schema_check", "wrapper_relation_schema",
 ]

@@ -8,11 +8,13 @@ Usage::
 the schema, graph, and resource passes *as one deployment set* (so
 cross-sensor references resolve). ``.py`` paths (and directories, which
 are walked for ``.py`` sources) are run through the intra-procedural
-concurrency lint *and* the interprocedural deadlock pass (GSN501–GSN504).
+concurrency lint, the interprocedural deadlock pass (GSN501–GSN504),
+*and* the exception-flow / resource-lifecycle pass (GSN601–GSN605).
 ``--deadlock`` restricts python inputs to the deadlock pass alone;
-``--graph`` prints the lock-acquisition-order graph as GraphViz DOT.
-``--self-check`` lints the bundled concurrency-sensitive modules of
-repro itself.
+``--flow`` to the exception-flow pass alone (combine both flags to run
+the two without the intra-procedural lint); ``--graph`` prints the
+lock-acquisition-order graph as GraphViz DOT. ``--self-check`` lints
+the bundled concurrency-sensitive modules of repro itself.
 
 Exit codes: 0 — clean (or warnings only), 1 — error findings,
 2 — bad invocation or unreadable input.
@@ -27,6 +29,8 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis import locklint
+from repro.analysis.callgraph import ProgramIndex
+from repro.analysis.flowgraph import analyze_flow
 from repro.analysis.lockgraph import analyze_deadlocks, expand_paths
 from repro.analysis.passes import DEFAULT_MEMORY_BUDGET, analyze
 from repro.analysis.rules import Report, catalogue
@@ -51,6 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the interprocedural lock-order / "
                              "deadlock pass (GSN501-GSN504) on python "
                              "inputs")
+    parser.add_argument("--flow", action="store_true",
+                        help="run only the interprocedural exception-flow "
+                             "/ resource-lifecycle pass (GSN601-GSN605) "
+                             "on python inputs")
     parser.add_argument("--graph", action="store_true",
                         help="print the lock-acquisition-order graph as "
                              "GraphViz DOT (implies the deadlock pass)")
@@ -112,8 +120,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      f"(expected .xml descriptors, .py sources, or "
                      f"directories)")
     deadlock_only = args.deadlock or args.graph
-    if deadlock_only and xml_paths:
-        parser.error("--deadlock/--graph apply to python inputs only")
+    flow_only = args.flow
+    if (deadlock_only or flow_only) and xml_paths:
+        parser.error("--deadlock/--graph/--flow apply to python inputs "
+                     "only")
     if args.self_check:
         package_root = os.path.dirname(os.path.dirname(
             os.path.abspath(__file__)))  # .../src/repro
@@ -141,12 +151,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     python_inputs = expand_paths(py_paths + dirs)
     graph = None
     if python_inputs:
-        if not deadlock_only:
+        run_deadlock = deadlock_only or not flow_only
+        run_flow = flow_only or not deadlock_only
+        if not deadlock_only and not flow_only:
             locklint.lint_files(python_inputs, report)
-        __, graph = analyze_deadlocks(
-            python_inputs, report=report,
-            include_sanctioned=not args.no_sanctioned_order,
-        )
+        index = ProgramIndex.build(python_inputs)
+        if run_deadlock:
+            __, graph = analyze_deadlocks(
+                python_inputs, report=report,
+                include_sanctioned=not args.no_sanctioned_order,
+                index=index,
+            )
+        if run_flow:
+            analyze_flow(python_inputs, report=report, index=index,
+                         include_parse_errors=not run_deadlock)
 
     failed = bool(report.errors) or (args.strict_warnings
                                      and bool(report.warnings))

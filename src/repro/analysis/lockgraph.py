@@ -373,16 +373,19 @@ def expand_paths(paths: Sequence[str]) -> List[str]:
 def analyze_deadlocks(paths: Sequence[str],
                       report: Optional[Report] = None,
                       include_sanctioned: bool = True,
+                      index: Optional[ProgramIndex] = None,
                       ) -> Tuple[Report, LockGraph]:
     """Run the full GSN5xx pass over ``paths`` (files or directories).
 
     Returns the report plus the acquisition graph (for ``--graph``).
     ``include_sanctioned`` merges :data:`repro.concurrency.LOCK_ORDER`
     into the declared edges — the repo's own sources are checked against
-    the sanctioned order, arbitrary inputs can opt out.
+    the sanctioned order, arbitrary inputs can opt out. Pass a pre-built
+    ``index`` to share parsing with the flow pass.
     """
-    files = expand_paths(paths)
-    index = ProgramIndex.build(files)
+    if index is None:
+        files = expand_paths(paths)
+        index = ProgramIndex.build(files)
     sanctioned = _sanctioned_order() if include_sanctioned else ()
     analysis = DeadlockAnalysis(index, sanctioned=sanctioned)
     report = analysis.run(report)

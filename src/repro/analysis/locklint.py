@@ -52,6 +52,8 @@ SELF_CHECK_MODULES = (
     "vsensor/virtual_sensor.py",
     "network/peer.py",
     "notifications/manager.py",
+    "analysis/crashwitness.py",
+    "vsensor/lifecycle.py",
 )
 
 

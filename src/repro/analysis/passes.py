@@ -28,7 +28,7 @@ from repro.descriptors.model import (
     StreamSourceSpec, VirtualSensorDescriptor,
 )
 from repro.descriptors.validation import validate_descriptor
-from repro.exceptions import SQLError, ValidationError
+from repro.exceptions import GSNError, SQLError, ValidationError
 from repro.gsntime.duration import parse_window_spec
 from repro.sqlengine.ast_nodes import SelectStatement
 from repro.sqlengine.parser import parse_select
@@ -522,7 +522,7 @@ def _resource_pass(descriptor: VirtualSensorDescriptor,
             context = f"{descriptor.name}/{stream.name}/{src.alias}"
             try:
                 kind, amount = parse_window_spec(src.storage_size or "1")
-            except Exception:
+            except GSNError:
                 continue  # validation already reported it
             if kind == "count" and amount > HUGE_COUNT_WINDOW:
                 report.add("GSN304",

@@ -10,6 +10,8 @@ pass:
 - ``GSN4xx`` — concurrency lint over Python sources (``# guarded-by:``)
 - ``GSN5xx`` — interprocedural deadlock pass (lock-order graph,
   blocking/dispatch under a lock, self-deadlock)
+- ``GSN6xx`` — interprocedural exception-flow & resource-lifecycle pass
+  (swallowed exceptions, thread-killing escapes, leaked resources)
 
 Severities: ``error`` findings would fail (or silently corrupt) a
 deployment and make :func:`repro.analysis.analyze` callers such as
@@ -75,6 +77,17 @@ _CATALOGUE: List[Rule] = [
     Rule("GSN503", ERROR, "callback/notification dispatch under a lock"),
     Rule("GSN504", ERROR, "re-acquisition of a non-reentrant lock "
                           "(self-deadlock)"),
+    # -- exception-flow / resource pass (interprocedural) ------------------
+    Rule("GSN601", ERROR, "exception swallowed without logging, metric, "
+                          "or re-raise"),
+    Rule("GSN602", ERROR, "exception type can escape a thread entry point "
+                          "(worker dies silently)"),
+    Rule("GSN603", ERROR, "resource acquired but not released on every "
+                          "path (no with/finally)"),
+    Rule("GSN604", WARNING, "blocking call without a timeout reachable "
+                            "from a thread entry point"),
+    Rule("GSN605", WARNING, "non-daemon thread started without a "
+                            "join/stop path"),
 ]
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _CATALOGUE}
@@ -96,6 +109,25 @@ class Finding:
     @property
     def severity(self) -> str:
         return self.rule.severity
+
+    @property
+    def path(self) -> str:
+        """The file the finding points at (alias of ``source``)."""
+        return self.source
+
+    @property
+    def line(self) -> int:
+        """Line number parsed off the ``location`` suffix, 0 if none."""
+        _, _, tail = self.location.rpartition(":")
+        try:
+            return int(tail)
+        except ValueError:
+            return 0
+
+    @property
+    def suppression(self) -> str:
+        """The inline comment that would silence this finding."""
+        return f"# gsn-lint: disable={self.rule_id}"
 
     def render(self) -> str:
         prefix = f"{self.source}: " if self.source else ""
@@ -153,14 +185,20 @@ class Report:
         )
         return "\n".join(lines)
 
-    def as_dicts(self) -> List[Dict[str, str]]:
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """JSON-ready findings: one object per finding, carrying the
+        stable rule id, the file/line it anchors to, and the exact
+        suppression comment (so CI annotations can offer the fix)."""
         return [
             {
                 "rule": f.rule_id,
                 "severity": f.severity,
                 "message": f.message,
+                "path": f.path,
+                "line": f.line,
                 "location": f.location,
                 "source": f.source,
+                "suppression": f.suppression,
             }
             for f in self.findings
         ]

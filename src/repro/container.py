@@ -291,15 +291,26 @@ class GSNContainer:
         only when ``/metrics`` is scraped. Iterates the deployed set at
         call time, so deploy/undeploy need no (un)registration.
         """
+        from repro.analysis import crashwitness
+
         produced = []
         fast_paths = []
+        poisoned = []
         for sensor in self.vsm.sensors():
             produced.append(({"sensor": sensor.name},
                              sensor.elements_produced))
-            for counter, value in sensor.fast_paths.snapshot().items():
+            snapshot = sensor.fast_paths.snapshot()
+            poisoned.append(({"sensor": sensor.name}, snapshot["poisoned"]))
+            for counter, value in snapshot.items():
                 fast_paths.append(
                     ({"sensor": sensor.name, "counter": counter}, value)
                 )
+        crashes = []
+        witness = crashwitness.active()
+        if witness is not None:
+            crashes = [({"owner": owner}, count)
+                       for owner, count
+                       in sorted(witness.counts_by_owner().items())]
         families = [
             counter_family("gsn_sensor_elements_produced_total",
                            "Output elements emitted per virtual sensor.",
@@ -307,6 +318,14 @@ class GSNContainer:
             counter_family("gsn_fast_path_events_total",
                            "Incremental-pipeline fast-path counters.",
                            fast_paths),
+            counter_family("gsn_fastpath_poisoned_total",
+                           "Incremental accumulators pinned to the legacy "
+                           "path after a delta error.",
+                           poisoned),
+            counter_family("gsn_thread_crashes_total",
+                           "Unexpected thread crashes seen by the runtime "
+                           "crash witness, by owning component.",
+                           crashes),
             counter_family("gsn_queries_executed_total",
                            "Ad-hoc and standing queries executed.",
                            [({}, self.processor.queries_executed)]),
@@ -349,6 +368,9 @@ class GSNContainer:
 
     def status(self) -> dict:
         """The container-wide status document the web interface serves."""
+        from repro.analysis import crashwitness
+
+        witness = crashwitness.active()
         return {
             "name": self.name,
             "state": "stopped" if self._closed else "running",
@@ -371,6 +393,7 @@ class GSNContainer:
             "peer": self.peer.status() if self.peer else None,
             "metrics": self.metrics.status(),
             "traces": self.traces.status(),
+            "crash_witness": witness.status() if witness else None,
         }
 
     def __repr__(self) -> str:

@@ -36,6 +36,7 @@ containers work too but only advance when something calls ``run_for``.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 
 from repro.concurrency import new_lock
@@ -46,9 +47,22 @@ from urllib.parse import parse_qs, urlparse
 from repro.container import GSNContainer
 from repro.interfaces.web import WebInterface, _json_default
 
+logger = logging.getLogger("repro.interfaces.http_server")
+
 
 class GSNHttpServer:
-    """Serves one container over HTTP on a background thread."""
+    """Serves one container over HTTP on a supervised background thread.
+
+    The serving thread runs inside a restart envelope: if
+    ``serve_forever`` dies with an unexpected exception the crash is
+    reported to the runtime crash witness, the loop is restarted up to
+    :data:`MAX_RESTARTS` times, and past that budget the server marks
+    itself unhealthy (visible in :meth:`status`) instead of silently
+    leaving a bound-but-dead port behind.
+    """
+
+    #: Serve-loop restarts granted before the server gives up.
+    MAX_RESTARTS = 3
 
     def __init__(self, container: GSNContainer, host: str = "127.0.0.1",
                  port: int = 0) -> None:
@@ -58,6 +72,10 @@ class GSNHttpServer:
         self._server = ThreadingHTTPServer((host, port), handler)
         self._state_lock = new_lock("GSNHttpServer._state_lock")
         self._thread: Optional[threading.Thread] = None  # guarded-by: _state_lock
+        self._stopping = False  # guarded-by: _state_lock
+        self.crashes = 0  # guarded-by: _state_lock
+        self.restarts = 0  # guarded-by: _state_lock
+        self.healthy = True  # guarded-by: _state_lock
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -72,22 +90,67 @@ class GSNHttpServer:
         with self._state_lock:
             if self._thread is not None:
                 return self
+            self._stopping = False
             self._thread = threading.Thread(
-                target=self._server.serve_forever,
-                name="gsn-http", daemon=True,
+                target=self._serve, name="gsn-http", daemon=True,
             )
             self._thread.start()
         return self
+
+    def _serve(self) -> None:
+        """Supervised serve loop: restart on crash, then declare unhealthy."""
+        while True:
+            try:
+                self._server.serve_forever()
+                return
+            except BaseException as exc:  # noqa: BLE001 - supervision boundary
+                if not self._report_crash(exc):
+                    return
+
+    def _report_crash(self, exc: BaseException) -> bool:
+        """Witness a serve-loop crash; return True to restart the loop."""
+        logger.error("http server serve loop crashed: %s: %s",
+                     type(exc).__name__, exc)
+        from repro.analysis import crashwitness
+        witness = crashwitness.active()
+        if witness is not None:
+            witness.report(threading.current_thread().name, exc,
+                           owner="http-server")
+        with self._state_lock:
+            self.crashes += 1
+            if self._stopping:
+                return False
+            if self.restarts < self.MAX_RESTARTS:
+                self.restarts += 1
+                logger.warning("http server: restarting serve loop "
+                               "(%d/%d restarts)", self.restarts,
+                               self.MAX_RESTARTS)
+                return True
+            self.healthy = False
+        logger.error("http server: restart budget exhausted (%d); "
+                     "server is down", self.MAX_RESTARTS)
+        return False
 
     def stop(self) -> None:
         with self._state_lock:
             thread = self._thread
             self._thread = None
+            self._stopping = True
         if thread is None:
             return
         self._server.shutdown()
         self._server.server_close()
         thread.join(timeout=5.0)
+
+    def status(self) -> Dict[str, Any]:
+        with self._state_lock:
+            return {
+                "url": self.url,
+                "healthy": self.healthy,
+                "serving": self._thread is not None,
+                "crashes": self.crashes,
+                "restarts": self.restarts,
+            }
 
     def __enter__(self) -> "GSNHttpServer":
         return self.start()

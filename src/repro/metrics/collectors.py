@@ -107,6 +107,7 @@ class FastPathCounters:
         self.aggregate_hits = 0  # guarded-by: _lock
         self.aggregate_fallbacks = 0  # guarded-by: _lock
         self.legacy_queries = 0  # guarded-by: _lock
+        self.poisoned = 0  # guarded-by: _lock
         self._lock = new_lock("FastPathCounters._lock")
 
     def record_view(self, from_view: bool) -> None:
@@ -145,6 +146,12 @@ class FastPathCounters:
         with self._lock:
             self.legacy_queries += 1
 
+    def record_poisoned(self) -> None:
+        """An accumulator hit a delta error and pinned itself to the
+        legacy path (``fastpath_poisoned_total`` in /metrics)."""
+        with self._lock:
+            self.poisoned += 1
+
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return {
@@ -156,6 +163,7 @@ class FastPathCounters:
                 "aggregate_hits": self.aggregate_hits,
                 "aggregate_fallbacks": self.aggregate_fallbacks,
                 "legacy_queries": self.legacy_queries,
+                "poisoned": self.poisoned,
             }
 
 

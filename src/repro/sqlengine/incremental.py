@@ -29,8 +29,11 @@ falls back to the legacy path, which re-raises the legacy error.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Any, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any, Callable, FrozenSet, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro.sqlengine.ast_nodes import (
     ColumnRef, FunctionCall, Node, SelectItem, Star, contains_aggregate,
@@ -43,6 +46,8 @@ from repro.sqlengine.introspect import (
 from repro.sqlengine.planner import ScanPlan, SelectPlan
 from repro.sqlengine.relation import Relation
 from repro.streams.materialized import RowListener, WindowRelation
+
+logger = logging.getLogger("repro.sqlengine.incremental")
 
 #: Aggregates maintainable under append/evict deltas.
 INCREMENTAL_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
@@ -197,10 +202,16 @@ class IncrementalAggregateState(RowListener):
     """
 
     def __init__(self, spec: AggregateQuery,
-                 relation: WindowRelation) -> None:
+                 relation: WindowRelation,
+                 label: str = "",
+                 on_poison: Optional[Callable[[BaseException], None]] = None
+                 ) -> None:
         self.spec = spec
         self.relation = relation
         self.healthy = True
+        self.label = label                # query text, for the poison log
+        self._on_poison = on_poison
+        self.poison_cause: Optional[BaseException] = None
         self.updates = 0                  # delta applications (observability)
         self._included = 0                # rows passing WHERE
         self._binding = spec.binding
@@ -227,8 +238,8 @@ class IncrementalAggregateState(RowListener):
             if self._passes(row):
                 self._include(row)
             self.updates += 1
-        except Exception:
-            self.healthy = False
+        except Exception as exc:
+            self._poison(exc)
 
     def row_evicted(self, row: Tuple[Any, ...]) -> None:
         if not self.healthy:
@@ -237,8 +248,8 @@ class IncrementalAggregateState(RowListener):
             if self._passes(row):
                 self._exclude(row)
             self.updates += 1
-        except Exception:
-            self.healthy = False
+        except Exception as exc:
+            self._poison(exc)
 
     def rows_reset(self, rows: Sequence[Tuple[Any, ...]]) -> None:
         if not self.healthy:
@@ -254,8 +265,35 @@ class IncrementalAggregateState(RowListener):
                 if self._passes(row):
                     self._include(row)
             self.updates += 1
-        except Exception:
-            self.healthy = False
+        except Exception as exc:
+            self._poison(exc)
+
+    def _poison(self, exc: BaseException) -> None:
+        """Flip to the legacy path, loudly.
+
+        The fallback itself is by design (the legacy executor re-raises
+        the real error at query time), but it must be *observable*: the
+        triggering query is logged exactly once per accumulator and the
+        owner's ``fastpath_poisoned_total`` counter is bumped through
+        ``on_poison`` — a silently swallowed poisoning reads as "the
+        optimization is on" while every query runs the slow path.
+        """
+        if not self.healthy:
+            return
+        self.healthy = False
+        self.poison_cause = exc
+        logger.warning(
+            "incremental accumulator poisoned; falling back to the legacy "
+            "executor for %s (%s: %s)",
+            self.label or "<unlabeled query>", type(exc).__name__, exc,
+        )
+        if self._on_poison is not None:
+            try:
+                self._on_poison(exc)
+            except Exception:
+                # The counter callback must never mask the original
+                # poisoning (which is already logged above).
+                logger.exception("on_poison callback failed")
 
     # -- delta application --------------------------------------------------
 

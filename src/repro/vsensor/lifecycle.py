@@ -4,11 +4,19 @@ The life-cycle manager "provides and manages the resources provided to a
 virtual sensor and manages the interactions with a virtual sensor". Here
 that means: a state machine guarding legal transitions, ownership of the
 sensor's worker pool, and bookkeeping counters the web interface exposes.
+
+Besides the paper's states, the runtime adds ``DEGRADED``: the sensor is
+still deployed and still processing what it can, but its supervision
+machinery (worker pool, crash witness) has reported that it lost
+capacity it could not restore — operators see it in ``status()`` and in
+the ``gsn_thread_crashes_total`` metric instead of discovering a
+deployed-but-dead sensor by its silence. See ``docs/reliability.md``.
 """
 
 from __future__ import annotations
 
 import enum
+import logging
 from typing import Optional
 
 from repro.descriptors.model import LifeCycleConfig
@@ -16,10 +24,13 @@ from repro.exceptions import LifecycleError
 from repro.status import UptimeTracker, status_doc
 from repro.vsensor.pool import WorkerPool
 
+logger = logging.getLogger("repro.vsensor.lifecycle")
+
 
 class LifecycleState(enum.Enum):
     LOADED = "loaded"
     RUNNING = "running"
+    DEGRADED = "degraded"
     PAUSED = "paused"
     STOPPED = "stopped"
     FAILED = "failed"
@@ -29,7 +40,11 @@ class LifecycleState(enum.Enum):
 _TRANSITIONS = {
     LifecycleState.LOADED: {LifecycleState.RUNNING, LifecycleState.STOPPED},
     LifecycleState.RUNNING: {LifecycleState.PAUSED, LifecycleState.STOPPED,
-                             LifecycleState.FAILED},
+                             LifecycleState.FAILED,
+                             LifecycleState.DEGRADED},
+    LifecycleState.DEGRADED: {LifecycleState.RUNNING, LifecycleState.PAUSED,
+                              LifecycleState.STOPPED,
+                              LifecycleState.FAILED},
     LifecycleState.PAUSED: {LifecycleState.RUNNING, LifecycleState.STOPPED},
     LifecycleState.FAILED: {LifecycleState.STOPPED},
     LifecycleState.STOPPED: set(),
@@ -45,8 +60,11 @@ class LifeCycleManager:
         self.config = config
         self.state = LifecycleState.LOADED
         self.failure_reason: Optional[str] = None
+        self.degraded_reason: Optional[str] = None
         self.started_at: Optional[int] = None
-        self.pool = WorkerPool(config.pool_size, synchronous=synchronous)
+        self.pool = WorkerPool(config.pool_size, synchronous=synchronous,
+                               name=sensor_name,
+                               on_degraded=self._pool_degraded)
         self._uptime = UptimeTracker()
 
     def _transition(self, target: LifecycleState) -> None:
@@ -71,6 +89,35 @@ class LifeCycleManager:
         self.failure_reason = reason
         self._transition(LifecycleState.FAILED)
 
+    def degrade(self, reason: str) -> None:
+        """Mark the sensor degraded: deployed, but running at reduced
+        capacity its supervision could not restore."""
+        self.degraded_reason = reason
+        if self.state is LifecycleState.DEGRADED:
+            return
+        if self.state is LifecycleState.RUNNING:
+            self._transition(LifecycleState.DEGRADED)
+            logger.warning("virtual sensor %r degraded: %s",
+                           self.sensor_name, reason)
+        else:
+            logger.warning("virtual sensor %r reported degradation while "
+                           "%s: %s", self.sensor_name, self.state.value,
+                           reason)
+
+    def recover(self) -> None:
+        """Degraded -> running again (operator or supervisor decision)."""
+        self.degraded_reason = None
+        self._transition(LifecycleState.RUNNING)
+
+    def _pool_degraded(self, reason: str) -> None:
+        # Called from a crashed worker's thread, so it must never
+        # raise back into the supervision envelope.
+        try:
+            self.degrade(reason)
+        except LifecycleError:
+            logger.warning("virtual sensor %r: late degradation ignored "
+                           "(%s)", self.sensor_name, reason)
+
     def stop(self) -> None:
         self._transition(LifecycleState.STOPPED)
         self.pool.shutdown()
@@ -80,8 +127,13 @@ class LifeCycleManager:
 
     @property
     def is_processing(self) -> bool:
-        """Whether arrivals should trigger the pipeline right now."""
-        return self.state is LifecycleState.RUNNING
+        """Whether arrivals should trigger the pipeline right now.
+
+        A degraded sensor keeps processing with whatever capacity its
+        pool has left — degradation is a visibility state, not a stop.
+        """
+        return self.state in (LifecycleState.RUNNING,
+                              LifecycleState.DEGRADED)
 
     def status(self) -> dict:
         return status_doc(
@@ -89,6 +141,8 @@ class LifeCycleManager:
             counters={
                 "tasks_completed": self.pool.tasks_completed,
                 "tasks_failed": self.pool.tasks_failed,
+                "workers_crashed": self.pool.workers_crashed,
+                "worker_restarts": self.pool.restarts,
             },
             uptime_ms=self._uptime.uptime_ms(),
             pool_size=self.config.pool_size,
@@ -96,4 +150,5 @@ class LifeCycleManager:
             tasks_failed=self.pool.tasks_failed,
             started_at=self.started_at,
             failure_reason=self.failure_reason,
+            degraded_reason=self.degraded_reason,
         )

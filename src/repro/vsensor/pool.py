@@ -8,10 +8,21 @@ tasks. Two modes:
   deterministic, the right choice under a virtual clock;
 - *threaded*: ``size`` daemon workers drain a shared queue — used by the
   pool-size ablation benchmark and by wall-clock deployments.
+
+Threaded workers are *supervised*: the loop body never lets a task
+exception escape (failures land in ``errors()``), and the envelope
+around the loop catches everything else — a crash is reported to the
+runtime crash witness (:mod:`repro.analysis.crashwitness`), the worker
+is respawned up to :data:`WorkerPool.MAX_RESTARTS` times, and past that
+budget the pool declares itself degraded through the ``on_degraded``
+callback so the owning life-cycle manager can mark the sensor. A worker
+that merely dies must never leave a sensor deployed-but-dead (the
+GSN602 failure mode).
 """
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 from typing import Callable, List, Optional
@@ -19,34 +30,59 @@ from typing import Callable, List, Optional
 from repro.concurrency import new_lock
 from repro.exceptions import LifecycleError
 
+logger = logging.getLogger("repro.vsensor.pool")
+
 Task = Callable[[], None]
 
 _SENTINEL = None
 
+#: How long an idle worker sleeps in ``queue.get`` before re-checking
+#: the shutdown flag: bounded waits keep workers interruptible (GSN604).
+_IDLE_WAIT_S = 0.2
+
 
 class WorkerPool:
-    """Executes submitted tasks on up to ``size`` workers."""
+    """Executes submitted tasks on up to ``size`` supervised workers."""
 
-    def __init__(self, size: int = 1, synchronous: bool = True) -> None:
+    #: Worker respawns granted per pool before it degrades.
+    MAX_RESTARTS = 3
+
+    def __init__(self, size: int = 1, synchronous: bool = True,
+                 name: str = "",
+                 on_degraded: Optional[Callable[[str], None]] = None
+                 ) -> None:
         if size < 1:
             raise LifecycleError("pool size must be at least 1")
         self.size = size
         self.synchronous = synchronous
+        self.name = name or "pool"
         self.tasks_completed = 0  # guarded-by: _lock
         self.tasks_failed = 0  # guarded-by: _lock
+        self.workers_crashed = 0  # guarded-by: _lock
+        self.restarts = 0  # guarded-by: _lock
+        self.degraded = False  # guarded-by: _lock
         self._errors: List[BaseException] = []  # guarded-by: _lock
+        self._next_worker = 0  # guarded-by: _lock
+        self._on_degraded = on_degraded
         self._lock = new_lock("WorkerPool._lock")
         self._queue: Optional["queue.Queue[Optional[Task]]"] = None
         self._threads: List[threading.Thread] = []
         self._shutdown = False
         if not synchronous:
             self._queue = queue.Queue()
-            for index in range(size):
-                thread = threading.Thread(
-                    target=self._worker, name=f"gsn-pool-{index}", daemon=True
-                )
-                thread.start()
-                self._threads.append(thread)
+            for __ in range(size):
+                self._spawn()
+
+    def _spawn(self) -> None:
+        with self._lock:
+            index = self._next_worker
+            self._next_worker += 1
+        thread = threading.Thread(
+            target=self._worker_main,
+            name=f"gsn-pool-{self.name}-{index}", daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
 
     def submit(self, task: Task) -> None:
         if self._shutdown:
@@ -68,15 +104,62 @@ class WorkerPool:
             with self._lock:
                 self.tasks_completed += 1
 
+    def _worker_main(self) -> None:
+        """Supervised envelope: nothing escapes a pool thread."""
+        try:
+            self._worker()
+        except BaseException as exc:  # noqa: BLE001 - supervision boundary
+            self._crashed(exc)
+
     def _worker(self) -> None:
-        assert self._queue is not None
+        work = self._queue
+        assert work is not None
         while True:
-            task = self._queue.get()
+            try:
+                task = work.get(timeout=_IDLE_WAIT_S)
+            except queue.Empty:
+                if self._shutdown:
+                    return
+                continue
             if task is _SENTINEL:
-                self._queue.task_done()
+                work.task_done()
                 return
             self._run(task)
-            self._queue.task_done()
+            work.task_done()
+
+    def _crashed(self, exc: BaseException) -> None:
+        """Witness the crash, then restart the worker or degrade."""
+        thread_name = threading.current_thread().name
+        logger.error("worker %s of pool %r crashed: %s: %s",
+                     thread_name, self.name, type(exc).__name__, exc)
+        from repro.analysis import crashwitness
+        witness = crashwitness.active()
+        if witness is not None:
+            witness.report(thread_name, exc, owner=self.name)
+        restart = degrade = False
+        with self._lock:
+            self.workers_crashed += 1
+            self._errors.append(exc)
+            if not self._shutdown:
+                if self.restarts < self.MAX_RESTARTS:
+                    self.restarts += 1
+                    restart = True
+                elif not self.degraded:
+                    self.degraded = True
+                    degrade = True
+        # Respawn / degrade outside the lock: both reach back into
+        # listener-shaped code (thread start, the LCM callback).
+        if restart:
+            logger.warning("pool %r: respawning worker (%d/%d restarts)",
+                           self.name, self.restarts, self.MAX_RESTARTS)
+            self._spawn()
+        elif degrade:
+            reason = (f"worker crash budget exhausted "
+                      f"({self.MAX_RESTARTS} restarts): "
+                      f"{type(exc).__name__}: {exc}")
+            logger.error("pool %r degraded: %s", self.name, reason)
+            if self._on_degraded is not None:
+                self._on_degraded(reason)
 
     def drain(self) -> None:
         """Block until all submitted tasks finished (no-op when sync)."""
@@ -102,6 +185,18 @@ class WorkerPool:
                 self._queue.put(_SENTINEL)
             for thread in self._threads:
                 thread.join(timeout=5.0)
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "size": self.size,
+                "synchronous": self.synchronous,
+                "tasks_completed": self.tasks_completed,
+                "tasks_failed": self.tasks_failed,
+                "workers_crashed": self.workers_crashed,
+                "restarts": self.restarts,
+                "degraded": self.degraded,
+            }
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -216,7 +216,17 @@ class VirtualSensor:
             return
         if any(name not in mat._index for name in classified.referenced):
             return
-        state = IncrementalAggregateState(classified, mat)
+        def poisoned(exc: BaseException, _key: SourceKey = key) -> None:
+            # Counted per sensor (fastpath_poisoned_total); the query
+            # text itself is logged once by the accumulator.
+            self.fast_paths.record_poisoned()
+
+        state = IncrementalAggregateState(
+            classified, mat,
+            label=f"{self.name}/{stream_name}/{source.spec.alias}: "
+                  f"{source.spec.query}",
+            on_poison=poisoned,
+        )
         if not state.healthy:
             return
         mat.add_listener(state)
@@ -392,8 +402,8 @@ class VirtualSensor:
             # window's notification path, which holds the same lock.
             with source._lock:
                 snapshot = state.snapshot()
-        except Exception:
-            state.healthy = False
+        except Exception as exc:
+            state._poison(exc)
             self.fast_paths.record_aggregate_fallback()
             logger.warning(
                 "%s: aggregate accumulator for %s/%s poisoned itself; "

@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.analysis import lockwitness
+from repro.analysis import crashwitness, lockwitness
 from repro.container import GSNContainer
 from repro.datatypes import DataType
 from repro.descriptors.model import (
@@ -39,6 +39,28 @@ def lock_order_witness():
         lockwitness.disable()
     assert not witness.violations, witness.violations
     assert not witness.check_acyclic(), witness.check_acyclic()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def thread_crash_witness():
+    """Run the whole suite under the runtime thread-crash witness.
+
+    ``threading.excepthook`` is replaced with a sentinel that records
+    every exception escaping a thread (the GSN602 failure mode at
+    runtime). Any *unexpected* crash — one not wrapped in
+    ``witness.expected()`` — fails the suite at the end of the session.
+    Opt out with ``GSN_CRASH_WITNESS=0``.
+    """
+    if os.environ.get("GSN_CRASH_WITNESS", "1") == "0":
+        yield None
+        return
+    witness = crashwitness.enable()
+    try:
+        yield witness
+    finally:
+        crashwitness.disable()
+    unexpected = witness.unexpected()
+    assert not unexpected, [crash.render() for crash in unexpected]
 
 
 @pytest.fixture

@@ -472,6 +472,19 @@ class TestCli:
         out = capsys.readouterr().out
         assert "GSN101" in out and "GSN401" in out
         assert "GSN501" in out and "GSN111" in out
+        assert "GSN601" in out and "GSN605" in out
+
+    def test_json_findings_carry_location_and_suppression(self, capsys):
+        import json
+        code = lint_main(["--format", "json",
+                          "examples/bad/swallowed_exception.py"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        finding = next(f for f in payload["findings"]
+                       if f["rule"] == "GSN601")
+        assert finding["path"] == "examples/bad/swallowed_exception.py"
+        assert finding["line"] > 0
+        assert finding["suppression"] == "# gsn-lint: disable=GSN601"
 
     def test_deadlock_pass_clean_on_repro(self, capsys):
         # The gating property: zero unsuppressed GSN5xx findings on the
@@ -495,6 +508,35 @@ class TestCli:
         # Without --deadlock, .py inputs run locklint AND the
         # interprocedural pass.
         assert lint_main(["examples/bad/deadlock_pair.py"]) == 1
+
+    def test_flow_pass_clean_on_repro(self, capsys):
+        # The gating property: zero unsuppressed GSN6xx findings on the
+        # shipped sources (every real finding was fixed; the remaining
+        # suppressions are justified in docs/reliability.md).
+        assert lint_main(["--flow", "src/repro"]) == 0
+
+    def test_flow_pass_flags_seeded_swallow(self, capsys):
+        code = lint_main(["--flow", "examples/bad/swallowed_exception.py"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "GSN601" in out
+
+    def test_flow_pass_flags_seeded_leak(self, capsys):
+        code = lint_main(["--flow", "examples/bad/leaked_cursor.py"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "GSN603" in out
+
+    def test_flow_pass_flags_seeded_dying_worker(self, capsys):
+        code = lint_main(["--flow", "examples/bad/dying_worker.py"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "GSN602" in out
+
+    def test_default_python_lint_includes_flow_pass(self, capsys):
+        # Without --flow, .py inputs run locklint AND both
+        # interprocedural passes.
+        assert lint_main(["examples/bad/swallowed_exception.py"]) == 1
 
     def test_graph_dumps_dot(self, capsys):
         assert lint_main(["--graph", "src/repro"]) == 0

@@ -1,0 +1,500 @@
+"""Unit tests for the interprocedural exception-flow analysis (GSN6xx):
+raised-set propagation to a fixed point, handler matching against the
+exception hierarchy, resource-lifecycle tracking, and the thread rules."""
+
+import textwrap
+
+from repro.analysis.flowgraph import FlowAnalysis, analyze_flow
+from repro.analysis.callgraph import ProgramIndex
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def run(tmp_path, source, name="mod.py"):
+    path = write(tmp_path, name, source)
+    return analyze_flow([path])
+
+
+def rules(report):
+    return [f.rule_id for f in report.findings]
+
+
+class TestExceptionPropagation:
+    def summaries(self, tmp_path, source):
+        __, flow = run(tmp_path, source)
+        return flow.summaries
+
+    def test_direct_raise(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def boom():
+                raise ValueError("no")
+            """)
+        assert summaries["mod.boom"] == frozenset({"ValueError"})
+
+    def test_propagates_through_calls(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def inner():
+                raise KeyError("k")
+
+            def middle():
+                return inner()
+
+            def outer():
+                return middle()
+            """)
+        assert "KeyError" in summaries["mod.outer"]
+
+    def test_fixed_point_over_recursion(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def ping(n):
+                if n < 0:
+                    raise ValueError("negative")
+                return pong(n - 1)
+
+            def pong(n):
+                return ping(n)
+            """)
+        assert "ValueError" in summaries["mod.ping"]
+        assert "ValueError" in summaries["mod.pong"]
+
+    def test_exact_handler_catches(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def safe():
+                try:
+                    raise KeyError("k")
+                except KeyError:
+                    raise ValueError("translated")
+            """)
+        assert summaries["mod.safe"] == frozenset({"ValueError"})
+
+    def test_parent_handler_catches_subclass(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            import logging
+
+            def safe():
+                try:
+                    raise KeyError("k")
+                except LookupError:
+                    logging.error("lookup failed")
+            """)
+        assert summaries["mod.safe"] == frozenset()
+
+    def test_narrow_handler_lets_siblings_escape(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def narrow():
+                try:
+                    do()
+                except KeyError:
+                    raise RuntimeError("key")
+
+            def do():
+                raise ValueError("v")
+            """)
+        # ValueError is not a KeyError: the handler does not catch it,
+        # so it escapes. (The handler body's own raise is conservatively
+        # kept too — this is a may-escape analysis.)
+        assert "ValueError" in summaries["mod.narrow"]
+
+    def test_bare_raise_rethrows_caught_set(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            import logging
+
+            def rethrow():
+                try:
+                    raise OSError("io")
+                except Exception:
+                    logging.exception("failed")
+                    raise
+            """)
+        assert "OSError" in summaries["mod.rethrow"]
+
+    def test_raise_from_names_new_type(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def translate():
+                try:
+                    raise KeyError("k")
+                except KeyError as exc:
+                    raise RuntimeError("wrapped") from exc
+            """)
+        assert summaries["mod.translate"] == frozenset({"RuntimeError"})
+
+    def test_raise_bound_var_rethrows_caught_type(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            import logging
+
+            def relay():
+                try:
+                    raise OSError("io")
+                except OSError as exc:
+                    logging.error("io trouble")
+                    raise exc
+            """)
+        assert "OSError" in summaries["mod.relay"]
+
+    def test_finally_return_swallows(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def swallowed():
+                try:
+                    raise ValueError("gone")
+                finally:
+                    return 0
+            """)
+        assert summaries["mod.swallowed"] == frozenset()
+
+    def test_finally_without_return_keeps_raising(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def cleanup():
+                try:
+                    raise ValueError("kept")
+                finally:
+                    print("bye")
+            """)
+        assert "ValueError" in summaries["mod.cleanup"]
+
+    def test_finally_break_inside_nested_loop_does_not_swallow(
+            self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def looped():
+                try:
+                    raise ValueError("kept")
+                finally:
+                    for item in (1, 2):
+                        break
+            """)
+        # The break terminates the inner for loop, not the finally.
+        assert "ValueError" in summaries["mod.looped"]
+
+    def test_assert_adds_assertion_error(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def checked(x):
+                assert x > 0, "positive only"
+                return x
+            """)
+        assert "AssertionError" in summaries["mod.checked"]
+
+    def test_handler_body_escapes_propagate(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            def handler_raises():
+                try:
+                    raise KeyError("k")
+                except KeyError:
+                    cleanup()
+
+            def cleanup():
+                raise OSError("cleanup failed")
+            """)
+        assert "OSError" in summaries["mod.handler_raises"]
+
+    def test_custom_hierarchy_from_index(self, tmp_path):
+        summaries = self.summaries(tmp_path, """\
+            import logging
+
+            class AppError(Exception):
+                pass
+
+            class ParseError(AppError):
+                pass
+
+            def safe():
+                try:
+                    raise ParseError("bad")
+                except AppError:
+                    logging.error("app-level failure")
+            """)
+        assert summaries["mod.safe"] == frozenset()
+
+
+class TestSwallowRule:
+    def test_gsn601_bare_pass(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def eat():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """)
+        assert "GSN601" in rules(report)
+
+    def test_logging_is_a_sink(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import logging
+
+            def noted():
+                try:
+                    work()
+                except Exception:
+                    logging.exception("work failed")
+            """)
+        assert "GSN601" not in rules(report)
+
+    def test_counter_increment_is_a_sink(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def counted(self):
+                try:
+                    work()
+                except Exception:
+                    self.errors_total += 1
+            """)
+        assert "GSN601" not in rules(report)
+
+    def test_reraise_is_a_sink(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def relays():
+                try:
+                    work()
+                except Exception as exc:
+                    raise RuntimeError("wrapped") from exc
+            """)
+        assert "GSN601" not in rules(report)
+
+    def test_error_as_value_is_a_sink(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def returns_it():
+                try:
+                    return work()
+                except Exception as exc:
+                    return exc
+            """)
+        assert "GSN601" not in rules(report)
+
+    def test_narrow_handler_not_flagged(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def narrow():
+                try:
+                    return work()
+                except KeyError:
+                    pass
+            """)
+        assert "GSN601" not in rules(report)
+
+    def test_suppression_comment(self, tmp_path):
+        report, flow = run(tmp_path, """\
+            def eat():
+                try:
+                    work()
+                except Exception:  # gsn-lint: disable=GSN601
+                    pass
+            """)
+        assert "GSN601" not in rules(report)
+        assert flow.suppressed_count == 1
+
+
+class TestResourceRule:
+    def test_gsn603_leaked_cursor(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def leak(conn):
+                cur = conn.cursor()
+                return cur.fetchall()[0]
+            """)
+        assert "GSN603" in rules(report)
+
+    def test_with_block_is_managed(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def managed(conn):
+                cur = conn.cursor()
+                with cur:
+                    return cur.fetchall()
+            """)
+        assert "GSN603" not in rules(report)
+
+    def test_finally_close_is_managed(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def closed(conn):
+                cur = conn.cursor()
+                try:
+                    return cur.fetchall()
+                finally:
+                    cur.close()
+            """)
+        assert "GSN603" not in rules(report)
+
+    def test_returned_resource_is_handoff(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def make(conn):
+                cur = conn.cursor()
+                return cur
+            """)
+        assert "GSN603" not in rules(report)
+
+    def test_stored_resource_is_handoff(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def attach(self, conn):
+                cur = conn.cursor()
+                self.cur = cur
+            """)
+        assert "GSN603" not in rules(report)
+
+
+class TestThreadRules:
+    def test_gsn602_escaping_entry(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            def worker():
+                raise ValueError("dead")
+
+            def start():
+                threading.Thread(target=worker, daemon=True).start()
+            """)
+        findings = [f for f in report.findings if f.rule_id == "GSN602"]
+        assert findings and "ValueError" in findings[0].message
+
+    def test_supervised_entry_is_clean(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import logging
+            import threading
+
+            def worker():
+                try:
+                    risky()
+                except Exception:
+                    logging.exception("worker failed")
+
+            def risky():
+                raise ValueError("v")
+
+            def start():
+                threading.Thread(target=worker, daemon=True).start()
+            """)
+        assert "GSN602" not in rules(report)
+
+    def test_system_exit_is_allowed(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            def worker():
+                raise SystemExit(0)
+
+            def start():
+                threading.Thread(target=worker, daemon=True).start()
+            """)
+        assert "GSN602" not in rules(report)
+
+    def test_thread_subclass_run_is_an_entry(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            class Worker(threading.Thread):
+                def run(self):
+                    raise OSError("boom")
+            """)
+        assert "GSN602" in rules(report)
+
+    def test_gsn605_no_join_path(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            def idle():
+                return None
+
+            def start():
+                worker = threading.Thread(target=idle)
+                worker.start()
+            """)
+        assert "GSN605" in rules(report)
+
+    def test_join_path_satisfies_gsn605(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            def idle():
+                return None
+
+            def run_once():
+                worker = threading.Thread(target=idle)
+                worker.start()
+                worker.join(timeout=5.0)
+            """)
+        assert "GSN605" not in rules(report)
+
+    def test_daemon_thread_satisfies_gsn605(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            def idle():
+                return None
+
+            def start():
+                worker = threading.Thread(target=idle, daemon=True)
+                worker.start()
+            """)
+        assert "GSN605" not in rules(report)
+
+    def test_gsn604_unbounded_get_in_worker(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            def worker(work_queue):
+                while True:
+                    work_queue.get()
+
+            def start(work_queue):
+                threading.Thread(target=worker, args=(work_queue,),
+                                 daemon=True).start()
+            """)
+        assert "GSN604" in rules(report)
+
+    def test_bounded_get_is_clean(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            def worker(work_queue):
+                while True:
+                    work_queue.get(timeout=0.2)
+
+            def start(work_queue):
+                threading.Thread(target=worker, args=(work_queue,),
+                                 daemon=True).start()
+            """)
+        assert "GSN604" not in rules(report)
+
+    def test_gsn604_reaches_through_calls(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            import threading
+
+            def worker(work_queue):
+                while True:
+                    fetch(work_queue)
+
+            def fetch(work_queue):
+                return work_queue.get()
+
+            def start(work_queue):
+                threading.Thread(target=worker, args=(work_queue,),
+                                 daemon=True).start()
+            """)
+        findings = [f for f in report.findings if f.rule_id == "GSN604"]
+        assert findings and "mod.worker" in findings[0].message
+
+
+class TestReportShape:
+    def test_findings_carry_path_line_and_suppression(self, tmp_path):
+        report, __ = run(tmp_path, """\
+            def eat():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """)
+        finding = report.findings[0]
+        assert finding.path.endswith("mod.py")
+        assert finding.line == 4
+        assert finding.suppression == "# gsn-lint: disable=GSN601"
+        payload = report.as_dicts()[0]
+        for key in ("rule", "severity", "message", "path", "line",
+                    "suppression"):
+            assert key in payload
+
+    def test_shared_index_is_reused(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            def boom():
+                raise ValueError("no")
+            """)
+        index = ProgramIndex.build([path])
+        __, flow = analyze_flow([path], index=index)
+        assert flow.index is index
+        assert isinstance(flow, FlowAnalysis)

@@ -224,6 +224,29 @@ class TestFastPathCounters:
             "in/src": "aggregate (poisoned)",
         }
 
+    def test_poisoning_increments_metric_and_logs_query_once(self, caplog):
+        import logging
+        descriptor = simple_mote_descriptor(
+            window="10",
+            source_query="select sum(temperature) as temperature "
+                         "from wrapper",
+        )
+        sensor, wrapper, clock, table = build_sensor(descriptor)
+        sensor.start()
+        wrapper._producer = lambda now: {"temperature": "boom"}
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.sqlengine.incremental"):
+            wrapper.tick()
+            wrapper.tick()  # already poisoned: must not log again
+        assert sensor.fast_paths.snapshot()["poisoned"] == 1
+        lines = [r.getMessage() for r in caplog.records
+                 if r.name == "repro.sqlengine.incremental"
+                 and "poisoned" in r.getMessage()]
+        assert len(lines) == 1
+        # The log line names the triggering query and its sensor/stream.
+        assert "sum(temperature)" in lines[0]
+        assert "probe/in/src" in lines[0]
+
     def test_temporary_cache_reused_when_source_idle(self):
         # Time-window aggregate (legacy execution) whose window never
         # changes between triggers on the same version: second trigger
