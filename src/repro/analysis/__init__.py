@@ -30,7 +30,12 @@ from repro.analysis.locklint import lint_file, lint_files, lint_source
 from repro.analysis.lockwitness import LockOrderViolation, LockWitness
 from repro.analysis.passes import (
     DEFAULT_MEMORY_BUDGET, analyze, analyze_descriptor,
-    estimate_window_memory, schema_check,
+    attach_descriptor_lines, estimate_window_memory, schema_check,
+)
+from repro.analysis.planpass import (
+    AnnotatedPlan, DescriptorPlan, PlanVerdict, annotate_plan,
+    descriptor_verdicts, plan_descriptor, source_query_verdict,
+    structural_verdict,
 )
 from repro.analysis.rules import (
     ERROR, WARNING, Finding, Report, Rule, catalogue, describe,
@@ -41,11 +46,15 @@ from repro.analysis.schema_infer import (
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET", "ERROR", "WARNING",
-    "CrashWitness", "DeadlockAnalysis", "Finding", "FlowAnalysis",
-    "LockGraph", "LockOrderViolation", "LockWitness", "ProgramIndex",
+    "AnnotatedPlan", "CrashWitness", "DeadlockAnalysis", "DescriptorPlan",
+    "Finding", "FlowAnalysis", "LockGraph", "LockOrderViolation",
+    "LockWitness", "PlanVerdict", "ProgramIndex",
     "Report", "Rule", "SchemaInferencer",
     "analyze", "analyze_deadlocks", "analyze_descriptor", "analyze_flow",
-    "catalogue", "describe", "estimate_window_memory", "expand_paths",
+    "annotate_plan", "attach_descriptor_lines",
+    "catalogue", "describe", "descriptor_verdicts",
+    "estimate_window_memory", "expand_paths",
     "infer_output_schema", "lint_file", "lint_files", "lint_source",
-    "schema_check", "wrapper_relation_schema",
+    "plan_descriptor", "schema_check", "source_query_verdict",
+    "structural_verdict", "wrapper_relation_schema",
 ]

@@ -32,10 +32,12 @@ from repro.analysis import locklint
 from repro.analysis.callgraph import ProgramIndex
 from repro.analysis.flowgraph import analyze_flow
 from repro.analysis.lockgraph import analyze_deadlocks, expand_paths
-from repro.analysis.passes import DEFAULT_MEMORY_BUDGET, analyze
+from repro.analysis.passes import (
+    DEFAULT_MEMORY_BUDGET, analyze, attach_descriptor_lines,
+)
 from repro.analysis.rules import Report, catalogue
 from repro.descriptors.model import VirtualSensorDescriptor
-from repro.descriptors.xml_io import descriptor_from_file
+from repro.descriptors.xml_io import descriptor_from_file, descriptor_line_index
 from repro.exceptions import GSNError
 from repro.wrappers.registry import default_registry
 
@@ -65,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-sanctioned-order", action="store_true",
                         help="ignore repro.concurrency.LOCK_ORDER when "
                              "building the lock graph")
+    parser.add_argument("--plan", action="store_true",
+                        help="also run the deploy-time query-plan pass "
+                             "(GSN701-GSN705) over descriptor inputs and "
+                             "print the annotated plans")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--format", choices=("text", "json"),
@@ -142,7 +148,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             descriptors, registry=default_registry(), sources=sources,
             memory_budget=budget,
             external_producers=args.external_producers,
+            plan=args.plan,
         ))
+        if args.plan and args.format == "text":
+            from repro.analysis.planpass import plan_descriptor
+            for descriptor, source in zip(descriptors, sources):
+                rendered = plan_descriptor(
+                    descriptor, registry=default_registry(), source=source
+                ).render()
+                if rendered:
+                    print(rendered)
+    if xml_paths:
+        line_indexes = {}
+        for path in xml_paths:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    line_indexes[path] = descriptor_line_index(handle.read())
+            except OSError:
+                continue
+        attach_descriptor_lines(report, line_indexes)
 
     missing = [p for p in py_paths + dirs if not os.path.exists(p)]
     if missing:

@@ -21,6 +21,7 @@ structurally-valid descriptors never make the analyzer raise.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.datatypes import DataType
@@ -69,13 +70,17 @@ def analyze(descriptors: Sequence[VirtualSensorDescriptor],
             registry: Optional[WrapperRegistry] = None,
             sources: Optional[Sequence[str]] = None,
             memory_budget: int = DEFAULT_MEMORY_BUDGET,
-            external_producers: bool = False) -> Report:
+            external_producers: bool = False,
+            plan: bool = False) -> Report:
     """Run all descriptor passes over a deployment set.
 
     ``sources`` optionally names the file each descriptor came from (for
     findings output). ``external_producers`` suppresses dangling-producer
     findings (GSN202/GSN203) — the right mode when the set is deployed
     into a peer network where producers may live on other nodes.
+    ``plan`` additionally runs the deploy-time query-plan pass
+    (:mod:`repro.analysis.planpass`, rules GSN7xx); it is opt-in because
+    GSN701 warns on *any* source query off the incremental fast path.
     """
     report = Report()
     files = list(sources) if sources is not None else [""] * len(descriptors)
@@ -95,7 +100,7 @@ def analyze(descriptors: Sequence[VirtualSensorDescriptor],
     for descriptor, source in zip(descriptors, files):
         analyze_descriptor(descriptor, registry=registry, report=report,
                            source=source, memory_budget=memory_budget,
-                           remote_resolver=resolver)
+                           remote_resolver=resolver, plan=plan)
 
     _graph_pass(list(zip(descriptors, files)), report,
                 external_producers=external_producers)
@@ -107,8 +112,8 @@ def analyze_descriptor(descriptor: VirtualSensorDescriptor,
                        report: Optional[Report] = None,
                        source: str = "",
                        memory_budget: int = DEFAULT_MEMORY_BUDGET,
-                       remote_resolver: Optional[RemoteResolver] = None
-                       ) -> Report:
+                       remote_resolver: Optional[RemoteResolver] = None,
+                       plan: bool = False) -> Report:
     """Schema + resource passes for one descriptor (graph findings need
     the full set; use :func:`analyze` for those)."""
     if report is None:
@@ -124,6 +129,12 @@ def analyze_descriptor(descriptor: VirtualSensorDescriptor,
     _schema_pass(descriptor, wrapper_schemas, report, source)
     _resource_pass(descriptor, wrapper_schemas, report, source,
                    memory_budget)
+    if plan:
+        # Deferred import: planpass builds on this module's helpers.
+        from repro.analysis.planpass import plan_descriptor
+        plan_descriptor(descriptor, registry=registry, report=report,
+                        source=source, wrapper_schemas=wrapper_schemas,
+                        remote_resolver=remote_resolver)
     return report
 
 
@@ -553,3 +564,61 @@ def _resource_pass(descriptor: VirtualSensorDescriptor,
                     "remote source with disconnect-buffer=0 loses "
                     "elements across network outages",
                     location=context, source=source)
+
+
+# --------------------------------------------------------------------------
+# Line anchoring (unified JSON finding schema)
+# --------------------------------------------------------------------------
+
+def attach_descriptor_lines(report: Report,
+                            line_indexes: Dict[str, Dict[tuple, int]]
+                            ) -> None:
+    """Anchor descriptor findings to file lines, in place.
+
+    ``line_indexes`` maps a finding ``source`` (the descriptor file path)
+    to the index built by
+    :func:`repro.descriptors.xml_io.descriptor_line_index`. Findings
+    whose location resolves gain a ``:<line>`` suffix, which is exactly
+    what :attr:`~repro.analysis.rules.Finding.line` parses — after this,
+    descriptor findings carry the same ``path``/``line``/``suppression``
+    JSON fields as the Python-source passes (GSN4xx–GSN6xx).
+    """
+    for position, finding in enumerate(report.findings):
+        index = line_indexes.get(finding.source)
+        if not index or not finding.location or finding.line:
+            continue
+        line = _descriptor_line(finding.location, index)
+        if line:
+            report.findings[position] = replace(
+                finding, location=f"{finding.location}:{line}"
+            )
+
+
+def _descriptor_line(location: str, index: Dict[tuple, int]) -> int:
+    """Resolve a finding location (``name[/stream[/alias]]`` plus an
+    optional `` source query``/`` stream query`` suffix) to a line."""
+    text = location
+    suffix = None
+    for tail, kind in ((" source query", "source-query"),
+                       (" stream query", "stream-query")):
+        if text.endswith(tail):
+            text = text[: -len(tail)]
+            suffix = kind
+            break
+    parts = text.split("/")
+    candidates: List[tuple] = []
+    if len(parts) == 3:
+        if suffix == "source-query":
+            candidates.append(("source-query", parts[1], parts[2]))
+        candidates.append(("stream-source", parts[1], parts[2]))
+    elif len(parts) == 2:
+        if suffix == "stream-query":
+            candidates.append(("stream-query", parts[1]))
+        candidates.append(("input-stream", parts[1]))
+    elif len(parts) == 1:
+        candidates.append(("virtual-sensor",))
+    for key in candidates:
+        line = index.get(key, 0)
+        if line:
+            return line
+    return 0

@@ -12,6 +12,8 @@ pass:
   blocking/dispatch under a lock, self-deadlock)
 - ``GSN6xx`` — interprocedural exception-flow & resource-lifecycle pass
   (swallowed exceptions, thread-killing escapes, leaked resources)
+- ``GSN7xx`` — deploy-time query-plan pass (fast-path eligibility,
+  cardinality blow-ups, cost-vs-sampling-rate budget, dead predicates)
 
 Severities: ``error`` findings would fail (or silently corrupt) a
 deployment and make :func:`repro.analysis.analyze` callers such as
@@ -88,6 +90,16 @@ _CATALOGUE: List[Rule] = [
                             "from a thread entry point"),
     Rule("GSN605", WARNING, "non-daemon thread started without a "
                             "join/stop path"),
+    # -- plan pass (deploy-time query-plan analysis) -----------------------
+    Rule("GSN701", WARNING, "source query statically ineligible for the "
+                            "incremental fast path"),
+    Rule("GSN702", ERROR, "join without equi-condition (cross product) "
+                          "over large windows"),
+    Rule("GSN703", ERROR, "ORDER BY without LIMIT over an unbounded or "
+                          "very large input"),
+    Rule("GSN704", ERROR, "estimated per-trigger cost exceeds the "
+                          "source's sampling-rate budget"),
+    Rule("GSN705", ERROR, "provably dead predicate (always-false WHERE)"),
 ]
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _CATALOGUE}

@@ -214,6 +214,66 @@ def _child_query(element: ET.Element, context: str,
     return query_element.text.strip()
 
 
+# -- line index (for analysis findings) --------------------------------------
+
+
+def descriptor_line_index(xml_text: str) -> Dict[tuple, int]:
+    """Map descriptor structure to 1-based line numbers in ``xml_text``.
+
+    Keys (names lowercased exactly like the model normalizes them):
+
+    - ``("virtual-sensor",)`` — the root element
+    - ``("input-stream", stream)`` — one input stream
+    - ``("stream-source", stream, alias)`` — one stream source
+    - ``("source-query", stream, alias)`` — a source's ``<query>``
+    - ``("stream-query", stream)`` — the stream's output ``<query>``
+
+    Used by ``gsn-lint`` to anchor descriptor findings to file lines so
+    GSN1xx–GSN7xx JSON output carries the same ``path``/``line`` fields
+    as the Python-source passes. Malformed XML yields an empty index
+    (the parse error is reported elsewhere).
+    """
+    import xml.parsers.expat
+
+    index: Dict[tuple, int] = {}
+    stream: List[Optional[str]] = [None]
+    alias: List[Optional[str]] = [None]
+    parser = xml.parsers.expat.ParserCreate()
+
+    def start(tag: str, attrs: Dict[str, str]) -> None:
+        line = parser.CurrentLineNumber
+        if tag == "virtual-sensor":
+            index.setdefault(("virtual-sensor",), line)
+        elif tag == "input-stream":
+            stream[0] = (attrs.get("name") or "").strip().lower()
+            alias[0] = None
+            index.setdefault(("input-stream", stream[0]), line)
+        elif tag == "stream-source" and stream[0] is not None:
+            alias[0] = (attrs.get("alias") or "").strip().lower()
+            index.setdefault(("stream-source", stream[0], alias[0]), line)
+        elif tag == "query" and stream[0] is not None:
+            if alias[0] is not None:
+                index.setdefault(("source-query", stream[0], alias[0]),
+                                 line)
+            else:
+                index.setdefault(("stream-query", stream[0]), line)
+
+    def end(tag: str) -> None:
+        if tag == "stream-source":
+            alias[0] = None
+        elif tag == "input-stream":
+            stream[0] = None
+            alias[0] = None
+
+    parser.StartElementHandler = start
+    parser.EndElementHandler = end
+    try:
+        parser.Parse(xml_text, True)
+    except xml.parsers.expat.ExpatError:
+        return {}
+    return index
+
+
 # -- attribute helpers -------------------------------------------------------
 
 

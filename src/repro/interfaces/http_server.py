@@ -15,7 +15,7 @@ Routes
 ``GET  /sensors/<name>``    one sensor's status
 ``GET  /sensors/<name>/latest``  newest output element
 ``GET  /query?sql=...``     ad-hoc SQL
-``GET  /explain?sql=...``   query plan
+``GET  /explain?sql=...``   query plan (``&analyze=1`` adds cost estimates)
 ``GET  /network``           peer-network view
 ``GET  /metrics``           Prometheus text exposition (0.0.4)
 ``GET  /trace?id=...&limit=...``  recent pipeline traces (JSON)
@@ -236,7 +236,9 @@ def _build_handler(owner: GSNHttpServer):
                 self._send_json(web.query(params.get("sql", ""),
                                           **self._credentials()))
             elif route == "/explain":
-                self._send_json(web.explain(params.get("sql", "")))
+                analyze = params.get("analyze", "") in ("1", "true", "yes")
+                self._send_json(web.explain(params.get("sql", ""),
+                                            analyze=analyze))
             elif route == "/network":
                 self._send_json(web.directory())
             elif route == "/metrics":

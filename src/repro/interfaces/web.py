@@ -87,13 +87,15 @@ class WebInterface:
         return _ok({"columns": list(relation.columns), "rows": rows,
                     "row_count": len(relation)})
 
-    def explain(self, sql: str) -> Dict[str, Any]:
-        """``GET /explain?sql=...`` — the query's logical plan."""
+    def explain(self, sql: str, analyze: bool = False) -> Dict[str, Any]:
+        """``GET /explain?sql=...[&analyze=1]`` — the query's logical
+        plan, with per-node cost estimates when ``analyze`` is set."""
         try:
-            plan_text = self.container.processor.explain(sql)
+            plan_text = self.container.processor.explain(sql, analyze=analyze)
         except GSNError as exc:
             return _error(exc)
-        return _ok({"sql": sql, "plan": plan_text.splitlines()})
+        return _ok({"sql": sql, "analyze": analyze,
+                    "plan": plan_text.splitlines()})
 
     def directory(self) -> Dict[str, Any]:
         """``GET /network`` — the peer network view."""

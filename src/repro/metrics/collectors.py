@@ -108,6 +108,7 @@ class FastPathCounters:
         self.aggregate_fallbacks = 0  # guarded-by: _lock
         self.legacy_queries = 0  # guarded-by: _lock
         self.poisoned = 0  # guarded-by: _lock
+        self.static_disagreements = 0  # guarded-by: _lock
         self._lock = new_lock("FastPathCounters._lock")
 
     def record_view(self, from_view: bool) -> None:
@@ -152,6 +153,13 @@ class FastPathCounters:
         with self._lock:
             self.poisoned += 1
 
+    def record_static_disagreement(self) -> None:
+        """A statically-eligible query failed to attach or poisoned at
+        runtime — the deploy-time verdict was wrong, which gsn-plan
+        treats as a defect in the analyzer, not in the sensor."""
+        with self._lock:
+            self.static_disagreements += 1
+
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return {
@@ -164,6 +172,7 @@ class FastPathCounters:
                 "aggregate_fallbacks": self.aggregate_fallbacks,
                 "legacy_queries": self.legacy_queries,
                 "poisoned": self.poisoned,
+                "static_disagreements": self.static_disagreements,
             }
 
 

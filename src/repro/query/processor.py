@@ -46,13 +46,25 @@ class QueryProcessor:
         finally:
             self.latency.stop()
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, analyze: bool = False) -> str:
         """The logical plan of ``sql`` as an indented tree (compiled
-        through the same cache queries execute from)."""
+        through the same cache queries execute from).
+
+        With ``analyze=True`` every node also carries the gsn-plan
+        cardinality/cost estimate, seeded with the *current* retained
+        row counts of the catalog's stream tables.
+        """
         from repro.sqlengine.explain import explain_plan
 
         __, plan = self.plan_cache.compile(sql)
-        return explain_plan(plan)
+        if not analyze:
+            return explain_plan(plan)
+        from repro.analysis.planpass import annotate_plan
+
+        catalog = self._catalog_provider()
+        table_rows = {name: float(len(catalog.get(name)))
+                      for name in catalog.table_names()}
+        return annotate_plan(plan, table_rows=table_rows).render()
 
     def snapshot_catalog(self) -> Catalog:
         """The current catalog snapshot (one materialization, many queries)."""

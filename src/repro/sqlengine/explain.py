@@ -1,8 +1,19 @@
-"""Plan explanation.
+"""Plan explanation and SQL rendering.
 
 Renders a logical plan as an indented tree — the observable face of the
 "adaptive query execution plan": it shows which joins became hash joins,
-where residual predicates remained, and how set operations stack.
+where residual predicates remained, and how set operations stack. With
+an ``annotator`` callback each node line also carries the deploy-time
+plan pass's per-node cardinality/cost/eligibility annotations
+(:mod:`repro.analysis.planpass` supplies the callback, keeping this
+module free of analysis imports).
+
+:func:`expression_to_sql` and :func:`statement_to_sql` render AST nodes
+back to SQL text. The rendering is **re-parseable** for every node type:
+``parse_select(f"select {expression_to_sql(e)} from t")`` round-trips
+(composite expressions are parenthesized, strings re-escaped, subqueries
+rendered in full — the property tests in
+``tests/property/test_sql_differential.py`` assert the fixpoint).
 
 Exposed to applications through
 :meth:`repro.query.processor.QueryProcessor.explain` and the web
@@ -11,43 +22,54 @@ interface's ``/explain`` endpoint.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.sqlengine.ast_nodes import (
     BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
-    FunctionCall, InExpr, IsNullExpr, LikeExpr, Literal, Node,
-    ScalarSubquery, Star, UnaryOp,
+    FunctionCall, InExpr, IsNullExpr, Join, LikeExpr, Literal, Node,
+    ScalarSubquery, SelectItem, SelectStatement, Star, SubqueryRef,
+    TableRef, UnaryOp,
 )
 from repro.sqlengine.planner import (
     HashJoinPlan, NestedLoopJoinPlan, Plan, ScanPlan, SelectPlan,
     SubqueryScanPlan,
 )
 
+#: Per-node annotation hook: return extra text for a plan node's line
+#: (or ``None`` for no annotation).
+Annotator = Callable[[Plan], Optional[str]]
+
 
 def expression_to_sql(node: Node) -> str:
-    """Render an expression tree back to SQL-ish text (for EXPLAIN and
-    error messages; not guaranteed to be re-parseable for every node)."""
+    """Render an expression tree back to SQL text.
+
+    Guaranteed re-parseable for every expression node type: composite
+    expressions are fully parenthesized (so operator precedence cannot
+    reassociate them), strings are quote-escaped, and subqueries are
+    rendered in full via :func:`statement_to_sql`.
+    """
     if isinstance(node, Literal):
         if node.value is None:
             return "NULL"
+        if node.value is True:
+            return "TRUE"
+        if node.value is False:
+            return "FALSE"
         if isinstance(node.value, str):
             escaped = node.value.replace("'", "''")
             return f"'{escaped}'"
         if isinstance(node.value, (bytes, bytearray)):
             return f"X'{bytes(node.value).hex()}'"
-        if node.value is True:
-            return "TRUE"
-        if node.value is False:
-            return "FALSE"
         return repr(node.value)
     if isinstance(node, ColumnRef):
         return str(node)
     if isinstance(node, Star):
         return f"{node.table}.*" if node.table else "*"
     if isinstance(node, UnaryOp):
+        inner = expression_to_sql(node.operand)
         if node.op == "not":
-            return f"NOT ({expression_to_sql(node.operand)})"
-        return f"{node.op}{expression_to_sql(node.operand)}"
+            return f"(NOT {inner})"
+        return f"({node.op}{inner})"
     if isinstance(node, BinaryOp):
         return (f"({expression_to_sql(node.left)} {node.op.upper()} "
                 f"{expression_to_sql(node.right)})")
@@ -59,40 +81,113 @@ def expression_to_sql(node: Node) -> str:
         return f"{node.name}({distinct}{inner})"
     if isinstance(node, InExpr):
         negated = "NOT " if node.negated else ""
+        operand = expression_to_sql(node.operand)
         if node.subquery is not None:
-            return (f"{expression_to_sql(node.operand)} {negated}"
-                    f"IN (<subquery>)")
+            return (f"({operand} {negated}IN "
+                    f"({statement_to_sql(node.subquery)}))")
         options = ", ".join(expression_to_sql(o) for o in node.options or ())
-        return f"{expression_to_sql(node.operand)} {negated}IN ({options})"
+        return f"({operand} {negated}IN ({options}))"
     if isinstance(node, BetweenExpr):
         negated = "NOT " if node.negated else ""
-        return (f"{expression_to_sql(node.operand)} {negated}BETWEEN "
+        return (f"({expression_to_sql(node.operand)} {negated}BETWEEN "
                 f"{expression_to_sql(node.low)} AND "
-                f"{expression_to_sql(node.high)}")
+                f"{expression_to_sql(node.high)})")
     if isinstance(node, LikeExpr):
         negated = "NOT " if node.negated else ""
-        return (f"{expression_to_sql(node.operand)} {negated}LIKE "
-                f"{expression_to_sql(node.pattern)}")
+        return (f"({expression_to_sql(node.operand)} {negated}LIKE "
+                f"{expression_to_sql(node.pattern)})")
     if isinstance(node, IsNullExpr):
         negated = "NOT " if node.negated else ""
-        return f"{expression_to_sql(node.operand)} IS {negated}NULL"
+        return f"({expression_to_sql(node.operand)} IS {negated}NULL)"
     if isinstance(node, ExistsExpr):
         negated = "NOT " if node.negated else ""
-        return f"{negated}EXISTS (<subquery>)"
+        return f"({negated}EXISTS ({statement_to_sql(node.subquery)}))"
     if isinstance(node, ScalarSubquery):
-        return "(<subquery>)"
+        return f"({statement_to_sql(node.subquery)})"
     if isinstance(node, CaseExpr):
-        return "CASE ... END"
+        pieces = ["CASE"]
+        if node.operand is not None:
+            pieces.append(expression_to_sql(node.operand))
+        for condition, result in node.branches:
+            pieces.append(f"WHEN {expression_to_sql(condition)} "
+                          f"THEN {expression_to_sql(result)}")
+        if node.default is not None:
+            pieces.append(f"ELSE {expression_to_sql(node.default)}")
+        pieces.append("END")
+        return " ".join(pieces)
     if isinstance(node, CastExpr):
         return (f"CAST({expression_to_sql(node.operand)} "
                 f"AS {node.target.upper()})")
     return f"<{type(node).__name__}>"
 
 
-def explain_plan(plan: SelectPlan) -> str:
-    """Indented-tree rendering of a logical plan."""
+def statement_to_sql(statement: SelectStatement) -> str:
+    """Render a parsed SELECT back to re-parseable SQL text."""
+    parts: List[str] = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item_to_sql(item)
+                           for item in statement.items))
+    if statement.from_items:
+        parts.append("FROM " + ", ".join(
+            _from_item_to_sql(item) for item in statement.from_items))
+    if statement.where is not None:
+        parts.append("WHERE " + expression_to_sql(statement.where))
+    if statement.group_by:
+        parts.append("GROUP BY " + ", ".join(
+            expression_to_sql(g) for g in statement.group_by))
+    if statement.having is not None:
+        parts.append("HAVING " + expression_to_sql(statement.having))
+    sql = " ".join(parts)
+    for op in statement.set_operations:
+        suffix = " ALL" if op.all else ""
+        sql += f" {op.op.upper()}{suffix} {statement_to_sql(op.right)}"
+    if statement.order_by:
+        directions = ", ".join(
+            expression_to_sql(item.expression)
+            + ("" if item.ascending else " DESC")
+            for item in statement.order_by
+        )
+        sql += f" ORDER BY {directions}"
+    if statement.limit is not None:
+        sql += f" LIMIT {statement.limit}"
+    if statement.offset is not None:
+        sql += f" OFFSET {statement.offset}"
+    return sql
+
+
+def _select_item_to_sql(item: SelectItem) -> str:
+    sql = expression_to_sql(item.expression)
+    return f"{sql} AS {item.alias}" if item.alias else sql
+
+
+def _from_item_to_sql(item: Node) -> str:
+    if isinstance(item, TableRef):
+        return (f"{item.name} AS {item.alias}" if item.alias
+                else item.name)
+    if isinstance(item, SubqueryRef):
+        return f"({statement_to_sql(item.subquery)}) AS {item.alias}"
+    if isinstance(item, Join):
+        left = _from_item_to_sql(item.left)
+        right = _from_item_to_sql(item.right)
+        keyword = {"inner": "JOIN", "left": "LEFT JOIN",
+                   "cross": "CROSS JOIN"}.get(item.kind, "JOIN")
+        sql = f"{left} {keyword} {right}"
+        if item.condition is not None:
+            sql += f" ON {expression_to_sql(item.condition)}"
+        return sql
+    return f"<{type(item).__name__}>"
+
+
+def explain_plan(plan: SelectPlan,
+                 annotator: Optional[Annotator] = None) -> str:
+    """Indented-tree rendering of a logical plan.
+
+    ``annotator`` optionally supplies extra per-node text (cardinality,
+    cost, fast-path eligibility) appended to each node's line.
+    """
     lines: List[str] = []
-    _explain_select(plan, lines, 0)
+    _explain_select(plan, lines, 0, annotator)
     return "\n".join(lines)
 
 
@@ -100,7 +195,15 @@ def _emit(lines: List[str], depth: int, text: str) -> None:
     lines.append("  " * depth + text)
 
 
-def _explain_select(plan: SelectPlan, lines: List[str], depth: int) -> None:
+def _annotate(node: Plan, annotator: Optional[Annotator]) -> str:
+    if annotator is None:
+        return ""
+    note = annotator(node)
+    return f"  {note}" if note else ""
+
+
+def _explain_select(plan: SelectPlan, lines: List[str], depth: int,
+                    annotator: Optional[Annotator] = None) -> None:
     pieces = []
     if plan.distinct:
         pieces.append("DISTINCT")
@@ -121,7 +224,7 @@ def _explain_select(plan: SelectPlan, lines: List[str], depth: int) -> None:
     if plan.offset is not None:
         pieces.append(f"OFFSET {plan.offset}")
     header = "SELECT" + (f" [{' | '.join(pieces)}]" if pieces else "")
-    _emit(lines, depth, header)
+    _emit(lines, depth, header + _annotate(plan, annotator))
 
     columns = ", ".join(
         (item.alias or expression_to_sql(item.expression))
@@ -133,38 +236,41 @@ def _explain_select(plan: SelectPlan, lines: List[str], depth: int) -> None:
     if plan.having is not None:
         _emit(lines, depth + 1, f"having: {expression_to_sql(plan.having)}")
     if plan.source is not None:
-        _explain_source(plan.source, lines, depth + 1)
+        _explain_source(plan.source, lines, depth + 1, annotator)
     else:
         _emit(lines, depth + 1, "source: <constant row>")
     for op_name, all_flag, right in plan.set_operations:
         suffix = " ALL" if all_flag else ""
         _emit(lines, depth + 1, f"{op_name.upper()}{suffix}:")
-        _explain_select(right, lines, depth + 2)
+        _explain_select(right, lines, depth + 2, annotator)
 
 
-def _explain_source(plan: Plan, lines: List[str], depth: int) -> None:
+def _explain_source(plan: Plan, lines: List[str], depth: int,
+                    annotator: Optional[Annotator] = None) -> None:
     if isinstance(plan, ScanPlan):
-        alias = "" if plan.binding == plan.table else f" AS {plan.binding}"
-        _emit(lines, depth, f"SCAN {plan.table}{alias}")
+        _emit(lines, depth, plan.describe() + _annotate(plan, annotator))
     elif isinstance(plan, SubqueryScanPlan):
-        _emit(lines, depth, f"DERIVED {plan.binding}:")
-        _explain_select(plan.plan, lines, depth + 1)
+        _emit(lines, depth,
+              f"DERIVED {plan.binding}:" + _annotate(plan, annotator))
+        _explain_select(plan.plan, lines, depth + 1, annotator)
     elif isinstance(plan, HashJoinPlan):
         keys = ", ".join(
             f"{expression_to_sql(l)} = {expression_to_sql(r)}"
             for l, r in zip(plan.left_keys, plan.right_keys)
         )
-        _emit(lines, depth, f"HASH JOIN [{plan.kind}] on {keys}")
+        _emit(lines, depth, f"HASH JOIN [{plan.kind}] on {keys}"
+              + _annotate(plan, annotator))
         if plan.residual is not None:
             _emit(lines, depth + 1,
                   f"residual: {expression_to_sql(plan.residual)}")
-        _explain_source(plan.left, lines, depth + 1)
-        _explain_source(plan.right, lines, depth + 1)
+        _explain_source(plan.left, lines, depth + 1, annotator)
+        _explain_source(plan.right, lines, depth + 1, annotator)
     elif isinstance(plan, NestedLoopJoinPlan):
         condition = ("" if plan.condition is None
                      else f" on {expression_to_sql(plan.condition)}")
-        _emit(lines, depth, f"NESTED LOOP [{plan.kind}]{condition}")
-        _explain_source(plan.left, lines, depth + 1)
-        _explain_source(plan.right, lines, depth + 1)
+        _emit(lines, depth, f"NESTED LOOP [{plan.kind}]{condition}"
+              + _annotate(plan, annotator))
+        _explain_source(plan.left, lines, depth + 1, annotator)
+        _explain_source(plan.right, lines, depth + 1, annotator)
     else:
         _emit(lines, depth, f"<{type(plan).__name__}>")

@@ -43,7 +43,10 @@ from repro.sqlengine.executor import Catalog, Env, LazyRow, _Executor, _truthy
 from repro.sqlengine.introspect import (
     dedupe_columns, expression_columns, expression_name,
 )
-from repro.sqlengine.planner import ScanPlan, SelectPlan
+from repro.sqlengine.planner import (
+    HashJoinPlan, NestedLoopJoinPlan, ScanPlan, SelectPlan,
+    SubqueryScanPlan,
+)
 from repro.sqlengine.relation import Relation
 from repro.streams.materialized import RowListener, WindowRelation
 
@@ -51,6 +54,44 @@ logger = logging.getLogger("repro.sqlengine.incremental")
 
 #: Aggregates maintainable under append/evict deltas.
 INCREMENTAL_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+
+# -- ineligibility reason taxonomy ------------------------------------------
+#
+# Stable strings shared by this runtime classifier and the deploy-time
+# plan pass (``repro.analysis.planpass``): keeping them in one place is
+# what makes the static verdict and the runtime attachment agree by
+# construction. Each names the *first* disqualifying feature found; the
+# set doubles as the worklist for extending delta maintenance.
+
+REASON_SET_OPERATION = "set-operation"
+REASON_GROUP_BY = "group-by"
+REASON_HAVING = "having"
+REASON_ORDER_BY = "order-by"
+REASON_DISTINCT = "distinct"
+REASON_LIMIT_OFFSET = "limit-offset"
+REASON_JOIN = "join-shape"
+REASON_SUBQUERY = "subquery"
+REASON_CONSTANT_SOURCE = "constant-source"
+REASON_WHERE = "where-clause"
+REASON_PROJECTION = "projection"
+REASON_NON_INCREMENTAL_FUNCTION = "non-incremental-function"
+REASON_EXPRESSION_ARGUMENT = "expression-argument"
+# Reasons only the deploy-time pass can decide (window + schema context):
+REASON_TIME_WINDOW = "time-window"
+REASON_UNKNOWN_SCHEMA = "unknown-schema"
+REASON_UNKNOWN_COLUMN = "unknown-column"
+REASON_TYPE_RISK = "type-risk"
+REASON_DISABLED = "incremental-disabled"
+
+#: Every reason string the classifier or the plan pass may report.
+INELIGIBILITY_REASONS = frozenset({
+    REASON_SET_OPERATION, REASON_GROUP_BY, REASON_HAVING, REASON_ORDER_BY,
+    REASON_DISTINCT, REASON_LIMIT_OFFSET, REASON_JOIN, REASON_SUBQUERY,
+    REASON_CONSTANT_SOURCE, REASON_WHERE, REASON_PROJECTION,
+    REASON_NON_INCREMENTAL_FUNCTION, REASON_EXPRESSION_ARGUMENT,
+    REASON_TIME_WINDOW, REASON_UNKNOWN_SCHEMA, REASON_UNKNOWN_COLUMN,
+    REASON_TYPE_RISK, REASON_DISABLED,
+})
 
 
 @dataclass(frozen=True)
@@ -89,12 +130,35 @@ def classify(plan: SelectPlan) -> Optional[Classified]:
     GROUP BY, ORDER BY/LIMIT, expressions inside aggregates) disqualifies
     the plan.
     """
+    return classify_with_reason(plan)[0]
+
+
+def classify_with_reason(plan: SelectPlan
+                         ) -> Tuple[Optional[Classified], Optional[str]]:
+    """:func:`classify` plus the taxonomy reason when disqualified.
+
+    Returns ``(classified, None)`` for qualifying plans and
+    ``(None, reason)`` otherwise, where ``reason`` is one of the
+    ``REASON_*`` constants naming the first disqualifying feature.
+    """
     if not isinstance(plan.source, ScanPlan):
-        return None
-    if plan.set_operations or plan.group_by or plan.having is not None \
-            or plan.order_by or plan.distinct \
-            or plan.limit is not None or plan.offset is not None:
-        return None
+        if isinstance(plan.source, (NestedLoopJoinPlan, HashJoinPlan)):
+            return None, REASON_JOIN
+        if isinstance(plan.source, SubqueryScanPlan):
+            return None, REASON_SUBQUERY
+        return None, REASON_CONSTANT_SOURCE
+    if plan.set_operations:
+        return None, REASON_SET_OPERATION
+    if plan.group_by:
+        return None, REASON_GROUP_BY
+    if plan.having is not None:
+        return None, REASON_HAVING
+    if plan.order_by:
+        return None, REASON_ORDER_BY
+    if plan.distinct:
+        return None, REASON_DISTINCT
+    if plan.limit is not None or plan.offset is not None:
+        return None, REASON_LIMIT_OFFSET
     binding = plan.source.binding
 
     if not plan.is_aggregate:
@@ -102,36 +166,40 @@ def classify(plan: SelectPlan) -> Optional[Classified]:
     return _classify_aggregate(plan, binding)
 
 
-def _classify_identity(plan: SelectPlan,
-                       binding: str) -> Optional[IdentityQuery]:
-    if plan.where is not None or len(plan.items) != 1:
-        return None
+def _classify_identity(plan: SelectPlan, binding: str
+                       ) -> Tuple[Optional[IdentityQuery], Optional[str]]:
+    if plan.where is not None:
+        return None, REASON_WHERE
+    if len(plan.items) != 1:
+        return None, REASON_PROJECTION
     expr = plan.items[0].expression
     if not isinstance(expr, Star):
-        return None
+        return None, REASON_PROJECTION
     if expr.table is not None and expr.table != binding:
-        return None
-    return IdentityQuery(binding)
+        return None, REASON_PROJECTION
+    return IdentityQuery(binding), None
 
 
-def _classify_aggregate(plan: SelectPlan,
-                        binding: str) -> Optional[AggregateQuery]:
+def _classify_aggregate(plan: SelectPlan, binding: str
+                        ) -> Tuple[Optional[AggregateQuery], Optional[str]]:
     referenced: List[str] = []
     items: List[AggregateItem] = []
     for item in plan.items:
-        parsed = _classify_item(item, binding)
+        parsed, reason = _classify_item(item, binding)
         if parsed is None:
-            return None
+            return None, reason
         items.append(parsed)
         if parsed.column is not None:
             referenced.append(parsed.column)
 
     if plan.where is not None:
-        if has_subquery(plan.where) or contains_aggregate(plan.where):
-            return None
+        if has_subquery(plan.where):
+            return None, REASON_SUBQUERY
+        if contains_aggregate(plan.where):
+            return None, REASON_WHERE
         for ref in expression_columns(plan.where):
             if ref.table is not None and ref.table != binding:
-                return None
+                return None, REASON_WHERE
             referenced.append(ref.name)
 
     columns = dedupe_columns([
@@ -144,30 +212,32 @@ def _classify_aggregate(plan: SelectPlan,
         columns=tuple(columns),
         where=plan.where,
         referenced=frozenset(referenced),
-    )
+    ), None
 
 
-def _classify_item(item: SelectItem,
-                   binding: str) -> Optional[AggregateItem]:
+def _classify_item(item: SelectItem, binding: str
+                   ) -> Tuple[Optional[AggregateItem], Optional[str]]:
     expr = item.expression
-    if not isinstance(expr, FunctionCall) or expr.distinct:
-        return None
+    if not isinstance(expr, FunctionCall):
+        return None, REASON_PROJECTION
+    if expr.distinct:
+        return None, REASON_DISTINCT
     if expr.name not in INCREMENTAL_AGGREGATES:
-        return None
+        return None, REASON_NON_INCREMENTAL_FUNCTION
     if expr.star:
         # Only count(*) is legal SQL; anything else must keep raising
         # through the generic path.
         if expr.name != "count":
-            return None
-        return AggregateItem("count_star", None)
+            return None, REASON_EXPRESSION_ARGUMENT
+        return AggregateItem("count_star", None), None
     if len(expr.args) != 1:
-        return None
+        return None, REASON_EXPRESSION_ARGUMENT
     arg = expr.args[0]
     if not isinstance(arg, ColumnRef):
-        return None
+        return None, REASON_EXPRESSION_ARGUMENT
     if arg.table is not None and arg.table != binding:
-        return None
-    return AggregateItem(expr.name, arg.name)
+        return None, REASON_EXPRESSION_ARGUMENT
+    return AggregateItem(expr.name, arg.name), None
 
 
 # --------------------------------------------------------------------------

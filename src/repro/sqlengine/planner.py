@@ -10,7 +10,7 @@ Plans are cached per SQL text by :mod:`repro.query.plan_cache`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.exceptions import SQLPlanError
 from repro.sqlengine.ast_nodes import (
@@ -24,6 +24,20 @@ class Plan:
 
     bindings: FrozenSet[str] = frozenset()
 
+    def children(self) -> Tuple["Plan", ...]:
+        """The node's direct plan-tree children (analysis traversal)."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line label for the node (EXPLAIN and plan annotations)."""
+        return type(self).__name__
+
+    def walk(self) -> Iterator["Plan"]:
+        """The node and every plan node below it, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
 
 @dataclass
 class ScanPlan(Plan):
@@ -33,6 +47,10 @@ class ScanPlan(Plan):
 
     def __post_init__(self) -> None:
         self.bindings = frozenset({self.binding})
+
+    def describe(self) -> str:
+        alias = "" if self.binding == self.table else f" AS {self.binding}"
+        return f"SCAN {self.table}{alias}"
 
 
 @dataclass
@@ -44,6 +62,12 @@ class SubqueryScanPlan(Plan):
     def __post_init__(self) -> None:
         self.bindings = frozenset({self.binding})
 
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.plan,)
+
+    def describe(self) -> str:
+        return f"DERIVED {self.binding}"
+
 
 @dataclass
 class NestedLoopJoinPlan(Plan):
@@ -54,6 +78,12 @@ class NestedLoopJoinPlan(Plan):
 
     def __post_init__(self) -> None:
         self.bindings = self.left.bindings | self.right.bindings
+
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"NESTED LOOP [{self.kind}]"
 
 
 @dataclass
@@ -68,6 +98,12 @@ class HashJoinPlan(Plan):
 
     def __post_init__(self) -> None:
         self.bindings = self.left.bindings | self.right.bindings
+
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"HASH JOIN [{self.kind}]"
 
 
 @dataclass
@@ -88,6 +124,16 @@ class SelectPlan(Plan):
 
     def __post_init__(self) -> None:
         self.bindings = self.source.bindings if self.source else frozenset()
+
+    def children(self) -> Tuple[Plan, ...]:
+        nested: List[Plan] = []
+        if self.source is not None:
+            nested.append(self.source)
+        nested.extend(right for __, __, right in self.set_operations)
+        return tuple(nested)
+
+    def describe(self) -> str:
+        return "SELECT" + (" [aggregate]" if self.is_aggregate else "")
 
 
 def plan_select(statement: SelectStatement) -> SelectPlan:

@@ -113,6 +113,7 @@ class VirtualSensorManager:
                 node=self.node,
                 registry=self.metrics,
                 trace_sink=self.trace_sink,
+                static_verdicts=self._static_verdicts(descriptor),
             )
         except Exception:
             self.storage.drop_stream(table_name)
@@ -128,11 +129,28 @@ class VirtualSensorManager:
     def _knows_wrapper(self, name: str) -> bool:
         return name in self.registry
 
+    def _static_verdicts(self, descriptor: VirtualSensorDescriptor) -> dict:
+        """Deploy-time gsn-plan verdicts for one descriptor.
+
+        Advisory: the verdicts pre-route proven-ineligible per-source
+        queries to the legacy executor and let the runtime report any
+        disagreement with an eligible verdict. Never blocks a deploy —
+        any analysis failure yields an empty map (runtime classification
+        then decides alone, exactly as before gsn-plan existed).
+        """
+        # deferred: the analysis layer imports descriptor/sqlengine
+        # modules and must stay optional at runtime
+        from repro.analysis.planpass import descriptor_verdicts
+
+        return descriptor_verdicts(descriptor, registry=self.registry,
+                                   incremental=self.incremental)
+
     def _strict_check(self, descriptor: VirtualSensorDescriptor) -> None:
         """The ``strict=True`` pre-deploy gate.
 
-        Runs :func:`repro.analysis.analyze` over the deployed set plus
-        the candidate and rejects the candidate on any error finding the
+        Runs :func:`repro.analysis.analyze` (including the gsn-plan
+        query-plan pass, GSN701–GSN705) over the deployed set plus the
+        candidate and rejects the candidate on any error finding the
         candidate *introduces* (pre-existing findings in the running set
         never block an unrelated deploy).
         """
@@ -143,10 +161,10 @@ class VirtualSensorManager:
         baseline = {
             (f.rule_id, f.location, f.message)
             for f in analyze(existing, registry=self.registry,
-                             external_producers=external)
+                             external_producers=external, plan=True)
         }
         report = analyze(existing + [descriptor], registry=self.registry,
-                         external_producers=external)
+                         external_producers=external, plan=True)
         introduced = [
             f for f in report.errors
             if (f.rule_id, f.location, f.message) not in baseline
@@ -227,14 +245,29 @@ class VirtualSensorManager:
         for name in list(self._sensors):
             self.undeploy(name, keep_storage=keep_storage)
 
+    def static_coverage(self) -> tuple:
+        """``(eligible, total)`` gsn-plan verdicts over deployed sensors."""
+        eligible = 0
+        total = 0
+        for sensor in self._sensors.values():
+            block = sensor.incremental_status().get("static", {})
+            eligible += int(block.get("eligible", 0))
+            total += int(block.get("total", 0))
+        return eligible, total
+
     def status(self) -> dict:
+        eligible, total = self.static_coverage()
         return status_doc(
             self.node or "vsm", "running",
             counters={"deploy_count": self.deploy_count,
-                      "deployed_sensors": len(self._sensors)},
+                      "deployed_sensors": len(self._sensors),
+                      "static_eligible_sources": eligible,
+                      "static_analyzed_sources": total},
             uptime_ms=self._uptime.uptime_ms(),
             deployed=self.sensor_names(),
             deploy_count=self.deploy_count,
+            static_coverage_percent=(round(100.0 * eligible / total, 1)
+                                     if total else 0.0),
             sensors={name: sensor.status()
                      for name, sensor in self._sensors.items()},
         )

@@ -66,7 +66,9 @@ class VirtualSensor:
                  incremental: bool = True,
                  node: str = "",
                  registry: Optional[MetricsRegistry] = None,
-                 trace_sink: Optional[TraceBuffer] = None) -> None:
+                 trace_sink: Optional[TraceBuffer] = None,
+                 static_verdicts: Optional[Dict[SourceKey, Any]] = None
+                 ) -> None:
         self.descriptor = descriptor
         self.name = descriptor.name
         self.clock = clock
@@ -107,6 +109,14 @@ class VirtualSensor:
         #: harness uses these to feed its node queueing model.
         self.processing_hooks: List[Callable[[int, float], None]] = []
 
+        # Deploy-time fast-path verdicts from gsn-plan
+        # (repro.analysis.planpass.PlanVerdict, duck-typed so the runtime
+        # never imports the analysis layer). A proven-ineligible verdict
+        # routes the source straight to the legacy executor; an eligible
+        # verdict that fails to hold at runtime is a reported defect.
+        self._static_verdicts: Dict[SourceKey, Any] = dict(
+            static_verdicts or {}
+        )
         # Plans are prepared once per deployment and reused per trigger —
         # this is the plan cache half of GSN's "adaptive query execution".
         self._source_plans: Dict[SourceKey, SelectPlan] = {}
@@ -196,30 +206,60 @@ class VirtualSensor:
         """Classify one per-source plan and wire up its fast path.
 
         Anything that doesn't qualify simply stays on the generic
-        executor — classification is advisory, never load-bearing.
+        executor — classification is advisory, never load-bearing. When
+        gsn-plan supplied a static verdict, a *proven*-ineligible one
+        skips classification outright (legacy path chosen up front),
+        while an eligible one that fails to attach here is a
+        disagreement — the static analysis promised a fast path that the
+        runtime could not deliver — and is counted as a defect.
         """
         key = (stream_name, source.spec.alias)
+        verdict = self._static_verdicts.get(key)
+        if verdict is not None and not verdict.eligible \
+                and getattr(verdict, "proven", True):
+            return
+        attached = self._attach_classified(key, stream_name, source)
+        if not attached and verdict is not None and verdict.eligible:
+            self.fast_paths.record_static_disagreement()
+            logger.warning(
+                "%s: gsn-plan proved %s/%s fast-path eligible but the "
+                "runtime could not attach it; please report this "
+                "analyzer defect", self.name, stream_name,
+                source.spec.alias,
+            )
+
+    def _attach_classified(self, key: SourceKey, stream_name: str,
+                           source: SourceRuntime) -> bool:
         classified = classify(self._source_plans[key])
         if classified is None:
-            return
+            return False
         mat = source.materializer
         if mat is None:
-            return
+            return False
         if isinstance(classified, IdentityQuery):
             self._fast_paths[key] = classified
-            return
+            return True
         # Running accumulators are only attached over count windows (the
         # ISSUE scope); the referenced columns must all exist in the
         # materialized relation, otherwise the legacy path must keep
         # raising its unknown-column error at query time.
         if not isinstance(source.window, CountWindow):
-            return
+            return False
         if any(name not in mat._index for name in classified.referenced):
-            return
+            return False
         def poisoned(exc: BaseException, _key: SourceKey = key) -> None:
             # Counted per sensor (fastpath_poisoned_total); the query
             # text itself is logged once by the accumulator.
             self.fast_paths.record_poisoned()
+            verdict = self._static_verdicts.get(_key)
+            if verdict is not None and verdict.eligible:
+                # gsn-plan proved this query could not poison; it did.
+                self.fast_paths.record_static_disagreement()
+                logger.warning(
+                    "%s: statically-eligible query %s/%s poisoned at "
+                    "runtime (%s); please report this analyzer defect",
+                    self.name, *_key, exc,
+                )
 
         state = IncrementalAggregateState(
             classified, mat,
@@ -228,10 +268,11 @@ class VirtualSensor:
             on_poison=poisoned,
         )
         if not state.healthy:
-            return
+            return False
         mat.add_listener(state)
         self._fast_paths[key] = classified
         self._agg_states[key] = state
+        return True
 
     # -- the pipeline ----------------------------------------------------------
 
@@ -507,6 +548,28 @@ class VirtualSensor:
             "enabled": self.incremental,
             "fast_paths": kinds,
             "counters": self.fast_paths.snapshot(),
+            "static": self._static_status(),
+        }
+
+    def _static_status(self) -> dict:
+        """Deploy-time gsn-plan verdicts and fast-path coverage."""
+        verdicts = {}
+        eligible = 0
+        for (stream_name, alias), verdict in sorted(
+                self._static_verdicts.items()):
+            verdicts[f"{stream_name}/{alias}"] = {
+                "eligible": bool(verdict.eligible),
+                "reason": getattr(verdict, "reason", None),
+            }
+            if verdict.eligible:
+                eligible += 1
+        total = len(self._static_verdicts)
+        return {
+            "verdicts": verdicts,
+            "eligible": eligible,
+            "total": total,
+            "coverage_percent": round(100.0 * eligible / total, 1)
+            if total else 0.0,
         }
 
     def __repr__(self) -> str:

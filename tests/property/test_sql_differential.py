@@ -226,6 +226,139 @@ def test_in_subquery_agreement(rows, other):
     assert normalize(execute(sql, catalog).rows) == normalize(expected)
 
 
+# --------------------------------------------------------------------------
+# Round trip: expression_to_sql / statement_to_sql re-parse to themselves
+# --------------------------------------------------------------------------
+
+@st.composite
+def expressions(draw, depth=0):
+    """A random SQL expression string covering every expression node."""
+    literals = st.sampled_from(
+        ["1", "42", "-7", "1.5", "'x'", "'it''s'", "null", "a", "b", "s",
+         "t.a", "t.b"])
+    if depth >= 2:
+        return draw(literals)
+    choice = draw(st.integers(0, 9))
+    if choice <= 1:
+        return draw(literals)
+    if choice == 2:
+        left = draw(expressions(depth=depth + 1))
+        right = draw(expressions(depth=depth + 1))
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%", "=", "<>",
+                                   "<", "<=", ">", ">=", "and", "or"]))
+        return f"({left}) {op} ({right})"
+    if choice == 3:
+        return f"not ({draw(expressions(depth=depth + 1))})"
+    if choice == 4:
+        negated = "not " if draw(st.booleans()) else ""
+        operand = draw(expressions(depth=depth + 1))
+        low = draw(expressions(depth=depth + 1))
+        high = draw(expressions(depth=depth + 1))
+        return f"({operand}) {negated}between ({low}) and ({high})"
+    if choice == 5:
+        negated = "not " if draw(st.booleans()) else ""
+        pattern = draw(st.sampled_from(["'x%'", "'%y'", "'z_'"]))
+        return f"(s) {negated}like {pattern}"
+    if choice == 6:
+        negated = "not " if draw(st.booleans()) else ""
+        options = draw(st.lists(st.integers(-5, 5), min_size=1,
+                                max_size=3))
+        subquery = draw(st.booleans())
+        source = ("select b from u" if subquery
+                  else ", ".join(map(str, options)))
+        return f"(a) {negated}in ({source})"
+    if choice == 7:
+        negated = "not " if draw(st.booleans()) else ""
+        return f"({draw(expressions(depth=depth + 1))}) is {negated}null"
+    if choice == 8:
+        name = draw(st.sampled_from(["abs", "coalesce", "upper"]))
+        arg = draw(expressions(depth=depth + 1))
+        return f"{name}({arg})"
+    kind = draw(st.sampled_from(["integer", "real", "text"]))
+    if draw(st.booleans()):
+        return f"cast(({draw(expressions(depth=depth + 1))}) as {kind})"
+    return (f"case when ({draw(expressions(depth=depth + 1))}) "
+            f"then ({draw(expressions(depth=depth + 1))}) "
+            f"else ({draw(expressions(depth=depth + 1))}) end")
+
+
+@st.composite
+def statements(draw):
+    """A random SELECT covering the statement-level rendering."""
+    items = draw(st.lists(st.one_of(
+        st.just("*"),
+        st.just("t.*"),
+        st.builds(lambda e: f"({e})", expressions(depth=1)),
+        st.builds(lambda e, i: f"({e}) as c{i}",
+                  expressions(depth=1), st.integers(0, 9)),
+    ), min_size=1, max_size=3))
+    distinct = "distinct " if draw(st.booleans()) else ""
+    sql = f"select {distinct}{', '.join(items)} from t"
+    if draw(st.booleans()):
+        kind = draw(st.sampled_from(["join", "left join", "cross join"]))
+        sql += f" {kind} u"
+        if kind != "cross join":
+            sql += " on t.b = u.b"
+    if draw(st.booleans()):
+        sql += f" where ({draw(expressions(depth=1))})"
+    if draw(st.booleans()):
+        sql += " group by b"
+        if draw(st.booleans()):
+            sql += " having count(*) > 1"
+    if draw(st.booleans()):
+        op = draw(st.sampled_from(["union", "union all", "intersect",
+                                   "except"]))
+        sql += f" {op} select a from u"
+    if draw(st.booleans()):
+        direction = draw(st.sampled_from(["", " asc", " desc"]))
+        sql += f" order by a{direction}"
+    if draw(st.booleans()):
+        sql += f" limit {draw(st.integers(0, 9))}"
+        if draw(st.booleans()):
+            sql += f" offset {draw(st.integers(0, 9))}"
+    return sql
+
+
+def _expression_of(sql):
+    from repro.sqlengine.parser import parse_select
+
+    return parse_select(f"select {sql} from t").items[0].expression
+
+
+@settings(max_examples=150, deadline=None)
+@given(sql=expressions())
+def test_expression_to_sql_round_trips(sql):
+    from repro.sqlengine.explain import expression_to_sql
+
+    rendered = expression_to_sql(_expression_of(sql))
+    reparsed = expression_to_sql(_expression_of(rendered))
+    assert reparsed == rendered, sql
+
+
+@settings(max_examples=150, deadline=None)
+@given(sql=statements())
+def test_statement_to_sql_round_trips(sql):
+    from repro.sqlengine.explain import statement_to_sql
+    from repro.sqlengine.parser import parse_select
+
+    rendered = statement_to_sql(parse_select(sql))
+    reparsed = statement_to_sql(parse_select(rendered))
+    assert reparsed == rendered, sql
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, where=where_clauses())
+def test_rendered_where_executes_identically(rows, where):
+    """Rendering and re-parsing a query must not change its answer."""
+    from repro.sqlengine.explain import statement_to_sql
+    from repro.sqlengine.parser import parse_select
+
+    sql = f"select a, b, s from t where {where}"
+    rendered = statement_to_sql(parse_select(sql))
+    assert normalize(run_scratch(rows, rendered)) \
+        == normalize(run_scratch(rows, sql))
+
+
 @settings(max_examples=40, deadline=None)
 @given(rows=rows_strategy, other=rows_strategy)
 def test_left_join_agreement(rows, other):
