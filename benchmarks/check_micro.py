@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate BENCH_micro.json against the budgets and the recorded baseline.
+
+Run after ``pytest benchmarks/test_micro.py`` has written
+``BENCH_micro.json`` at the repo root. Fails (exit 1) when:
+
+- a delta-maintained workload's speedup falls under its floor (every
+  doc carrying a ``speedup`` key is gated; the default floor is 5x,
+  group-by and time-window workloads claim 10x),
+- a workload regresses more than 20% against the speedup recorded in
+  ``benchmarks/baseline.json`` (ratios, so the check is
+  machine-independent),
+- the incremental fast path covers fewer workloads than the baseline
+  records, or gsn-plan's static coverage over the shipped examples
+  fleet drops below the recorded percentage,
+- the traced span protocol exceeds its 10%-of-a-trigger budget (the
+  end-to-end sampled-vs-unsampled difference also has a loose 25%
+  noise bound), or static verdicts start costing the hot path more
+  than 2000 ns per trigger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import List
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+REGRESSION_FACTOR = 0.8  # >20% slowdown vs the recorded baseline fails
+
+
+def check(metrics: dict, baseline: dict) -> List[str]:
+    failures: List[str] = []
+
+    for name, doc in sorted(metrics.items()):
+        if not isinstance(doc, dict):
+            continue
+        if "speedup" in doc:
+            floor = doc.get("floor", 5)
+            print(f"{name}: {doc['speedup']:.1f}x "
+                  f"({doc['legacy_ms']:.3f} ms -> "
+                  f"{doc['incremental_ms']:.3f} ms, floor {floor}x)")
+            if doc["speedup"] < floor:
+                failures.append(f"{name} below its {floor}x floor "
+                                f"({doc['speedup']:.1f}x)")
+        if "compiled_speedup" in doc:
+            print(f"{name}: compiled {doc['compiled_speedup']:.1f}x "
+                  f"({doc['interpreted_ms']:.3f} ms -> "
+                  f"{doc['compiled_ms']:.3f} ms)")
+        if "overhead_pct" in doc:
+            print(f"{name}: traced path "
+                  f"{doc['traced_pct_of_trigger']:.1f}% of a trigger, "
+                  f"+{doc['overhead_pct']:.1f}% end to end, "
+                  f"{doc['untraced_path_ns']:.0f} ns when off")
+            if doc["traced_pct_of_trigger"] > 10:
+                failures.append(f"{name} above the 10% tracing budget")
+            if doc["overhead_pct"] > 25:
+                failures.append(
+                    f"{name}: end-to-end tracing overhead is beyond "
+                    "measurement noise")
+        if "per_trigger_overhead_ns" in doc:
+            print(f"{name}: {doc['deploy_verdict_us']:.0f} us per deploy, "
+                  f"{doc['per_trigger_overhead_ns']:.0f} ns per trigger")
+            if doc["per_trigger_overhead_ns"] > 2000:
+                failures.append(
+                    f"{name}: static verdicts must not cost the hot path")
+
+    for name, recorded in sorted(baseline.get("speedups", {}).items()):
+        doc = metrics.get(name)
+        if doc is None or "speedup" not in doc:
+            failures.append(f"{name}: baseline workload missing from "
+                            "BENCH_micro.json")
+            continue
+        required = recorded * REGRESSION_FACTOR
+        if doc["speedup"] < required:
+            failures.append(
+                f"{name} regressed: {doc['speedup']:.1f}x < "
+                f"{required:.1f}x (80% of the recorded {recorded}x)")
+
+    recorded_pct = baseline["fast_path_static_coverage"]["examples_percent"]
+    coverage = metrics.get("fast_path_static_coverage", {})
+    current_pct = coverage.get("examples_percent", 0.0)
+    print(f"examples static coverage: {current_pct}% "
+          f"(baseline {recorded_pct}%)")
+    if current_pct < recorded_pct:
+        failures.append(
+            f"static fast-path coverage regressed: {current_pct}% < "
+            f"recorded {recorded_pct}%")
+
+    recorded_workloads = set(baseline.get("fast_path_workloads", ()))
+    current_workloads = set(
+        metrics.get("matrix_fast_path_workloads", {}).get("workloads", ()))
+    missing = sorted(recorded_workloads - current_workloads)
+    if missing:
+        failures.append(
+            "fast-path coverage regressed; workloads no longer "
+            f"delta-maintained: {', '.join(missing)}")
+
+    return failures
+
+
+def main() -> int:
+    with open(os.path.join(ROOT, "BENCH_micro.json")) as handle:
+        metrics = json.load(handle)
+    with open(os.path.join(ROOT, "benchmarks", "baseline.json")) as handle:
+        baseline = json.load(handle)
+    failures = check(metrics, baseline)
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

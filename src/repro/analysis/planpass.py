@@ -50,14 +50,14 @@ from repro.sqlengine.ast_nodes import (
 from repro.sqlengine.executor import _truthy
 from repro.sqlengine.explain import expression_to_sql, explain_plan
 from repro.sqlengine.incremental import (
-    IdentityQuery, INELIGIBILITY_REASONS,
+    Classified, GroupedAggregateQuery, IdentityQuery, INELIGIBILITY_REASONS,
     REASON_CONSTANT_SOURCE, REASON_DISABLED, REASON_DISTINCT,
-    REASON_EXPRESSION_ARGUMENT, REASON_GROUP_BY, REASON_HAVING,
+    REASON_EXPRESSION_ARGUMENT, REASON_HAVING,
     REASON_JOIN, REASON_LIMIT_OFFSET, REASON_NON_INCREMENTAL_FUNCTION,
     REASON_ORDER_BY, REASON_PROJECTION, REASON_SET_OPERATION,
-    REASON_SUBQUERY, REASON_TIME_WINDOW, REASON_TYPE_RISK,
+    REASON_SUBQUERY, REASON_TYPE_RISK,
     REASON_UNKNOWN_COLUMN, REASON_UNKNOWN_SCHEMA, REASON_WHERE,
-    classify_with_reason,
+    classify_join, classify_with_reason,
 )
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.planner import (
@@ -100,20 +100,21 @@ PROVEN_INELIGIBILITY_REASONS = INELIGIBILITY_REASONS - {
 
 _REASON_DETAILS = {
     REASON_SET_OPERATION: "set operations require full re-evaluation",
-    REASON_GROUP_BY: "grouped results are not delta-maintained",
     REASON_HAVING: "HAVING filters grouped results",
     REASON_ORDER_BY: "ordered output is not delta-maintained",
     REASON_DISTINCT: "distinctness needs multiset bookkeeping",
     REASON_LIMIT_OFFSET: "LIMIT/OFFSET depends on full ordering",
-    REASON_JOIN: "joins are re-executed per trigger",
+    REASON_JOIN: "only two-source inner equi-joins are delta-"
+                 "maintained; this join shape re-executes per trigger",
     REASON_SUBQUERY: "subqueries are re-executed per trigger",
     REASON_CONSTANT_SOURCE: "no window relation to maintain",
     REASON_WHERE: "the WHERE shape is not row-local over the window",
-    REASON_PROJECTION: "only SELECT * or pure aggregate lists qualify",
+    REASON_PROJECTION: "only SELECT *, aggregate lists, or grouped "
+                       "column/aggregate lists qualify",
     REASON_NON_INCREMENTAL_FUNCTION:
         "aggregate outside count/sum/avg/min/max",
     REASON_EXPRESSION_ARGUMENT:
-        "aggregate arguments must be plain columns",
+        "aggregate arguments and GROUP BY keys must be plain columns",
 }
 
 
@@ -596,12 +597,20 @@ def structural_verdict(plan: SelectPlan) -> PlanVerdict:
     classified, reason = classify_with_reason(plan)
     if classified is None:
         assert reason is not None
+        if reason == REASON_JOIN and classify_join(plan) is not None:
+            return PlanVerdict(True, None,
+                               "delta-maintained two-source equi-join")
         return PlanVerdict(False, reason, _REASON_DETAILS.get(reason, ""))
+    return PlanVerdict(True, None, _eligible_detail(classified))
+
+
+def _eligible_detail(classified: Classified) -> str:
     if isinstance(classified, IdentityQuery):
-        return PlanVerdict(True, None,
-                           "identity: the window relation is the answer")
-    return PlanVerdict(True, None,
-                       f"{len(classified.items)} running accumulator(s)")
+        return "identity: the window relation is the answer"
+    if isinstance(classified, GroupedAggregateQuery):
+        return (f"grouped: {len(classified.items)} running "
+                f"accumulator(s) per group")
+    return f"{len(classified.items)} running accumulator(s)"
 
 
 def source_query_verdict(plan: SelectPlan, window_kind: str,
@@ -610,11 +619,13 @@ def source_query_verdict(plan: SelectPlan, window_kind: str,
     """The full deploy-time verdict for one per-source query.
 
     Mirrors :meth:`VirtualSensor._attach_fast_path` exactly: identity
-    queries attach over any window; running accumulators need a count
-    window and every referenced column present in the materialized
-    relation; on top of that, anything the accumulator could *poison* on
-    (type mismatches, division by a data-dependent divisor) is rejected
-    as ``type-risk`` so that an eligible verdict is a no-poison proof.
+    queries attach over any window; running accumulators (flat or
+    grouped) ride the window observer protocol, which both count and
+    time windows publish, and need every referenced column present in
+    the materialized relation; on top of that, anything the accumulator
+    could *poison* on (type mismatches, division by a data-dependent
+    divisor) is rejected as ``type-risk`` so that an eligible verdict
+    is a no-poison proof.
     """
     if not incremental_enabled:
         return PlanVerdict(False, REASON_DISABLED,
@@ -627,10 +638,6 @@ def source_query_verdict(plan: SelectPlan, window_kind: str,
     if isinstance(classified, IdentityQuery):
         return PlanVerdict(True, None,
                            "identity: the window relation is the answer")
-    if window_kind != "count":
-        return PlanVerdict(False, REASON_TIME_WINDOW,
-                           "running accumulators attach over count "
-                           "windows only")
     if wrapper_schema is None:
         return PlanVerdict(False, REASON_UNKNOWN_SCHEMA,
                            "wrapper schema not statically derivable; "
@@ -653,8 +660,7 @@ def source_query_verdict(plan: SelectPlan, window_kind: str,
         return PlanVerdict(False, REASON_TYPE_RISK,
                            "WHERE divides by a data-dependent divisor "
                            "(poisons on zero)")
-    return PlanVerdict(True, None,
-                       f"{len(classified.items)} running accumulator(s)")
+    return PlanVerdict(True, None, _eligible_detail(classified))
 
 
 # --------------------------------------------------------------------------

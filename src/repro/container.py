@@ -350,6 +350,25 @@ class GSNContainer:
             counter_family("gsn_queries_executed_total",
                            "Ad-hoc and standing queries executed.",
                            [({}, self.processor.queries_executed)]),
+            counter_family("gsn_query_executions_total",
+                           "Ad-hoc query executions by engine mode "
+                           "(compiled physical pipeline vs tree-walking "
+                           "interpreter).",
+                           [({"mode": "compiled"},
+                             self.processor.compiled_executions),
+                            ({"mode": "interpreted"},
+                             self.processor.interpreted_executions)]),
+            counter_family("gsn_plan_cache_events_total",
+                           "Plan-cache lookups and LRU evictions.",
+                           [({"event": "hit"}, self.processor.plan_cache.hits),
+                            ({"event": "miss"},
+                             self.processor.plan_cache.misses),
+                            ({"event": "eviction"},
+                             self.processor.plan_cache.evictions)]),
+            gauge_family("gsn_plan_cache_entries",
+                         "Compiled (statement, plan) pairs currently "
+                         "cached.",
+                         [({}, float(len(self.processor.plan_cache)))]),
             gauge_family("gsn_storage_streams",
                          "Stream tables currently held by the container.",
                          [({}, len(self.storage.stream_names()))]),

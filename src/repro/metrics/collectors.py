@@ -107,6 +107,10 @@ class FastPathCounters:
         self.aggregate_hits = 0  # guarded-by: _lock
         self.aggregate_fallbacks = 0  # guarded-by: _lock
         self.legacy_queries = 0  # guarded-by: _lock
+        self.join_hits = 0  # guarded-by: _lock
+        self.join_fallbacks = 0  # guarded-by: _lock
+        self.compiled_queries = 0  # guarded-by: _lock
+        self.interpreted_queries = 0  # guarded-by: _lock
         self.poisoned = 0  # guarded-by: _lock
         self.static_disagreements = 0  # guarded-by: _lock
         self._lock = new_lock("FastPathCounters._lock")
@@ -147,6 +151,25 @@ class FastPathCounters:
         with self._lock:
             self.legacy_queries += 1
 
+    def record_join(self) -> None:
+        """Stream query answered by the delta-maintained join state."""
+        with self._lock:
+            self.join_hits += 1
+
+    def record_join_fallback(self) -> None:
+        """A join state poisoned itself; stream query rerouted."""
+        with self._lock:
+            self.join_fallbacks += 1
+
+    def record_compiled(self, compiled: bool) -> None:
+        """A query ran through the compiled physical pipeline (vs the
+        tree-walking interpreter, for shapes the compiler rejects)."""
+        with self._lock:
+            if compiled:
+                self.compiled_queries += 1
+            else:
+                self.interpreted_queries += 1
+
     def record_poisoned(self) -> None:
         """An accumulator hit a delta error and pinned itself to the
         legacy path (``fastpath_poisoned_total`` in /metrics)."""
@@ -171,6 +194,10 @@ class FastPathCounters:
                 "aggregate_hits": self.aggregate_hits,
                 "aggregate_fallbacks": self.aggregate_fallbacks,
                 "legacy_queries": self.legacy_queries,
+                "join_hits": self.join_hits,
+                "join_fallbacks": self.join_fallbacks,
+                "compiled_queries": self.compiled_queries,
+                "interpreted_queries": self.interpreted_queries,
                 "poisoned": self.poisoned,
                 "static_disagreements": self.static_disagreements,
             }

@@ -25,6 +25,7 @@ class PlanCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[str, Tuple[SelectStatement, SelectPlan]]" = (
             OrderedDict()
         )
@@ -44,6 +45,7 @@ class PlanCache:
             self._entries[key] = (statement, plan)
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
         return statement, plan
 
     def invalidate(self, sql: Optional[str] = None) -> None:

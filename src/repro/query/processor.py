@@ -8,15 +8,19 @@ the retained stream data at execution time.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Optional
 
 from repro.metrics.collectors import LatencyRecorder
 from repro.query.plan_cache import PlanCache
 from repro.status import UptimeTracker, status_doc
-from repro.sqlengine.executor import Catalog, execute_plan
+from repro.sqlengine.executor import Catalog
+from repro.sqlengine.physical import compile_for_catalog, run_plan
 from repro.sqlengine.relation import Relation
 
 CatalogProvider = Callable[[], Catalog]
+
+logger = logging.getLogger(__name__)
 
 
 class QueryProcessor:
@@ -28,6 +32,8 @@ class QueryProcessor:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.latency = LatencyRecorder(keep_samples=True)
         self.queries_executed = 0
+        self.compiled_executions = 0
+        self.interpreted_executions = 0
         self._uptime = UptimeTracker()
 
     def execute(self, sql: str, catalog: Optional[Catalog] = None) -> Relation:
@@ -35,36 +41,67 @@ class QueryProcessor:
 
         ``catalog`` overrides the provider (used when many registered
         queries run against one snapshot, as in the Figure 4 experiment).
+        Supported shapes run through the compiled physical pipeline
+        cached on the plan-cache entry; the rest fall back to the
+        tree-walking interpreter.
         """
         self.latency.start()
         try:
             __, plan = self.plan_cache.compile(sql)
             target = catalog if catalog is not None else self._catalog_provider()
-            result = execute_plan(plan, target)
+            result, compiled = run_plan(plan, target)
             self.queries_executed += 1
+            if compiled:
+                self.compiled_executions += 1
+            else:
+                self.interpreted_executions += 1
             return result
         finally:
             self.latency.stop()
 
     def explain(self, sql: str, analyze: bool = False) -> str:
         """The logical plan of ``sql`` as an indented tree (compiled
-        through the same cache queries execute from).
+        through the same cache queries execute from), followed by the
+        compiled physical-operator pipeline the engine would run — or
+        the reason it falls back to the tree-walking interpreter.
 
-        With ``analyze=True`` every node also carries the gsn-plan
-        cardinality/cost estimate, seeded with the *current* retained
-        row counts of the catalog's stream tables.
+        With ``analyze=True`` every logical node also carries the
+        gsn-plan cardinality/cost estimate seeded with the *current*
+        retained row counts, and the pipeline is actually executed so
+        each physical operator reports the rows it produced.
         """
         from repro.sqlengine.explain import explain_plan
 
         __, plan = self.plan_cache.compile(sql)
-        if not analyze:
-            return explain_plan(plan)
-        from repro.analysis.planpass import annotate_plan
-
         catalog = self._catalog_provider()
-        table_rows = {name: float(len(catalog.get(name)))
-                      for name in catalog.table_names()}
-        return annotate_plan(plan, table_rows=table_rows).render()
+        if analyze:
+            from repro.analysis.planpass import annotate_plan
+
+            table_rows = {name: float(len(catalog.get(name)))
+                          for name in catalog.table_names()}
+            lines = [annotate_plan(plan, table_rows=table_rows).render()]
+        else:
+            lines = [explain_plan(plan)]
+        pipeline = compile_for_catalog(plan, catalog)
+        if pipeline is None:
+            reason = getattr(plan, "_phys_failed", None) or "unsupported"
+            lines.append(f"execution: interpreted ({reason})")
+        else:
+            if analyze:
+                try:
+                    pipeline.execute(catalog)
+                except Exception as exc:
+                    # EXPLAIN must render even when the query itself
+                    # errors; the failure goes into the output.
+                    logger.debug("explain analyze run failed: %s", exc)
+                    lines.append("execution: compiled pipeline "
+                                 f"(run failed: {exc})")
+                else:
+                    lines.append("execution: compiled pipeline")
+            else:
+                lines.append("execution: compiled pipeline")
+            lines.append(pipeline.explain())
+        return "\n".join(lines)
 
     def snapshot_catalog(self) -> Catalog:
         """The current catalog snapshot (one materialization, many queries)."""
@@ -75,8 +112,11 @@ class QueryProcessor:
             "query-processor", "running",
             counters={
                 "queries_executed": self.queries_executed,
+                "compiled_executions": self.compiled_executions,
+                "interpreted_executions": self.interpreted_executions,
                 "plan_cache_hits": self.plan_cache.hits,
                 "plan_cache_misses": self.plan_cache.misses,
+                "plan_cache_evictions": self.plan_cache.evictions,
             },
             uptime_ms=self._uptime.uptime_ms(),
             queries_executed=self.queries_executed,
@@ -84,7 +124,12 @@ class QueryProcessor:
                 "entries": len(self.plan_cache),
                 "hits": self.plan_cache.hits,
                 "misses": self.plan_cache.misses,
+                "evictions": self.plan_cache.evictions,
                 "hit_ratio": round(self.plan_cache.hit_ratio, 4),
+            },
+            executions={
+                "compiled": self.compiled_executions,
+                "interpreted": self.interpreted_executions,
             },
             latency=self.latency.summary(),
         )

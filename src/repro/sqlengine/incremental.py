@@ -30,16 +30,19 @@ falls back to the legacy path, which re-raises the legacy error.
 from __future__ import annotations
 
 import logging
+from collections import deque
 from dataclasses import dataclass
 from typing import (
-    Any, Callable, FrozenSet, List, Optional, Sequence, Tuple, Union,
+    Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union,
 )
 
 from repro.sqlengine.ast_nodes import (
     ColumnRef, FunctionCall, Node, SelectItem, Star, contains_aggregate,
 )
 from repro.sqlengine.compiler import compile_expression, has_subquery
-from repro.sqlengine.executor import Catalog, Env, LazyRow, _Executor, _truthy
+from repro.sqlengine.executor import (
+    Catalog, Env, LazyRow, _Executor, _hashable, _truthy,
+)
 from repro.sqlengine.introspect import (
     dedupe_columns, expression_columns, expression_name,
 )
@@ -64,6 +67,9 @@ INCREMENTAL_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
 # set doubles as the worklist for extending delta maintenance.
 
 REASON_SET_OPERATION = "set-operation"
+# Historical: plain GROUP BY now classifies (grouped accumulator maps);
+# the constant stays in the taxonomy because recorded verdicts and
+# baselines reference it, but the classifier no longer emits it.
 REASON_GROUP_BY = "group-by"
 REASON_HAVING = "having"
 REASON_ORDER_BY = "order-by"
@@ -76,7 +82,10 @@ REASON_WHERE = "where-clause"
 REASON_PROJECTION = "projection"
 REASON_NON_INCREMENTAL_FUNCTION = "non-incremental-function"
 REASON_EXPRESSION_ARGUMENT = "expression-argument"
-# Reasons only the deploy-time pass can decide (window + schema context):
+# Reasons only the deploy-time pass can decide (window + schema context).
+# ``time-window`` is historical as well: accumulators ride the window
+# observer protocol, which time windows publish too, so the plan pass
+# no longer rejects them.
 REASON_TIME_WINDOW = "time-window"
 REASON_UNKNOWN_SCHEMA = "unknown-schema"
 REASON_UNKNOWN_COLUMN = "unknown-column"
@@ -117,7 +126,40 @@ class AggregateQuery:
     referenced: FrozenSet[str]             # every column the query reads
 
 
-Classified = Union[IdentityQuery, AggregateQuery]
+@dataclass(frozen=True)
+class GroupedAggregateQuery:
+    """A qualifying single-table GROUP BY aggregate query.
+
+    ``keys`` are the GROUP BY column names (plain column references
+    only); ``items`` reuse :class:`AggregateItem` with the extra kind
+    ``"column"`` for plain column select items, which — matching the
+    legacy executor's ``eval_group`` — read the group's first row.
+    """
+    binding: str
+    keys: Tuple[str, ...]
+    items: Tuple[AggregateItem, ...]
+    columns: Tuple[str, ...]               # output column names, deduped
+    where: Optional[Node]
+    referenced: FrozenSet[str]             # every column the query reads
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A qualifying two-source inner equi-join stream query.
+
+    Wraps the full :class:`SelectPlan` (whose source is a
+    :class:`HashJoinPlan` over two scans); key, residual, WHERE and
+    projection closures are compiled positionally by
+    :class:`IncrementalJoinState` once the two window schemas are known.
+    """
+    plan: SelectPlan
+    left_table: str
+    left_binding: str
+    right_table: str
+    right_binding: str
+
+
+Classified = Union[IdentityQuery, AggregateQuery, GroupedAggregateQuery]
 
 
 def classify(plan: SelectPlan) -> Optional[Classified]:
@@ -149,8 +191,6 @@ def classify_with_reason(plan: SelectPlan
         return None, REASON_CONSTANT_SOURCE
     if plan.set_operations:
         return None, REASON_SET_OPERATION
-    if plan.group_by:
-        return None, REASON_GROUP_BY
     if plan.having is not None:
         return None, REASON_HAVING
     if plan.order_by:
@@ -161,6 +201,8 @@ def classify_with_reason(plan: SelectPlan
         return None, REASON_LIMIT_OFFSET
     binding = plan.source.binding
 
+    if plan.group_by:
+        return _classify_grouped(plan, binding)
     if not plan.is_aggregate:
         return _classify_identity(plan, binding)
     return _classify_aggregate(plan, binding)
@@ -213,6 +255,97 @@ def _classify_aggregate(plan: SelectPlan, binding: str
         where=plan.where,
         referenced=frozenset(referenced),
     ), None
+
+
+def _classify_grouped(plan: SelectPlan, binding: str
+                      ) -> Tuple[Optional[GroupedAggregateQuery],
+                                 Optional[str]]:
+    keys: List[str] = []
+    for expr in plan.group_by:
+        if not isinstance(expr, ColumnRef):
+            return None, REASON_EXPRESSION_ARGUMENT
+        if expr.table is not None and expr.table != binding:
+            return None, REASON_EXPRESSION_ARGUMENT
+        keys.append(expr.name)
+
+    referenced: List[str] = list(keys)
+    items: List[AggregateItem] = []
+    for item in plan.items:
+        expr = item.expression
+        if isinstance(expr, ColumnRef):
+            if expr.table is not None and expr.table != binding:
+                return None, REASON_PROJECTION
+            items.append(AggregateItem("column", expr.name))
+            referenced.append(expr.name)
+            continue
+        parsed, reason = _classify_item(item, binding)
+        if parsed is None:
+            return None, reason
+        items.append(parsed)
+        if parsed.column is not None:
+            referenced.append(parsed.column)
+
+    if plan.where is not None:
+        if has_subquery(plan.where):
+            return None, REASON_SUBQUERY
+        if contains_aggregate(plan.where):
+            return None, REASON_WHERE
+        for ref in expression_columns(plan.where):
+            if ref.table is not None and ref.table != binding:
+                return None, REASON_WHERE
+            referenced.append(ref.name)
+
+    columns = dedupe_columns([
+        item.alias or expression_name(item.expression)
+        for item in plan.items
+    ])
+    return GroupedAggregateQuery(
+        binding=binding,
+        keys=tuple(keys),
+        items=tuple(items),
+        columns=tuple(columns),
+        where=plan.where,
+        referenced=frozenset(referenced),
+    ), None
+
+
+def classify_join(plan: SelectPlan) -> Optional[JoinQuery]:
+    """Whether ``plan`` is a delta-maintainable two-source equi-join.
+
+    Qualifying shape: ``SELECT <row-local items> FROM a JOIN b ON
+    <equi-keys> [WHERE <row-local predicate>]`` — an *inner* hash join
+    of two plain scans, no aggregation and no suffix clauses. Matched
+    pairs are then index-maintainable under both windows' deltas; every
+    other join shape re-executes through the (compiled or legacy)
+    executor.
+    """
+    source = plan.source
+    if not isinstance(source, HashJoinPlan) or source.kind != "inner":
+        return None
+    if not isinstance(source.left, ScanPlan) \
+            or not isinstance(source.right, ScanPlan):
+        return None
+    if plan.set_operations or plan.group_by or plan.having is not None \
+            or plan.order_by or plan.distinct \
+            or plan.limit is not None or plan.offset is not None \
+            or plan.is_aggregate:
+        return None
+    nodes: List[Node] = [item.expression for item in plan.items
+                         if not isinstance(item.expression, Star)]
+    nodes.extend(node for node in (plan.where, source.residual)
+                 if node is not None)
+    nodes.extend(source.left_keys)
+    nodes.extend(source.right_keys)
+    for node in nodes:
+        if has_subquery(node) or contains_aggregate(node):
+            return None
+    return JoinQuery(
+        plan=plan,
+        left_table=source.left.table,
+        left_binding=source.left.binding,
+        right_table=source.right.table,
+        right_binding=source.right.binding,
+    )
 
 
 def _classify_item(item: SelectItem, binding: str
@@ -465,3 +598,489 @@ class IncrementalAggregateState(RowListener):
     def __repr__(self) -> str:
         return (f"IncrementalAggregateState({self.spec.columns}, "
                 f"included={self._included}, healthy={self.healthy})")
+
+
+# --------------------------------------------------------------------------
+# Grouped accumulators
+# --------------------------------------------------------------------------
+
+
+class _GroupState:
+    """Per-group accumulators plus the group's included rows.
+
+    The rows are kept (as references into the window's tuples) because
+    three things need them: ``min``/``max`` rescans after an extremum
+    eviction, plain-column select items (the group's *first* row, per
+    ``eval_group``), and output ordering — the legacy executor emits
+    groups in first-seen window order, which after evictions is the
+    order of each group's oldest surviving row.
+    """
+
+    __slots__ = ("rows", "items")
+
+    def __init__(self, items: List[_ItemState]) -> None:
+        self.rows: "deque[Tuple[int, Tuple[Any, ...]]]" = deque()
+        self.items = items
+
+
+class GroupedAggregateState(RowListener):
+    """Maintains a qualifying GROUP BY query under window deltas.
+
+    One accumulator map keyed on the group-key tuple; appends update the
+    row's group in O(1) (plus group creation), evictions retract from it
+    and delete the group when its last row leaves. Equivalence contract
+    and poisoning behaviour are identical to
+    :class:`IncrementalAggregateState`.
+    """
+
+    def __init__(self, spec: GroupedAggregateQuery,
+                 relation: WindowRelation,
+                 label: str = "",
+                 on_poison: Optional[Callable[[BaseException], None]] = None
+                 ) -> None:
+        self.spec = spec
+        self.relation = relation
+        self.healthy = True
+        self.label = label
+        self._on_poison = on_poison
+        self.poison_cause: Optional[BaseException] = None
+        self.updates = 0
+        self._binding = spec.binding
+        self._index = relation._index
+        self._executor = _Executor(Catalog())
+        self._where = (compile_expression(spec.where)
+                       if spec.where is not None else None)
+        self._key_positions = [self._index[key] for key in spec.keys]
+        self._item_specs = [
+            (item.kind,
+             None if item.column is None else self._index[item.column])
+            for item in spec.items
+        ]
+        self._groups: Dict[Tuple[Any, ...], _GroupState] = {}
+        self._seq = 0
+        self.rows_reset(list(relation.rows))
+
+    # -- RowListener protocol ----------------------------------------------
+
+    def row_appended(self, row: Tuple[Any, ...]) -> None:
+        if not self.healthy:
+            return
+        try:
+            if self._passes(row):
+                self._include(row)
+            self.updates += 1
+        except Exception as exc:
+            self._poison(exc)
+
+    def row_evicted(self, row: Tuple[Any, ...]) -> None:
+        if not self.healthy:
+            return
+        try:
+            if self._passes(row):
+                self._exclude(row)
+            self.updates += 1
+        except Exception as exc:
+            self._poison(exc)
+
+    def rows_reset(self, rows: Sequence[Tuple[Any, ...]]) -> None:
+        if not self.healthy:
+            return
+        try:
+            self._groups.clear()
+            for row in rows:
+                if self._passes(row):
+                    self._include(row)
+            self.updates += 1
+        except Exception as exc:
+            self._poison(exc)
+
+    _poison = IncrementalAggregateState._poison
+    _passes = IncrementalAggregateState._passes
+
+    # -- delta application --------------------------------------------------
+
+    def _key_of(self, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(_hashable(row[pos]) for pos in self._key_positions)
+
+    def _include(self, row: Tuple[Any, ...]) -> None:
+        group = self._groups.get(self._key_of(row))
+        if group is None:
+            group = _GroupState([_ItemState(kind, position)
+                                 for kind, position in self._item_specs])
+            self._groups[self._key_of(row)] = group
+        self._seq += 1
+        group.rows.append((self._seq, row))
+        for state in group.items:
+            if state.kind in ("count_star", "column"):
+                continue
+            value = row[state.position]
+            if value is None:
+                continue
+            state.nonnull += 1
+            if state.kind in ("sum", "avg"):
+                state.total = state.total + value
+            elif not state.dirty:
+                if state.nonnull == 1:
+                    state.extremum = value
+                elif state.kind == "min":
+                    if value < state.extremum:
+                        state.extremum = value
+                elif value > state.extremum:
+                    state.extremum = value
+
+    def _exclude(self, row: Tuple[Any, ...]) -> None:
+        key = self._key_of(row)
+        group = self._groups[key]
+        # Window evictions are strictly FIFO, so the evicted row is this
+        # group's oldest.
+        group.rows.popleft()
+        if not group.rows:
+            del self._groups[key]
+            return
+        for state in group.items:
+            if state.kind in ("count_star", "column"):
+                continue
+            value = row[state.position]
+            if value is None:
+                continue
+            state.nonnull -= 1
+            if state.kind in ("sum", "avg"):
+                state.total = state.total - value if state.nonnull else 0
+            elif state.nonnull == 0:
+                state.extremum = None
+                state.dirty = False
+            elif not state.dirty and value == state.extremum:
+                state.dirty = True
+
+    # -- result ------------------------------------------------------------
+
+    def snapshot(self) -> Relation:
+        """The query's current answer, one row per live group.
+
+        Groups are emitted in the order of their oldest surviving row —
+        exactly the legacy executor's first-seen insertion order over
+        the current window contents.
+        """
+        ordered = sorted(self._groups.values(),
+                         key=lambda group: group.rows[0][0])
+        rows = []
+        for group in ordered:
+            values: List[Any] = []
+            for state in group.items:
+                values.append(self._value_of(group, state))
+            rows.append(tuple(values))
+        return Relation(self.spec.columns, rows)
+
+    def _value_of(self, group: _GroupState, state: _ItemState) -> Any:
+        if state.kind == "count_star":
+            return len(group.rows)
+        if state.kind == "column":
+            return group.rows[0][1][state.position]
+        if state.kind == "count":
+            return state.nonnull
+        if state.nonnull == 0:
+            return None
+        if state.kind == "sum":
+            return state.total
+        if state.kind == "avg":
+            return state.total / state.nonnull
+        if state.dirty:
+            self._rescan(group, state)
+        return state.extremum
+
+    def _rescan(self, group: _GroupState, state: _ItemState) -> None:
+        best: Any = None
+        for __, row in group.rows:
+            value = row[state.position]
+            if value is None:
+                continue
+            if best is None:
+                best = value
+            elif state.kind == "min":
+                if value < best:
+                    best = value
+            elif value > best:
+                best = value
+        state.extremum = best
+        state.dirty = False
+
+    def __repr__(self) -> str:
+        return (f"GroupedAggregateState({self.spec.columns}, "
+                f"groups={len(self._groups)}, healthy={self.healthy})")
+
+
+# --------------------------------------------------------------------------
+# Delta-propagating equi-joins
+# --------------------------------------------------------------------------
+
+
+class _JoinSide(RowListener):
+    """Routes one window's deltas into the join state, tagged by side."""
+
+    __slots__ = ("_state", "_left")
+
+    def __init__(self, state: "IncrementalJoinState", left: bool) -> None:
+        self._state = state
+        self._left = left
+
+    def row_appended(self, row: Tuple[Any, ...]) -> None:
+        self._state.side_appended(self._left, row)
+
+    def row_evicted(self, row: Tuple[Any, ...]) -> None:
+        self._state.side_evicted(self._left, row)
+
+    def rows_reset(self, rows: Sequence[Tuple[Any, ...]]) -> None:
+        self._state.side_reset(self._left, rows)
+
+
+class _JoinEntry:
+    """One live left-side row: its key and its current matched output."""
+
+    __slots__ = ("row", "key", "matches")
+
+    def __init__(self, row: Tuple[Any, ...],
+                 key: Optional[Tuple[Any, ...]]) -> None:
+        self.row = row
+        self.key = key                    # None encodes a NULL join key
+        # rseq -> projected output row, in right-arrival order.
+        self.matches: Dict[int, Tuple[Any, ...]] = {}
+
+
+class IncrementalJoinState:
+    """Maintains a two-source inner equi-join under both windows' deltas.
+
+    Hash indexes on the join key map each arriving row to its matches on
+    the other side, so a delta costs O(matches) instead of re-joining
+    both windows. Residual predicate, WHERE and projection are applied
+    once per surviving pair and the output row cached; the snapshot is a
+    concatenation in (left-arrival, right-arrival) order — bit-identical
+    to the legacy hash join's probe order.
+
+    Not thread-safe across sources: deltas arrive under each source's
+    own lock, so the sensor only attaches this state in synchronous
+    (zero-copy) containers where all windows mutate on the caller's
+    thread. Like the accumulators, any failure poisons the state and the
+    stream query returns to per-trigger execution.
+    """
+
+    def __init__(self, spec: JoinQuery,
+                 left: WindowRelation, right: WindowRelation,
+                 label: str = "",
+                 on_poison: Optional[Callable[[BaseException], None]] = None
+                 ) -> None:
+        from repro.sqlengine.physical import _Layout, _compile_row
+
+        self.spec = spec
+        self.healthy = True
+        self.label = label
+        self._on_poison = on_poison
+        self.poison_cause: Optional[BaseException] = None
+        self.updates = 0
+        self._left_relation = left
+        self._right_relation = right
+
+        plan = spec.plan
+        source = plan.source
+        assert isinstance(source, HashJoinPlan)
+        left_layout = _Layout()
+        left_layout.add(spec.left_binding, left.columns)
+        right_layout = _Layout()
+        right_layout.add(spec.right_binding, right.columns)
+        layout = _Layout.merge(left_layout, right_layout)
+        like_cache: Dict[str, Any] = {}
+
+        # physical.Unsupported propagates to the caller: an unresolvable
+        # column means no attach and the executor raises at query time.
+        self._left_keys = [_compile_row(k, left_layout, like_cache)
+                           for k in source.left_keys]
+        self._right_keys = [_compile_row(k, right_layout, like_cache)
+                            for k in source.right_keys]
+        self._residual = (None if source.residual is None else
+                          _compile_row(source.residual, layout, like_cache))
+        self._where = (None if plan.where is None else
+                       _compile_row(plan.where, layout, like_cache))
+        self._parts = self._projection_parts(plan, layout, like_cache)
+        self.columns = tuple(self._output_columns(plan, layout))
+
+        self._left_entries: Dict[int, _JoinEntry] = {}
+        self._right_rows: Dict[int, Tuple[Any, ...]] = {}
+        self._left_index: Dict[Tuple[Any, ...], "deque[int]"] = {}
+        self._right_index: Dict[Tuple[Any, ...], "deque[int]"] = {}
+        self._lseq = 0
+        self._rseq = 0
+        self.listeners = (_JoinSide(self, True), _JoinSide(self, False))
+        left.add_listener(self.listeners[0])
+        right.add_listener(self.listeners[1])
+        self.side_reset(True, list(left.rows))
+        self.side_reset(False, list(right.rows))
+
+    def detach(self) -> None:
+        self._left_relation.remove_listener(self.listeners[0])
+        self._right_relation.remove_listener(self.listeners[1])
+
+    # -- compile helpers ----------------------------------------------------
+
+    @staticmethod
+    def _projection_parts(plan: SelectPlan, layout: Any, like_cache: Dict):
+        from repro.sqlengine.physical import Unsupported, _compile_row
+
+        parts: List[Tuple[str, Any, Any]] = []
+        for item in plan.items:
+            expr = item.expression
+            if isinstance(expr, Star):
+                bindings = ([expr.table] if expr.table is not None
+                            else list(layout.order))
+                for binding in bindings:
+                    if binding not in layout.segments:
+                        raise Unsupported(f"unknown table in {binding}.*")
+                    offset, cols = layout.segments[binding]
+                    parts.append(("slice", offset, offset + len(cols)))
+            else:
+                parts.append(
+                    ("expr", _compile_row(expr, layout, like_cache), None))
+        return parts
+
+    @staticmethod
+    def _output_columns(plan: SelectPlan, layout: Any) -> List[str]:
+        names: List[str] = []
+        for item in plan.items:
+            expr = item.expression
+            if isinstance(expr, Star):
+                bindings = ([expr.table] if expr.table is not None
+                            else list(layout.order))
+                for binding in bindings:
+                    names.extend(layout.segments[binding][1])
+            elif item.alias:
+                names.append(item.alias)
+            else:
+                names.append(expression_name(expr))
+        return dedupe_columns(names)
+
+    # -- delta application --------------------------------------------------
+
+    _poison = IncrementalAggregateState._poison
+
+    def side_appended(self, left: bool, row: Tuple[Any, ...]) -> None:
+        if not self.healthy:
+            return
+        try:
+            if left:
+                self._append_left(row)
+            else:
+                self._append_right(row)
+            self.updates += 1
+        except Exception as exc:
+            self._poison(exc)
+
+    def side_evicted(self, left: bool, row: Tuple[Any, ...]) -> None:
+        if not self.healthy:
+            return
+        try:
+            if left:
+                self._evict_left()
+            else:
+                self._evict_right()
+            self.updates += 1
+        except Exception as exc:
+            self._poison(exc)
+
+    def side_reset(self, left: bool, rows: Sequence[Tuple[Any, ...]]) -> None:
+        if not self.healthy:
+            return
+        try:
+            if left:
+                self._left_entries.clear()
+                self._left_index.clear()
+                for row in rows:
+                    self._append_left(row)
+            else:
+                self._right_rows.clear()
+                self._right_index.clear()
+                for entry in self._left_entries.values():
+                    entry.matches.clear()
+                for row in rows:
+                    self._append_right(row)
+            self.updates += 1
+        except Exception as exc:
+            self._poison(exc)
+
+    def _key(self, fns, row: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
+        key = tuple(_hashable(fn(row)) for fn in fns)
+        return None if any(part is None for part in key) else key
+
+    def _append_left(self, row: Tuple[Any, ...]) -> None:
+        self._lseq += 1
+        lseq = self._lseq
+        entry = _JoinEntry(row, self._key(self._left_keys, row))
+        self._left_entries[lseq] = entry
+        if entry.key is None:
+            return
+        self._left_index.setdefault(entry.key, deque()).append(lseq)
+        for rseq in self._right_index.get(entry.key, ()):
+            self._pair(entry, rseq, self._right_rows[rseq])
+
+    def _append_right(self, row: Tuple[Any, ...]) -> None:
+        self._rseq += 1
+        rseq = self._rseq
+        self._right_rows[rseq] = row
+        key = self._key(self._right_keys, row)
+        if key is None:
+            return
+        self._right_index.setdefault(key, deque()).append(rseq)
+        for lseq in self._left_index.get(key, ()):
+            self._pair(self._left_entries[lseq], rseq, row)
+
+    def _pair(self, entry: _JoinEntry, rseq: int,
+              rrow: Tuple[Any, ...]) -> None:
+        merged = entry.row + rrow
+        if self._residual is not None \
+                and not _truthy(self._residual(merged)):
+            return
+        if self._where is not None and not _truthy(self._where(merged)):
+            return
+        values: List[Any] = []
+        for kind, a, b in self._parts:
+            if kind == "slice":
+                values.extend(merged[a:b])
+            else:
+                values.append(a(merged))
+        entry.matches[rseq] = tuple(values)
+
+    def _evict_left(self) -> None:
+        # Strict-FIFO windows evict their oldest row.
+        lseq = next(iter(self._left_entries))
+        entry = self._left_entries.pop(lseq)
+        if entry.key is not None:
+            index = self._left_index[entry.key]
+            index.popleft()
+            if not index:
+                del self._left_index[entry.key]
+
+    def _evict_right(self) -> None:
+        rseq = next(iter(self._right_rows))
+        row = self._right_rows.pop(rseq)
+        key = self._key(self._right_keys, row)
+        if key is None:
+            return
+        index = self._right_index[key]
+        index.popleft()
+        if not index:
+            del self._right_index[key]
+        for lseq in self._left_index.get(key, ()):
+            self._left_entries[lseq].matches.pop(rseq, None)
+
+    # -- result ------------------------------------------------------------
+
+    def snapshot(self) -> Relation:
+        """The join's current answer, in legacy probe order."""
+        rows: List[Tuple[Any, ...]] = []
+        for entry in self._left_entries.values():
+            rows.extend(entry.matches.values())
+        relation = Relation(self.columns)
+        relation.rows = rows
+        return relation
+
+    def __repr__(self) -> str:
+        return (f"IncrementalJoinState({self.columns}, "
+                f"left={len(self._left_entries)}, "
+                f"right={len(self._right_rows)}, healthy={self.healthy})")

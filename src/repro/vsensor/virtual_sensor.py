@@ -14,7 +14,7 @@ Paper, Section 3 — on each input-stream arrival:
 from __future__ import annotations
 
 import logging
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.concurrency import new_lock
 from repro.descriptors.model import VirtualSensorDescriptor
@@ -25,18 +25,20 @@ from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import PipelineTracer, Span, TraceBuffer
 from repro.sqlengine.executor import Catalog, execute_plan
 from repro.sqlengine.incremental import (
-    AggregateQuery, Classified, IdentityQuery, IncrementalAggregateState,
-    classify,
+    Classified, GroupedAggregateQuery, GroupedAggregateState, IdentityQuery,
+    IncrementalAggregateState, IncrementalJoinState, classify, classify_join,
 )
 from repro.sqlengine.parser import parse_select
+from repro.sqlengine.physical import compile_for_catalog, run_plan
 from repro.sqlengine.planner import SelectPlan, plan_select
 from repro.sqlengine.relation import Relation
 from repro.sqlengine.rewriter import WRAPPER_TABLE
 from repro.storage.base import StreamTable
 from repro.streams.element import StreamElement
 from repro.streams.schema import StreamSchema
-from repro.streams.window import CountWindow
-from repro.vsensor.input_manager import InputStreamManager, SourceRuntime
+from repro.vsensor.input_manager import (
+    InputStreamManager, SourceRuntime, StreamRuntime,
+)
 from repro.vsensor.lifecycle import LifeCycleManager
 from repro.wrappers.base import Wrapper
 
@@ -124,7 +126,13 @@ class VirtualSensor:
         # Fast-path classification of per-source plans, plus the running
         # aggregate accumulators attached to window materializations.
         self._fast_paths: Dict[SourceKey, Classified] = {}
-        self._agg_states: Dict[SourceKey, IncrementalAggregateState] = {}
+        self._agg_states: Dict[
+            SourceKey,
+            Union[IncrementalAggregateState, GroupedAggregateState],
+        ] = {}
+        # Delta-maintained two-source equi-joins, one per stream whose
+        # output query qualifies (synchronous containers only).
+        self._join_states: Dict[str, IncrementalJoinState] = {}
         # Step-3 result cache: (window version, temporary relation).
         self._temp_cache: Dict[SourceKey, Tuple[int, Relation]] = {}
         for stream in descriptor.input_streams:
@@ -149,6 +157,9 @@ class VirtualSensor:
             if self.incremental:
                 for source_runtime in runtime.sources:
                     self._attach_fast_path(stream.name, source_runtime)
+                self._attach_join(stream.name, runtime)
+        if self.incremental:
+            self._compile_source_plans()
 
     # -- output stream -------------------------------------------------------
 
@@ -239,12 +250,11 @@ class VirtualSensor:
         if isinstance(classified, IdentityQuery):
             self._fast_paths[key] = classified
             return True
-        # Running accumulators are only attached over count windows (the
-        # ISSUE scope); the referenced columns must all exist in the
-        # materialized relation, otherwise the legacy path must keep
-        # raising its unknown-column error at query time.
-        if not isinstance(source.window, CountWindow):
-            return False
+        # Running accumulators ride the window observer protocol, which
+        # both count and time windows publish; the referenced columns
+        # must all exist in the materialized relation, otherwise the
+        # legacy path must keep raising its unknown-column error at
+        # query time.
         if any(name not in mat._index for name in classified.referenced):
             return False
         def poisoned(exc: BaseException, _key: SourceKey = key) -> None:
@@ -261,18 +271,88 @@ class VirtualSensor:
                     self.name, *_key, exc,
                 )
 
-        state = IncrementalAggregateState(
-            classified, mat,
-            label=f"{self.name}/{stream_name}/{source.spec.alias}: "
-                  f"{source.spec.query}",
-            on_poison=poisoned,
-        )
+        label = (f"{self.name}/{stream_name}/{source.spec.alias}: "
+                 f"{source.spec.query}")
+        state: Union[IncrementalAggregateState, GroupedAggregateState]
+        if isinstance(classified, GroupedAggregateQuery):
+            state = GroupedAggregateState(classified, mat, label=label,
+                                          on_poison=poisoned)
+        else:
+            state = IncrementalAggregateState(classified, mat, label=label,
+                                              on_poison=poisoned)
         if not state.healthy:
             return False
         mat.add_listener(state)
         self._fast_paths[key] = classified
         self._agg_states[key] = state
         return True
+
+    def _attach_join(self, stream_name: str, runtime: StreamRuntime) -> None:
+        """Wire the delta-maintained join for a qualifying stream query.
+
+        Three gates, all advisory (failing any leaves the stream query
+        on per-trigger execution): the output query must classify as a
+        two-source inner equi-join over two distinct materialized
+        sources; both sides' per-source queries must ride the identity
+        fast path, so the join's inputs are exactly the temporaries the
+        executor would see; and the container must be synchronous — the
+        join state listens on two windows whose deltas arrive under two
+        different source locks, so it is only safe when all windows
+        mutate on the caller's thread (zero-copy mode).
+        """
+        if not self._zero_copy:
+            return
+        spec = classify_join(self._stream_plans[stream_name])
+        if spec is None:
+            return
+        by_alias = {source.spec.alias.lower(): source
+                    for source in runtime.sources}
+        left = by_alias.get(spec.left_table.lower())
+        right = by_alias.get(spec.right_table.lower())
+        if left is None or right is None or left is right:
+            return
+        if left.materializer is None or right.materializer is None:
+            return
+        for side in (left, right):
+            key = (stream_name, side.spec.alias)
+            if not isinstance(self._fast_paths.get(key), IdentityQuery):
+                return
+        try:
+            state = IncrementalJoinState(
+                spec, left.materializer, right.materializer,
+                label=f"{self.name}/{stream_name}: {runtime.spec.query}",
+                on_poison=lambda exc: self.fast_paths.record_poisoned(),
+            )
+        except Exception:
+            # Unresolvable columns etc.: the executor raises the real
+            # error at query time, exactly as without the fast path.
+            logger.debug(
+                "%s: join fast path for stream %s did not attach; the "
+                "output query stays on per-trigger execution",
+                self.name, stream_name, exc_info=True,
+            )
+            return
+        if not state.healthy:
+            state.detach()
+            return
+        self._join_states[stream_name] = state
+
+    def _compile_source_plans(self) -> None:
+        """Deploy-time compilation of the per-source plans.
+
+        Each plan is lowered against its window's materialized schema
+        into a pull-based physical-operator pipeline, so the legacy rung
+        of the ladder re-executes compiled closures per trigger with
+        zero re-planning. Shapes the compiler rejects stay on the
+        interpreter (the failure is cached on the plan)."""
+        for stream in self.descriptor.input_streams:
+            runtime = self.ism.stream(stream.name)
+            for source in runtime.sources:
+                mat = source.materializer
+                if mat is None:
+                    continue
+                plan = self._source_plans[(stream.name, source.spec.alias)]
+                compile_for_catalog(plan, Catalog({WRAPPER_TABLE: mat}))
 
     # -- the pipeline ----------------------------------------------------------
 
@@ -295,15 +375,17 @@ class VirtualSensor:
             # Steps 2+3: window contents -> flat relations -> temporary
             # relations, one per stream source.
             temporaries = Catalog()
+            all_views = True
             for source in stream.sources:
-                temporary = self._source_temporary(stream_name, source, now,
-                                                   parent=root)
+                temporary, from_view = self._source_temporary(
+                    stream_name, source, now, parent=root)
                 temporaries.register(source.spec.alias, temporary)
+                all_views = all_views and from_view
 
             # Step 4: the output query over the temporary relations.
             span = root.child("output_query") if root is not None else None
-            result = execute_plan(self._stream_plans[stream_name],
-                                  temporaries)
+            result = self._output_result(stream_name, temporaries,
+                                         all_views, span)
             if span is not None:
                 span.attributes["rows"] = len(result)
                 span.finish()
@@ -346,7 +428,8 @@ class VirtualSensor:
             source.last_ingest_span = None
 
     def _source_temporary(self, stream_name: str, source: SourceRuntime,
-                          now: int, parent: Optional[Span] = None) -> Relation:
+                          now: int, parent: Optional[Span] = None
+                          ) -> Tuple[Relation, bool]:
         """Step 3 for one source: its per-source query's result relation.
 
         The incremental ladder, cheapest rung first:
@@ -355,9 +438,15 @@ class VirtualSensor:
            last trigger, reuse the previous result outright;
         2. identity fast path — the query is ``select * from wrapper``,
            hand back the delta-maintained window relation;
-        3. incremental aggregates — answer from running accumulators;
-        4. legacy — execute the plan over a (possibly still
-           zero-copy) window relation.
+        3. incremental aggregates — answer from running accumulators
+           (flat or grouped);
+        4. compiled/legacy — run the deploy-time compiled pipeline (or
+           the interpreter, for shapes the compiler rejects) over a
+           (possibly still zero-copy) window relation.
+
+        Returns ``(temporary, from_view)`` — the second element reports
+        whether step 2 was served by the live materialized view, which
+        the join fast path uses as its per-trigger validity gate.
 
         With a ``parent`` span the window selection (step 2) and the
         query evaluation (step 3) each get a child span; the chosen
@@ -378,7 +467,7 @@ class VirtualSensor:
             temporary = execute_plan(plan, Catalog({WRAPPER_TABLE: relation}))
             if span is not None:
                 span.finish()
-            return temporary
+            return temporary, False
 
         span = parent.child("window_select", source=alias) \
             if parent is not None else None
@@ -398,7 +487,7 @@ class VirtualSensor:
             if span is not None:
                 span.attributes["path"] = "cache"
                 span.finish()
-            return cached[1]
+            return cached[1], from_view
         self.fast_paths.record_cache(False)
 
         path = "legacy"
@@ -416,16 +505,73 @@ class VirtualSensor:
         if temporary is None:
             self.fast_paths.record_legacy()
             window_catalog = Catalog({WRAPPER_TABLE: relation})
-            temporary = execute_plan(plan, window_catalog)
+            temporary, compiled = run_plan(plan, window_catalog)
+            self.fast_paths.record_compiled(compiled)
+            if compiled:
+                path = "compiled"
         if cacheable:
             self._temp_cache[key] = (version, temporary)
         if span is not None:
             span.attributes["path"] = path
             span.finish()
-        return temporary
+        return temporary, from_view
+
+    def _output_result(self, stream_name: str, temporaries: Catalog,
+                       all_views: bool,
+                       span: Optional[Span]) -> Relation:
+        """Step 4, cheapest route first.
+
+        A healthy delta-maintained join answers from its hash indexes —
+        but only when every source served its live window view this
+        trigger (``all_views``), because the join state mirrors the raw
+        windows and a rebuilt/unfaithful snapshot could diverge from
+        them. Otherwise the output query runs through the compiled
+        pipeline, or the tree-walking interpreter for shapes the
+        compiler rejects (and always the interpreter in legacy mode).
+        """
+        plan = self._stream_plans[stream_name]
+        state = self._join_states.get(stream_name)
+        if state is not None:
+            result = self._join_snapshot(stream_name, state, all_views)
+            if result is not None:
+                if span is not None:
+                    span.attributes["path"] = "join"
+                return result
+        if not self.incremental:
+            if span is not None:
+                span.attributes["path"] = "legacy"
+            return execute_plan(plan, temporaries)
+        result, compiled = run_plan(plan, temporaries)
+        self.fast_paths.record_compiled(compiled)
+        if span is not None:
+            span.attributes["path"] = "compiled" if compiled \
+                else "interpreted"
+        return result
+
+    def _join_snapshot(self, stream_name: str, state: IncrementalJoinState,
+                       all_views: bool) -> Optional[Relation]:
+        """The join state's current answer, or ``None`` to fall back."""
+        if not all_views or not state.healthy:
+            self.fast_paths.record_join_fallback()
+            return None
+        try:
+            # Synchronous containers only: all windows mutate on this
+            # thread, so the state cannot change under the snapshot.
+            result = state.snapshot()
+        except Exception as exc:
+            state._poison(exc)
+            self.fast_paths.record_join_fallback()
+            logger.warning(
+                "%s: join state for stream %s poisoned itself; falling "
+                "back to per-trigger execution", self.name, stream_name,
+                exc_info=True,
+            )
+            return None
+        self.fast_paths.record_join()
+        return result
 
     def _aggregate_snapshot(self, key: SourceKey, source: SourceRuntime,
-                            spec: AggregateQuery) -> Optional[Relation]:
+                            spec: Classified) -> Optional[Relation]:
         """The accumulator's current answer, or ``None`` to fall back.
 
         A poisoned (or poisoning) accumulator routes the query through
@@ -541,12 +687,20 @@ class VirtualSensor:
                 kind = "identity"
             else:
                 state = self._agg_states.get((stream_name, alias))
-                kind = "aggregate" if state is None or state.healthy \
-                    else "aggregate (poisoned)"
+                base = ("group-aggregate"
+                        if isinstance(classified, GroupedAggregateQuery)
+                        else "aggregate")
+                kind = base if state is None or state.healthy \
+                    else f"{base} (poisoned)"
             kinds[f"{stream_name}/{alias}"] = kind
+        joins = {
+            stream: "join" if state.healthy else "join (poisoned)"
+            for stream, state in self._join_states.items()
+        }
         return {
             "enabled": self.incremental,
             "fast_paths": kinds,
+            "joins": joins,
             "counters": self.fast_paths.snapshot(),
             "static": self._static_status(),
         }

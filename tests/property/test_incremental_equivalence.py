@@ -127,6 +127,15 @@ AGG_QUERY = (
     "min(temperature) as lo, max(temperature) as hi from wrapper"
 )
 
+GROUP_FIELDS = {
+    "temperature": DataType.INTEGER, "n": DataType.INTEGER,
+    "s": DataType.INTEGER, "lo": DataType.INTEGER,
+}
+GROUP_QUERY = (
+    "select temperature, count(*) as n, sum(temperature) as s, "
+    "min(temperature) as lo from wrapper group by temperature"
+)
+
 
 class TestIncrementalEquivalence:
     @settings(max_examples=60, deadline=None)
@@ -159,12 +168,45 @@ class TestIncrementalEquivalence:
     @settings(max_examples=60, deadline=None)
     @given(ops=operations)
     def test_time_window_with_out_of_order_arrivals(self, ops):
-        # Time windows route aggregates through the legacy executor but
-        # still exercise the materialized view, faithfulness checks
-        # (future-stamped elements), and the temporary cache.
+        # Time-window aggregates ride the accumulators too (eviction
+        # arrives through the same observer protocol); out-of-order and
+        # future-stamped elements exercise the faithfulness checks.
         assert_equivalent(
             [("src", "2s", AGG_QUERY)], "select * from src", AGG_FIELDS,
             ops,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_grouped_aggregates_over_count_window(self, ops):
+        assert_equivalent(
+            [("src", "4", GROUP_QUERY)], "select * from src",
+            GROUP_FIELDS, ops,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_grouped_aggregates_over_time_window(self, ops):
+        assert_equivalent(
+            [("src", "3s", GROUP_QUERY)], "select * from src",
+            GROUP_FIELDS, ops,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_equi_join_over_mixed_windows(self, ops):
+        # Identity sources + a two-source equi-join stream query: the
+        # delta-maintained join (when it can serve the trigger) and the
+        # compiled/legacy re-execution must agree element for element.
+        assert_equivalent(
+            [("a", "3", "select * from wrapper"),
+             ("b", "2s", "select * from wrapper")],
+            "select a.temperature as ta, b.temperature as tb "
+            "from a join b on a.temperature = b.temperature "
+            "where a.temperature > -25",
+            {"ta": DataType.INTEGER, "tb": DataType.INTEGER},
+            ops,
+            aliases=("a", "b"),
         )
 
     @settings(max_examples=60, deadline=None)

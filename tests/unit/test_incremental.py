@@ -11,8 +11,10 @@ from repro.datatypes import DataType
 from repro.descriptors.model import StorageConfig
 from repro.descriptors.xml_io import descriptor_from_xml, descriptor_to_xml
 from repro.gsntime.clock import VirtualClock
+from repro.sqlengine.executor import Catalog, execute_plan
 from repro.sqlengine.incremental import (
-    AggregateQuery, IdentityQuery, classify,
+    AggregateQuery, GroupedAggregateQuery, GroupedAggregateState,
+    IdentityQuery, IncrementalJoinState, classify, classify_join,
 )
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.planner import plan_select
@@ -56,10 +58,25 @@ class TestClassify:
         assert classified.columns == ("n", "s", "avg_v", "min_v", "max_v")
         assert classified.referenced == frozenset({"v"})
 
+    def test_grouped_aggregates(self):
+        classified = classify(plan(
+            "select room, count(*) as n, avg(v) from wrapper "
+            "where v > 0 group by room"
+        ))
+        assert isinstance(classified, GroupedAggregateQuery)
+        assert classified.keys == ("room",)
+        assert [item.kind for item in classified.items] == [
+            "column", "count_star", "avg",
+        ]
+        assert classified.columns == ("room", "n", "avg_v")
+        assert classified.referenced == frozenset({"room", "v"})
+
     @pytest.mark.parametrize("sql", [
         "select v from wrapper",                         # projection
+        "select count(*) from wrapper group by v + 1",   # group expression
+        "select count(*) from wrapper "
+        "group by v having count(*) > 1",                # having
         "select * from wrapper where v > 1",             # filtered identity
-        "select count(*) from wrapper group by v",       # group by
         "select distinct v from wrapper",                # distinct rows
         "select count(distinct v) from wrapper",         # distinct aggregate
         "select sum(v + 1) from wrapper",                # expression arg
@@ -73,6 +90,26 @@ class TestClassify:
     ])
     def test_disqualified(self, sql):
         assert classify(plan(sql)) is None
+
+    def test_join_classification(self):
+        spec = classify_join(plan(
+            "select a.v, b.w from a join b on a.k = b.k where a.v > 0"
+        ))
+        assert spec is not None
+        assert (spec.left_table, spec.right_table) == ("a", "b")
+        assert (spec.left_binding, spec.right_binding) == ("a", "b")
+
+    @pytest.mark.parametrize("sql", [
+        "select * from a left join b on a.k = b.k",      # outer join
+        "select * from a join b on a.k < b.k",           # not an equi-join
+        "select * from a",                               # single source
+        "select a.k, count(*) from a join b on a.k = b.k "
+        "group by a.k",                                  # grouped join
+        "select * from a join b on a.k = b.k order by a.k",  # order by
+        "select * from a join b on a.k = b.k limit 3",   # limit
+    ])
+    def test_join_disqualified(self, sql):
+        assert classify_join(plan(sql)) is None
 
 
 class TestWindowRelation:
@@ -126,6 +163,190 @@ class TestWindowRelation:
         # Query time behind the newest stamp: retained != contents(now).
         assert window.synchronize(1_500) is False
         assert window.synchronize(2_000) is True
+
+
+class TestGroupedAggregateState:
+    """Direct delta-maintenance tests for the grouped accumulator map."""
+
+    def build(self, sql, window_size=3):
+        window = CountWindow(window_size)
+        mat = WindowRelation(["g", "v"])
+        window.add_observer(mat)
+        spec = classify(plan(sql))
+        assert isinstance(spec, GroupedAggregateQuery)
+        poisonings = []
+        state = GroupedAggregateState(spec, mat, label=sql,
+                                      on_poison=poisonings.append)
+        mat.add_listener(state)
+        return window, mat, state, poisonings
+
+    def element(self, g, v, timed):
+        return StreamElement({"g": g, "v": v}, timed=timed)
+
+    def test_retraction_on_eviction(self):
+        sql = "select g, count(*) as n, sum(v) as s from wrapper group by g"
+        window, mat, state, poisonings = self.build(sql, window_size=2)
+        window.append(self.element("a", 1, 100))
+        window.append(self.element("b", 2, 101))
+        assert list(state.snapshot().rows) == [("a", 1, 1), ("b", 1, 2)]
+        # Evicting group "a"'s only row deletes the group entirely.
+        window.append(self.element("b", 5, 102))
+        assert list(state.snapshot().rows) == [("b", 2, 7)]
+        # Evicting one of two "b" rows retracts it from the accumulators.
+        window.append(self.element("b", 3, 103))
+        assert list(state.snapshot().rows) == [("b", 2, 8)]
+        assert state.healthy and not poisonings
+
+    def test_extremum_eviction_rescans_group(self):
+        sql = "select g, min(v) as lo, max(v) as hi from wrapper group by g"
+        window, mat, state, __ = self.build(sql, window_size=3)
+        for position, v in enumerate((1, 5, 3)):
+            window.append(self.element("a", v, 100 + position))
+        assert list(state.snapshot().rows) == [("a", 1, 5)]
+        # Evicts v=1: the group's min must be rescanned, not guessed.
+        window.append(self.element("a", 2, 103))
+        assert list(state.snapshot().rows) == [("a", 2, 5)]
+
+    def test_groups_emit_in_legacy_first_seen_order(self):
+        sql = "select g, count(*) as n from wrapper group by g"
+        window, mat, state, __ = self.build(sql, window_size=4)
+        for position, g in enumerate(("b", "a", "b", "c")):
+            window.append(self.element(g, position, 100 + position))
+        legacy = execute_plan(plan(sql), Catalog({
+            "wrapper": Relation(("g", "v", "timed"), list(mat.rows)),
+        }))
+        snapshot = state.snapshot()
+        assert snapshot.columns == legacy.columns
+        assert list(snapshot.rows) == list(legacy.rows) \
+            == [("b", 2), ("a", 1), ("c", 1)]
+        # Evicting the first "b" row makes "a" the oldest surviving
+        # group; the emit order must track that, like a rebuild would.
+        window.append(self.element("a", 9, 104))
+        assert list(state.snapshot().rows) == [("a", 2), ("b", 1), ("c", 1)]
+
+    def test_poisoning_on_incomparable_extremum(self):
+        sql = "select g, min(v) as lo from wrapper group by g"
+        window, mat, state, poisonings = self.build(sql, window_size=3)
+        window.append(self.element("a", 4, 100))
+        window.append(self.element("a", "oops", 101))  # int vs str min()
+        assert not state.healthy
+        assert len(poisonings) == 1
+        assert state.poison_cause is poisonings[0]
+
+
+class TestIncrementalJoinState:
+    """Direct delta-propagation tests for the two-source equi-join."""
+
+    SQL = ("select a.k as k, a.v as av, b.v as bv "
+           "from a join b on a.k = b.k")
+
+    def build(self, sql=None, left_size=3, right_size=3):
+        spec = classify_join(plan(sql or self.SQL))
+        assert spec is not None
+        sides = {}
+        for name, size in (("a", left_size), ("b", right_size)):
+            window = CountWindow(size)
+            mat = WindowRelation(["k", "v"])
+            window.add_observer(mat)
+            sides[name] = (window, mat)
+        poisonings = []
+        state = IncrementalJoinState(spec, sides["a"][1], sides["b"][1],
+                                     label=self.SQL,
+                                     on_poison=poisonings.append)
+        return sides, state, poisonings
+
+    def element(self, k, v, timed):
+        return StreamElement({"k": k, "v": v}, timed=timed)
+
+    def check_against_legacy(self, sides, state, sql=None):
+        legacy = execute_plan(plan(sql or self.SQL), Catalog({
+            name: Relation(("k", "v", "timed"), list(mat.rows))
+            for name, (window, mat) in sides.items()
+        }))
+        snapshot = state.snapshot()
+        assert snapshot.columns == legacy.columns
+        assert list(snapshot.rows) == list(legacy.rows)
+        return list(snapshot.rows)
+
+    def test_delta_propagation_both_directions(self):
+        sides, state, poisonings = self.build()
+        a_window, b_window = sides["a"][0], sides["b"][0]
+        a_window.append(self.element(1, 10, 100))
+        assert self.check_against_legacy(sides, state) == []
+        # A right arrival pairs with the existing left row...
+        b_window.append(self.element(1, 20, 101))
+        assert self.check_against_legacy(sides, state) == [(1, 10, 20)]
+        # ...and a left arrival probes the right index.
+        a_window.append(self.element(1, 11, 102))
+        b_window.append(self.element(2, 30, 103))
+        a_window.append(self.element(2, 12, 104))
+        assert self.check_against_legacy(sides, state) == [
+            (1, 10, 20), (1, 11, 20), (2, 12, 30),
+        ]
+        assert state.healthy and not poisonings
+
+    def test_eviction_retracts_matches(self):
+        sides, state, __ = self.build(left_size=2, right_size=2)
+        a_window, b_window = sides["a"][0], sides["b"][0]
+        a_window.append(self.element(1, 10, 100))
+        b_window.append(self.element(1, 20, 101))
+        b_window.append(self.element(1, 21, 102))
+        assert self.check_against_legacy(sides, state) == [
+            (1, 10, 20), (1, 10, 21),
+        ]
+        # Right eviction drops that row's pairs from every left entry.
+        b_window.append(self.element(1, 22, 103))
+        assert self.check_against_legacy(sides, state) == [
+            (1, 10, 21), (1, 10, 22),
+        ]
+        # Left eviction drops the entry and everything it matched.
+        a_window.append(self.element(9, 11, 104))
+        a_window.append(self.element(1, 12, 105))
+        assert self.check_against_legacy(sides, state) == [
+            (1, 12, 21), (1, 12, 22),
+        ]
+
+    def test_null_keys_never_join(self):
+        sides, state, poisonings = self.build()
+        sides["a"][0].append(self.element(None, 10, 100))
+        sides["b"][0].append(self.element(None, 20, 101))
+        sides["a"][0].append(self.element(1, 11, 102))
+        sides["b"][0].append(self.element(1, 21, 103))
+        assert self.check_against_legacy(sides, state) == [(1, 11, 21)]
+        assert state.healthy and not poisonings
+
+    def test_where_and_residual_filter_pairs(self):
+        sql = ("select a.k as k, a.v as av, b.v as bv "
+               "from a join b on a.k = b.k and a.v < b.v "
+               "where b.v < 22")
+        sides, state, __ = self.build(sql=sql)
+        sides["a"][0].append(self.element(1, 10, 100))
+        sides["b"][0].append(self.element(1, 5, 101))    # fails residual
+        sides["b"][0].append(self.element(1, 21, 102))   # passes both
+        sides["b"][0].append(self.element(1, 30, 103))   # fails where
+        assert self.check_against_legacy(sides, state, sql=sql) \
+            == [(1, 10, 21)]
+
+    def test_poisoning_on_incomparable_residual(self):
+        sql = ("select a.k as k from a join b "
+               "on a.k = b.k and a.v < b.v")
+        sides, state, poisonings = self.build(sql=sql)
+        sides["a"][0].append(self.element(1, 10, 100))
+        sides["b"][0].append(self.element(1, "oops", 101))  # int < str
+        assert not state.healthy
+        assert len(poisonings) == 1
+        # Poisoned states ignore further deltas instead of raising.
+        sides["a"][0].append(self.element(1, 11, 102))
+        assert len(poisonings) == 1
+
+    def test_detach_stops_delta_flow(self):
+        sides, state, __ = self.build()
+        sides["a"][0].append(self.element(1, 10, 100))
+        sides["b"][0].append(self.element(1, 20, 101))
+        assert list(state.snapshot().rows) == [(1, 10, 20)]
+        state.detach()
+        sides["b"][0].append(self.element(1, 21, 102))
+        assert list(state.snapshot().rows) == [(1, 10, 20)]
 
 
 def build_sensor(descriptor, incremental=True, value=7):

@@ -20,7 +20,7 @@ from repro.descriptors.xml_io import (
     descriptor_from_file, descriptor_line_index,
 )
 from repro.sqlengine.incremental import (
-    REASON_DISABLED, REASON_GROUP_BY, REASON_TIME_WINDOW,
+    REASON_DISABLED, REASON_JOIN, REASON_ORDER_BY,
     REASON_TYPE_RISK, REASON_UNKNOWN_COLUMN, REASON_UNKNOWN_SCHEMA,
     REASON_WHERE,
 )
@@ -169,12 +169,22 @@ class TestVerdicts:
             plan("select * from wrapper"), "time", MOTE)
         assert verdict.eligible
 
-    def test_aggregate_over_time_window(self):
+    def test_aggregate_over_time_window_is_eligible(self):
+        # Accumulators ride the window observer protocol, which time
+        # windows publish too — eligibility no longer depends on the
+        # window kind.
         verdict = source_query_verdict(
             plan("select avg(temperature) as t from wrapper"),
             "time", MOTE)
+        assert verdict.eligible
+        assert verdict.reason is None
+
+    def test_order_by_is_ineligible_and_proven(self):
+        verdict = source_query_verdict(
+            plan("select temperature from wrapper order by temperature"),
+            "count", MOTE)
         assert not verdict.eligible
-        assert verdict.reason == REASON_TIME_WINDOW
+        assert verdict.reason == REASON_ORDER_BY
         assert verdict.proven
 
     def test_disabled_is_not_proven(self):
@@ -205,10 +215,23 @@ class TestVerdicts:
             "count", MOTE)
         assert verdict.reason == REASON_TYPE_RISK
 
-    def test_structural_group_by(self):
+    def test_structural_group_by_is_eligible(self):
         verdict = structural_verdict(
             plan("select v, count(*) as n from t group by v"))
-        assert verdict.reason == REASON_GROUP_BY
+        assert verdict.eligible
+        assert "grouped" in verdict.detail
+
+    def test_structural_equi_join_is_eligible(self):
+        verdict = structural_verdict(
+            plan("select a.v, b.w from a join b on a.k = b.k"))
+        assert verdict.eligible
+        assert "equi-join" in verdict.detail
+
+    def test_structural_outer_join_stays_ineligible(self):
+        verdict = structural_verdict(
+            plan("select * from a left join b on a.k = b.k"))
+        assert not verdict.eligible
+        assert verdict.reason == REASON_JOIN
 
     def test_structural_where_shape(self):
         verdict = structural_verdict(plan("select v from t where v > 1"))
@@ -232,12 +255,11 @@ class TestPlanDescriptor:
         assert (eligible, total) == (1, 1)
         assert result.verdicts[("in", "src")].eligible
 
-    def test_time_window_descriptor_is_ineligible(self):
+    def test_time_window_descriptor_is_eligible(self):
         descriptor = simple_mote_descriptor(window="5s")
         result = plan_descriptor(descriptor, registry=default_registry())
         verdict = result.verdicts[("in", "src")]
-        assert not verdict.eligible
-        assert verdict.reason == REASON_TIME_WINDOW
+        assert verdict.eligible
 
     def test_render_mentions_fast_path(self):
         descriptor = simple_mote_descriptor(window="100")
@@ -388,14 +410,14 @@ class TestDeployWiring:
                 "examples/descriptors/averaged-temperature.xml"))
             static = sensor.incremental_status()["static"]
             assert static["total"] == 1
-            assert static["verdicts"]["dummy/src1"]["reason"] \
-                == REASON_TIME_WINDOW
+            assert static["verdicts"]["dummy/src1"]["eligible"] is True
+            assert static["verdicts"]["dummy/src1"]["reason"] is None
             text = container.metrics_text()
             assert 'gsn_fastpath_static{' in text
-            assert "gsn_fastpath_static_coverage_percent 0" in text
+            assert "gsn_fastpath_static_coverage_percent 100" in text
             status = container.vsm.status()
             assert status["counters"]["static_analyzed_sources"] == 1
-            assert status["static_coverage_percent"] == 0.0
+            assert status["static_coverage_percent"] == 100.0
 
 
 class TestLineBackfill:
