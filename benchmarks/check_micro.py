@@ -16,7 +16,9 @@ Run after ``pytest benchmarks/test_micro.py`` has written
 - the traced span protocol exceeds its 10%-of-a-trigger budget (the
   end-to-end sampled-vs-unsampled difference also has a loose 25%
   noise bound), or static verdicts start costing the hot path more
-  than 2000 ns per trigger.
+  than 2000 ns per trigger,
+- continuous profiling at the default rate costs more than its 2%
+  share of profiled wall time (measured or projected).
 """
 
 from __future__ import annotations
@@ -59,6 +61,22 @@ def check(metrics: dict, baseline: dict) -> List[str]:
                 failures.append(
                     f"{name}: end-to-end tracing overhead is beyond "
                     "measurement noise")
+        if "profiler_overhead_pct" in doc:
+            budget = doc.get("budget_pct", 2.0)
+            print(f"{name}: {doc['profiler_overhead_pct']:.2f}% of wall "
+                  f"at {doc['hz']:.0f} Hz "
+                  f"(projected {doc['projected_pct']:.2f}%, "
+                  f"budget {budget}%)")
+            if doc["profiler_overhead_pct"] > budget:
+                failures.append(
+                    f"{name}: continuous profiling costs "
+                    f"{doc['profiler_overhead_pct']:.2f}% of wall time "
+                    f"(budget {budget}%)")
+            if doc["projected_pct"] > budget:
+                failures.append(
+                    f"{name}: projected sweep cost "
+                    f"{doc['projected_pct']:.2f}% is over the "
+                    f"{budget}% budget")
         if "per_trigger_overhead_ns" in doc:
             print(f"{name}: {doc['deploy_verdict_us']:.0f} us per deploy, "
                   f"{doc['per_trigger_overhead_ns']:.0f} ns per trigger")

@@ -518,6 +518,64 @@ def test_tracing_overhead() -> None:
         f"sampling-off path costs {untraced_pct:.2f}% of a trigger"
 
 
+def test_profiler_overhead() -> None:
+    """Continuous profiling must cost at most 2% of profiled wall time.
+
+    The profiler keeps its own books — cumulative sweep seconds over
+    the wall seconds of the background segment — so the benchmark runs
+    it at the default rate against a threaded container with live
+    worker threads and gates on that measured share. A directly-timed
+    sweep loop also records the projected cost (mean sweep x rate),
+    which stays meaningful on machines where a short wall segment is
+    noisy."""
+    from time import sleep
+
+    from repro.metrics.profile import (
+        DEFAULT_PROFILE_HZ, OVERHEAD_BUDGET_PERCENT, SamplingProfiler,
+    )
+
+    node = GSNContainer("profiled", synchronous=False)
+    try:
+        node.deploy(payload_descriptor("s", 1, 100, 1_024))
+        node.run_for(2_000)  # warm: worker threads up and parked/busy
+
+        # Mean sweep cost over the live container's thread population.
+        sweeper = SamplingProfiler(hz=DEFAULT_PROFILE_HZ)
+        rounds = 200
+        start = perf_counter()
+        for _ in range(rounds):
+            sweeper.sample_once()
+        mean_sweep_s = (perf_counter() - start) / rounds
+        projected_pct = 100.0 * mean_sweep_s * DEFAULT_PROFILE_HZ
+
+        # The real background segment the container would run with.
+        profiler = SamplingProfiler(hz=DEFAULT_PROFILE_HZ)
+        profiler.start()
+        deadline = perf_counter() + 1.2
+        while perf_counter() < deadline:
+            node.run_for(100)  # keep the workers ticking while sampled
+            sleep(0.005)
+        profiler.stop()
+    finally:
+        node.shutdown()
+
+    status = profiler.status()
+    assert status["sweeps"] >= 10, "background segment took no sweeps"
+    register_metric("profiler_overhead", {
+        "profiler_overhead_pct": status["overhead_percent"],
+        "budget_pct": OVERHEAD_BUDGET_PERCENT,
+        "hz": DEFAULT_PROFILE_HZ,
+        "sweeps": status["sweeps"],
+        "samples": status["samples"],
+        "mean_sweep_us": mean_sweep_s * 1e6,
+        "projected_pct": round(projected_pct, 3),
+    })
+    assert status["overhead_percent"] <= OVERHEAD_BUDGET_PERCENT, \
+        f"profiler cost {status['overhead_percent']:.2f}% of wall time"
+    assert projected_pct <= OVERHEAD_BUDGET_PERCENT, \
+        f"projected sweep cost {projected_pct:.2f}% at default rate"
+
+
 def test_node_throughput(benchmark) -> None:
     """Elements/second one node sustains end to end — the "GSN can
     tolerate high rates" claim in measurable form."""

@@ -13,7 +13,7 @@ the questions the lock-graph analysis needs:
 - where locks live.  A lock is an attribute or module global assigned
   ``threading.Lock()``/``RLock()`` or
   :func:`repro.concurrency.new_lock`.  Locks get stable class-qualified
-  names (``"SourceRuntime._lock"``, ``"tracing._id_lock"``) — the same
+  names (``"SourceRuntime._lock"``, ``"FlightRecorder._lock"``) — the same
   names the runtime witness uses, so the static and observed
   acquisition graphs are directly comparable.
 

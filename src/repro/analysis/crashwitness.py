@@ -69,6 +69,8 @@ class CrashWitness:
         self._mutex = threading.Lock()
         self._watched: List[Tuple[str, str, Optional[Callable[
             [ThreadCrash], None]]]] = []  # guarded-by: _mutex
+        self._observers: List[Callable[
+            [ThreadCrash], None]] = []  # guarded-by: _mutex
         self.crashes: List[ThreadCrash] = []  # guarded-by: _mutex
         self._expected_depth = 0  # guarded-by: _mutex
         self._previous_hook: Optional[Callable] = None
@@ -105,6 +107,19 @@ class CrashWitness:
         with self._mutex:
             self._watched = [w for w in self._watched
                              if w[0] != name_prefix]
+
+    def add_observer(self, observer: Callable[[ThreadCrash], None]) -> None:
+        """Run ``observer`` on *every* recorded crash (supervised or
+        escaped), outside the witness mutex. The flight recorder hooks
+        in here so crash records land in the black box."""
+        with self._mutex:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[ThreadCrash], None]
+                        ) -> None:
+        with self._mutex:
+            self._observers = [o for o in self._observers
+                               if o is not observer]
 
     # -- reporting paths -----------------------------------------------------
 
@@ -153,6 +168,7 @@ class CrashWitness:
                 supervised=supervised, timestamp=time.time(), trace=trace,
             )
             self.crashes.append(crash)
+            observers = list(self._observers)
         if callback is not None:
             try:
                 callback(crash)
@@ -160,6 +176,11 @@ class CrashWitness:
                 # A broken on_crash callback must not mask the crash
                 # being recorded (and the witness cannot witness
                 # itself); see docs/reliability.md.
+                pass
+        for notify in observers:
+            try:
+                notify(crash)
+            except Exception:  # gsn-lint: disable=GSN601
                 pass
         return crash
 

@@ -2,7 +2,7 @@
 
 Every lock in the threaded runtime is created through :func:`new_lock`
 with a stable, class-qualified name (``"WorkerPool._lock"``,
-``"tracing._id_lock"``). By default this returns a plain
+``"TraceBuffer._lock"``). By default this returns a plain
 :class:`threading.Lock`/:class:`threading.RLock` — zero overhead, no
 wrapper object — so production containers pay nothing for the naming.
 

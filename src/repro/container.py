@@ -28,8 +28,14 @@ from repro.exceptions import ConfigurationError
 from repro.gsntime.clock import Clock, SystemClock, VirtualClock
 from repro.gsntime.scheduler import EventScheduler
 from repro.logging_setup import configure_logging
+from repro.metrics.flight import FlightRecorder, thread_stacks
+from repro.metrics.health import (
+    HealthModel, LatencySLO, SLOTracker, ThroughputSLO,
+)
+from repro.metrics.profile import DEFAULT_PROFILE_HZ, SamplingProfiler
 from repro.metrics.registry import (
-    FamilySnapshot, MetricsRegistry, counter_family, gauge_family,
+    DEFAULT_LATENCY_BUCKETS_MS, FamilySnapshot, HistogramSnapshot,
+    MetricsRegistry, counter_family, gauge_family,
 )
 from repro.metrics.tracing import TraceBuffer
 from repro.network.peer import PeerNetwork, PeerNode
@@ -80,6 +86,19 @@ class GSNContainer:
         Size of the ring buffer of recent pipeline span trees served at
         ``/trace`` (per-sensor sampling comes from the descriptor's
         ``trace-sampling`` attribute).
+    flight_capacity:
+        Size of the flight recorder's event ring (the journal snapshot
+        embedded in every black-box dump; see ``GET /dump``).
+    profile_hz:
+        Sampling rate of the continuous profiler. ``0`` (the default)
+        leaves the background sampler off — ``/profile?seconds=...``
+        still works through on-demand bursts.
+    slo_trigger_p99_ms:
+        Declared p99 objective for end-to-end trigger latency; feeds the
+        ``gsn_slo_*`` burn-rate gauges and the healthz body.
+    slo_ingest_per_sec:
+        Declared elements-per-second throughput objective; ``0`` skips
+        the throughput SLO entirely.
     log_level:
         When given (e.g. ``"INFO"`` or ``logging.DEBUG``), sets the
         level of the ``repro`` logger hierarchy and attaches a stderr
@@ -98,6 +117,10 @@ class GSNContainer:
                  scheduler: Optional[EventScheduler] = None,
                  incremental: bool = True,
                  trace_capacity: int = 256,
+                 flight_capacity: int = 512,
+                 profile_hz: float = 0.0,
+                 slo_trigger_p99_ms: float = 250.0,
+                 slo_ingest_per_sec: float = 0.0,
                  log_level: Union[int, str, None] = None) -> None:
         if not name.strip():
             raise ConfigurationError("container needs a name")
@@ -121,6 +144,11 @@ class GSNContainer:
             self.clock = SystemClock()
             self.scheduler = None
 
+        # The flight recorder exists before every other subsystem so each
+        # of them can journal into it; its dump builder is installed last,
+        # once the components a dump describes are wired up.
+        self.flight = FlightRecorder(flight_capacity, clock=self.clock.now)
+
         self.storage = StorageManager(storage_path)
         self.registry = registry if registry is not None else default_registry()
         self.notifications = NotificationManager()
@@ -137,7 +165,8 @@ class GSNContainer:
                                  integrity=self.integrity, seal=seal,
                                  clock=self.clock,
                                  trace_sink=self.traces,
-                                 metrics=self.metrics)
+                                 metrics=self.metrics,
+                                 events=self.flight)
 
         self.vsm = VirtualSensorManager(
             self.clock, self.storage, self.registry,
@@ -149,10 +178,56 @@ class GSNContainer:
             node=self.name,
             metrics=self.metrics,
             trace_sink=self.traces,
+            events=self.flight,
         )
         self.vsm.on_deploy(self._after_deploy)
         self.vsm.on_undeploy(self._after_undeploy)
         self.metrics.register_collector(self._collect_metrics)
+
+        # Plan-cache evictions are a capacity signal worth journaling.
+        self.processor.plan_cache.on_evict = self._plan_evicted
+
+        # Health model + SLOs. The latency SLO reads the same trigger
+        # histogram family the tracer feeds (get-or-create matches on
+        # kind+labelnames, so both resolve to one family object).
+        self.health = HealthModel()
+        self.health.register("worker-pools", self._check_worker_pools)
+        self.health.register("sensors", self._check_sensors)
+        self.health.register("storage", self._check_storage)
+        self.health.register("fast-path", self._check_fast_paths)
+        self.health.register("notifications", self._check_notifications)
+        if self.peer is not None:
+            self.health.register("peer-link", self._check_peer_link)
+        trigger_family = self.metrics.histogram(
+            "gsn_pipeline_trigger_latency_ms",
+            "End-to-end latency of one trigger (steps 2-5).",
+            labelnames=("sensor",),
+            buckets=DEFAULT_LATENCY_BUCKETS_MS,
+        )
+        slos: List[object] = [
+            LatencySLO("trigger-latency-p99", trigger_family,
+                       objective_ms=slo_trigger_p99_ms),
+        ]
+        if slo_ingest_per_sec > 0:
+            slos.append(ThroughputSLO(
+                "ingest-throughput",
+                counter=lambda: sum(s.elements_produced
+                                    for s in self.vsm.sensors()),
+                clock=self.clock.now,
+                objective_per_s=slo_ingest_per_sec,
+            ))
+        self.slos = SLOTracker(self.metrics, slos)
+
+        # Continuous profiler: off unless asked for; bursts still work.
+        self.profiler = SamplingProfiler(hz=profile_hz or DEFAULT_PROFILE_HZ)
+        if profile_hz > 0:
+            self.profiler.start()
+
+        self.flight.dumper = self._dump_sections
+        self._crash_observer = self._on_witnessed_crash
+        witness = self._witness()
+        if witness is not None:
+            witness.add_observer(self._crash_observer)
         self._closed = False
         logger.info("container %s up (simulated=%s)", self.name, simulated)
 
@@ -168,13 +243,39 @@ class GSNContainer:
             self.peer.publish(sensor.name,
                               sensor.descriptor.discovery_predicates,
                               sensor.output_schema)
+        self.flight.record("deploy", sensor.name,
+                           pool_size=sensor.descriptor.lifecycle.pool_size)
 
     def _after_undeploy(self, sensor_name: str) -> None:
         if self.peer is not None:
             self.peer.unpublish(sensor_name)
+        self.flight.record("undeploy", sensor_name)
 
     def _on_output(self, table: str, element: StreamElement) -> None:
         self.repository.data_arrived(table)
+
+    def _plan_evicted(self, sql: str) -> None:
+        self.flight.record("plan_evicted", "plan-cache",
+                           sql=sql[:120],
+                           evictions=self.processor.plan_cache.evictions)
+
+    @staticmethod
+    def _witness():
+        from repro.analysis import crashwitness
+        return crashwitness.active()
+
+    def _on_witnessed_crash(self, crash) -> None:
+        """Crash-witness observer: journal *escaped* crashes.
+
+        Supervised crashes are journaled by their supervisors (the pool
+        records ``worker_crash``, the HTTP server ``server_crash``), so
+        only the hook path — a thread nobody supervises — lands here.
+        """
+        if crash.supervised:
+            return
+        self.flight.record("thread_crash", crash.owner,
+                           thread=crash.thread_name,
+                           error=f"{crash.exc_type}: {crash.message}")
 
     # -- deployment API ----------------------------------------------------------
 
@@ -267,6 +368,10 @@ class GSNContainer:
         if self._closed:
             return
         self._closed = True
+        self.profiler.stop()
+        witness = self._witness()
+        if witness is not None:
+            witness.remove_observer(self._crash_observer)
         # Shutdown keeps permanent streams on disk (that is the promise
         # of permanent-storage); explicit undeploy() still drops them.
         self.vsm.stop_all(keep_storage=True)
@@ -280,6 +385,121 @@ class GSNContainer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
+
+    # -- health checks -----------------------------------------------------------
+
+    def _check_worker_pools(self) -> dict:
+        """Degraded when any pool exhausted its restart budget, shed
+        load, or is running at >=90% queue occupancy."""
+        pools = {}
+        worst = "ok"
+        for sensor in self.vsm.sensors():
+            doc = sensor.lifecycle.pool.status()
+            occupancy = (doc["queue_depth"] / doc["queue_capacity"]
+                         if doc["queue_capacity"] else 0.0)
+            verdict = "ok"
+            if doc["degraded"]:
+                verdict = "degraded"
+            elif doc["tasks_shed"] > 0 or occupancy >= 0.9:
+                verdict = "degraded"
+            if verdict != "ok":
+                worst = "degraded"
+            pools[sensor.name] = {"status": verdict,
+                                  "queue_depth": doc["queue_depth"],
+                                  "queue_capacity": doc["queue_capacity"],
+                                  "tasks_shed": doc["tasks_shed"],
+                                  "restarts": doc["restarts"],
+                                  "degraded": doc["degraded"]}
+        return {"status": worst, "pools": pools}
+
+    def _check_sensors(self) -> dict:
+        """Worst life-cycle state across the deployed set."""
+        states = {}
+        worst = "ok"
+        for sensor in self.vsm.sensors():
+            state = sensor.lifecycle.state.value
+            states[sensor.name] = state
+            if state == "failed":
+                worst = "failed"
+            elif state == "degraded" and worst == "ok":
+                worst = "degraded"
+        return {"status": worst, "states": states}
+
+    def _check_storage(self) -> dict:
+        if self._closed:
+            return {"status": "failed", "error": "storage closed"}
+        return {"status": "ok",
+                "streams": len(self.storage.stream_names())}
+
+    def _check_fast_paths(self) -> dict:
+        """A poisoned incremental accumulator means a sensor silently
+        fell back to the slow path — degraded, not failed."""
+        poisoned = {}
+        for sensor in self.vsm.sensors():
+            count = sensor.fast_paths.snapshot()["poisoned"]
+            if count:
+                poisoned[sensor.name] = count
+        return {"status": "degraded" if poisoned else "ok",
+                "poisoned": poisoned}
+
+    def _check_notifications(self) -> dict:
+        """Degraded when a bounded channel queue sits at >=90% full
+        (polling client has stopped draining)."""
+        full = {}
+        for channel, (pending, capacity) in sorted(
+                self.notifications.queue_depths().items()):
+            if capacity != float("inf") and pending >= 0.9 * capacity:
+                full[channel] = {"pending": pending, "capacity": capacity}
+        return {"status": "degraded" if full else "ok",
+                "saturated_channels": full}
+
+    def _check_peer_link(self) -> dict:
+        assert self.peer is not None
+        bus = self.peer.network.bus
+        ratio = bus.dropped / bus.sent if bus.sent else 0.0
+        status = "degraded" if ratio > 0.25 else "ok"
+        return {"status": status,
+                "sent": bus.sent, "dropped": bus.dropped,
+                "drop_ratio": round(ratio, 4)}
+
+    def health_report(self) -> dict:
+        """The ``GET /healthz`` body: per-component checks, the worst-of
+        container verdict, and the (informational) SLO measurements."""
+        report = self.health.report()
+        report["slos"] = self.slos.report()
+        return report
+
+    # -- black-box dumps ---------------------------------------------------------
+
+    def _dump_sections(self) -> dict:
+        """Container state sections of a black-box dump. Called by the
+        flight recorder with no locks held."""
+        metrics = {}
+        for family in self.metrics.collect():
+            samples = []
+            for labels, value in family.samples:
+                if isinstance(value, HistogramSnapshot):
+                    rendered: object = {"count": value.count,
+                                        "sum": round(value.sum, 3),
+                                        "mean": round(value.mean, 3)}
+                else:
+                    rendered = value
+                samples.append({"labels": labels, "value": rendered})
+            metrics[family.name] = samples
+        return {
+            "container": {"name": self.name, "state": (
+                "stopped" if self._closed else "running")},
+            "health": self.health.report(),
+            "slos": self.slos.report(),
+            "metrics": metrics,
+            "traces": self.trace_documents(limit=16),
+            "threads": thread_stacks(),
+            "profile": self.profiler.hot_stacks(10),
+        }
+
+    def blackbox_dump(self, reason: str = "operator-request") -> dict:
+        """Force a black-box dump (the ``GET /dump`` path)."""
+        return self.flight.dump(reason)
 
     # -- monitoring ----------------------------------------------------------------
 
@@ -376,6 +596,57 @@ class GSNContainer:
                          "The container's (possibly virtual) clock.",
                          [({}, self.clock.now())]),
         ]
+        pool_depths = []
+        pool_capacities = []
+        pool_shed = []
+        for sensor in self.vsm.sensors():
+            pool = sensor.lifecycle.pool
+            labels = {"pool": sensor.name}
+            pool_depths.append((labels, float(pool.queue_depth())))
+            pool_capacities.append((labels, float(pool.queue_capacity)))
+            pool_shed.append((labels, pool.tasks_shed))
+        notif_depths = []
+        notif_capacities = []
+        for channel, (pending, capacity) in sorted(
+                self.notifications.queue_depths().items()):
+            labels = {"channel": channel}
+            notif_depths.append((labels, float(pending)))
+            notif_capacities.append((labels, capacity))
+        flight = self.flight.status()
+        profiler = self.profiler.status()
+        families.extend([
+            gauge_family("gsn_worker_queue_depth",
+                         "Tasks waiting in each sensor pool's bounded "
+                         "queue.",
+                         pool_depths),
+            gauge_family("gsn_worker_queue_capacity",
+                         "Bound of each sensor pool's task queue.",
+                         pool_capacities),
+            counter_family("gsn_worker_tasks_shed_total",
+                           "Tasks dropped because the pool queue was "
+                           "full (explicit load shedding).",
+                           pool_shed),
+            gauge_family("gsn_notification_queue_depth",
+                         "Pending notifications per queue channel.",
+                         notif_depths),
+            gauge_family("gsn_notification_queue_capacity",
+                         "Bound of each queue channel (+Inf when "
+                         "unbounded).",
+                         notif_capacities),
+            counter_family("gsn_flight_events_recorded_total",
+                           "Events journaled by the flight recorder.",
+                           [({}, flight["recorded"])]),
+            counter_family("gsn_flight_dumps_total",
+                           "Black-box dumps taken.",
+                           [({}, flight["dumps_taken"])]),
+            gauge_family("gsn_profiler_overhead_percent",
+                         "Measured sampling-profiler cost as a share of "
+                         "profiled wall time.",
+                         [({}, profiler["overhead_percent"])]),
+            counter_family("gsn_profiler_samples_total",
+                           "Thread-stack samples taken by the profiler.",
+                           [({}, profiler["samples"])]),
+        ])
         if self.peer is not None:
             bus = self.peer.network.bus
             families.append(counter_family(
@@ -439,6 +710,9 @@ class GSNContainer:
             "metrics": self.metrics.status(),
             "traces": self.traces.status(),
             "crash_witness": witness.status() if witness else None,
+            "health": self.health_report(),
+            "flight": self.flight.status(),
+            "profiler": self.profiler.status(),
         }
 
     def __repr__(self) -> str:

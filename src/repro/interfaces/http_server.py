@@ -19,6 +19,9 @@ Routes
 ``GET  /network``           peer-network view
 ``GET  /metrics``           Prometheus text exposition (0.0.4)
 ``GET  /trace?id=...&limit=...``  recent pipeline traces (JSON)
+``GET  /healthz``           health verdict (503 when not ok)
+``GET  /dump``              force + return a black-box dump
+``GET  /profile?seconds=...``  collapsed profiler stacks (text)
 ``POST /deploy``            body = descriptor XML
 ``POST /reconfigure``       body = descriptor XML
 ``POST /undeploy/<name>``   remove a sensor
@@ -95,7 +98,16 @@ class GSNHttpServer:
                 target=self._serve, name="gsn-http", daemon=True,
             )
             self._thread.start()
+        self.container.health.register("http-server", self._health_check)
         return self
+
+    def _health_check(self) -> Dict[str, Any]:
+        with self._state_lock:
+            healthy = self.healthy
+            serving = self._thread is not None
+            crashes = self.crashes
+        status = "ok" if healthy and serving else "failed"
+        return {"status": status, "serving": serving, "crashes": crashes}
 
     def _serve(self) -> None:
         """Supervised serve loop: restart on crash, then declare unhealthy."""
@@ -116,6 +128,9 @@ class GSNHttpServer:
         if witness is not None:
             witness.report(threading.current_thread().name, exc,
                            owner="http-server")
+        self.container.flight.record(
+            "server_crash", "http-server",
+            error=f"{type(exc).__name__}: {exc}")
         with self._state_lock:
             self.crashes += 1
             if self._stopping:
@@ -129,6 +144,8 @@ class GSNHttpServer:
             self.healthy = False
         logger.error("http server: restart budget exhausted (%d); "
                      "server is down", self.MAX_RESTARTS)
+        self.container.flight.record("degraded", "http-server",
+                                     reason="restart budget exhausted")
         return False
 
     def stop(self) -> None:
@@ -138,6 +155,7 @@ class GSNHttpServer:
             self._stopping = True
         if thread is None:
             return
+        self.container.health.unregister("http-server")
         self._server.shutdown()
         self._server.server_close()
         thread.join(timeout=5.0)
@@ -254,6 +272,21 @@ def _build_handler(owner: GSNHttpServer):
                     return
                 self._send_json(web.traces(trace_id=params.get("id"),
                                            limit=limit))
+            elif route == "/healthz":
+                self._send_json(web.healthz())
+            elif route == "/dump":
+                self._send_json(web.dump())
+            elif route == "/profile":
+                seconds_text = params.get("seconds", "")
+                try:
+                    seconds = float(seconds_text) if seconds_text else None
+                except ValueError:
+                    self._send_json({"status": 400, "error": "BadRequest",
+                                     "message":
+                                     f"bad seconds {seconds_text!r}"})
+                    return
+                self._send_text(web.profile_text(seconds=seconds),
+                                "text/plain; charset=utf-8")
             else:
                 self._not_found()
 

@@ -115,6 +115,34 @@ class WebInterface:
         return _ok({"container": self.container.name,
                     "trace_count": len(documents), "traces": documents})
 
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` — the health verdict, 503 when unhealthy.
+
+        SLO misses are informational (they ride in the body) and never
+        flip the HTTP status; component checks do.
+        """
+        report = self.container.health_report()
+        status = 200 if report["status"] == "ok" else 503
+        return {"status": status, "container": self.container.name,
+                "health": report}
+
+    def dump(self) -> Dict[str, Any]:
+        """``GET /dump`` — force and return a black-box dump."""
+        return _ok({"dump": self.container.blackbox_dump(
+            reason="http-request")})
+
+    def profile_text(self, seconds: Optional[float] = None) -> str:
+        """``GET /profile[?seconds=...]`` — collapsed stacks (text).
+
+        With the background sampler running, returns what it has
+        aggregated so far; ``seconds`` adds an on-demand synchronous
+        burst first (capped at 5 s so a typo cannot stall the server).
+        """
+        profiler = self.container.profiler
+        if seconds is not None and seconds > 0:
+            profiler.sample_burst(min(float(seconds), 5.0))
+        return profiler.collapsed()
+
     # -- POST endpoints ----------------------------------------------------------
 
     def deploy(self, descriptor_xml: str, client: str = "",

@@ -1,0 +1,193 @@
+"""The container's flight recorder: a black box for degradations.
+
+A deployed container is only operable if an operator can answer "what
+happened just before it degraded" without attaching a debugger. The
+:class:`FlightRecorder` is a bounded, lock-cheap ring journal of
+structured :class:`FlightEvent`\\ s — deploys, life-cycle transitions,
+poisonings, worker crashes and restarts, crash-witness reports,
+plan-cache evictions, remote hops — that snapshots itself into a JSON
+"black-box dump" whenever a component degrades, a crash witness fires,
+or an operator asks via ``GET /dump``.
+
+Recording an event is one lock acquisition plus a deque append, cheap
+enough to sit on supervision paths. ``FlightRecorder._lock`` is a leaf
+lock: the recorder never calls out while holding it — in particular the
+dump builder (which walks health checks, metrics and thread stacks)
+always runs *after* the lock is released, on the recording thread.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.concurrency import new_lock
+
+logger = logging.getLogger("repro.metrics.flight")
+
+#: Event kinds that automatically trigger a black-box dump: a component
+#: entered DEGRADED, or a crash witness fired (supervised or not).
+DUMP_KINDS = frozenset({
+    "degraded", "worker_crash", "server_crash", "thread_crash",
+})
+
+#: How many black-box dumps the recorder retains (each holds the full
+#: event ring at trigger time, so a burst of crashes keeps the earliest
+#: and the final picture).
+DUMP_RETENTION = 8
+
+
+class FlightEvent:
+    """One structured journal entry."""
+
+    __slots__ = ("seq", "at", "wall", "kind", "component", "detail")
+
+    def __init__(self, seq: int, at: int, wall: float, kind: str,
+                 component: str, detail: Dict[str, Any]) -> None:
+        self.seq = seq
+        self.at = at          # container clock, epoch ms (virtual in sim)
+        self.wall = wall      # wall clock, for correlating with logs
+        self.kind = kind
+        self.component = component
+        self.detail = detail
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "seq": self.seq,
+            "at": self.at,
+            "wall": self.wall,
+            "kind": self.kind,
+            "component": self.component,
+        }
+        if self.detail:
+            doc["detail"] = dict(self.detail)
+        return doc
+
+    def __repr__(self) -> str:
+        return (f"<FlightEvent #{self.seq} {self.kind} "
+                f"{self.component!r} at={self.at}>")
+
+
+#: Builds the container-specific dump sections (health report, metrics,
+#: traces, thread stacks, profiler hot stacks). Installed by the
+#: container; called with no locks held.
+DumpBuilder = Callable[[], Dict[str, Any]]
+
+
+class FlightRecorder:
+    """Bounded ring journal of events + retained black-box dumps."""
+
+    def __init__(self, capacity: int = 512,
+                 clock: Optional[Callable[[], int]] = None) -> None:
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = new_lock("FlightRecorder._lock")
+        self._events: Deque[FlightEvent] = deque(maxlen=capacity)  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
+        self._dumps: Deque[Dict[str, Any]] = deque(maxlen=DUMP_RETENTION)  # guarded-by: _lock
+        self._dumps_taken = 0  # guarded-by: _lock
+        #: Installed by the owning container once its components exist.
+        self.dumper: Optional[DumpBuilder] = None
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, kind: str, component: str, **detail: Any) -> FlightEvent:
+        """Append one event; degradation/crash kinds trigger a dump.
+
+        The dump (if any) is built after the journal lock is released,
+        on the calling thread — typically the crashing worker, which at
+        that point holds no runtime locks.
+        """
+        now = self._clock() if self._clock is not None else 0
+        with self._lock:
+            self._seq += 1
+            event = FlightEvent(self._seq, now, time.time(), kind,
+                                component, detail)
+            self._events.append(event)
+        if kind in DUMP_KINDS and self.dumper is not None:
+            self.dump(reason=f"{kind}:{component}", trigger=event)
+        return event
+
+    # -- dumping -------------------------------------------------------------
+
+    def dump(self, reason: str,
+             trigger: Optional[FlightEvent] = None) -> Dict[str, Any]:
+        """Snapshot the journal (and the container, via the installed
+        dump builder) into a retained black-box document."""
+        sections: Dict[str, Any] = {}
+        builder = self.dumper
+        if builder is not None:
+            try:
+                sections = builder()
+            except Exception as exc:
+                # A broken dump builder must not take down the crashing
+                # thread that triggered the dump — the journal snapshot
+                # below still lands, with the builder failure noted.
+                logger.exception("flight recorder: dump builder failed")
+                sections = {"dump_error": f"{type(exc).__name__}: {exc}"}
+        with self._lock:
+            events = [event.to_dict() for event in self._events]
+            doc: Dict[str, Any] = {
+                "reason": reason,
+                "at": self._clock() if self._clock is not None else 0,
+                "wall": time.time(),
+                "trigger": trigger.to_dict() if trigger is not None else None,
+                "events": events,  # oldest -> newest
+            }
+            doc.update(sections)
+            self._dumps.append(doc)
+            self._dumps_taken += 1
+        return doc
+
+    # -- introspection -------------------------------------------------------
+
+    def events(self, limit: Optional[int] = None) -> List[FlightEvent]:
+        """Journal contents, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        return events[-limit:] if limit is not None else events
+
+    def dumps(self) -> List[Dict[str, Any]]:
+        """Retained black-box dumps, oldest first."""
+        with self._lock:
+            return list(self._dumps)
+
+    def last_dump(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._dumps[-1] if self._dumps else None
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "recorded": self._seq,
+                "buffered": len(self._events),
+                "capacity": self.capacity,
+                "dumps_taken": self._dumps_taken,
+                "dumps_retained": len(self._dumps),
+            }
+
+
+def thread_stacks() -> List[Dict[str, Any]]:
+    """Every live thread's current stack, JSON-ready.
+
+    The dump's "what was everyone doing" section: pairs
+    ``sys._current_frames`` with :func:`threading.enumerate` so frames
+    carry the thread's name (the attribution key the whole runtime uses,
+    e.g. ``gsn-pool-<sensor>-<n>``).
+    """
+    names = {thread.ident: thread for thread in threading.enumerate()}
+    stacks = []
+    for ident, frame in sorted(sys._current_frames().items()):
+        thread = names.get(ident)
+        stacks.append({
+            "thread": thread.name if thread is not None else f"ident-{ident}",
+            "daemon": thread.daemon if thread is not None else None,
+            "stack": [line.rstrip("\n")
+                      for line in traceback.format_stack(frame)],
+        })
+    return stacks

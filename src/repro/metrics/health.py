@@ -1,0 +1,269 @@
+"""Health model: per-component checks, a container verdict, and SLOs.
+
+Two complementary views of "is this container healthy":
+
+- :class:`HealthModel` aggregates per-component health checks (worker
+  pools, HTTP server, peer links, the storage writer, per-sensor
+  fast-path poison counts) into one worst-of verdict — the JSON served
+  at ``GET /healthz`` and embedded in the container ``status()``. A
+  check is a plain callable returning ``{"status": "ok" | "degraded" |
+  "failed", ...detail}``; checks run only when a report is asked for,
+  so the model costs nothing on the hot path.
+
+- SLO objects (:class:`LatencySLO`, :class:`ThroughputSLO`) judge the
+  live measurements against *declared objectives* — p99 trigger latency
+  and ingest throughput — and derive burn-rate / error-budget gauges
+  from the existing trace histograms, Aurora/Borealis-style QoS
+  monitoring reduced to its two load-bearing numbers. The
+  :class:`SLOTracker` exports them as ``gsn_slo_*`` metric families.
+
+SLO misses are deliberately *informational*: they appear in the healthz
+body and the metrics but do not flip the container verdict — a slow CI
+machine must not read as an unhealthy container.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.concurrency import new_lock
+from repro.metrics.registry import (
+    FamilySnapshot, HistogramSnapshot, MetricFamily, MetricsRegistry,
+    gauge_family,
+)
+
+#: Worst-of ordering for the container verdict.
+_SEVERITY = {"ok": 0, "degraded": 1, "failed": 2}
+
+#: One health check: returns a dict carrying at least ``status``.
+HealthCheck = Callable[[], Dict[str, Any]]
+
+
+class HealthModel:
+    """Named per-component checks aggregated into one verdict."""
+
+    def __init__(self) -> None:
+        self._lock = new_lock("HealthModel._lock")
+        self._checks: Dict[str, HealthCheck] = {}  # guarded-by: _lock
+
+    def register(self, name: str, check: HealthCheck) -> None:
+        """Add (or replace) a component's health check."""
+        with self._lock:
+            self._checks[name] = check
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._checks.pop(name, None)
+
+    def check_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._checks)
+
+    def report(self) -> Dict[str, Any]:
+        """Run every check and aggregate the worst status.
+
+        Checks run outside the model's lock (they read component state
+        behind the components' own locks) and a check that raises is a
+        *failed* component, not a crashed endpoint.
+        """
+        with self._lock:
+            checks = sorted(self._checks.items())
+        results: Dict[str, Dict[str, Any]] = {}
+        worst = "ok"
+        for name, check in checks:
+            try:
+                result = dict(check())
+            except Exception as exc:  # gsn-lint: disable=GSN601
+                # Not swallowed: the failure IS the health signal — it
+                # surfaces as a failed component in the report.
+                result = {"status": "failed",
+                          "error": f"{type(exc).__name__}: {exc}"}
+            status = result.get("status", "ok")
+            if status not in _SEVERITY:
+                result["status"] = status = "failed"
+            if _SEVERITY[status] > _SEVERITY[worst]:
+                worst = status
+            results[name] = result
+        return {"status": worst, "checks": results}
+
+
+# ---------------------------------------------------------------------------
+# SLOs
+# ---------------------------------------------------------------------------
+
+
+class LatencySLO:
+    """Declared p99 objective over the trigger-latency histograms.
+
+    Reads the ``gsn_pipeline_trigger_latency_ms`` family the tracer
+    already feeds — no new hot-path instrumentation. Attainment is the
+    fraction of triggers at or under the objective (resolved at bucket
+    granularity); the burn rate is the bad fraction relative to the
+    error budget ``1 - target`` (burn 1.0 = exactly spending the
+    budget; >1 = on track to blow it).
+    """
+
+    kind = "latency"
+
+    def __init__(self, name: str, family: MetricFamily,
+                 objective_ms: float, target: float = 0.99) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError("SLO target must be in (0, 1)")
+        self.name = name
+        self.family = family
+        self.objective_ms = float(objective_ms)
+        self.target = target
+
+    def _merged(self) -> Optional[HistogramSnapshot]:
+        snapshots = [value for __, value in self.family.collect().samples
+                     if isinstance(value, HistogramSnapshot)]
+        if not snapshots:
+            return None
+        bounds = snapshots[0].bounds
+        counts = [0] * (len(bounds) + 1)
+        total = 0.0
+        count = 0
+        for snap in snapshots:
+            if snap.bounds != bounds:
+                continue  # mismatched buckets never merge
+            for index, bucket in enumerate(snap.counts):
+                counts[index] += bucket
+            total += snap.sum
+            count += snap.count
+        return HistogramSnapshot(bounds, tuple(counts), total, count)
+
+    def measure(self) -> Dict[str, Any]:
+        snap = self._merged()
+        doc: Dict[str, Any] = {
+            "slo": self.name,
+            "kind": self.kind,
+            "objective_ms": self.objective_ms,
+            "target": self.target,
+        }
+        if snap is None or snap.count == 0:
+            doc.update({"events": 0, "attainment": 1.0, "burn_rate": 0.0,
+                        "error_budget_remaining": 1.0, "met": True})
+            return doc
+        good = snap.count  # objective beyond the last bound: all good
+        p99: Optional[float] = None
+        good_found = False
+        for bound, cumulative in snap.cumulative():
+            if p99 is None and cumulative >= 0.99 * snap.count:
+                p99 = bound
+            if not good_found and bound >= self.objective_ms:
+                good = cumulative
+                good_found = True
+        attainment = good / snap.count
+        budget = 1.0 - self.target
+        burn = (1.0 - attainment) / budget
+        doc.update({
+            "events": snap.count,
+            "good": good,
+            "p99_ms_le": p99,
+            "attainment": round(attainment, 6),
+            "burn_rate": round(burn, 4),
+            "error_budget_remaining": round(max(0.0, 1.0 - burn), 4),
+            "met": attainment >= self.target,
+        })
+        return doc
+
+
+class ThroughputSLO:
+    """Declared elements-per-second objective over a monotonic counter.
+
+    Rate is measured on the container clock (meaningful under the
+    virtual clock too). Attainment is the achieved fraction of the
+    objective, clamped to 1; with no elapsed time yet there is nothing
+    to judge and the SLO reports as met.
+    """
+
+    kind = "throughput"
+
+    def __init__(self, name: str, counter: Callable[[], float],
+                 clock: Callable[[], int], objective_per_s: float,
+                 target: float = 0.95) -> None:
+        if objective_per_s <= 0:
+            raise ValueError("throughput objective must be positive")
+        if not 0.0 < target < 1.0:
+            raise ValueError("SLO target must be in (0, 1)")
+        self.name = name
+        self.counter = counter
+        self.clock = clock
+        self.objective_per_s = float(objective_per_s)
+        self.target = target
+        self._t0 = clock()
+        self._c0 = float(counter())
+
+    def measure(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "slo": self.name,
+            "kind": self.kind,
+            "objective_per_s": self.objective_per_s,
+            "target": self.target,
+        }
+        span_s = (self.clock() - self._t0) / 1000.0
+        if span_s <= 0:
+            doc.update({"rate_per_s": None, "attainment": 1.0,
+                        "burn_rate": 0.0, "error_budget_remaining": 1.0,
+                        "met": True})
+            return doc
+        rate = (float(self.counter()) - self._c0) / span_s
+        attainment = min(1.0, rate / self.objective_per_s)
+        budget = 1.0 - self.target
+        burn = (1.0 - attainment) / budget
+        doc.update({
+            "rate_per_s": round(rate, 3),
+            "attainment": round(attainment, 6),
+            "burn_rate": round(burn, 4),
+            "error_budget_remaining": round(max(0.0, 1.0 - burn), 4),
+            "met": attainment >= self.target,
+        })
+        return doc
+
+
+class SLOTracker:
+    """Holds the container's SLOs and exports their gauges.
+
+    Registered as a metrics collector, so ``gsn_slo_objective``,
+    ``gsn_slo_attainment_ratio``, ``gsn_slo_burn_rate`` and
+    ``gsn_slo_error_budget_remaining_ratio`` materialize at scrape time
+    from the same ``measure()`` pass the healthz body embeds.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 slos: List[Any]) -> None:
+        self.slos = list(slos)
+        registry.register_collector(self._collect)
+
+    def report(self) -> List[Dict[str, Any]]:
+        return [slo.measure() for slo in self.slos]
+
+    def _collect(self) -> List[FamilySnapshot]:
+        objective = []
+        attainment = []
+        burn = []
+        budget = []
+        for doc in self.report():
+            labels = {"slo": doc["slo"]}
+            objective.append(
+                (labels, doc.get("objective_ms",
+                                 doc.get("objective_per_s", 0.0))))
+            attainment.append((labels, doc["attainment"]))
+            burn.append((labels, doc["burn_rate"]))
+            budget.append((labels, doc["error_budget_remaining"]))
+        return [
+            gauge_family("gsn_slo_objective",
+                         "Declared objective per SLO (ms for latency "
+                         "SLOs, elements/s for throughput SLOs).",
+                         objective),
+            gauge_family("gsn_slo_attainment_ratio",
+                         "Fraction of events meeting the SLO objective.",
+                         attainment),
+            gauge_family("gsn_slo_burn_rate",
+                         "Bad-event fraction relative to the error "
+                         "budget (1.0 = spending the budget exactly).",
+                         burn),
+            gauge_family("gsn_slo_error_budget_remaining_ratio",
+                         "Share of the error budget still unspent.",
+                         budget),
+        ]

@@ -24,6 +24,7 @@ arrives carrying a trace id is always traced, one without never is.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from random import Random
 from time import perf_counter
@@ -37,19 +38,22 @@ PIPELINE_STEPS = ("timestamp", "window_select", "source_query",
                   "output_query", "persist_notify")
 REMOTE_HOP_STEP = "remote_hop"
 
-#: Process-wide id generator. Seeded from the OS once at import; a
-#: PRNG draw is ~5x cheaper than ``uuid.uuid4()`` and this sits on the
-#: sampled ingest hot path. 64 random bits are plenty for correlating
-#: spans inside one deployment's bounded ring buffers.
-_id_rng = Random()
-_id_lock = new_lock("tracing._id_lock")
+#: Per-thread id generators. A PRNG draw is ~5x cheaper than
+#: ``uuid.uuid4()`` and this sits on the sampled ingest hot path; one
+#: generator per thread means wrapper threads never serialize on a
+#: process-wide lock just to mint an id (each ``Random()`` seeds itself
+#: from the OS, so two threads never draw the same stream). 64 random
+#: bits are plenty for correlating spans inside one deployment's
+#: bounded ring buffers.
+_id_local = threading.local()
 
 
 def new_trace_id() -> str:
     """A fresh 16-hex-digit trace id."""
-    with _id_lock:
-        bits = _id_rng.getrandbits(64)
-    return f"{bits:016x}"
+    rng = getattr(_id_local, "rng", None)
+    if rng is None:
+        rng = _id_local.rng = Random()
+    return f"{rng.getrandbits(64):016x}"
 
 
 class Span:

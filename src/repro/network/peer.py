@@ -25,6 +25,7 @@ from repro.datatypes import DataType
 from repro.exceptions import DiscoveryError, TransportError
 from repro.gsntime.clock import Clock
 from repro.gsntime.scheduler import EventScheduler
+from repro.metrics.flight import FlightRecorder
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import REMOTE_HOP_STEP, Span, TraceBuffer
 from repro.network.directory import DirectoryEntry, PeerDirectory
@@ -99,7 +100,8 @@ class PeerNode:
                  seal: str = "none",
                  clock: Optional[Clock] = None,
                  trace_sink: Optional[TraceBuffer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[FlightRecorder] = None) -> None:
         if seal not in ("none", "sign", "encrypt"):
             raise TransportError(f"unknown seal level {seal!r}")
         if seal != "none" and integrity is None:
@@ -111,6 +113,7 @@ class PeerNode:
         self.seal = seal
         self.clock = clock
         self.trace_sink = trace_sink
+        self.events = events
         self._hop_latency = None
         if metrics is not None:
             self._hop_latency = metrics.histogram(
@@ -262,13 +265,21 @@ class PeerNode:
             self._served[subscription_id] = (
                 sensor_name, lambda: sensor.remove_listener(forward)
             )
+        if self.events is not None:
+            self.events.record("peer_subscribe", self.name,
+                               sensor=sensor_name, subscriber=subscriber,
+                               subscription_id=subscription_id)
 
     def _detach(self, subscription_id: int) -> None:
         with self._lock:
             entry = self._served.pop(subscription_id, None)
         if entry is not None:
-            __, detach = entry
+            sensor_name, detach = entry
             detach()  # takes the sensor's emit lock: outside ours
+            if self.events is not None:
+                self.events.record("peer_unsubscribe", self.name,
+                                   sensor=sensor_name,
+                                   subscription_id=subscription_id)
 
     def _receive(self, message: Message) -> None:
         payload = message.payload
@@ -324,6 +335,10 @@ class PeerNode:
                         producer=producer, subscriber=self.name)
             span.close(duration)
             self.trace_sink.add(span)
+        if self.events is not None:
+            self.events.record("remote_hop", self.name,
+                               producer=producer, trace_id=trace_id,
+                               latency_ms=duration)
 
     def status(self) -> dict:
         return status_doc(

@@ -77,6 +77,11 @@ class QueueChannel(NotificationChannel):
     def pending(self) -> int:
         return len(self._queue)
 
+    @property
+    def capacity(self) -> Optional[int]:
+        """Queue bound, or ``None`` when unbounded."""
+        return self._queue.maxlen
+
 
 class LogChannel(NotificationChannel):
     """Writes notifications to the standard :mod:`logging` system."""

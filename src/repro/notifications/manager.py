@@ -85,6 +85,22 @@ class NotificationManager:
         with self._lock:
             return sorted(self._channels)
 
+    def queue_depths(self) -> Dict[str, tuple]:
+        """``{channel: (pending, capacity)}`` for every queue-backed
+        channel; capacity is ``inf`` for unbounded queues. Feeds the
+        ``gsn_notification_queue_*`` gauges and the health model."""
+        with self._lock:
+            channels = list(self._channels.values())
+        depths: Dict[str, tuple] = {}
+        for ch in channels:
+            if isinstance(ch, QueueChannel):
+                capacity = ch.capacity
+                depths[ch.name] = (
+                    ch.pending,
+                    float(capacity) if capacity is not None else float("inf"),
+                )
+        return depths
+
     def deliver(self, subscription: "Subscription",
                 result: Relation) -> Notification:
         """Shape ``result`` into a notification and push it to the

@@ -9,7 +9,7 @@ repeated subscriptions amortized O(1) compilation.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.sqlengine.ast_nodes import SelectStatement
 from repro.sqlengine.parser import parse_select
@@ -26,6 +26,9 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Called with the evicted SQL key on each LRU eviction; the
+        #: container points this at the flight recorder.
+        self.on_evict: Optional[Callable[[str], None]] = None
         self._entries: "OrderedDict[str, Tuple[SelectStatement, SelectPlan]]" = (
             OrderedDict()
         )
@@ -44,8 +47,10 @@ class PlanCache:
         if self.capacity > 0:
             self._entries[key] = (statement, plan)
             if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, __ = self._entries.popitem(last=False)
                 self.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict(evicted)
         return statement, plan
 
     def invalidate(self, sql: Optional[str] = None) -> None:

@@ -1,0 +1,184 @@
+"""``gsn-top``: a terminal view of one container's live vitals.
+
+Polls a running :class:`~repro.interfaces.http_server.GSNHttpServer`
+(``/healthz``, ``/monitor``, ``/profile``) and renders health, SLO burn,
+per-sensor throughput/latency, and the hottest profiler stacks — the
+operator's glanceable answer to "is this container fine and where is
+its time going".
+
+Rendering is a pure function of the fetched snapshot
+(:func:`render`), so the screen layout is unit-testable without a
+server; the fetch layer is stdlib ``urllib`` only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+#: ANSI "clear screen + home" used between live refreshes.
+CLEAR = "\x1b[2J\x1b[H"
+
+_STATUS_MARKS = {"ok": "+", "degraded": "!", "failed": "x"}
+
+
+def fetch_snapshot(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """One poll: healthz + monitor JSON and the collapsed profile text.
+
+    A 503 from ``/healthz`` is a *valid* answer (a degraded container),
+    not a fetch failure — its body still carries the health report.
+    """
+    base = url.rstrip("/")
+    try:
+        with urllib.request.urlopen(f"{base}/healthz",
+                                    timeout=timeout) as response:
+            healthz = json.load(response)
+    except urllib.error.HTTPError as exc:
+        healthz = json.load(exc)
+    with urllib.request.urlopen(f"{base}/monitor",
+                                timeout=timeout) as response:
+        monitor = json.load(response)["monitor"]
+    with urllib.request.urlopen(f"{base}/profile",
+                                timeout=timeout) as response:
+        profile = response.read().decode("utf-8")
+    return {"healthz": healthz, "monitor": monitor, "profile": profile}
+
+
+def _health_lines(healthz: Dict[str, Any]) -> List[str]:
+    health = healthz.get("health", {})
+    verdict = health.get("status", "unknown")
+    lines = [f"health: {verdict}"]
+    for name, check in sorted(health.get("checks", {}).items()):
+        status = check.get("status", "?")
+        mark = _STATUS_MARKS.get(status, "?")
+        extra = ""
+        if status != "ok":
+            detail = {k: v for k, v in check.items() if k != "status"}
+            extra = f"  {detail}"
+        lines.append(f"  [{mark}] {name:<14} {status}{extra}")
+    return lines
+
+
+def _slo_lines(healthz: Dict[str, Any]) -> List[str]:
+    slos = healthz.get("health", {}).get("slos", [])
+    if not slos:
+        return []
+    lines = ["slos:"]
+    for doc in slos:
+        met = "met" if doc.get("met") else "MISSED"
+        burn = doc.get("burn_rate", 0.0)
+        budget = doc.get("error_budget_remaining", 1.0)
+        objective = doc.get("objective_ms", doc.get("objective_per_s"))
+        lines.append(
+            f"  {doc.get('slo', '?'):<22} {met:<7} "
+            f"objective={objective} burn={burn:.2f} budget={budget:.2f}"
+        )
+    return lines
+
+
+def _sensor_lines(monitor: Dict[str, Any]) -> List[str]:
+    sensors = monitor.get("virtual_sensors", {}).get("sensors", {})
+    if not sensors:
+        return ["sensors: none deployed"]
+    lines = ["sensors:",
+             f"  {'name':<18} {'state':<9} {'produced':>8} "
+             f"{'p50 ms':>8} {'p95 ms':>8} {'queue':>7}"]
+    for name, doc in sorted(sensors.items()):
+        state = doc.get("state", "?")
+        produced = doc.get("elements_produced", 0)
+        latency = doc.get("processing", {}) or {}
+        p50 = latency.get("p50_ms")
+        p95 = latency.get("p95_ms")
+        lifecycle = doc.get("lifecycle", {}) or {}
+        depth = lifecycle.get("queue_depth", 0)
+        capacity = lifecycle.get("queue_capacity", 0)
+        queue = f"{depth}/{capacity}" if capacity else "-"
+        lines.append(
+            f"  {name:<18} {state:<9} {produced:>8} "
+            f"{_fmt(p50):>8} {_fmt(p95):>8} {queue:>7}"
+        )
+    return lines
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:.1f}" if isinstance(value, (int, float)) else "-"
+
+
+def _hot_stack_lines(profile: str, limit: int = 5) -> List[str]:
+    rows = []
+    for line in profile.splitlines():
+        stack, __, count_text = line.rpartition(" ")
+        if not stack or not count_text.isdigit():
+            continue
+        rows.append((int(count_text), stack))
+    rows.sort(reverse=True)
+    if not rows:
+        return ["hot stacks: no samples yet"]
+    lines = ["hot stacks:"]
+    for count, stack in rows[:limit]:
+        frames = stack.split(";")
+        # owner;...;leaf — the ends carry the story, the middle rarely.
+        shown = frames[0] + ";...;" + frames[-1] if len(frames) > 3 \
+            else ";".join(frames)
+        lines.append(f"  {count:>6}  {shown}")
+    return lines
+
+
+def render(snapshot: Dict[str, Any]) -> str:
+    """The full screen for one snapshot (pure; no I/O)."""
+    monitor = snapshot.get("monitor", {})
+    healthz = snapshot.get("healthz", {})
+    flight = monitor.get("flight", {}) or {}
+    profiler = monitor.get("profiler", {}) or {}
+    header = (
+        f"gsn-top — {monitor.get('name', '?')} "
+        f"[{monitor.get('state', '?')}]  t={monitor.get('time', '?')}ms  "
+        f"flight={flight.get('recorded', 0)} events "
+        f"({flight.get('dumps_taken', 0)} dumps)  "
+        f"profiler={'on' if profiler.get('running') else 'off'} "
+        f"overhead={profiler.get('overhead_percent', 0)}%"
+    )
+    sections = [
+        [header],
+        _health_lines(healthz),
+        _slo_lines(healthz),
+        _sensor_lines(monitor),
+        _hot_stack_lines(snapshot.get("profile", "")),
+    ]
+    return "\n".join("\n".join(block) for block in sections if block)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gsn-top",
+        description="Live health/SLO/profiler view of a GSN container.",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8000",
+                        help="base URL of the container's HTTP server")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period in seconds")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit (no clearing)")
+    args = parser.parse_args(argv)
+
+    while True:
+        try:
+            snapshot = fetch_snapshot(args.url)
+        except (OSError, ValueError) as exc:
+            print(f"gsn-top: cannot reach {args.url}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.once:
+            print(render(snapshot))
+            return 0
+        print(CLEAR + render(snapshot), flush=True)
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.descriptors.model import LifeCycleConfig
 from repro.exceptions import LifecycleError
+from repro.metrics.flight import FlightRecorder
 from repro.status import UptimeTracker, status_doc
 from repro.vsensor.pool import WorkerPool
 
@@ -55,16 +56,19 @@ class LifeCycleManager:
     """Owns one virtual sensor's state and worker pool."""
 
     def __init__(self, sensor_name: str, config: LifeCycleConfig,
-                 synchronous: bool = True) -> None:
+                 synchronous: bool = True,
+                 events: Optional[FlightRecorder] = None) -> None:
         self.sensor_name = sensor_name
         self.config = config
         self.state = LifecycleState.LOADED
         self.failure_reason: Optional[str] = None
         self.degraded_reason: Optional[str] = None
         self.started_at: Optional[int] = None
+        self.events = events
         self.pool = WorkerPool(config.pool_size, synchronous=synchronous,
                                name=sensor_name,
-                               on_degraded=self._pool_degraded)
+                               on_degraded=self._pool_degraded,
+                               events=events)
         self._uptime = UptimeTracker()
 
     def _transition(self, target: LifecycleState) -> None:
@@ -73,7 +77,12 @@ class LifeCycleManager:
                 f"virtual sensor {self.sensor_name!r}: illegal transition "
                 f"{self.state.value} -> {target.value}"
             )
+        previous = self.state
         self.state = target
+        if self.events is not None:
+            self.events.record("transition", self.sensor_name,
+                               from_state=previous.value,
+                               to_state=target.value)
 
     def start(self, now: int) -> None:
         self._transition(LifecycleState.RUNNING)
@@ -99,6 +108,11 @@ class LifeCycleManager:
             self._transition(LifecycleState.DEGRADED)
             logger.warning("virtual sensor %r degraded: %s",
                            self.sensor_name, reason)
+            if self.events is not None:
+                # The dump-triggering event; recorded after the state
+                # flip so the dump sees the DEGRADED transition too.
+                self.events.record("degraded", self.sensor_name,
+                                   reason=reason)
         else:
             logger.warning("virtual sensor %r reported degradation while "
                            "%s: %s", self.sensor_name, self.state.value,
@@ -148,6 +162,9 @@ class LifeCycleManager:
             pool_size=self.config.pool_size,
             tasks_completed=self.pool.tasks_completed,
             tasks_failed=self.pool.tasks_failed,
+            tasks_shed=self.pool.tasks_shed,
+            queue_depth=self.pool.queue_depth(),
+            queue_capacity=self.pool.queue_capacity,
             started_at=self.started_at,
             failure_reason=self.failure_reason,
             degraded_reason=self.degraded_reason,

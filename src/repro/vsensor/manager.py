@@ -17,6 +17,7 @@ from repro.descriptors.validation import validate_descriptor
 from repro.exceptions import DeploymentError
 from repro.gsntime.clock import Clock
 from repro.gsntime.scheduler import EventScheduler
+from repro.metrics.flight import FlightRecorder
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import TraceBuffer
 from repro.status import UptimeTracker, status_doc
@@ -45,7 +46,8 @@ class VirtualSensorManager:
                  incremental: bool = True,
                  node: str = "",
                  metrics: Optional[MetricsRegistry] = None,
-                 trace_sink: Optional[TraceBuffer] = None) -> None:
+                 trace_sink: Optional[TraceBuffer] = None,
+                 events: Optional[FlightRecorder] = None) -> None:
         self.clock = clock
         self.storage = storage
         self.registry = registry
@@ -57,6 +59,7 @@ class VirtualSensorManager:
         self.node = node
         self.metrics = metrics
         self.trace_sink = trace_sink
+        self.events = events
         self._sensors: Dict[str, VirtualSensor] = {}
         self._deploy_hooks: List[DeployHook] = []
         self._undeploy_hooks: List[UndeployHook] = []
@@ -114,6 +117,7 @@ class VirtualSensorManager:
                 registry=self.metrics,
                 trace_sink=self.trace_sink,
                 static_verdicts=self._static_verdicts(descriptor),
+                events=self.events,
             )
         except Exception:
             self.storage.drop_stream(table_name)

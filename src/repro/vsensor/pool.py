@@ -29,6 +29,7 @@ from typing import Callable, List, Optional
 
 from repro.concurrency import new_lock
 from repro.exceptions import LifecycleError
+from repro.metrics.flight import FlightRecorder
 
 logger = logging.getLogger("repro.vsensor.pool")
 
@@ -40,6 +41,12 @@ _SENTINEL = None
 #: the shutdown flag: bounded waits keep workers interruptible (GSN604).
 _IDLE_WAIT_S = 0.2
 
+#: Default bound on the threaded task queue. An unbounded queue turns
+#: overload into silent memory growth; a bounded one sheds the newest
+#: task and counts it (``tasks_shed``), which the queue-depth gauges
+#: and the health model surface as backpressure.
+DEFAULT_QUEUE_CAPACITY = 1024
+
 
 class WorkerPool:
     """Executes submitted tasks on up to ``size`` supervised workers."""
@@ -49,27 +56,35 @@ class WorkerPool:
 
     def __init__(self, size: int = 1, synchronous: bool = True,
                  name: str = "",
-                 on_degraded: Optional[Callable[[str], None]] = None
+                 on_degraded: Optional[Callable[[str], None]] = None,
+                 events: Optional[FlightRecorder] = None,
+                 queue_capacity: int = DEFAULT_QUEUE_CAPACITY
                  ) -> None:
         if size < 1:
             raise LifecycleError("pool size must be at least 1")
+        if queue_capacity < 1:
+            raise LifecycleError("queue capacity must be at least 1")
         self.size = size
         self.synchronous = synchronous
         self.name = name or "pool"
+        self.queue_capacity = queue_capacity
         self.tasks_completed = 0  # guarded-by: _lock
         self.tasks_failed = 0  # guarded-by: _lock
+        self.tasks_shed = 0  # guarded-by: _lock
         self.workers_crashed = 0  # guarded-by: _lock
         self.restarts = 0  # guarded-by: _lock
         self.degraded = False  # guarded-by: _lock
         self._errors: List[BaseException] = []  # guarded-by: _lock
         self._next_worker = 0  # guarded-by: _lock
+        self._shed_logged = False  # guarded-by: _lock
         self._on_degraded = on_degraded
+        self._events = events
         self._lock = new_lock("WorkerPool._lock")
         self._queue: Optional["queue.Queue[Optional[Task]]"] = None
         self._threads: List[threading.Thread] = []
         self._shutdown = False
         if not synchronous:
-            self._queue = queue.Queue()
+            self._queue = queue.Queue(maxsize=queue_capacity)
             for __ in range(size):
                 self._spawn()
 
@@ -89,9 +104,35 @@ class WorkerPool:
             raise LifecycleError("pool is shut down")
         if self.synchronous:
             self._run(task)
-        else:
-            assert self._queue is not None
-            self._queue.put(task)
+            return
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait(task)
+        except queue.Full:
+            self._shed()
+
+    def _shed(self) -> None:
+        """Drop the task that found the queue full: explicit, counted
+        load shedding instead of blocking the submitting (scheduler or
+        wrapper) thread behind a saturated pool."""
+        with self._lock:
+            self.tasks_shed += 1
+            shed = self.tasks_shed
+            first = not self._shed_logged
+            self._shed_logged = True
+        if first:
+            logger.warning(
+                "pool %r: task queue full (capacity %d); shedding load "
+                "(further sheds counted, not logged)",
+                self.name, self.queue_capacity)
+        if self._events is not None:
+            self._events.record("queue_shed", self.name,
+                                capacity=self.queue_capacity,
+                                tasks_shed=shed)
+
+    def queue_depth(self) -> int:
+        """Tasks currently waiting (0 for synchronous pools)."""
+        return self._queue.qsize() if self._queue is not None else 0
 
     def _run(self, task: Task) -> None:
         try:
@@ -136,6 +177,12 @@ class WorkerPool:
         witness = crashwitness.active()
         if witness is not None:
             witness.report(thread_name, exc, owner=self.name)
+        if self._events is not None:
+            # Triggers a black-box dump; runs before the bookkeeping so
+            # the dump's trailing event is the crash itself.
+            self._events.record("worker_crash", self.name,
+                                thread=thread_name,
+                                error=f"{type(exc).__name__}: {exc}")
         restart = degrade = False
         with self._lock:
             self.workers_crashed += 1
@@ -152,6 +199,10 @@ class WorkerPool:
         if restart:
             logger.warning("pool %r: respawning worker (%d/%d restarts)",
                            self.name, self.restarts, self.MAX_RESTARTS)
+            if self._events is not None:
+                self._events.record("worker_restart", self.name,
+                                    restarts=self.restarts,
+                                    budget=self.MAX_RESTARTS)
             self._spawn()
         elif degrade:
             reason = (f"worker crash budget exhausted "
@@ -182,20 +233,29 @@ class WorkerPool:
         self._shutdown = True
         if not self.synchronous and self._queue is not None:
             for __ in self._threads:
-                self._queue.put(_SENTINEL)
+                try:
+                    self._queue.put_nowait(_SENTINEL)
+                except queue.Full:
+                    # Saturated at shutdown: workers still exit via the
+                    # _shutdown flag after their bounded idle wait.
+                    break
             for thread in self._threads:
                 thread.join(timeout=5.0)
 
     def status(self) -> dict:
+        depth = self.queue_depth()
         with self._lock:
             return {
                 "size": self.size,
                 "synchronous": self.synchronous,
                 "tasks_completed": self.tasks_completed,
                 "tasks_failed": self.tasks_failed,
+                "tasks_shed": self.tasks_shed,
                 "workers_crashed": self.workers_crashed,
                 "restarts": self.restarts,
                 "degraded": self.degraded,
+                "queue_depth": depth,
+                "queue_capacity": self.queue_capacity,
             }
 
     def __enter__(self) -> "WorkerPool":

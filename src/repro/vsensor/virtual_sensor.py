@@ -21,6 +21,7 @@ from repro.descriptors.model import VirtualSensorDescriptor
 from repro.exceptions import DeploymentError, SchemaError
 from repro.gsntime.clock import Clock
 from repro.metrics.collectors import FastPathCounters, LatencyRecorder
+from repro.metrics.flight import FlightRecorder
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import PipelineTracer, Span, TraceBuffer
 from repro.sqlengine.executor import Catalog, execute_plan
@@ -69,13 +70,15 @@ class VirtualSensor:
                  node: str = "",
                  registry: Optional[MetricsRegistry] = None,
                  trace_sink: Optional[TraceBuffer] = None,
-                 static_verdicts: Optional[Dict[SourceKey, Any]] = None
+                 static_verdicts: Optional[Dict[SourceKey, Any]] = None,
+                 events: Optional[FlightRecorder] = None
                  ) -> None:
         self.descriptor = descriptor
         self.name = descriptor.name
         self.clock = clock
         self.wrappers = dict(wrappers)
         self.output_table = output_table
+        self.events = events
         # Disabled (a cheap no-op) unless the container hands us a
         # registry or a trace sink — bare sensors built in tests keep
         # the exact pre-observability pipeline.
@@ -85,7 +88,8 @@ class VirtualSensor:
                                      seed=seed)
         self.lifecycle = LifeCycleManager(descriptor.name,
                                           descriptor.lifecycle,
-                                          synchronous=synchronous)
+                                          synchronous=synchronous,
+                                          events=events)
         # Escape hatch: the container option AND the descriptor's
         # <storage incremental="..."> flag must both allow the
         # incremental pipeline; either one forces the legacy rebuild.
@@ -261,6 +265,10 @@ class VirtualSensor:
             # Counted per sensor (fastpath_poisoned_total); the query
             # text itself is logged once by the accumulator.
             self.fast_paths.record_poisoned()
+            if self.events is not None:
+                self.events.record("poisoned", self.name,
+                                   stream=_key[0], alias=_key[1],
+                                   error=f"{type(exc).__name__}: {exc}")
             verdict = self._static_verdicts.get(_key)
             if verdict is not None and verdict.eligible:
                 # gsn-plan proved this query could not poison; it did.
@@ -286,6 +294,13 @@ class VirtualSensor:
         self._fast_paths[key] = classified
         self._agg_states[key] = state
         return True
+
+    def _join_poisoned(self, stream_name: str, exc: BaseException) -> None:
+        self.fast_paths.record_poisoned()
+        if self.events is not None:
+            self.events.record("poisoned", self.name, stream=stream_name,
+                               alias="<join>",
+                               error=f"{type(exc).__name__}: {exc}")
 
     def _attach_join(self, stream_name: str, runtime: StreamRuntime) -> None:
         """Wire the delta-maintained join for a qualifying stream query.
@@ -321,7 +336,7 @@ class VirtualSensor:
             state = IncrementalJoinState(
                 spec, left.materializer, right.materializer,
                 label=f"{self.name}/{stream_name}: {runtime.spec.query}",
-                on_poison=lambda exc: self.fast_paths.record_poisoned(),
+                on_poison=lambda exc: self._join_poisoned(stream_name, exc),
             )
         except Exception:
             # Unresolvable columns etc.: the executor raises the real

@@ -169,6 +169,47 @@ class TestStitchedTraces:
         assert doc["container"] == "node-a"
         assert 0 < doc["trace_count"] <= 3
 
+    def test_partial_sampling_stitches_at_the_buffer_boundary(self):
+        # The producer samples half its triggers; the mirror's own
+        # sampling is OFF, so every trace on node-b exists only because
+        # an upstream-sampled element arrived carrying its id — the
+        # upstream decision wins. node-b's tiny ring forces evictions,
+        # so stitching must survive the buffer boundary too.
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        network = PeerNetwork(scheduler=scheduler)
+        a = GSNContainer("node-a", network=network, clock=clock,
+                         scheduler=scheduler)
+        b = GSNContainer("node-b", network=network, clock=clock,
+                         scheduler=scheduler, trace_capacity=4)
+        a.deploy(dataclasses.replace(simple_mote_descriptor(interval_ms=500),
+                                     trace_sampling=0.5))
+        b.deploy(MIRROR_XML.replace(
+            '<virtual-sensor name="mirror">',
+            '<virtual-sensor name="mirror" trace-sampling="0">'))
+        scheduler.run_for(30_000)  # ~60 triggers upstream
+
+        sampled_on_a = {s.trace_id for s in a.traces.recent(limit=256)}
+        # Sampling really was partial: some of the ~60 triggers drew no.
+        assert 0 < a.traces.status()["recorded"] < 60
+
+        status_b = b.traces.status()
+        assert status_b["recorded"] > status_b["capacity"]  # ring wrapped
+        spans_b = b.traces.recent(limit=16)
+        assert spans_b
+        # Every surviving downstream tree inherits an upstream-sampled
+        # id — the mirror (sampling 0) never mints its own.
+        assert {s.trace_id for s in spans_b} <= sampled_on_a
+        # The newest hop still stitches: both sides of the boundary
+        # resolve the same id.
+        hop = next(s for s in spans_b if s.name == "remote_hop")
+        assert {s.name for s in b.traces.find(hop.trace_id)} >= \
+            {"remote_hop"}
+        assert any(s.name == "trigger"
+                   for s in a.traces.find(hop.trace_id))
+        b.shutdown()
+        a.shutdown()
+
     def test_sampling_off_yields_no_traces(self):
         clock = VirtualClock()
         scheduler = EventScheduler(clock)

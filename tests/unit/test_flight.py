@@ -1,0 +1,123 @@
+"""Unit tests for the flight recorder: ring journal, dump triggers,
+dump retention, and the thread-stack snapshot helper."""
+
+import threading
+
+from repro.metrics.flight import (
+    DUMP_KINDS,
+    DUMP_RETENTION,
+    FlightRecorder,
+    thread_stacks,
+)
+
+
+class TestJournal:
+    def test_events_are_sequenced_and_bounded(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(5):
+            recorder.record("deploy", f"s{index}")
+        events = recorder.events()
+        assert [e.seq for e in events] == [3, 4, 5]  # oldest first
+        assert [e.component for e in events] == ["s2", "s3", "s4"]
+        status = recorder.status()
+        assert status["recorded"] == 5
+        assert status["buffered"] == 3
+        assert status["capacity"] == 3
+
+    def test_events_carry_clock_and_detail(self):
+        recorder = FlightRecorder(clock=lambda: 1234)
+        event = recorder.record("transition", "probe",
+                                from_state="loaded", to_state="running")
+        assert event.at == 1234
+        doc = event.to_dict()
+        assert doc["kind"] == "transition"
+        assert doc["detail"] == {"from_state": "loaded",
+                                 "to_state": "running"}
+
+    def test_events_limit_returns_newest(self):
+        recorder = FlightRecorder()
+        for index in range(4):
+            recorder.record("deploy", f"s{index}")
+        assert [e.component for e in recorder.events(limit=2)] == \
+            ["s2", "s3"]
+
+
+class TestDumps:
+    def test_dump_kinds_trigger_a_dump_with_sections(self):
+        recorder = FlightRecorder()
+        recorder.dumper = lambda: {"health": {"status": "ok"}}
+        recorder.record("deploy", "probe")  # not a dump kind
+        assert recorder.last_dump() is None
+        recorder.record("degraded", "probe", reason="budget exhausted")
+        dump = recorder.last_dump()
+        assert dump is not None
+        assert dump["reason"] == "degraded:probe"
+        assert dump["trigger"]["kind"] == "degraded"
+        assert dump["health"] == {"status": "ok"}
+        # The journal snapshot includes the triggering event itself.
+        assert [e["kind"] for e in dump["events"]] == \
+            ["deploy", "degraded"]
+
+    def test_no_dump_without_a_builder(self):
+        recorder = FlightRecorder()
+        recorder.record("worker_crash", "probe")
+        assert recorder.status()["dumps_taken"] == 0
+
+    def test_forced_dump_needs_no_trigger(self):
+        recorder = FlightRecorder()
+        recorder.dumper = lambda: {"section": 1}
+        doc = recorder.dump(reason="operator-request")
+        assert doc["reason"] == "operator-request"
+        assert doc["trigger"] is None
+        assert doc["section"] == 1
+
+    def test_broken_builder_still_yields_a_dump(self):
+        recorder = FlightRecorder()
+
+        def explode():
+            raise RuntimeError("sections unavailable")
+
+        recorder.dumper = explode
+        doc = recorder.dump(reason="crash")
+        assert "RuntimeError" in doc["dump_error"]
+        assert doc["events"] == []
+
+    def test_dump_retention_keeps_the_last_n(self):
+        recorder = FlightRecorder()
+        recorder.dumper = dict
+        for index in range(DUMP_RETENTION + 3):
+            recorder.dump(reason=f"r{index}")
+        dumps = recorder.dumps()
+        assert len(dumps) == DUMP_RETENTION
+        assert dumps[0]["reason"] == "r3"
+        assert dumps[-1]["reason"] == f"r{DUMP_RETENTION + 2}"
+        assert recorder.status()["dumps_taken"] == DUMP_RETENTION + 3
+
+    def test_every_dump_kind_is_a_degradation_or_crash(self):
+        assert DUMP_KINDS == {"degraded", "worker_crash", "server_crash",
+                              "thread_crash"}
+
+
+class TestThreadStacks:
+    def test_snapshot_includes_named_threads(self):
+        ready = threading.Event()
+        release = threading.Event()
+
+        def parked():
+            ready.set()
+            release.wait(timeout=10.0)
+
+        thread = threading.Thread(target=parked, name="gsn-test-parked",
+                                  daemon=True)
+        thread.start()
+        try:
+            assert ready.wait(timeout=5.0)
+            stacks = thread_stacks()
+            by_name = {doc["thread"]: doc for doc in stacks}
+            assert "gsn-test-parked" in by_name
+            doc = by_name["gsn-test-parked"]
+            assert doc["daemon"] is True
+            assert any("parked" in line for line in doc["stack"])
+        finally:
+            release.set()
+            thread.join(timeout=5.0)

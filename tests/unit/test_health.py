@@ -1,0 +1,171 @@
+"""Unit tests for the health model and the SLO objects."""
+
+import pytest
+
+from repro.metrics.health import (
+    HealthModel,
+    LatencySLO,
+    SLOTracker,
+    ThroughputSLO,
+)
+from repro.metrics.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry,
+)
+
+
+class TestHealthModel:
+    def test_worst_of_aggregation(self):
+        model = HealthModel()
+        model.register("a", lambda: {"status": "ok"})
+        model.register("b", lambda: {"status": "degraded", "why": "queue"})
+        report = model.report()
+        assert report["status"] == "degraded"
+        assert report["checks"]["a"]["status"] == "ok"
+        assert report["checks"]["b"]["why"] == "queue"
+
+        model.register("c", lambda: {"status": "failed"})
+        assert model.report()["status"] == "failed"
+
+    def test_raising_check_is_a_failed_component(self):
+        model = HealthModel()
+
+        def broken():
+            raise RuntimeError("probe offline")
+
+        model.register("flaky", broken)
+        report = model.report()
+        assert report["status"] == "failed"
+        assert "RuntimeError" in report["checks"]["flaky"]["error"]
+
+    def test_unknown_status_is_coerced_to_failed(self):
+        model = HealthModel()
+        model.register("typo", lambda: {"status": "okey-dokey"})
+        assert model.report()["status"] == "failed"
+
+    def test_register_replaces_and_unregister_removes(self):
+        model = HealthModel()
+        model.register("x", lambda: {"status": "failed"})
+        model.register("x", lambda: {"status": "ok"})
+        assert model.report()["status"] == "ok"
+        model.unregister("x")
+        assert model.check_names() == []
+        assert model.report() == {"status": "ok", "checks": {}}
+
+
+def _trigger_family(registry):
+    return registry.histogram(
+        "gsn_pipeline_trigger_latency_ms", "trigger latency",
+        labelnames=("sensor",), buckets=DEFAULT_LATENCY_BUCKETS_MS,
+    )
+
+
+class TestLatencySLO:
+    def test_empty_histogram_reports_met(self):
+        registry = MetricsRegistry()
+        slo = LatencySLO("p99", _trigger_family(registry),
+                         objective_ms=250.0)
+        doc = slo.measure()
+        assert doc["events"] == 0
+        assert doc["met"] is True
+        assert doc["burn_rate"] == 0.0
+
+    def test_all_fast_triggers_meet_the_objective(self):
+        registry = MetricsRegistry()
+        family = _trigger_family(registry)
+        for __ in range(100):
+            family.labels(sensor="s").observe(1.0)
+        doc = LatencySLO("p99", family, objective_ms=250.0).measure()
+        assert doc["events"] == 100
+        assert doc["attainment"] == 1.0
+        assert doc["met"] is True
+        assert doc["error_budget_remaining"] == 1.0
+
+    def test_slow_triggers_burn_the_budget(self):
+        registry = MetricsRegistry()
+        family = _trigger_family(registry)
+        child = family.labels(sensor="s")
+        for __ in range(95):
+            child.observe(1.0)
+        for __ in range(5):
+            child.observe(2000.0)  # past the 250 ms objective
+        doc = LatencySLO("p99", family, objective_ms=250.0,
+                         target=0.99).measure()
+        assert doc["events"] == 100
+        assert doc["attainment"] == pytest.approx(0.95)
+        # 5% bad over a 1% budget: burning 5x.
+        assert doc["burn_rate"] == pytest.approx(5.0)
+        assert doc["error_budget_remaining"] == 0.0
+        assert doc["met"] is False
+        assert doc["p99_ms_le"] == 2500.0
+
+    def test_merges_across_sensor_labels(self):
+        registry = MetricsRegistry()
+        family = _trigger_family(registry)
+        family.labels(sensor="a").observe(1.0)
+        family.labels(sensor="b").observe(1.0)
+        assert LatencySLO("p99", family, 250.0).measure()["events"] == 2
+
+    def test_rejects_bad_target(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            LatencySLO("p99", _trigger_family(registry), 250.0, target=1.0)
+
+
+class TestThroughputSLO:
+    def test_rate_measured_on_the_given_clock(self):
+        clock = {"now": 0}
+        counted = {"n": 0}
+        slo = ThroughputSLO("ingest", counter=lambda: counted["n"],
+                            clock=lambda: clock["now"],
+                            objective_per_s=10.0, target=0.95)
+        clock["now"] = 10_000  # 10 s
+        counted["n"] = 100     # exactly 10/s
+        doc = slo.measure()
+        assert doc["rate_per_s"] == pytest.approx(10.0)
+        assert doc["attainment"] == 1.0
+        assert doc["met"] is True
+
+    def test_underachieving_rate_misses(self):
+        clock = {"now": 0}
+        counted = {"n": 0}
+        slo = ThroughputSLO("ingest", counter=lambda: counted["n"],
+                            clock=lambda: clock["now"],
+                            objective_per_s=10.0, target=0.95)
+        clock["now"] = 10_000  # 10 s
+        counted["n"] = 50      # 5/s against a 10/s objective
+        doc = slo.measure()
+        assert doc["attainment"] == pytest.approx(0.5)
+        assert doc["met"] is False
+        assert doc["burn_rate"] == pytest.approx(10.0)
+
+    def test_no_elapsed_time_reports_met(self):
+        slo = ThroughputSLO("ingest", counter=lambda: 0,
+                            clock=lambda: 0, objective_per_s=10.0)
+        assert slo.measure()["met"] is True
+
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ValueError):
+            ThroughputSLO("x", lambda: 0, lambda: 0, objective_per_s=0.0)
+
+
+class TestSLOTracker:
+    def test_exports_gauge_families_at_scrape(self):
+        registry = MetricsRegistry()
+        family = _trigger_family(registry)
+        family.labels(sensor="s").observe(1.0)
+        SLOTracker(registry, [LatencySLO("trigger-p99", family, 250.0)])
+        text = registry.expose_text()
+        # integral floats render without a decimal point (exposition rule)
+        assert 'gsn_slo_objective{slo="trigger-p99"} 250' in text
+        assert 'gsn_slo_attainment_ratio{slo="trigger-p99"} 1' in text
+        assert 'gsn_slo_burn_rate{slo="trigger-p99"} 0' in text
+        assert ('gsn_slo_error_budget_remaining_ratio'
+                '{slo="trigger-p99"} 1') in text
+
+    def test_report_lists_every_slo(self):
+        registry = MetricsRegistry()
+        tracker = SLOTracker(registry, [
+            LatencySLO("a", _trigger_family(registry), 250.0),
+            ThroughputSLO("b", lambda: 0, lambda: 0, objective_per_s=1.0),
+        ])
+        assert [doc["slo"] for doc in tracker.report()] == ["a", "b"]

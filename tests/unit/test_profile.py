@@ -1,0 +1,148 @@
+"""Unit tests for the sampling profiler: sweeps, attribution, collapsed
+output, ownership mapping, and the overhead accounting."""
+
+import threading
+
+import pytest
+
+from repro.metrics.profile import (
+    OVERHEAD_BUDGET_PERCENT,
+    SamplingProfiler,
+    default_owner,
+)
+
+
+class TestOwnerMapping:
+    @pytest.mark.parametrize("thread_name,owner", [
+        ("gsn-pool-probe-0", "probe"),
+        ("gsn-pool-wind-meter-12", "wind-meter"),
+        ("gsn-http", "http-server"),
+        ("gsn-profiler", "profiler"),
+        ("MainThread", "main"),
+        ("Thread-7", "other"),
+    ])
+    def test_thread_names_map_to_components(self, thread_name, owner):
+        assert default_owner(thread_name) == owner
+
+
+class _ParkedThread:
+    """A helper thread parked in a recognizably-named function."""
+
+    def __init__(self, name="gsn-pool-probe-0"):
+        self._ready = threading.Event()
+        self._release = threading.Event()
+        self._thread = threading.Thread(target=self._park, name=name,
+                                        daemon=True)
+
+    def _park(self):
+        self._parked_marker_frame()
+
+    def _parked_marker_frame(self):
+        self._ready.set()
+        self._release.wait(timeout=30.0)
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=5.0)
+        return self
+
+    def __exit__(self, *exc_info):
+        self._release.set()
+        self._thread.join(timeout=5.0)
+
+
+class TestSweeps:
+    def test_sample_once_attributes_by_thread_owner(self):
+        profiler = SamplingProfiler(hz=10.0)
+        with _ParkedThread("gsn-pool-probe-0"):
+            taken = profiler.sample_once()
+        assert taken >= 1  # at least this test's own main thread + worker
+        owners = profiler.by_owner()
+        assert owners.get("probe", 0) >= 1
+        status = profiler.status()
+        assert status["sweeps"] == 1
+        assert status["samples"] == taken
+
+    def test_collapsed_output_is_flamegraph_shaped(self):
+        profiler = SamplingProfiler(hz=10.0)
+        with _ParkedThread("gsn-pool-probe-0"):
+            profiler.sample_once()
+        lines = profiler.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            stack, __, count = line.rpartition(" ")
+            assert count.isdigit()
+            assert ";" in stack  # owner;frame;...
+        joined = "\n".join(lines)
+        assert "_parked_marker_frame" in joined
+        assert joined.startswith(joined.split(";")[0])
+
+    def test_hot_stacks_are_sorted_by_count(self):
+        profiler = SamplingProfiler(hz=10.0)
+        with _ParkedThread():
+            for __ in range(3):
+                profiler.sample_once()
+        hot = profiler.hot_stacks(limit=100)
+        counts = [doc["samples"] for doc in hot]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_stack_table_is_bounded(self):
+        profiler = SamplingProfiler(hz=10.0, max_stacks=1)
+        with _ParkedThread():
+            profiler.sample_once()
+        assert len(profiler.hot_stacks(limit=100)) == 1
+        # Anything beyond the bound is counted, not silently lost.
+        if profiler.status()["samples"] > 1:
+            assert profiler.status()["dropped_stacks"] >= 1
+
+    def test_profiler_never_samples_itself(self):
+        profiler = SamplingProfiler(hz=10.0)
+        profiler.sample_once()
+        assert "profiler" not in profiler.by_owner()
+
+
+class TestBackgroundThread:
+    def test_start_stop_lifecycle(self):
+        profiler = SamplingProfiler(hz=200.0)
+        assert not profiler.running
+        profiler.start()
+        try:
+            assert profiler.running
+            deadline = threading.Event()
+            deadline.wait(0.1)
+        finally:
+            profiler.stop()
+        assert not profiler.running
+        assert profiler.status()["sweeps"] >= 1
+
+    def test_start_is_idempotent(self):
+        profiler = SamplingProfiler(hz=200.0)
+        try:
+            assert profiler.start() is profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_burst_sampling_without_background_thread(self):
+        # The burst caller is skipped (it is mid-profiling-request), so
+        # park another thread for the sweep to see.
+        profiler = SamplingProfiler(hz=100.0)
+        with _ParkedThread():
+            taken = profiler.sample_burst(0.05)
+        assert taken >= 1
+        assert not profiler.running
+
+
+class TestOverhead:
+    def test_overhead_accounting_is_populated(self):
+        profiler = SamplingProfiler(hz=50.0)
+        with _ParkedThread():
+            for __ in range(5):
+                profiler.sample_once()
+        status = profiler.status()
+        # No wall segment ran: the projection (mean sweep x rate) is used.
+        assert status["overhead_percent"] >= 0.0
+        assert status["overhead_budget_percent"] == OVERHEAD_BUDGET_PERCENT
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)

@@ -1,5 +1,7 @@
 """Unit tests for pipeline spans, the trace ring buffer, and sampling."""
 
+import threading
+
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import (
     PIPELINE_STEPS,
@@ -33,6 +35,24 @@ class TestSpan:
         assert first is not None and first >= 0.0
         span.finish()
         assert span.duration_ms == first
+
+    def test_trace_ids_are_unique_across_threads(self):
+        # Id generation is per-thread (no shared lock on the ingest hot
+        # path); distinct threads must still never collide.
+        per_thread = {}
+
+        def mint(name):
+            per_thread[name] = [new_trace_id() for __ in range(200)]
+
+        threads = [threading.Thread(target=mint, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        all_ids = [tid for ids in per_thread.values() for tid in ids]
+        assert len(per_thread) == 4
+        assert len(set(all_ids)) == len(all_ids)
 
     def test_close_uses_external_duration(self):
         span = Span("abc", "remote_hop", started_at=0)
@@ -77,6 +97,33 @@ class TestTraceBuffer:
         buffer.add(Span("aa", "trigger", started_at=3))
         found = buffer.find("aa")
         assert [s.name for s in found] == ["timestamp", "trigger"]
+
+    def test_eviction_is_strictly_oldest_first(self):
+        buffer = TraceBuffer(capacity=4)
+        for index in range(10):
+            buffer.add(Span(f"t{index}", "trigger", started_at=index))
+        survivors = [s.trace_id for s in buffer.recent()]
+        assert survivors == ["t9", "t8", "t7", "t6"]
+        # recent() (newest-first) is the exact reverse of arrival order.
+        assert list(reversed(survivors)) == \
+            [f"t{index}" for index in range(6, 10)]
+
+    def test_find_after_eviction_loses_only_evicted_trees(self):
+        # One trace spread over several trees: once the ring evicts the
+        # early trees, find() returns the surviving tail, oldest first —
+        # never a hole in the middle.
+        buffer = TraceBuffer(capacity=3)
+        buffer.add(Span("aa", "timestamp", started_at=1))
+        buffer.add(Span("aa", "trigger", started_at=2))
+        buffer.add(Span("bb", "trigger", started_at=3))
+        buffer.add(Span("aa", "remote_hop", started_at=4))  # evicts #1
+        found = buffer.find("aa")
+        assert [s.name for s in found] == ["trigger", "remote_hop"]
+        assert [s.started_at for s in found] == [2, 4]
+        buffer.add(Span("cc", "trigger", started_at=5))  # evicts #2
+        buffer.add(Span("cc", "trigger", started_at=6))  # evicts #3
+        assert [s.name for s in buffer.find("aa")] == ["remote_hop"]
+        assert buffer.find("bb") == []
 
 
 class TestSampling:
