@@ -18,7 +18,11 @@ Run after ``pytest benchmarks/test_micro.py`` has written
   noise bound), or static verdicts start costing the hot path more
   than 2000 ns per trigger,
 - continuous profiling at the default rate costs more than its 2%
-  share of profiled wall time (measured or projected).
+  share of profiled wall time (measured or projected),
+- the race witness's per-trigger path (guard checks plus tracked lock
+  cycles, measured in isolation) exceeds 2% of the reference pipeline
+  trigger, or its end-to-end armed-vs-bare difference leaves the 10%
+  noise bound.
 """
 
 from __future__ import annotations
@@ -77,6 +81,24 @@ def check(metrics: dict, baseline: dict) -> List[str]:
                     f"{name}: projected sweep cost "
                     f"{doc['projected_pct']:.2f}% is over the "
                     f"{budget}% budget")
+        if "witness_pct_of_trigger" in doc:
+            budget = doc.get("budget_pct", 2.0)
+            print(f"{name}: witness path "
+                  f"{doc['witness_pct_of_trigger']:.2f}% of a trigger "
+                  f"({doc['witness_path_ns']:.0f} ns, "
+                  f"{doc['checks_per_trigger']:.0f} checks + "
+                  f"{doc['lock_cycles_per_trigger']:.0f} tracked cycles), "
+                  f"+{doc['witness_overhead_pct']:.1f}% end to end, "
+                  f"budget {budget}%")
+            if doc["witness_pct_of_trigger"] > budget:
+                failures.append(
+                    f"{name}: race witness path costs "
+                    f"{doc['witness_pct_of_trigger']:.2f}% of a trigger "
+                    f"(budget {budget}%)")
+            if doc["witness_overhead_pct"] > 10:
+                failures.append(
+                    f"{name}: end-to-end race-witness overhead is "
+                    "beyond measurement noise")
         if "per_trigger_overhead_ns" in doc:
             print(f"{name}: {doc['deploy_verdict_us']:.0f} us per deploy, "
                   f"{doc['per_trigger_overhead_ns']:.0f} ns per trigger")

@@ -1,0 +1,34 @@
+"""Seeded-bad module for the data-race pass: GSN801 (unguarded write).
+
+A sampler thread overwrites ``last_reading`` while ``snapshot`` — called
+from the owning (main) thread — reads it. The scalar is shared across
+the two entry points and nothing guards the write.
+
+``gsn-lint --race examples/bad/gsn801_unguarded_write.py`` reports
+GSN801 at the write site in ``_sample``.
+"""
+
+import threading
+import time
+
+
+class LastReadingCache:
+    def __init__(self) -> None:
+        self.last_reading = None
+        self._stop = False
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._sample, daemon=True)
+        self._thread.start()
+
+    def _sample(self) -> None:
+        while not self._stop:
+            self.last_reading = time.time()  # GSN801: no lock anywhere
+            time.sleep(0.1)
+
+    def snapshot(self):
+        return self.last_reading
+
+    def stop(self) -> None:
+        self._stop = True

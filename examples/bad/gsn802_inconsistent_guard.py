@@ -1,0 +1,31 @@
+"""Seeded-bad module for the data-race pass: GSN802 (inconsistent guard).
+
+``readings`` declares its guard (with the canonical registry name, so
+GSN806 stays quiet) and the pump thread honors it — but ``reset``
+writes the counter lock-free. The declaration makes the expectation
+explicit, so the one deviating site is the bug.
+
+``gsn-lint --race examples/bad/gsn802_inconsistent_guard.py`` reports
+GSN802 at the write in ``reset`` (the locklint pass flags the same line
+as GSN401 — the two passes agree on declared guards).
+"""
+
+import threading
+
+
+class SensorStats:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.readings = 0  # guarded-by: SensorStats._lock
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._pump, daemon=True)
+        self._thread.start()
+
+    def _pump(self) -> None:
+        with self._lock:
+            self.readings += 1
+
+    def reset(self) -> None:
+        self.readings = 0  # GSN802: declared guard not held here

@@ -1,0 +1,28 @@
+"""Seeded-bad module for the data-race pass: GSN803 (compound update).
+
+``hits += 1`` from the counting thread is a read-modify-write: two
+threads interleaving between the read and the write lose increments.
+There is no lock at all, so no single site is "the inconsistent one" —
+the compound shape itself is the finding.
+
+``gsn-lint --race examples/bad/gsn803_compound_update.py`` reports
+GSN803 at the increment in ``_count``.
+"""
+
+import threading
+
+
+class HitCounter:
+    def __init__(self) -> None:
+        self.hits = 0
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._count, daemon=True)
+        self._thread.start()
+
+    def _count(self) -> None:
+        self.hits += 1  # GSN803: unguarded read-modify-write
+
+    def total(self) -> int:
+        return self.hits

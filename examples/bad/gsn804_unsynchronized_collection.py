@@ -1,0 +1,30 @@
+"""Seeded-bad module for the data-race pass: GSN804 (unsynchronized
+collection).
+
+The collector thread appends to ``events`` while ``recent`` iterates a
+copy from the main thread. In-place mutation of a plain list shared
+across entry points is flagged even though each individual ``append``
+is atomic under the GIL — ``list(self.events)`` can still observe a
+half-consistent sequence relative to other mutators like ``clear``.
+
+``gsn-lint --race examples/bad/gsn804_unsynchronized_collection.py``
+reports GSN804 at the ``append`` in ``_collect``.
+"""
+
+import threading
+
+
+class EventLog:
+    def __init__(self) -> None:
+        self.events = []
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._collect, daemon=True)
+        self._thread.start()
+
+    def _collect(self) -> None:
+        self.events.append("tick")  # GSN804: no lock guards the list
+
+    def recent(self):
+        return list(self.events)

@@ -1,0 +1,35 @@
+"""Seeded-bad module for the data-race pass: GSN805 (guard escape).
+
+Every mutation of ``samples`` correctly holds the declared lock — but
+``all_samples`` returns the list *itself*, so the caller iterates (or
+mutates) the collection outside the lock the discipline promised. The
+guarded reference has escaped its lock scope.
+
+``gsn-lint --race examples/bad/gsn805_guard_escape.py`` reports GSN805
+at the ``return`` in ``all_samples``; the fix is returning a copy
+(``list(self.samples)``), which ``recent`` demonstrates.
+"""
+
+import threading
+
+
+class SampleBuffer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.samples = []  # guarded-by: SampleBuffer._lock
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._fill, daemon=True)
+        self._thread.start()
+
+    def _fill(self) -> None:
+        with self._lock:
+            self.samples.append(1.0)
+
+    def all_samples(self):
+        return self.samples  # GSN805: guarded reference escapes the lock
+
+    def recent(self):
+        with self._lock:
+            return list(self.samples)  # correct: a copy escapes, not the ref

@@ -1,0 +1,34 @@
+"""Seeded-bad module for the data-race pass: GSN806 (stale/non-canonical
+guarded-by declaration).
+
+The locking itself is correct — every access to ``entries`` holds
+``self._lock`` — but the declaration names the lock by its bare
+attribute instead of its registry name (``ConfigCache._lock``), so
+tooling that joins declarations across classes cannot tell this
+``_lock`` from any other. GSN806 is a warning: the code runs fine, the
+*documentation* of the discipline is what is off.
+
+``gsn-lint --race examples/bad/gsn806_stale_declaration.py`` reports
+GSN806 at the declaration site (exit 1 under ``--strict-warnings``).
+"""
+
+import threading
+
+
+class ConfigCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.entries = {}  # guarded-by: _lock  (GSN806: not the registry name)
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._refresh, daemon=True)
+        self._thread.start()
+
+    def _refresh(self) -> None:
+        with self._lock:
+            self.entries["refreshed"] = True
+
+    def get(self, key):
+        with self._lock:
+            return self.entries.get(key)

@@ -19,6 +19,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.concurrency import new_lock
 from repro.exceptions import IntegrityError
 from repro.status import UptimeTracker, status_doc
 
@@ -82,9 +83,12 @@ class IntegrityService:
                  shared_secret: Optional[bytes] = None) -> None:
         self.container_name = container_name
         self._secret = shared_secret or b"gsn-demo-secret"
-        self.sealed = 0
-        self.opened = 0
-        self.rejected = 0
+        # Seal/open run on whatever thread carries the message (peer
+        # delivery, HTTP handlers), so the audit counters need a lock.
+        self._lock = new_lock("IntegrityService._lock")
+        self.sealed = 0  # guarded-by: IntegrityService._lock
+        self.opened = 0  # guarded-by: IntegrityService._lock
+        self.rejected = 0  # guarded-by: IntegrityService._lock
         self._uptime = UptimeTracker()
 
     def seal(self, payload: Dict[str, Any],
@@ -96,7 +100,8 @@ class IntegrityService:
             body = bytes(b ^ s for b, s in zip(body, stream))
         signature = hmac.new(self._secret, nonce + body,
                              hashlib.sha256).hexdigest()
-        self.sealed += 1
+        with self._lock:
+            self.sealed += 1
         return SealedEnvelope(
             body=body,
             signature=signature,
@@ -112,7 +117,8 @@ class IntegrityService:
         expected = hmac.new(self._secret, nonce + envelope.body,
                             hashlib.sha256).hexdigest()
         if not hmac.compare_digest(expected, envelope.signature):
-            self.rejected += 1
+            with self._lock:
+                self.rejected += 1
             raise IntegrityError(
                 f"signature verification failed for envelope from "
                 f"{envelope.sender!r}"
@@ -124,18 +130,22 @@ class IntegrityService:
         try:
             decoded = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self.rejected += 1
+            with self._lock:
+                self.rejected += 1
             raise IntegrityError(f"envelope body corrupt: {exc}") from exc
-        self.opened += 1
+        with self._lock:
+            self.opened += 1
         return _decode(decoded)
 
     def status(self) -> dict:
+        with self._lock:
+            sealed, opened, rejected = self.sealed, self.opened, self.rejected
         return status_doc(
             "integrity", "running",
-            counters={"sealed": self.sealed, "opened": self.opened,
-                      "rejected": self.rejected},
+            counters={"sealed": sealed, "opened": opened,
+                      "rejected": rejected},
             uptime_ms=self._uptime.uptime_ms(),
-            sealed=self.sealed,
-            opened=self.opened,
-            rejected=self.rejected,
+            sealed=sealed,
+            opened=opened,
+            rejected=rejected,
         )

@@ -37,6 +37,8 @@ from repro.analysis.planpass import (
     descriptor_verdicts, plan_descriptor, source_query_verdict,
     structural_verdict,
 )
+from repro.analysis.racegraph import RaceAnalysis, analyze_races
+from repro.analysis.racewitness import RaceWitness, RaceWitnessViolation
 from repro.analysis.rules import (
     ERROR, WARNING, Finding, Report, Rule, catalogue, describe,
 )
@@ -49,9 +51,10 @@ __all__ = [
     "AnnotatedPlan", "CrashWitness", "DeadlockAnalysis", "DescriptorPlan",
     "Finding", "FlowAnalysis", "LockGraph", "LockOrderViolation",
     "LockWitness", "PlanVerdict", "ProgramIndex",
+    "RaceAnalysis", "RaceWitness", "RaceWitnessViolation",
     "Report", "Rule", "SchemaInferencer",
     "analyze", "analyze_deadlocks", "analyze_descriptor", "analyze_flow",
-    "annotate_plan", "attach_descriptor_lines",
+    "analyze_races", "annotate_plan", "attach_descriptor_lines",
     "catalogue", "describe", "descriptor_verdicts",
     "estimate_window_memory", "expand_paths",
     "infer_output_schema", "lint_file", "lint_files", "lint_source",

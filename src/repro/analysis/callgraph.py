@@ -44,7 +44,10 @@ LOCK_ORDER_COMMENT = re.compile(
 )
 SUPPRESS_COMMENT = re.compile(r"#\s*gsn-lint:\s*disable=([A-Z0-9,\s]+)")
 REQUIRES_LOCK_COMMENT = re.compile(
-    r"#\s*requires-lock:\s*([A-Za-z_][A-Za-z0-9_]*)"
+    r"#\s*requires-lock:\s*([A-Za-z_][\w.]*)"
+)
+GUARDED_BY_COMMENT = re.compile(
+    r"#\s*guarded-by:\s*([A-Za-z_][\w.]*)"
 )
 
 #: Attribute/global names that are treated as locks even without a
@@ -77,8 +80,23 @@ _CONTAINER_METHODS = frozenset({
     "keys", "values", "items", "index", "count", "copy", "sort",
 })
 
+#: ``<attr>.name()`` calls that mutate the receiver in place — these are
+#: the collection writes the race pass (GSN8xx) cares about.
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "extend", "extendleft", "insert",
+    "remove", "discard", "clear", "update", "setdefault", "pop",
+    "popleft", "popitem", "sort", "reverse", "rotate",
+})
+
 BLOCKING = "blocking"
 DISPATCH = "dispatch"
+
+# Access kinds (see :class:`Access`).
+READ = "read"
+WRITE = "write"
+RMW = "rmw"          # read-modify-write: ``self.x += 1``
+MUTATE = "mutate"    # in-place collection write: ``self.x[k] = v``
+ITERATE = "iterate"  # ``for ... in self.x``
 
 
 # --------------------------------------------------------------------------
@@ -115,7 +133,24 @@ class Opaque:
     line: int
 
 
-Event = object  # Acquire | Call | Opaque
+@dataclass(frozen=True)
+class Access:
+    """One read/write of an attribute on an indexed class.
+
+    ``cls`` is the class *owning* the attribute (the receiver's static
+    type), not the attribute's own type.  ``held`` is the locally held
+    lock set — the race pass joins it with the interprocedurally
+    propagated contexts to get the full held set at this point.
+    """
+
+    cls: str
+    attr: str
+    kind: str  # READ | WRITE | RMW | MUTATE | ITERATE
+    held: Tuple[str, ...]
+    line: int
+
+
+Event = object  # Acquire | Call | Opaque | Access
 
 
 @dataclass
@@ -153,6 +188,8 @@ class ClassInfo:
     attr_types: Dict[str, str] = field(default_factory=dict)
     locks: Dict[str, LockDecl] = field(default_factory=dict)  # attr -> decl
     assigned: Set[str] = field(default_factory=set)
+    # attr -> (declared guard name, line) from ``# guarded-by:`` comments.
+    guards: Dict[str, Tuple[str, int]] = field(default_factory=dict)
 
 
 @dataclass
@@ -293,6 +330,8 @@ class ProgramIndex:
         self.declared_order: List[DeclaredEdge] = []
         # path -> line -> suppressed rule ids.
         self.suppressions: Dict[str, Dict[int, Set[str]]] = {}
+        # path -> line -> declared guard name (``# guarded-by:``).
+        self.guard_comments: Dict[str, Dict[int, str]] = {}
         self.parse_errors: List[Tuple[str, str]] = []
 
     # -- construction ------------------------------------------------------
@@ -326,16 +365,20 @@ class ProgramIndex:
     def _resolve_requires(self) -> None:
         # Resolved after lock inference so annotations naming a lock
         # declared in a base class pick up the declaring class's name.
+        # Annotations may use the bare attribute (``_lock``) or the
+        # registry-qualified name (``WorkerPool._lock``) — either way the
+        # tail is the attribute the lock lives in.
         for info in self.functions.values():
             attr = info.requires_attr
             if attr is None:
                 continue
+            tail = attr.rsplit(".", 1)[-1]
             if info.class_name is not None:
-                decl = self.lock_for_attr(info.class_name, attr)
+                decl = self.lock_for_attr(info.class_name, tail)
                 info.requires = (decl.name,) if decl is not None \
-                    else (f"{info.class_name}.{attr}",)
+                    else (f"{info.class_name}.{tail}",)
             else:
-                decl_m = self.module_locks.get((info.module, attr))
+                decl_m = self.module_locks.get((info.module, tail))
                 if decl_m is not None:
                     info.requires = (decl_m.name,)
 
@@ -355,6 +398,10 @@ class ProgramIndex:
                          if r.strip()}
                 self.suppressions.setdefault(path, {}) \
                     .setdefault(lineno, set()).update(rules)
+            guard = GUARDED_BY_COMMENT.search(text)
+            if guard:
+                self.guard_comments.setdefault(path, {})[lineno] = \
+                    guard.group(1)
 
     def _collect_module(self, path: str, module: str, tree: ast.Module,
                         lines: List[str]) -> None:
@@ -446,6 +493,9 @@ class ProgramIndex:
             if attr is None:
                 continue
             cls.assigned.add(attr)
+            guard = self.guard_comments.get(info.path, {}).get(node.lineno)
+            if guard is not None:
+                cls.guards.setdefault(attr, (guard, node.lineno))
             if declared:
                 cls.attr_types.setdefault(attr, declared)
             if value is not None:
@@ -590,6 +640,10 @@ class _Scanner(ast.NodeVisitor):
         if locals_seed:
             self.locals.update(locals_seed)
         self.nested: Dict[str, str] = {}
+        # Attribute nodes already recorded by a structural handler
+        # (call receiver, subscript base, loop iterable) — visiting them
+        # again as a plain Load must not double-count.
+        self._consumed: Set[int] = set()
 
     def run(self) -> None:
         setattr(self.info, "_scanned", True)
@@ -661,6 +715,48 @@ class _Scanner(ast.NodeVisitor):
                         if t in self.index.functions]
         return []
 
+    # -- attribute accesses (race pass input) ------------------------------
+
+    def _attr_ref(self, expr: ast.AST) -> Optional[Tuple[str, str]]:
+        """``(owning class, attr)`` when ``expr`` is data state on an
+        indexed class — lock objects and bound-method references are
+        not data and resolve to ``None``."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        owner = self._type_of(expr.value)
+        if owner is None or owner not in self.index.classes:
+            return None
+        attr = expr.attr
+        if self.index.lock_for_attr(owner, attr) is not None:
+            return None
+        for cls in self.index._mro(owner):
+            if attr in cls.methods:
+                return None
+        return owner, attr
+
+    def _record(self, ref: Tuple[str, str], kind: str, line: int) -> None:
+        self.info.events.append(
+            Access(ref[0], ref[1], kind, tuple(self.held), line)
+        )
+
+    def _record_store(self, target: ast.AST, line: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, line)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_store(target.value, line)
+            return
+        if isinstance(target, ast.Subscript):
+            ref = self._attr_ref(target.value)
+            if ref is not None:
+                self._record(ref, MUTATE, line)
+                self._consumed.add(id(target.value))
+            return
+        ref = self._attr_ref(target)
+        if ref is not None:
+            self._record(ref, WRITE, line)
+
     # -- visitors ----------------------------------------------------------
 
     def visit_With(self, node: ast.With) -> None:
@@ -686,6 +782,23 @@ class _Scanner(ast.NodeVisitor):
     visit_AsyncWith = visit_With  # type: ignore[assignment]
 
     def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            ref = self._attr_ref(func.value)
+            if ref is not None:
+                kind = MUTATE if func.attr in _MUTATOR_METHODS else READ
+                if kind == MUTATE:
+                    # ``self.sink.add(x)`` where ``add`` is a *method* of
+                    # the receiver's indexed class is a call into code
+                    # with its own discipline, not a raw collection
+                    # mutation of the attribute.
+                    recv_type = self._type_of(func.value)
+                    if recv_type is not None and any(
+                            func.attr in cls.methods
+                            for cls in self.index._mro(recv_type)):
+                        kind = READ
+                self._record(ref, kind, node.lineno)
+                self._consumed.add(id(func.value))
         targets = self._call_targets(node)
         if targets:
             self.info.events.append(
@@ -734,6 +847,8 @@ class _Scanner(ast.NodeVisitor):
             inferred = self._type_of(node.value)
             if inferred is not None:
                 self.locals[node.targets[0].id] = inferred
+        for target in node.targets:
+            self._record_store(target, node.lineno)
         self.visit(node.value)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -742,7 +857,50 @@ class _Scanner(ast.NodeVisitor):
             if declared:
                 self.locals[node.target.id] = declared
         if node.value is not None:
+            self._record_store(node.target, node.lineno)
             self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Subscript):
+            ref = self._attr_ref(target.value)
+            if ref is not None:
+                self._record(ref, MUTATE, node.lineno)
+                self._consumed.add(id(target.value))
+        else:
+            ref = self._attr_ref(target)
+            if ref is not None:
+                self._record(ref, RMW, node.lineno)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                ref = self._attr_ref(target.value)
+                if ref is not None:
+                    self._record(ref, MUTATE, node.lineno)
+                    self._consumed.add(id(target.value))
+            else:
+                ref = self._attr_ref(target)
+                if ref is not None:
+                    self._record(ref, WRITE, node.lineno)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        ref = self._attr_ref(node.iter)
+        if ref is not None:
+            self._record(ref, ITERATE, node.iter.lineno)
+            self._consumed.add(id(node.iter))
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load) and id(node) not in self._consumed:
+            ref = self._attr_ref(node)
+            if ref is not None:
+                self._record(ref, READ, node.lineno)
+        self.generic_visit(node)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         # A nested def is its own analysis root: it usually escapes as a

@@ -9,10 +9,12 @@ the schema, graph, and resource passes *as one deployment set* (so
 cross-sensor references resolve). ``.py`` paths (and directories, which
 are walked for ``.py`` sources) are run through the intra-procedural
 concurrency lint, the interprocedural deadlock pass (GSN501–GSN504),
-*and* the exception-flow / resource-lifecycle pass (GSN601–GSN605).
+the exception-flow / resource-lifecycle pass (GSN601–GSN605), *and*
+the whole-program data-race pass (GSN801–GSN806).
 ``--deadlock`` restricts python inputs to the deadlock pass alone;
-``--flow`` to the exception-flow pass alone (combine both flags to run
-the two without the intra-procedural lint); ``--graph`` prints the
+``--flow`` to the exception-flow pass alone; ``--race`` to the
+data-race pass alone (the flags combine — any subset runs without the
+intra-procedural lint); ``--graph`` prints the
 lock-acquisition-order graph as GraphViz DOT. ``--self-check`` lints
 the bundled concurrency-sensitive modules of repro itself.
 
@@ -61,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the interprocedural exception-flow "
                              "/ resource-lifecycle pass (GSN601-GSN605) "
                              "on python inputs")
+    parser.add_argument("--race", action="store_true",
+                        help="run only the whole-program data-race pass "
+                             "(GSN801-GSN806) on python inputs")
     parser.add_argument("--graph", action="store_true",
                         help="print the lock-acquisition-order graph as "
                              "GraphViz DOT (implies the deadlock pass)")
@@ -127,9 +132,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      f"directories)")
     deadlock_only = args.deadlock or args.graph
     flow_only = args.flow
-    if (deadlock_only or flow_only) and xml_paths:
-        parser.error("--deadlock/--graph/--flow apply to python inputs "
-                     "only")
+    race_only = args.race
+    if (deadlock_only or flow_only or race_only) and xml_paths:
+        parser.error("--deadlock/--graph/--flow/--race apply to python "
+                     "inputs only")
     if args.self_check:
         package_root = os.path.dirname(os.path.dirname(
             os.path.abspath(__file__)))  # .../src/repro
@@ -175,9 +181,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     python_inputs = expand_paths(py_paths + dirs)
     graph = None
     if python_inputs:
-        run_deadlock = deadlock_only or not flow_only
-        run_flow = flow_only or not deadlock_only
-        if not deadlock_only and not flow_only:
+        restricted = deadlock_only or flow_only or race_only
+        run_deadlock = deadlock_only or not restricted
+        run_flow = flow_only or not restricted
+        run_race = race_only or not restricted
+        if not restricted:
             locklint.lint_files(python_inputs, report)
         index = ProgramIndex.build(python_inputs)
         if run_deadlock:
@@ -189,6 +197,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if run_flow:
             analyze_flow(python_inputs, report=report, index=index,
                          include_parse_errors=not run_deadlock)
+        if run_race:
+            from repro.analysis.racegraph import analyze_races
+            analyze_races(python_inputs, report=report, index=index,
+                          include_parse_errors=not (run_deadlock
+                                                    or run_flow))
 
     failed = bool(report.errors) or (args.strict_warnings
                                      and bool(report.warnings))

@@ -71,8 +71,8 @@ class CrashWitness:
             [ThreadCrash], None]]]] = []  # guarded-by: _mutex
         self._observers: List[Callable[
             [ThreadCrash], None]] = []  # guarded-by: _mutex
-        self.crashes: List[ThreadCrash] = []  # guarded-by: _mutex
-        self._expected_depth = 0  # guarded-by: _mutex
+        self.crashes: List[ThreadCrash] = []  # guarded-by: CrashWitness._mutex
+        self._expected_depth = 0  # guarded-by: CrashWitness._mutex
         self._previous_hook: Optional[Callable] = None
         self.installed = False
 

@@ -6,6 +6,10 @@ Verifies a lightweight ``# guarded-by:`` convention over Python sources:
 
       self.tasks_completed = 0  # guarded-by: _lock
 
+  The canonical spelling is the lock's registry name
+  (``guarded-by: WorkerPool._lock`` — see
+  :func:`repro.concurrency.new_lock`); the attribute holding the lock
+  is the segment after the last dot either way. An annotated field
   may only be *written* (assigned, augmented, deleted) or *mutated*
   (any method called on it, e.g. ``self._errors.append(x)``) inside a
   ``with self._lock:`` block. Plain reads are not flagged — passing a
@@ -34,8 +38,14 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.analysis.rules import Report
 
-GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
-REQUIRES_LOCK = re.compile(r"#\s*requires-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
+GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][\w.]*)")
+REQUIRES_LOCK = re.compile(r"#\s*requires-lock:\s*([A-Za-z_][\w.]*)")
+
+
+def _lock_attr(declared: str) -> str:
+    """The ``self.<attr>`` holding a declared lock — the tail of a
+    registry-qualified name (``WorkerPool._lock`` -> ``_lock``)."""
+    return declared.rpartition(".")[2]
 
 #: Modules (relative to the ``repro`` package) the repo itself keeps
 #: under locklint — ``gsn-lint --self-check``.
@@ -126,7 +136,7 @@ def _collect(cls: ast.ClassDef, lines: List[str]) -> _ClassInfo:
             continue
         lock = _line_comment_match(lines, method.lineno, REQUIRES_LOCK)
         if lock:
-            info.requires[method.name] = lock
+            info.requires[method.name] = _lock_attr(lock)
         for node in ast.walk(method):
             targets: List[ast.expr] = []
             if isinstance(node, ast.Assign):
@@ -140,7 +150,7 @@ def _collect(cls: ast.ClassDef, lines: List[str]) -> _ClassInfo:
                 info.assigned.add(attr)
                 guard = _line_comment_match(lines, node.lineno, GUARDED_BY)
                 if guard:
-                    info.guards[attr] = guard
+                    info.guards[attr] = _lock_attr(guard)
     return info
 
 

@@ -14,6 +14,9 @@ pass:
   (swallowed exceptions, thread-killing escapes, leaked resources)
 - ``GSN7xx`` — deploy-time query-plan pass (fast-path eligibility,
   cardinality blow-ups, cost-vs-sampling-rate budget, dead predicates)
+- ``GSN8xx`` — whole-program data-race pass (guard inference over
+  entry-point-reachable shared attributes, ``# guarded-by:``
+  verification)
 
 Severities: ``error`` findings would fail (or silently corrupt) a
 deployment and make :func:`repro.analysis.analyze` callers such as
@@ -100,6 +103,18 @@ _CATALOGUE: List[Rule] = [
     Rule("GSN704", ERROR, "estimated per-trigger cost exceeds the "
                           "source's sampling-rate budget"),
     Rule("GSN705", ERROR, "provably dead predicate (always-false WHERE)"),
+    # -- data-race pass (interprocedural) ----------------------------------
+    Rule("GSN801", ERROR, "unguarded write to state shared across entry "
+                          "points"),
+    Rule("GSN802", ERROR, "inconsistent guard: write misses the "
+                          "attribute's dominant/declared lock"),
+    Rule("GSN803", ERROR, "unguarded compound update (read-modify-write, "
+                          "check-then-act, mutation during iteration)"),
+    Rule("GSN804", ERROR, "unsynchronized collection mutated across "
+                          "entry points"),
+    Rule("GSN805", WARNING, "guarded mutable state escapes its lock scope "
+                            "(returned reference)"),
+    Rule("GSN806", WARNING, "stale or wrong guarded-by declaration"),
 ]
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _CATALOGUE}

@@ -64,3 +64,14 @@ def install_witness(factory: Optional[Callable[[str, bool], object]]) -> None:
     """Install (or, with ``None``, remove) the witness lock factory."""
     global _witness_factory
     _witness_factory = factory
+
+
+def current_factory() -> Optional[Callable[[str, bool], object]]:
+    """The installed witness factory, if any.
+
+    Witnesses compose by wrapping: the race witness captures whatever
+    factory is installed (the lock-order witness's, usually), installs
+    its own tracking factory around it, and restores the captured one on
+    disable.
+    """
+    return _witness_factory

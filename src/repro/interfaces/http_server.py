@@ -74,11 +74,11 @@ class GSNHttpServer:
         handler = _build_handler(self)
         self._server = ThreadingHTTPServer((host, port), handler)
         self._state_lock = new_lock("GSNHttpServer._state_lock")
-        self._thread: Optional[threading.Thread] = None  # guarded-by: _state_lock
-        self._stopping = False  # guarded-by: _state_lock
-        self.crashes = 0  # guarded-by: _state_lock
-        self.restarts = 0  # guarded-by: _state_lock
-        self.healthy = True  # guarded-by: _state_lock
+        self._thread: Optional[threading.Thread] = None  # guarded-by: GSNHttpServer._state_lock
+        self._stopping = False  # guarded-by: GSNHttpServer._state_lock
+        self.crashes = 0  # guarded-by: GSNHttpServer._state_lock
+        self.restarts = 0  # guarded-by: GSNHttpServer._state_lock
+        self.healthy = True  # guarded-by: GSNHttpServer._state_lock
 
     @property
     def address(self) -> Tuple[str, int]:

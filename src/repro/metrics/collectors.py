@@ -25,11 +25,11 @@ class LatencyRecorder:
 
     def __init__(self, keep_samples: bool = True) -> None:
         self.keep_samples = keep_samples
-        self.samples: List[float] = []  # guarded-by: _lock
-        self.count = 0  # guarded-by: _lock
-        self.total_ms = 0.0  # guarded-by: _lock
-        self.max_ms = 0.0  # guarded-by: _lock
-        self.min_ms = math.inf  # guarded-by: _lock
+        self.samples: List[float] = []  # guarded-by: LatencyRecorder._lock
+        self.count = 0  # guarded-by: LatencyRecorder._lock
+        self.total_ms = 0.0  # guarded-by: LatencyRecorder._lock
+        self.max_ms = 0.0  # guarded-by: LatencyRecorder._lock
+        self.min_ms = math.inf  # guarded-by: LatencyRecorder._lock
         self._local = threading.local()
         self._lock = new_lock("LatencyRecorder._lock")
 
@@ -99,20 +99,20 @@ class FastPathCounters:
     """
 
     def __init__(self) -> None:
-        self.view_hits = 0  # guarded-by: _lock
-        self.view_misses = 0  # guarded-by: _lock
-        self.cache_hits = 0  # guarded-by: _lock
-        self.cache_misses = 0  # guarded-by: _lock
-        self.identity_hits = 0  # guarded-by: _lock
-        self.aggregate_hits = 0  # guarded-by: _lock
-        self.aggregate_fallbacks = 0  # guarded-by: _lock
-        self.legacy_queries = 0  # guarded-by: _lock
-        self.join_hits = 0  # guarded-by: _lock
-        self.join_fallbacks = 0  # guarded-by: _lock
-        self.compiled_queries = 0  # guarded-by: _lock
-        self.interpreted_queries = 0  # guarded-by: _lock
-        self.poisoned = 0  # guarded-by: _lock
-        self.static_disagreements = 0  # guarded-by: _lock
+        self.view_hits = 0  # guarded-by: FastPathCounters._lock
+        self.view_misses = 0  # guarded-by: FastPathCounters._lock
+        self.cache_hits = 0  # guarded-by: FastPathCounters._lock
+        self.cache_misses = 0  # guarded-by: FastPathCounters._lock
+        self.identity_hits = 0  # guarded-by: FastPathCounters._lock
+        self.aggregate_hits = 0  # guarded-by: FastPathCounters._lock
+        self.aggregate_fallbacks = 0  # guarded-by: FastPathCounters._lock
+        self.legacy_queries = 0  # guarded-by: FastPathCounters._lock
+        self.join_hits = 0  # guarded-by: FastPathCounters._lock
+        self.join_fallbacks = 0  # guarded-by: FastPathCounters._lock
+        self.compiled_queries = 0  # guarded-by: FastPathCounters._lock
+        self.interpreted_queries = 0  # guarded-by: FastPathCounters._lock
+        self.poisoned = 0  # guarded-by: FastPathCounters._lock
+        self.static_disagreements = 0  # guarded-by: FastPathCounters._lock
         self._lock = new_lock("FastPathCounters._lock")
 
     def record_view(self, from_view: bool) -> None:

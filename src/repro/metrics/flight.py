@@ -87,10 +87,10 @@ class FlightRecorder:
         self.capacity = capacity
         self._clock = clock
         self._lock = new_lock("FlightRecorder._lock")
-        self._events: Deque[FlightEvent] = deque(maxlen=capacity)  # guarded-by: _lock
-        self._seq = 0  # guarded-by: _lock
-        self._dumps: Deque[Dict[str, Any]] = deque(maxlen=DUMP_RETENTION)  # guarded-by: _lock
-        self._dumps_taken = 0  # guarded-by: _lock
+        self._events: Deque[FlightEvent] = deque(maxlen=capacity)  # guarded-by: FlightRecorder._lock
+        self._seq = 0  # guarded-by: FlightRecorder._lock
+        self._dumps: Deque[Dict[str, Any]] = deque(maxlen=DUMP_RETENTION)  # guarded-by: FlightRecorder._lock
+        self._dumps_taken = 0  # guarded-by: FlightRecorder._lock
         #: Installed by the owning container once its components exist.
         self.dumper: Optional[DumpBuilder] = None
 

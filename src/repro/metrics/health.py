@@ -44,7 +44,7 @@ class HealthModel:
 
     def __init__(self) -> None:
         self._lock = new_lock("HealthModel._lock")
-        self._checks: Dict[str, HealthCheck] = {}  # guarded-by: _lock
+        self._checks: Dict[str, HealthCheck] = {}  # guarded-by: HealthModel._lock
 
     def register(self, name: str, check: HealthCheck) -> None:
         """Add (or replace) a component's health check."""

@@ -88,15 +88,15 @@ class SamplingProfiler:
         self.max_stack_depth = max_stack_depth
         self.max_stacks = max_stacks
         self._lock = new_lock("SamplingProfiler._lock")
-        self._samples: Dict[Tuple[str, Tuple[str, ...]], int] = {}  # guarded-by: _lock
-        self._label_cache: Dict[Any, str] = {}  # guarded-by: _lock
-        self._names: Dict[int, str] = {}  # guarded-by: _lock
-        self._sweeps = 0  # guarded-by: _lock
-        self._total_samples = 0  # guarded-by: _lock
-        self._dropped = 0  # guarded-by: _lock
-        self._sampling_s = 0.0  # guarded-by: _lock
-        self._wall_s = 0.0  # guarded-by: _lock (completed run segments)
-        self._segment_t0: Optional[float] = None  # guarded-by: _lock
+        self._samples: Dict[Tuple[str, Tuple[str, ...]], int] = {}  # guarded-by: SamplingProfiler._lock
+        self._label_cache: Dict[Any, str] = {}  # guarded-by: SamplingProfiler._lock
+        self._names: Dict[int, str] = {}  # guarded-by: SamplingProfiler._lock
+        self._sweeps = 0  # guarded-by: SamplingProfiler._lock
+        self._total_samples = 0  # guarded-by: SamplingProfiler._lock
+        self._dropped = 0  # guarded-by: SamplingProfiler._lock
+        self._sampling_s = 0.0  # guarded-by: SamplingProfiler._lock
+        self._wall_s = 0.0  # guarded-by: SamplingProfiler._lock (completed run segments)
+        self._segment_t0: Optional[float] = None  # guarded-by: SamplingProfiler._lock
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 

@@ -120,7 +120,7 @@ class Counter:
     """A monotonically increasing value."""
 
     def __init__(self) -> None:
-        self._value = 0.0  # guarded-by: _lock
+        self._value = 0.0  # guarded-by: Counter._lock
         self._lock = new_lock("Counter._lock")
 
     def inc(self, amount: float = 1.0) -> None:
@@ -139,7 +139,7 @@ class Gauge:
     """A value that can go up and down."""
 
     def __init__(self) -> None:
-        self._value = 0.0  # guarded-by: _lock
+        self._value = 0.0  # guarded-by: Gauge._lock
         self._lock = new_lock("Gauge._lock")
 
     def set(self, value: float) -> None:
@@ -175,9 +175,9 @@ class Histogram:
             raise ConfigurationError("duplicate histogram bucket bounds")
         self.bounds = ordered
         # One slot per finite bound plus the +Inf overflow slot.
-        self._counts = [0] * (len(ordered) + 1)  # guarded-by: _lock
-        self._sum = 0.0  # guarded-by: _lock
-        self._count = 0  # guarded-by: _lock
+        self._counts = [0] * (len(ordered) + 1)  # guarded-by: Histogram._lock
+        self._sum = 0.0  # guarded-by: Histogram._lock
+        self._count = 0  # guarded-by: Histogram._lock
         self._lock = new_lock("Histogram._lock")
 
     def observe(self, value: float) -> None:
@@ -223,7 +223,7 @@ class MetricFamily:
         self.labelnames = tuple(labelnames)
         self._buckets = tuple(buckets) if buckets is not None \
             else DEFAULT_LATENCY_BUCKETS_MS
-        self._children: Dict[LabelValues, Any] = {}  # guarded-by: _lock
+        self._children: Dict[LabelValues, Any] = {}  # guarded-by: MetricFamily._lock
         self._lock = new_lock("MetricFamily._lock")
 
     def labels(self, **labels: str) -> Any:
@@ -279,8 +279,8 @@ class MetricsRegistry:
     """All metric families and collectors of one container."""
 
     def __init__(self) -> None:
-        self._families: Dict[str, MetricFamily] = {}  # guarded-by: _lock
-        self._collectors: List[Collector] = []  # guarded-by: _lock
+        self._families: Dict[str, MetricFamily] = {}  # guarded-by: MetricsRegistry._lock
+        self._collectors: List[Collector] = []  # guarded-by: MetricsRegistry._lock
         self._lock = new_lock("MetricsRegistry._lock")
 
     # -- instrument creation ------------------------------------------------

@@ -128,11 +128,11 @@ class PeerNode:
         # (GSN502/GSN503 regression, see CHANGES.md PR 4).
         self._lock = new_lock("PeerNode._lock")
         # producer side: subscription id -> (sensor_name, detach callable)
-        self._served: Dict[int, Tuple[str, Callable[[], None]]] = {}  # guarded-by: _lock
+        self._served: Dict[int, Tuple[str, Callable[[], None]]] = {}  # guarded-by: PeerNode._lock
         # consumer side: subscription id -> local listener
-        self._listening: Dict[int, ElementListener] = {}  # guarded-by: _lock
-        self.elements_forwarded = 0  # guarded-by: _lock
-        self.elements_received = 0  # guarded-by: _lock
+        self._listening: Dict[int, ElementListener] = {}  # guarded-by: PeerNode._lock
+        self.elements_forwarded = 0  # guarded-by: PeerNode._lock
+        self.elements_received = 0  # guarded-by: PeerNode._lock
         self._uptime = UptimeTracker()
         network.bus.register(self.name, self._on_message)
         add_peer = getattr(network.directory, "add_peer", None)

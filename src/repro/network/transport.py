@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro.concurrency import new_lock
 from repro.exceptions import TransportError
 from repro.gsntime.scheduler import EventScheduler
 from repro.status import UptimeTracker, status_doc
@@ -48,23 +49,30 @@ class MessageBus:
         self.latency_ms = latency_ms
         self.loss_rate = loss_rate
         self._rng = random.Random(seed)
-        self._handlers: Dict[str, Handler] = {}
-        self.sent = 0
-        self.delivered = 0
-        self.dropped = 0
+        # Serializes the endpoint table and delivery counters: nodes
+        # register/leave from the application thread while scheduled
+        # deliveries and peer callbacks route concurrently.
+        self._lock = new_lock("MessageBus._lock")
+        self._handlers: Dict[str, Handler] = {}  # guarded-by: MessageBus._lock
+        self.sent = 0  # guarded-by: MessageBus._lock
+        self.delivered = 0  # guarded-by: MessageBus._lock
+        self.dropped = 0  # guarded-by: MessageBus._lock
         self._uptime = UptimeTracker()
 
     def register(self, name: str, handler: Handler) -> None:
         key = name.lower()
-        if key in self._handlers:
-            raise TransportError(f"endpoint {name!r} already registered")
-        self._handlers[key] = handler
+        with self._lock:
+            if key in self._handlers:
+                raise TransportError(f"endpoint {name!r} already registered")
+            self._handlers[key] = handler
 
     def unregister(self, name: str) -> None:
-        self._handlers.pop(name.lower(), None)
+        with self._lock:
+            self._handlers.pop(name.lower(), None)
 
     def endpoints(self):
-        return sorted(self._handlers)
+        with self._lock:
+            return sorted(self._handlers)
 
     def send(self, source: str, destination: str, kind: str,
              payload: Optional[Dict[str, Any]] = None,
@@ -78,14 +86,18 @@ class MessageBus:
         loss, which is a simulated network property.
         """
         key = destination.lower()
-        handler = self._handlers.get(key)
+        with self._lock:
+            handler = self._handlers.get(key)
         if handler is None:
             raise TransportError(f"unknown endpoint {destination!r}")
         message = Message(source.lower(), key, kind, payload or {})
-        self.sent += 1
-        if not reliable and self.loss_rate > 0.0 \
-                and self._rng.random() < self.loss_rate:
-            self.dropped += 1
+        with self._lock:
+            self.sent += 1
+            lost = (not reliable and self.loss_rate > 0.0
+                    and self._rng.random() < self.loss_rate)
+            if lost:
+                self.dropped += 1
+        if lost:
             logger.debug("dropped %s message %s -> %s (simulated loss)",
                          kind, source, destination)
             return False
@@ -101,18 +113,21 @@ class MessageBus:
 
     def _deliver(self, handler: Handler, message: Message) -> None:
         handler(message)
-        self.delivered += 1
+        with self._lock:
+            self.delivered += 1
 
     def status(self) -> dict:
+        with self._lock:
+            sent, delivered, dropped = self.sent, self.delivered, self.dropped
         return status_doc(
             "message-bus", "running",
-            counters={"sent": self.sent, "delivered": self.delivered,
-                      "dropped": self.dropped},
+            counters={"sent": sent, "delivered": delivered,
+                      "dropped": dropped},
             uptime_ms=self._uptime.uptime_ms(),
             endpoints=self.endpoints(),
             latency_ms=self.latency_ms,
             loss_rate=self.loss_rate,
-            sent=self.sent,
-            delivered=self.delivered,
-            dropped=self.dropped,
+            sent=sent,
+            delivered=delivered,
+            dropped=dropped,
         )

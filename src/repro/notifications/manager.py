@@ -48,9 +48,9 @@ class NotificationManager:
         # always resolve-under-lock, deliver-outside (GSN503 regression,
         # see CHANGES.md PR 4).
         self._lock = new_lock("NotificationManager._lock")
-        self._channels: Dict[str, NotificationChannel] = {}  # guarded-by: _lock
-        self.dispatched = 0  # guarded-by: _lock
-        self.failures = 0  # guarded-by: _lock
+        self._channels: Dict[str, NotificationChannel] = {}  # guarded-by: NotificationManager._lock
+        self.dispatched = 0  # guarded-by: NotificationManager._lock
+        self.failures = 0  # guarded-by: NotificationManager._lock
         self.add_channel(QueueChannel("queue"))
         self._uptime = UptimeTracker()
 

@@ -13,6 +13,7 @@ import logging
 import re
 from typing import Dict, Optional
 
+from repro.concurrency import new_lock
 from repro.exceptions import StorageError
 from repro.sqlengine.executor import Catalog
 from repro.sqlengine.relation import Relation
@@ -48,19 +49,32 @@ class StorageManager:
     def __init__(self, database_path: str = ":memory:") -> None:
         self.memory = MemoryStorage()
         self.persistent = SQLiteStorage(database_path)
-        self._homes: Dict[str, StorageBackend] = {}
+        # Serializes the routing table: deploys mutate it on the
+        # application thread while health checks and registered queries
+        # walk it from scheduler callbacks.  Backend calls (which take
+        # their own connection locks and may commit) stay outside it.
+        self._lock = new_lock("StorageManager._lock")
+        self._homes: Dict[str, StorageBackend] = {}  # guarded-by: StorageManager._lock
 
     def create_stream(self, name: str, schema: StreamSchema,
                       retention: Optional[str] = None,
                       permanent: bool = False) -> StreamTable:
         """Create a stream table, choosing the backend by ``permanent``."""
         table_name = safe_table_name(name)
-        if table_name in self._homes:
-            raise StorageError(f"stream {name!r} already exists")
         backend = self.persistent if permanent else self.memory
-        table = backend.create(table_name, schema,
-                               RetentionPolicy.parse(retention))
-        self._homes[table_name] = backend
+        # Reserve the name first so a concurrent create fails fast, then
+        # build the table outside the lock (SQLite commits can block).
+        with self._lock:
+            if table_name in self._homes:
+                raise StorageError(f"stream {name!r} already exists")
+            self._homes[table_name] = backend
+        try:
+            table = backend.create(table_name, schema,
+                                   RetentionPolicy.parse(retention))
+        except Exception:
+            with self._lock:
+                self._homes.pop(table_name, None)
+            raise
         logger.info("created %s stream %s (retention=%s)",
                     "persistent" if permanent else "memory",
                     table_name, retention or "unbounded")
@@ -68,7 +82,8 @@ class StorageManager:
 
     def drop_stream(self, name: str) -> None:
         table_name = safe_table_name(name)
-        backend = self._homes.pop(table_name, None)
+        with self._lock:
+            backend = self._homes.pop(table_name, None)
         if backend is None:
             raise StorageError(f"no stream {name!r}")
         backend.drop(table_name)
@@ -81,7 +96,8 @@ class StorageManager:
         durable to preserve.
         """
         table_name = safe_table_name(name)
-        backend = self._homes.pop(table_name, None)
+        with self._lock:
+            backend = self._homes.pop(table_name, None)
         if backend is None:
             raise StorageError(f"no stream {name!r}")
         if backend is self.persistent:
@@ -91,17 +107,21 @@ class StorageManager:
 
     def get(self, name: str) -> StreamTable:
         table_name = safe_table_name(name)
-        backend = self._homes.get(table_name)
+        with self._lock:
+            backend = self._homes.get(table_name)
         if backend is None:
             raise StorageError(f"no stream {name!r}")
         return backend.get(table_name)
 
     def __contains__(self, name: object) -> bool:
-        return (isinstance(name, str)
-                and safe_table_name(name) in self._homes)
+        if not isinstance(name, str):
+            return False
+        with self._lock:
+            return safe_table_name(name) in self._homes
 
     def stream_names(self):
-        return sorted(self._homes)
+        with self._lock:
+            return sorted(self._homes)
 
     def catalog(self, now: Optional[int] = None) -> Catalog:
         """A catalog of every stream's current contents.
@@ -109,8 +129,10 @@ class StorageManager:
         Materialized on demand: cheap for the handful of streams a
         registered query touches, and always consistent with retention.
         """
+        with self._lock:
+            homes = dict(self._homes)
         catalog = Catalog()
-        for table_name, backend in self._homes.items():
+        for table_name, backend in homes.items():
             catalog.register(table_name,
                              backend.get(table_name).relation(now))
         return catalog
@@ -119,6 +141,7 @@ class StorageManager:
         return self.get(name).relation(now)
 
     def close(self) -> None:
+        with self._lock:
+            self._homes.clear()
         self.memory.close()
         self.persistent.close()
-        self._homes.clear()

@@ -38,7 +38,7 @@ class SQLiteStreamTable(StreamTable):
                  connection: sqlite3.Connection,
                  lock: threading.Lock) -> None:
         super().__init__(name, schema, retention)
-        self._connection = connection  # guarded-by: _lock
+        self._connection = connection  # guarded-by: SQLiteStreamTable._lock
         # The storage backend's own lock, shared by all of its tables —
         # statically named both SQLiteStreamTable._lock and
         # SQLiteStorage._lock; LOCK_ORDER declares both aliases.
@@ -152,7 +152,7 @@ class SQLiteStorage(StorageBackend):
         super().__init__()
         self.path = path
         try:
-            self._connection = sqlite3.connect(  # guarded-by: _lock
+            self._connection = sqlite3.connect(  # guarded-by: SQLiteStorage._lock
                 path, check_same_thread=False)
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open database {path!r}: {exc}") from exc

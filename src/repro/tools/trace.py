@@ -17,6 +17,7 @@ from __future__ import annotations
 import csv
 from typing import Any, Dict, List
 
+from repro.concurrency import new_lock
 from repro.container import GSNContainer
 from repro.exceptions import GSNError
 from repro.streams.element import StreamElement
@@ -49,28 +50,37 @@ class TraceRecorder:
 
     def __init__(self, container: GSNContainer, sensor_name: str) -> None:
         self.sensor_name = sensor_name
-        self.rows: List[Dict[str, Any]] = []
+        # Elements arrive on the sensor's emitting thread while the
+        # owner reads/saves from its own; the lock keeps the row list
+        # consistent without pausing the sensor.
+        self._lock = new_lock("TraceRecorder._lock")
+        self.rows: List[Dict[str, Any]] = []  # guarded-by: TraceRecorder._lock
         self._sensor = container.sensor(sensor_name)
         self._sensor.add_listener(self._on_element)
         self._recording = True
 
     def _on_element(self, element: StreamElement) -> None:
-        if not self._recording:
-            return
         row = dict(element.values)
         row["timed"] = element.timed
-        self.rows.append(row)
+        with self._lock:
+            if not self._recording:
+                return
+            self.rows.append(row)
 
     def stop(self) -> None:
-        self._recording = False
+        with self._lock:
+            self._recording = False
         self._sensor.remove_listener(self._on_element)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        with self._lock:
+            return len(self.rows)
 
     def save_csv(self, path: str) -> int:
         """Write the recorded trace; returns the number of rows."""
-        return _write_csv(path, self.rows)
+        with self._lock:
+            rows = list(self.rows)
+        return _write_csv(path, rows)
 
 
 def export_stream_csv(container: GSNContainer, sensor_name: str,

@@ -56,11 +56,11 @@ class SourceRuntime:
         # window reads (pipeline threads); in synchronous containers it
         # is uncontended and nearly free.
         self._lock = new_lock("SourceRuntime._lock")
-        self.window: SlidingWindow = make_window(  # guarded-by: _lock
+        self.window: SlidingWindow = make_window(  # guarded-by: SourceRuntime._lock
             spec.storage_size or _DEFAULT_WINDOW_SPEC
         )
         self.incremental = incremental
-        self.materializer: Optional[WindowRelation] = None  # guarded-by: _lock
+        self.materializer: Optional[WindowRelation] = None  # guarded-by: SourceRuntime._lock
         if incremental:
             try:
                 schema = wrapper.output_schema()

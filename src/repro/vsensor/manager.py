@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.concurrency import new_lock
 from repro.descriptors.model import VirtualSensorDescriptor
 from repro.descriptors.validation import validate_descriptor
 from repro.exceptions import DeploymentError
@@ -60,7 +61,13 @@ class VirtualSensorManager:
         self.metrics = metrics
         self.trace_sink = trace_sink
         self.events = events
-        self._sensors: Dict[str, VirtualSensor] = {}
+        # Guards the sensor table: deploys/undeploys arrive from the
+        # application thread (or HTTP admin handlers) while the health
+        # model and status endpoints walk the table from scheduler
+        # callbacks.  Sensor lifecycle calls (start/stop) and hooks run
+        # outside the lock — they block and re-enter listener code.
+        self._lock = new_lock("VirtualSensorManager._lock")
+        self._sensors: Dict[str, VirtualSensor] = {}  # guarded-by: VirtualSensorManager._lock
         self._deploy_hooks: List[DeployHook] = []
         self._undeploy_hooks: List[UndeployHook] = []
         self.deploy_count = 0
@@ -89,11 +96,12 @@ class VirtualSensorManager:
         and resource passes) runs over the already-deployed set plus the
         candidate first, and any *new* error finding rejects the deploy.
         """
-        if descriptor.name in self._sensors:
-            raise DeploymentError(
-                f"a virtual sensor named {descriptor.name!r} is already "
-                f"deployed; undeploy it first or use reconfigure()"
-            )
+        with self._lock:
+            if descriptor.name in self._sensors:
+                raise DeploymentError(
+                    f"a virtual sensor named {descriptor.name!r} is already "
+                    f"deployed; undeploy it first or use reconfigure()"
+                )
         validate_descriptor(descriptor, known_wrapper=self._knows_wrapper)
         if strict:
             self._strict_check(descriptor)
@@ -122,8 +130,9 @@ class VirtualSensorManager:
         except Exception:
             self.storage.drop_stream(table_name)
             raise
-        self._sensors[descriptor.name] = sensor
-        self.deploy_count += 1
+        with self._lock:
+            self._sensors[descriptor.name] = sensor
+            self.deploy_count += 1
         if start:
             sensor.start()
         for hook in self._deploy_hooks:
@@ -160,7 +169,8 @@ class VirtualSensorManager:
         """
         from repro.analysis import analyze  # deferred: avoid import cycle
 
-        existing = [s.descriptor for s in self._sensors.values()]
+        with self._lock:
+            existing = [s.descriptor for s in self._sensors.values()]
         external = self.remote_subscribe is not None
         baseline = {
             (f.rule_id, f.location, f.message)
@@ -206,7 +216,8 @@ class VirtualSensorManager:
         promises data outlives the process).
         """
         key = name.strip().lower()
-        sensor = self._sensors.pop(key, None)
+        with self._lock:
+            sensor = self._sensors.pop(key, None)
         if sensor is None:
             raise DeploymentError(f"no virtual sensor named {name!r}")
         sensor.stop()
@@ -223,37 +234,44 @@ class VirtualSensorManager:
         """Replace a running sensor with a new descriptor atomically-ish:
         the old instance stops only after the new descriptor validates."""
         validate_descriptor(descriptor, known_wrapper=self._knows_wrapper)
-        if descriptor.name in self._sensors:
+        with self._lock:
+            deployed = descriptor.name in self._sensors
+        if deployed:
             self.undeploy(descriptor.name)
         return self.deploy(descriptor, strict=strict)
 
     # -- access --------------------------------------------------------------
 
     def get(self, name: str) -> VirtualSensor:
-        try:
-            return self._sensors[name.strip().lower()]
-        except KeyError:
-            raise DeploymentError(f"no virtual sensor named {name!r}") from None
+        with self._lock:
+            sensor = self._sensors.get(name.strip().lower())
+        if sensor is None:
+            raise DeploymentError(f"no virtual sensor named {name!r}")
+        return sensor
 
     def __contains__(self, name: object) -> bool:
-        return (isinstance(name, str)
-                and name.strip().lower() in self._sensors)
+        if not isinstance(name, str):
+            return False
+        with self._lock:
+            return name.strip().lower() in self._sensors
 
     def sensor_names(self) -> List[str]:
-        return sorted(self._sensors)
+        with self._lock:
+            return sorted(self._sensors)
 
     def sensors(self) -> List[VirtualSensor]:
-        return [self._sensors[name] for name in self.sensor_names()]
+        with self._lock:
+            return [self._sensors[name] for name in sorted(self._sensors)]
 
     def stop_all(self, keep_storage: bool = False) -> None:
-        for name in list(self._sensors):
+        for name in self.sensor_names():
             self.undeploy(name, keep_storage=keep_storage)
 
     def static_coverage(self) -> tuple:
         """``(eligible, total)`` gsn-plan verdicts over deployed sensors."""
         eligible = 0
         total = 0
-        for sensor in self._sensors.values():
+        for sensor in self.sensors():
             block = sensor.incremental_status().get("static", {})
             eligible += int(block.get("eligible", 0))
             total += int(block.get("total", 0))
@@ -261,17 +279,21 @@ class VirtualSensorManager:
 
     def status(self) -> dict:
         eligible, total = self.static_coverage()
+        with self._lock:
+            deployed = sorted(self._sensors)
+            snapshot = dict(self._sensors)
+            deploy_count = self.deploy_count
         return status_doc(
             self.node or "vsm", "running",
-            counters={"deploy_count": self.deploy_count,
-                      "deployed_sensors": len(self._sensors),
+            counters={"deploy_count": deploy_count,
+                      "deployed_sensors": len(snapshot),
                       "static_eligible_sources": eligible,
                       "static_analyzed_sources": total},
             uptime_ms=self._uptime.uptime_ms(),
-            deployed=self.sensor_names(),
-            deploy_count=self.deploy_count,
+            deployed=deployed,
+            deploy_count=deploy_count,
             static_coverage_percent=(round(100.0 * eligible / total, 1)
                                      if total else 0.0),
             sensors={name: sensor.status()
-                     for name, sensor in self._sensors.items()},
+                     for name, sensor in snapshot.items()},
         )

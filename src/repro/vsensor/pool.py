@@ -68,15 +68,15 @@ class WorkerPool:
         self.synchronous = synchronous
         self.name = name or "pool"
         self.queue_capacity = queue_capacity
-        self.tasks_completed = 0  # guarded-by: _lock
-        self.tasks_failed = 0  # guarded-by: _lock
-        self.tasks_shed = 0  # guarded-by: _lock
-        self.workers_crashed = 0  # guarded-by: _lock
-        self.restarts = 0  # guarded-by: _lock
-        self.degraded = False  # guarded-by: _lock
-        self._errors: List[BaseException] = []  # guarded-by: _lock
-        self._next_worker = 0  # guarded-by: _lock
-        self._shed_logged = False  # guarded-by: _lock
+        self.tasks_completed = 0  # guarded-by: WorkerPool._lock
+        self.tasks_failed = 0  # guarded-by: WorkerPool._lock
+        self.tasks_shed = 0  # guarded-by: WorkerPool._lock
+        self.workers_crashed = 0  # guarded-by: WorkerPool._lock
+        self.restarts = 0  # guarded-by: WorkerPool._lock
+        self.degraded = False  # guarded-by: WorkerPool._lock
+        self._errors: List[BaseException] = []  # guarded-by: WorkerPool._lock
+        self._next_worker = 0  # guarded-by: WorkerPool._lock
+        self._shed_logged = False  # guarded-by: WorkerPool._lock
         self._on_degraded = on_degraded
         self._events = events
         self._lock = new_lock("WorkerPool._lock")
@@ -96,8 +96,9 @@ class WorkerPool:
             target=self._worker_main,
             name=f"gsn-pool-{self.name}-{index}", daemon=True,
         )
+        with self._lock:
+            self._threads.append(thread)
         thread.start()
-        self._threads.append(thread)
 
     def submit(self, task: Task) -> None:
         if self._shutdown:
@@ -228,18 +229,20 @@ class WorkerPool:
             self._errors.clear()
 
     def shutdown(self) -> None:
-        if self._shutdown:
-            return
-        self._shutdown = True
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            threads = list(self._threads)
         if not self.synchronous and self._queue is not None:
-            for __ in self._threads:
+            for __ in threads:
                 try:
                     self._queue.put_nowait(_SENTINEL)
                 except queue.Full:
                     # Saturated at shutdown: workers still exit via the
                     # _shutdown flag after their bounded idle wait.
                     break
-            for thread in self._threads:
+            for thread in threads:
                 thread.join(timeout=5.0)
 
     def status(self) -> dict:

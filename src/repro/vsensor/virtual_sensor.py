@@ -102,9 +102,9 @@ class VirtualSensor:
                                       tracer=self.tracer)
         self.latency = LatencyRecorder(keep_samples=True)
         self.fast_paths = FastPathCounters()
-        self.elements_produced = 0  # guarded-by: _emit_lock
+        self.elements_produced = 0  # guarded-by: VirtualSensor._emit_lock
         self._consecutive_errors = 0
-        self._listeners: List[OutputListener] = []  # guarded-by: _emit_lock
+        self._listeners: List[OutputListener] = []  # guarded-by: VirtualSensor._emit_lock
         # Serializes step 5 when the pipeline runs on a threaded pool, so
         # persistence order and counters stay consistent. Persisting to a
         # permanent table takes the storage lock inside the emit lock:

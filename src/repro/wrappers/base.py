@@ -13,6 +13,7 @@ import enum
 import logging
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
+from repro.concurrency import new_lock
 from repro.exceptions import WrapperError
 from repro.gsntime.clock import Clock, SystemClock
 from repro.gsntime.scheduler import EventScheduler
@@ -44,12 +45,18 @@ class Wrapper:
     wrapper_name = "abstract"
 
     def __init__(self) -> None:
+        # Serializes lifecycle transitions and listener/counter state
+        # against scheduler-driven production.  Hooks (``on_start``,
+        # ``on_stop``, ``on_configure``) run *outside* the lock — they
+        # may reach into the peer network, which delivers elements back
+        # into wrappers under its own lock (see LOCK_ORDER).
+        self._lock = new_lock("Wrapper._lock")
         self.state = WrapperState.CREATED
         self.clock: Clock = SystemClock()
         self.scheduler: Optional[EventScheduler] = None
         self.config: Dict[str, str] = {}
-        self.elements_emitted = 0
-        self._listeners: List[Listener] = []
+        self.elements_emitted = 0  # guarded-by: Wrapper._lock
+        self._listeners: List[Listener] = []  # guarded-by: Wrapper._lock
 
     # -- wiring (called by the container) ----------------------------------
 
@@ -62,38 +69,48 @@ class Wrapper:
 
     def configure(self, predicates: Mapping[str, str]) -> None:
         """Apply the ``<address>`` predicates. Idempotent before start."""
-        if self.state is WrapperState.RUNNING:
-            raise WrapperError("cannot reconfigure a running wrapper")
-        self.config = {k.lower(): str(v) for k, v in predicates.items()}
+        with self._lock:
+            if self.state is WrapperState.RUNNING:
+                raise WrapperError("cannot reconfigure a running wrapper")
+            self.config = {k.lower(): str(v) for k, v in predicates.items()}
         self.on_configure()
-        self.state = WrapperState.CONFIGURED
+        with self._lock:
+            self.state = WrapperState.CONFIGURED
 
     def start(self) -> None:
-        if self.state is WrapperState.RUNNING:
-            return
-        if self.state is WrapperState.CREATED:
+        with self._lock:
+            if self.state is WrapperState.RUNNING:
+                return
+            needs_configure = self.state is WrapperState.CREATED
+        if needs_configure:
             self.configure({})
         self.on_start()
-        self.state = WrapperState.RUNNING
+        with self._lock:
+            self.state = WrapperState.RUNNING
 
     def stop(self) -> None:
-        if self.state is not WrapperState.RUNNING:
-            return
+        with self._lock:
+            if self.state is not WrapperState.RUNNING:
+                return
         self.on_stop()
-        self.state = WrapperState.STOPPED
+        with self._lock:
+            self.state = WrapperState.STOPPED
 
     def add_listener(self, listener: Listener) -> None:
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def remove_listener(self, listener: Listener) -> None:
-        try:
-            self._listeners.remove(listener)
-        except ValueError:
-            pass
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     @property
     def listener_count(self) -> int:
-        return len(self._listeners)
+        with self._lock:
+            return len(self._listeners)
 
     # -- subclass surface ----------------------------------------------------
 
@@ -122,10 +139,21 @@ class Wrapper:
         """
         element = StreamElement(values, timed=timed,
                                 producer=self.wrapper_name)
-        self.elements_emitted += 1
-        for listener in list(self._listeners):
-            listener(element)
+        self._dispatch(element)
         return element
+
+    def _dispatch(self, element: StreamElement) -> None:
+        """Count the element and hand it to every listener.
+
+        The listener list is snapshotted under the lock and the
+        callbacks run outside it, so a listener may add/remove
+        listeners (or block) without deadlocking the wrapper.
+        """
+        with self._lock:
+            self.elements_emitted += 1
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(element)
 
     # -- config helpers -------------------------------------------------------
 
@@ -155,8 +183,10 @@ class Wrapper:
         return self.config.get(key, default)
 
     def __repr__(self) -> str:
+        with self._lock:
+            emitted = self.elements_emitted
         return (f"<{type(self).__name__} state={self.state.value} "
-                f"emitted={self.elements_emitted}>")
+                f"emitted={emitted}>")
 
 
 class PeriodicWrapper(Wrapper):
@@ -190,16 +220,19 @@ class PeriodicWrapper(Wrapper):
 
     def on_start(self) -> None:
         if self.scheduler is not None:
-            self._event = self.scheduler.every(
+            event = self.scheduler.every(
                 self.interval_ms, self._fire,
                 start_delay=self.phase_ms or self.interval_ms,
                 name=f"{self.wrapper_name}-tick",
             )
+            with self._lock:
+                self._event = event
 
     def on_stop(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        with self._lock:
+            event, self._event = self._event, None
+        if event is not None:
+            event.cancel()
 
     def _fire(self, fire_time: int) -> None:
         try:
@@ -208,21 +241,23 @@ class PeriodicWrapper(Wrapper):
             # Isolate device faults: scheduled production must never kill
             # the container's event loop. Persistent faults stop the
             # wrapper instead of looping forever.
-            self.produce_failures += 1
-            self._consecutive_failures += 1
+            with self._lock:
+                self.produce_failures += 1
+                self._consecutive_failures += 1
+                consecutive = self._consecutive_failures
             logger.warning(
                 "%s: produce() failed at t=%d (%d consecutive): %s",
-                self.wrapper_name, fire_time,
-                self._consecutive_failures, exc,
+                self.wrapper_name, fire_time, consecutive, exc,
             )
-            if self._consecutive_failures >= self.MAX_CONSECUTIVE_FAILURES:
+            if consecutive >= self.MAX_CONSECUTIVE_FAILURES:
                 logger.error(
                     "%s: stopping after %d consecutive produce() failures",
-                    self.wrapper_name, self._consecutive_failures,
+                    self.wrapper_name, consecutive,
                 )
                 self.stop()
             return
-        self._consecutive_failures = 0
+        with self._lock:
+            self._consecutive_failures = 0
         if values is not None:
             self.emit(values, timed=fire_time)
 

@@ -49,22 +49,24 @@ class RemoteWrapper(Wrapper):
                 "remote wrapper is not bound to a peer network; "
                 "deploy it through a GSNContainer"
             )
-        self._schema, self._cancel = self._subscribe(
+        schema, cancel = self._subscribe(
             dict(self.config), self._on_remote_element
         )
+        with self._lock:
+            self._schema = schema
+            self._cancel = cancel
 
     def on_start(self) -> None:
         if self._cancel is None:
             self._resolve()
 
     def on_stop(self) -> None:
-        if self._cancel is not None:
-            self._cancel()
-            self._cancel = None
+        with self._lock:
+            cancel, self._cancel = self._cancel, None
+        if cancel is not None:
+            cancel()
 
     def _on_remote_element(self, element: StreamElement) -> None:
         # Keep the producer's timestamp: network delay must stay visible
         # (the paper treats delays as observable properties, not noise).
-        self.elements_emitted += 1
-        for listener in list(self._listeners):
-            listener(element)
+        self._dispatch(element)

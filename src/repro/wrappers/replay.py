@@ -50,16 +50,19 @@ class ReplayWrapper(Wrapper):
         for row in rows:
             if "timed" not in {k.lower() for k in row}:
                 raise WrapperError("every trace row needs a 'timed' value")
-        self.rows = [
+        # Built (and sorted) locally, published with one atomic rebind:
+        # a replay already running keeps iterating the old list.
+        loaded = [
             {k.lower(): v for k, v in row.items()} for row in rows
         ]
-        self.rows.sort(key=lambda r: r["timed"])
-        sample = {k: v for k, v in self.rows[0].items() if k != "timed"}
-        for row in self.rows[1:]:
+        loaded.sort(key=lambda r: r["timed"])
+        sample = {k: v for k, v in loaded[0].items() if k != "timed"}
+        for row in loaded[1:]:
             for key, value in row.items():
                 if key != "timed" and sample.get(key) is None:
                     sample[key] = value
         self._schema = schema_from_example(sample)
+        self.rows = loaded
 
     def on_configure(self) -> None:
         self.speedup = self.config_float("speedup", 1.0)
@@ -94,31 +97,36 @@ class ReplayWrapper(Wrapper):
     def on_start(self) -> None:
         if not self.rows:
             raise WrapperError("replay wrapper has no trace loaded")
-        self._position = 0
+        with self._lock:
+            self._position = 0
         if self.scheduler is not None:
             self._schedule_next()
 
     def on_stop(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        with self._lock:
+            event, self._event = self._event, None
+        if event is not None:
+            event.cancel()
 
     def _schedule_next(self) -> None:
-        if self._position >= len(self.rows):
-            if not self.loop:
-                return
-            self._position = 0
-        if self._position == 0:
-            delay = 0
-        else:
-            gap = (self.rows[self._position]["timed"]
-                   - self.rows[self._position - 1]["timed"])
-            delay = max(int(gap / self.speedup), 0)
-        self._event = self.scheduler.after(delay, self._fire, name="replay")
+        with self._lock:
+            if self._position >= len(self.rows):
+                if not self.loop:
+                    return
+                self._position = 0
+            if self._position == 0:
+                delay = 0
+            else:
+                gap = (self.rows[self._position]["timed"]
+                       - self.rows[self._position - 1]["timed"])
+                delay = max(int(gap / self.speedup), 0)
+            self._event = self.scheduler.after(delay, self._fire,
+                                               name="replay")
 
     def _fire(self, fire_time: int) -> None:
-        row = self.rows[self._position]
-        self._position += 1
+        with self._lock:
+            row = self.rows[self._position]
+            self._position += 1
         values = {k: v for k, v in row.items() if k != "timed"}
         self.emit(values, timed=fire_time)
         self._schedule_next()

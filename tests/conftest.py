@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.analysis import crashwitness, lockwitness
+from repro.analysis import crashwitness, lockwitness, racewitness
 from repro.container import GSNContainer
 from repro.datatypes import DataType
 from repro.descriptors.model import (
@@ -39,6 +39,31 @@ def lock_order_witness():
         lockwitness.disable()
     assert not witness.violations, witness.violations
     assert not witness.check_acyclic(), witness.check_acyclic()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def race_witness(lock_order_witness):
+    """Run the whole suite under the runtime race witness.
+
+    Every core shared class (:data:`racewitness.CORE_CLASSES`) is
+    instrumented so that writing a ``# guarded-by:`` attribute — or
+    mutating a guarded collection — without holding the declared lock
+    raises :class:`racewitness.RaceWitnessViolation` at the faulty
+    write, with the attribute, guard, and thread in the message.
+    Depends on ``lock_order_witness`` so locks are created by whichever
+    factory stack is active (the witnesses compose by wrapping). Opt
+    out with ``GSN_RACE_WITNESS=0``.
+    """
+    if os.environ.get("GSN_RACE_WITNESS", "1") == "0":
+        yield None
+        return
+    witness = racewitness.enable(strict=True)
+    try:
+        yield witness
+    finally:
+        racewitness.disable()
+    unexpected = witness.unexpected()
+    assert not unexpected, [str(v) for v in unexpected]
 
 
 @pytest.fixture(scope="session", autouse=True)
