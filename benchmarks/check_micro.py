@@ -22,7 +22,10 @@ Run after ``pytest benchmarks/test_micro.py`` has written
 - the race witness's per-trigger path (guard checks plus tracked lock
   cycles, measured in isolation) exceeds 2% of the reference pipeline
   trigger, or its end-to-end armed-vs-bare difference leaves the 10%
-  noise bound.
+  noise bound,
+- batched ingestion (``BENCH_ingest.json``, merged when present) loses
+  its 5x throughput floor over per-tuple delivery, or the event-loop
+  lag witness costs more than 2% of loop wall time.
 """
 
 from __future__ import annotations
@@ -99,6 +102,26 @@ def check(metrics: dict, baseline: dict) -> List[str]:
                 failures.append(
                     f"{name}: end-to-end race-witness overhead is "
                     "beyond measurement noise")
+        if "ingest_speedup" in doc:
+            floor = doc.get("floor", 5)
+            print(f"{name}: batched ingest {doc['ingest_speedup']:.1f}x "
+                  f"({doc['per_tuple_tuples_per_s']:.0f} -> "
+                  f"{doc['batched_tuples_per_s']:.0f} tuples/s, "
+                  f"floor {floor}x)")
+            if doc["ingest_speedup"] < floor:
+                failures.append(
+                    f"{name} below its {floor}x batching floor "
+                    f"({doc['ingest_speedup']:.1f}x)")
+        if "loop_witness_overhead_pct" in doc:
+            budget = doc.get("budget_pct", 2.0)
+            print(f"{name}: loop-lag witness "
+                  f"{doc['loop_witness_overhead_pct']:.2f}% of loop wall "
+                  f"(budget {budget}%)")
+            if doc["loop_witness_overhead_pct"] > budget:
+                failures.append(
+                    f"{name}: loop-lag witness costs "
+                    f"{doc['loop_witness_overhead_pct']:.2f}% of loop "
+                    f"wall time (budget {budget}%)")
         if "per_trigger_overhead_ns" in doc:
             print(f"{name}: {doc['deploy_verdict_us']:.0f} us per deploy, "
                   f"{doc['per_trigger_overhead_ns']:.0f} ns per trigger")
@@ -143,6 +166,10 @@ def check(metrics: dict, baseline: dict) -> List[str]:
 def main() -> int:
     with open(os.path.join(ROOT, "BENCH_micro.json")) as handle:
         metrics = json.load(handle)
+    ingest_path = os.path.join(ROOT, "BENCH_ingest.json")
+    if os.path.exists(ingest_path):
+        with open(ingest_path) as handle:
+            metrics.update(json.load(handle))
     with open(os.path.join(ROOT, "benchmarks", "baseline.json")) as handle:
         baseline = json.load(handle)
     failures = check(metrics, baseline)

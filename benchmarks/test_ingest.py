@@ -1,0 +1,171 @@
+"""Ingestion benchmarks: batched vs per-tuple delivery, witness cost.
+
+Two machine-readable documents land in ``BENCH_ingest.json`` at the
+repo root (written directly — the ``BENCH_micro.json`` session hook
+owns that file):
+
+- ``ingest_batched_vs_per_tuple``: tuples/second and per-call p99 of
+  :meth:`VirtualSensor.ingest_batch` delivering the same tuple stream
+  in gateway-sized batches vs one tuple at a time. The batched path
+  amortizes one window-update + query evaluation over the whole batch;
+  ``ingest_speedup`` carries the 5x floor gated by ``check_micro.py``.
+- ``loop_witness_overhead``: wall-clock cost of arming the event-loop
+  lag witness heartbeat next to a busy loop, against its 2% budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from time import perf_counter
+from typing import List
+
+from repro.datatypes import DataType
+from repro.descriptors.model import (
+    AddressSpec, InputStreamSpec, StreamSourceSpec,
+    VirtualSensorDescriptor,
+)
+from repro.gsntime.clock import VirtualClock
+from repro.analysis.loopwitness import LoopWitness
+from repro.storage.base import RetentionPolicy
+from repro.storage.memory import MemoryStorage
+from repro.streams.schema import StreamSchema
+from repro.vsensor.virtual_sensor import VirtualSensor
+from repro.wrappers.scripted import ScriptedWrapper
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(ROOT, "BENCH_ingest.json")
+
+# An order-by/limit shape: not delta-maintainable, so every trigger
+# re-evaluates over the window — the cost batching amortizes.
+_QUERY = "select v, count(*) as n from wrapper group by v order by n desc limit 20"
+_FIELDS = dict(v=DataType.INTEGER, n=DataType.INTEGER)
+
+WARMUP_TUPLES = 200
+BENCH_TUPLES = 1_500
+BATCH_SIZE = 128
+
+
+def _write_doc(name: str, payload: dict) -> None:
+    merged = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as handle:
+            merged = json.load(handle)
+    merged[name] = payload
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _build_sensor() -> VirtualSensor:
+    descriptor = VirtualSensorDescriptor(
+        name="bench",
+        output_structure=StreamSchema.build(**_FIELDS),
+        input_streams=(InputStreamSpec(
+            name="in",
+            sources=(StreamSourceSpec(alias="src",
+                                      address=AddressSpec("scripted"),
+                                      query=_QUERY,
+                                      storage_size="1000"),),
+            query="select * from src",
+        ),),
+    )
+    clock = VirtualClock(1_000_000)
+    wrapper = ScriptedWrapper()
+    wrapper.script(lambda now: {"v": (now * 37) % 1_000},
+                   StreamSchema.build(v=DataType.INTEGER))
+    wrapper.attach(clock)
+    wrapper.configure({})
+    table = MemoryStorage().create("out", descriptor.output_structure,
+                                   RetentionPolicy("count", 1_000))
+    sensor = VirtualSensor(descriptor, clock, {"src": wrapper},
+                           output_table=table)
+    sensor.start()
+    return sensor
+
+
+def _drive(chunk_size: int) -> dict:
+    """Deliver the benchmark stream in ``chunk_size``-tuple calls."""
+    sensor = _build_sensor()
+    tuples = [{"v": (i * 37) % 1_000} for i in range(BENCH_TUPLES)]
+    warmup = [{"v": i % 1_000} for i in range(WARMUP_TUPLES)]
+    for start in range(0, len(warmup), chunk_size):
+        sensor.ingest_batch("in", "src", warmup[start:start + chunk_size])
+    latencies: List[float] = []
+    begin = perf_counter()
+    for start in range(0, len(tuples), chunk_size):
+        chunk = tuples[start:start + chunk_size]
+        before = perf_counter()
+        admitted = sensor.ingest_batch("in", "src", chunk)
+        latencies.append(perf_counter() - before)
+        assert admitted == len(chunk)
+    elapsed = perf_counter() - begin
+    sensor.stop()
+    latencies.sort()
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    return {
+        "tuples_per_s": BENCH_TUPLES / elapsed,
+        "p99_call_ms": p99 * 1_000,
+        "elapsed_ms": elapsed * 1_000,
+    }
+
+
+def test_batched_ingest_speedup() -> None:
+    batched = _drive(BATCH_SIZE)
+    per_tuple = _drive(1)
+    speedup = batched["tuples_per_s"] / per_tuple["tuples_per_s"]
+    _write_doc("ingest_batched_vs_per_tuple", {
+        "tuples": BENCH_TUPLES,
+        "batch_size": BATCH_SIZE,
+        "batched_tuples_per_s": batched["tuples_per_s"],
+        "per_tuple_tuples_per_s": per_tuple["tuples_per_s"],
+        "batched_p99_ms": batched["p99_call_ms"],
+        "per_tuple_p99_ms": per_tuple["p99_call_ms"],
+        "ingest_speedup": speedup,
+        "floor": 5,
+    })
+    assert speedup >= 5, (batched, per_tuple)
+
+
+def _churn_seconds(witness: LoopWitness | None, awaits: int) -> float:
+    """Best-of-3 wall seconds of a loop doing ``awaits`` bare yields."""
+
+    async def main() -> float:
+        heartbeat = None
+        if witness is not None:
+            heartbeat = asyncio.ensure_future(witness.heartbeat("bench"))
+            await asyncio.sleep(0)
+        begin = perf_counter()
+        for _ in range(awaits):
+            await asyncio.sleep(0)
+        elapsed = perf_counter() - begin
+        if heartbeat is not None:
+            heartbeat.cancel()
+        return elapsed
+
+    best = None
+    for _ in range(3):
+        loop = asyncio.new_event_loop()
+        try:
+            elapsed = loop.run_until_complete(main())
+        finally:
+            loop.close()
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_loop_witness_overhead() -> None:
+    awaits = 200_000
+    bare = _churn_seconds(None, awaits)
+    witness = LoopWitness(max_stall_ms=250.0, interval_ms=20.0)
+    witnessed = _churn_seconds(witness, awaits)
+    overhead_pct = max(0.0, (witnessed - bare) / bare * 100.0)
+    _write_doc("loop_witness_overhead", {
+        "awaits": awaits,
+        "bare_ms": bare * 1_000,
+        "witnessed_ms": witnessed * 1_000,
+        "loop_witness_overhead_pct": overhead_pct,
+        "budget_pct": 2.0,
+    })
+    assert overhead_pct <= 2.0, (bare, witnessed)

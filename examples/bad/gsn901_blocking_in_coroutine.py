@@ -1,0 +1,34 @@
+"""Seeded-bad module for the async-safety pass: GSN901 (blocking call
+reachable from a coroutine).
+
+``poll`` blocks the event loop directly with ``time.sleep``; ``drain``
+blocks it one call deep — the sync helper ``_pull`` does a synchronous
+queue ``get``, and a timeout does not help: every task on the loop
+stalls for its full duration.
+
+``gsn-lint --async examples/bad/gsn901_blocking_in_coroutine.py``
+reports GSN901 at both blocking sites.
+"""
+
+import asyncio
+import queue
+import time
+
+
+class PollingReader:
+    def __init__(self) -> None:
+        self._queue = queue.Queue(64)
+
+    async def poll(self) -> None:
+        while True:
+            time.sleep(0.1)  # GSN901: stalls every task on the loop
+            await asyncio.sleep(0)
+
+    async def drain(self) -> None:
+        while True:
+            self._pull()
+            await asyncio.sleep(0)
+
+    def _pull(self) -> None:
+        # GSN901 via drain(): sync queue get on the loop thread.
+        self._queue.get(timeout=0.5)

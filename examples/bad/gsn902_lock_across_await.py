@@ -1,0 +1,26 @@
+"""Seeded-bad module for the async-safety pass: GSN902 (sync lock held
+across an await point).
+
+``update`` suspends inside ``with self._lock:`` — the coroutine parks
+with the lock held, so any thread (or other task resolving to a thread
+hand-off) that needs the lock deadlocks against a frame that cannot run
+until the loop resumes it.
+
+``gsn-lint --async examples/bad/gsn902_lock_across_await.py`` reports
+GSN902 at the await (and GSN901 for taking the sync lock on the loop at
+all).
+"""
+
+import asyncio
+import threading
+
+
+class SharedCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: SharedCounter._lock
+
+    async def update(self) -> None:
+        with self._lock:
+            self.value += 1
+            await asyncio.sleep(0.01)  # GSN902: parked with the lock held

@@ -1,0 +1,26 @@
+"""Seeded-bad module for the async-safety pass: GSN903 (unawaited
+coroutine / fire-and-forget task).
+
+``kick`` drops the task returned by ``asyncio.ensure_future`` — if the
+worker coroutine raises, the exception vanishes exactly like a dying
+thread (the GSN602 failure mode, one tier up). ``misfire`` calls the
+coroutine like a function: the coroutine object is created, never
+scheduled, and the body never runs.
+
+``gsn-lint --async examples/bad/gsn903_fire_and_forget.py`` reports
+GSN903 at both sites.
+"""
+
+import asyncio
+
+
+class TaskSpawner:
+    async def worker(self) -> None:
+        await asyncio.sleep(0.01)
+        raise RuntimeError("lost: nobody holds the task")
+
+    def kick(self) -> None:
+        asyncio.ensure_future(self.worker())  # GSN903: result dropped
+
+    def misfire(self) -> None:
+        self.worker()  # GSN903: coroutine created, never awaited

@@ -1,0 +1,29 @@
+"""Seeded-bad module for the async-safety pass: GSN904 (event-loop
+thread-affinity violation).
+
+``submit`` runs on whatever thread calls it, yet it schedules work with
+``loop.call_soon`` — which is bound to the loop's own thread — and
+mutates ``pending``, declared ``# owned-by: loop``, without routing
+through ``call_soon_threadsafe``. Both are silent corruption on CPython
+(the loop may never wake) and crashes elsewhere.
+
+``gsn-lint --async examples/bad/gsn904_foreign_thread_loop.py`` reports
+GSN904 at both sites.
+"""
+
+import asyncio
+
+
+class LoopFeeder:
+    def __init__(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self.pending = 0  # owned-by: loop
+
+    async def run(self) -> None:
+        while self.pending:
+            self.pending -= 1
+            await asyncio.sleep(0)
+
+    def submit(self) -> None:
+        self._loop.call_soon(print)  # GSN904: loop-bound API, foreign thread
+        self.pending += 1  # GSN904: loop-owned state, foreign thread

@@ -1,0 +1,25 @@
+"""Seeded-bad module for the async-safety pass: GSN905 (unbounded
+asyncio queue).
+
+The ingest queue has no ``maxsize``: a producer outrunning the consumer
+grows it without limit, there is no shed point, and the process dies of
+memory instead of back-pressure. Warning severity — rejected under
+``--strict-warnings``.
+
+``gsn-lint --async --strict-warnings
+examples/bad/gsn905_unbounded_async_queue.py`` reports GSN905 at the
+queue construction.
+"""
+
+import asyncio
+
+
+class UnboundedBuffer:
+    def __init__(self) -> None:
+        self._inbox = asyncio.Queue()  # GSN905: no backpressure bound
+
+    async def produce(self, item: object) -> None:
+        await self._inbox.put(item)
+
+    async def consume(self) -> object:
+        return await self._inbox.get()

@@ -20,6 +20,7 @@ Command line::
     python -m repro.analysis --self-check
 """
 
+from repro.analysis.asyncgraph import AsyncAnalysis, analyze_async
 from repro.analysis.callgraph import ProgramIndex
 from repro.analysis.crashwitness import CrashWitness
 from repro.analysis.flowgraph import FlowAnalysis, analyze_flow
@@ -28,6 +29,7 @@ from repro.analysis.lockgraph import (
 )
 from repro.analysis.locklint import lint_file, lint_files, lint_source
 from repro.analysis.lockwitness import LockOrderViolation, LockWitness
+from repro.analysis.loopwitness import LoopLagViolation, LoopWitness
 from repro.analysis.passes import (
     DEFAULT_MEMORY_BUDGET, analyze, analyze_descriptor,
     attach_descriptor_lines, estimate_window_memory, schema_check,
@@ -48,12 +50,15 @@ from repro.analysis.schema_infer import (
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET", "ERROR", "WARNING",
-    "AnnotatedPlan", "CrashWitness", "DeadlockAnalysis", "DescriptorPlan",
+    "AnnotatedPlan", "AsyncAnalysis", "CrashWitness", "DeadlockAnalysis",
+    "DescriptorPlan",
     "Finding", "FlowAnalysis", "LockGraph", "LockOrderViolation",
-    "LockWitness", "PlanVerdict", "ProgramIndex",
+    "LockWitness", "LoopLagViolation", "LoopWitness",
+    "PlanVerdict", "ProgramIndex",
     "RaceAnalysis", "RaceWitness", "RaceWitnessViolation",
     "Report", "Rule", "SchemaInferencer",
-    "analyze", "analyze_deadlocks", "analyze_descriptor", "analyze_flow",
+    "analyze", "analyze_async", "analyze_deadlocks", "analyze_descriptor",
+    "analyze_flow",
     "analyze_races", "annotate_plan", "attach_descriptor_lines",
     "catalogue", "describe", "descriptor_verdicts",
     "estimate_window_memory", "expand_paths",

@@ -49,6 +49,9 @@ REQUIRES_LOCK_COMMENT = re.compile(
 GUARDED_BY_COMMENT = re.compile(
     r"#\s*guarded-by:\s*([A-Za-z_][\w.]*)"
 )
+OWNED_BY_COMMENT = re.compile(
+    r"#\s*owned-by:\s*([A-Za-z_][\w-]*)"
+)
 
 #: Attribute/global names that are treated as locks even without a
 #: recognizable ``Lock()`` initializer (covers locks handed in through
@@ -134,6 +137,18 @@ class Opaque:
 
 
 @dataclass(frozen=True)
+class Await:
+    """One ``await`` expression inside an async function.
+
+    ``held`` is the locally held *sync* lock set at the await point —
+    the input to the GSN902 (lock-held-across-await) judgement.
+    """
+
+    held: Tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
 class Access:
     """One read/write of an attribute on an indexed class.
 
@@ -174,6 +189,7 @@ class FunctionInfo:
     returns: Optional[str] = None
     requires_attr: Optional[str] = None  # raw ``# requires-lock:`` name
     requires: Tuple[str, ...] = ()   # qualified lock names
+    is_async: bool = False           # ``async def``
     events: List[Event] = field(default_factory=list)
 
 
@@ -190,6 +206,10 @@ class ClassInfo:
     assigned: Set[str] = field(default_factory=set)
     # attr -> (declared guard name, line) from ``# guarded-by:`` comments.
     guards: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    # Attributes declared ``# owned-by: loop`` — single-owner event-loop
+    # state: the async pass (GSN904) enforces that only loop-context
+    # code writes them, and the race pass exempts them in exchange.
+    loop_owned: Set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -270,6 +290,12 @@ def _lock_factory(value: ast.AST) -> Optional[Tuple[Optional[str], bool]]:
         func.id if isinstance(func, ast.Name) else None
     )
     if callee in ("Lock", "RLock"):
+        # ``asyncio.Lock()`` is a coroutine-world primitive, not a
+        # thread lock — registering it would pollute the lock graph
+        # and the runtime witness naming.
+        if isinstance(func, ast.Attribute) \
+                and receiver_chain(func.value) == "asyncio":
+            return None
         return None, callee == "RLock"
     if callee == "new_lock":
         name = None
@@ -332,6 +358,8 @@ class ProgramIndex:
         self.suppressions: Dict[str, Dict[int, Set[str]]] = {}
         # path -> line -> declared guard name (``# guarded-by:``).
         self.guard_comments: Dict[str, Dict[int, str]] = {}
+        # path -> line -> owner domain (``# owned-by: loop``).
+        self.owned_comments: Dict[str, Dict[int, str]] = {}
         self.parse_errors: List[Tuple[str, str]] = []
 
     # -- construction ------------------------------------------------------
@@ -402,6 +430,10 @@ class ProgramIndex:
             if guard:
                 self.guard_comments.setdefault(path, {})[lineno] = \
                     guard.group(1)
+            owned = OWNED_BY_COMMENT.search(text)
+            if owned:
+                self.owned_comments.setdefault(path, {})[lineno] = \
+                    owned.group(1)
 
     def _collect_module(self, path: str, module: str, tree: ast.Module,
                         lines: List[str]) -> None:
@@ -452,7 +484,8 @@ class ProgramIndex:
                            lines: List[str]) -> None:
         assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         info = FunctionInfo(qualname, node.name, module, path, class_name,
-                            node, node.lineno)
+                            node, node.lineno,
+                            is_async=isinstance(node, ast.AsyncFunctionDef))
         for arg in list(node.args.args) + list(node.args.kwonlyargs):
             declared = annotation_class(arg.annotation)
             if declared:
@@ -496,6 +529,9 @@ class ProgramIndex:
             guard = self.guard_comments.get(info.path, {}).get(node.lineno)
             if guard is not None:
                 cls.guards.setdefault(attr, (guard, node.lineno))
+            owned = self.owned_comments.get(info.path, {}).get(node.lineno)
+            if owned == "loop":
+                cls.loop_owned.add(attr)
             if declared:
                 cls.attr_types.setdefault(attr, declared)
             if value is not None:
@@ -644,6 +680,10 @@ class _Scanner(ast.NodeVisitor):
         # (call receiver, subscript base, loop iterable) — visiting them
         # again as a plain Load must not double-count.
         self._consumed: Set[int] = set()
+        # Call nodes that are directly awaited: ``await x.wait()``
+        # suspends the coroutine, it does not block the thread, so the
+        # blocking heuristics must not fire on them.
+        self._awaited: Set[int] = set()
 
     def run(self) -> None:
         setattr(self.info, "_scanned", True)
@@ -819,6 +859,8 @@ class _Scanner(ast.NodeVisitor):
             return
         desc = f"{chain}.{name}" if chain else name
         kind, detail = self._classify(name, chain, node)
+        if kind == BLOCKING and id(node) in self._awaited:
+            kind, detail = None, ""
         self.info.events.append(
             Opaque(desc, kind, detail, tuple(self.held), node.lineno)
         )
@@ -841,6 +883,12 @@ class _Scanner(ast.NodeVisitor):
                 _DISPATCHY.search(name) or _DISPATCHY.search(chain)):
             return DISPATCH, "call into listener/callback code"
         return None, ""
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self.info.events.append(Await(tuple(self.held), node.lineno))
+        if isinstance(node.value, ast.Call):
+            self._awaited.add(id(node.value))
+        self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
@@ -910,6 +958,7 @@ class _Scanner(ast.NodeVisitor):
         nested = FunctionInfo(
             qualname, node.name, self.info.module, self.info.path,
             self.info.class_name, node, node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
         )
         for arg in list(node.args.args) + list(node.args.kwonlyargs):
             declared = annotation_class(arg.annotation)

@@ -9,14 +9,19 @@ the schema, graph, and resource passes *as one deployment set* (so
 cross-sensor references resolve). ``.py`` paths (and directories, which
 are walked for ``.py`` sources) are run through the intra-procedural
 concurrency lint, the interprocedural deadlock pass (GSN501–GSN504),
-the exception-flow / resource-lifecycle pass (GSN601–GSN605), *and*
-the whole-program data-race pass (GSN801–GSN806).
+the exception-flow / resource-lifecycle pass (GSN601–GSN605), the
+whole-program data-race pass (GSN801–GSN806), *and* the async-safety
+pass (GSN901–GSN905).
 ``--deadlock`` restricts python inputs to the deadlock pass alone;
 ``--flow`` to the exception-flow pass alone; ``--race`` to the
-data-race pass alone (the flags combine — any subset runs without the
-intra-procedural lint); ``--graph`` prints the
+data-race pass alone; ``--async`` to the async-safety pass alone (the
+flags combine — any subset runs without the intra-procedural lint);
+``--all`` is the umbrella: every registered pass, including ``--plan``
+over descriptor inputs, in one merged report. ``--graph`` prints the
 lock-acquisition-order graph as GraphViz DOT. ``--self-check`` lints
-the bundled concurrency-sensitive modules of repro itself.
+the bundled concurrency-sensitive modules of repro itself. With no
+inputs at all (``python -m repro.analysis``) the registered passes and
+their rule ranges are listed.
 
 Exit codes: 0 — clean (or warnings only), 1 — error findings,
 2 — bad invocation or unreadable input.
@@ -66,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--race", action="store_true",
                         help="run only the whole-program data-race pass "
                              "(GSN801-GSN806) on python inputs")
+    parser.add_argument("--async", dest="async_pass", action="store_true",
+                        help="run only the async-safety pass "
+                             "(GSN901-GSN905) on python inputs")
+    parser.add_argument("--all", dest="all_passes", action="store_true",
+                        help="run every registered pass (GSN1xx-GSN9xx) "
+                             "in one merged report (implies --plan)")
     parser.add_argument("--graph", action="store_true",
                         help="print the lock-acquisition-order graph as "
                              "GraphViz DOT (implies the deadlock pass)")
@@ -78,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "print the annotated plans")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="print the registered passes with their rule "
+                             "ranges and exit")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", help="findings output format")
     parser.add_argument("--memory-budget-mb", type=int, default=None,
@@ -112,6 +126,37 @@ def _print_rules() -> None:
         print(f"{rule.id}  {rule.severity:7s}  {rule.title}")
 
 
+#: (name, rule range, one-liner, how to select it) — the pass registry
+#: shown by ``--list-passes`` / a bare ``python -m repro.analysis``.
+PASSES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("schema", "GSN100-GSN111",
+     "descriptor schema inference & type checking", "default on .xml"),
+    ("graph", "GSN201-GSN205",
+     "cross-sensor dependency/addressing graph", "default on .xml"),
+    ("resource", "GSN301-GSN305",
+     "window-memory / storage-growth estimation", "default on .xml"),
+    ("locklint", "GSN401-GSN403",
+     "intra-procedural guarded-by lint", "default on .py, --self-check"),
+    ("deadlock", "GSN501-GSN504",
+     "interprocedural lock-order / deadlock pass", "--deadlock"),
+    ("flow", "GSN601-GSN605",
+     "exception-flow / resource-lifecycle pass", "--flow"),
+    ("plan", "GSN701-GSN705",
+     "deploy-time query-plan pass", "--plan"),
+    ("race", "GSN801-GSN806",
+     "whole-program data-race pass", "--race"),
+    ("async", "GSN901-GSN905",
+     "async-safety / event-loop pass", "--async"),
+)
+
+
+def _print_passes() -> None:
+    print("gsn-lint passes (select with the listed flag; python passes "
+          "all run by default on .py inputs; --all runs everything):")
+    for name, rules, title, select in PASSES:
+        print(f"  {name:9s} {rules:14s} {title:44s} [{select}]")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -119,6 +164,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         _print_rules()
         return 0
+    if args.list_passes:
+        _print_passes()
+        return 0
+    if args.all_passes:
+        args.plan = True
 
     xml_paths = [p for p in args.paths if p.lower().endswith(".xml")]
     dirs = [p for p in args.paths if os.path.isdir(p)]
@@ -133,17 +183,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     deadlock_only = args.deadlock or args.graph
     flow_only = args.flow
     race_only = args.race
-    if (deadlock_only or flow_only or race_only) and xml_paths:
-        parser.error("--deadlock/--graph/--flow/--race apply to python "
-                     "inputs only")
+    async_only = args.async_pass
+    if (deadlock_only or flow_only or race_only or async_only) \
+            and xml_paths:
+        parser.error("--deadlock/--graph/--flow/--race/--async apply to "
+                     "python inputs only")
     if args.self_check:
         package_root = os.path.dirname(os.path.dirname(
             os.path.abspath(__file__)))  # .../src/repro
         for relative in locklint.SELF_CHECK_MODULES:
             py_paths.append(os.path.join(package_root, relative))
     if not xml_paths and not py_paths and not dirs:
-        parser.error("nothing to lint: pass descriptor/python paths or "
-                     "--self-check")
+        # Bare invocation: list what this tool can do instead of erroring
+        # (``python -m repro.analysis`` is documented to do exactly this).
+        _print_passes()
+        return 0
 
     report = Report()
     descriptors, sources = _load_descriptors(xml_paths, report)
@@ -181,10 +235,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     python_inputs = expand_paths(py_paths + dirs)
     graph = None
     if python_inputs:
-        restricted = deadlock_only or flow_only or race_only
+        restricted = deadlock_only or flow_only or race_only or async_only
         run_deadlock = deadlock_only or not restricted
         run_flow = flow_only or not restricted
         run_race = race_only or not restricted
+        run_async = async_only or not restricted
         if not restricted:
             locklint.lint_files(python_inputs, report)
         index = ProgramIndex.build(python_inputs)
@@ -202,6 +257,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             analyze_races(python_inputs, report=report, index=index,
                           include_parse_errors=not (run_deadlock
                                                     or run_flow))
+        if run_async:
+            from repro.analysis.asyncgraph import analyze_async
+            analyze_async(python_inputs, report=report, index=index,
+                          include_parse_errors=not (run_deadlock
+                                                    or run_flow
+                                                    or run_race))
 
     failed = bool(report.errors) or (args.strict_warnings
                                      and bool(report.warnings))

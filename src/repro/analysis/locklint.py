@@ -64,6 +64,7 @@ SELF_CHECK_MODULES = (
     "notifications/manager.py",
     "analysis/crashwitness.py",
     "vsensor/lifecycle.py",
+    "interfaces/async_gateway.py",
 )
 
 

@@ -593,11 +593,20 @@ class RaceAnalysis:
         self.collect()
         for key in sorted(self.summaries):
             summary = self.summaries[key]
+            if self._loop_owned(summary.cls, summary.attr):
+                # ``# owned-by: loop`` state belongs to the async pass:
+                # GSN904 proves single-writer (loop-thread) discipline,
+                # which is a stronger guarantee than a lock.
+                continue
             declaration_ok = self._judge_declaration(report, summary)
             if summary.shared:
                 self._judge_writes(report, summary, declaration_ok)
             self._judge_escapes(report, summary)
         return report
+
+    def _loop_owned(self, cls: str, attr: str) -> bool:
+        return any(attr in info.loop_owned
+                   for info in self.index._mro(cls))
 
     def _judge_declaration(self, report: Report,
                            summary: AttrSummary) -> bool:

@@ -17,6 +17,10 @@ pass:
 - ``GSN8xx`` — whole-program data-race pass (guard inference over
   entry-point-reachable shared attributes, ``# guarded-by:``
   verification)
+- ``GSN9xx`` — async-safety pass (blocking calls reachable from
+  coroutines, sync locks held across ``await``, fire-and-forget
+  tasks, event-loop thread affinity / ``# owned-by: loop``,
+  unbounded asyncio queues)
 
 Severities: ``error`` findings would fail (or silently corrupt) a
 deployment and make :func:`repro.analysis.analyze` callers such as
@@ -115,6 +119,17 @@ _CATALOGUE: List[Rule] = [
     Rule("GSN805", WARNING, "guarded mutable state escapes its lock scope "
                             "(returned reference)"),
     Rule("GSN806", WARNING, "stale or wrong guarded-by declaration"),
+    # -- async-safety pass (interprocedural) -------------------------------
+    Rule("GSN901", ERROR, "blocking call reachable from a coroutine "
+                          "(stalls the event loop)"),
+    Rule("GSN902", ERROR, "synchronous lock held across an await point"),
+    Rule("GSN903", ERROR, "unawaited coroutine / fire-and-forget task "
+                          "without an exception sink"),
+    Rule("GSN904", ERROR, "event-loop thread-affinity violation "
+                          "(loop-bound API or loop-owned state touched "
+                          "from a foreign thread)"),
+    Rule("GSN905", WARNING, "unbounded asyncio queue (no backpressure "
+                            "bound)"),
 ]
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _CATALOGUE}

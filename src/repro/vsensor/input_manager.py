@@ -12,7 +12,7 @@ processing pipeline.
 from __future__ import annotations
 
 import logging
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.concurrency import new_lock
 from repro.descriptors.model import InputStreamSpec, StreamSourceSpec
@@ -282,7 +282,12 @@ class InputStreamManager:
                  tracer: Optional[PipelineTracer] = None) -> None:
         self.clock = clock
         self._trigger = trigger
-        self._streams: Dict[str, StreamRuntime] = {}
+        # Registry + trigger bookkeeping shared between the deployment
+        # thread, wrapper listener threads, and the async-gateway drain
+        # thread. The lock covers only bookkeeping — never held across
+        # receive()/_trigger() dispatch.
+        self._lock = new_lock("InputStreamManager._lock")
+        self._streams: Dict[str, StreamRuntime] = {}  # guarded-by: InputStreamManager._lock
         self._enabled = True
         self._seed = seed
         self._incremental = incremental
@@ -290,14 +295,16 @@ class InputStreamManager:
         # The source whose admission caused the in-flight trigger; lets
         # the pipeline adopt that source's ingest span without widening
         # the TriggerCallback signature.
-        self.last_source: Optional[SourceRuntime] = None
+        self.last_source: Optional[SourceRuntime] = None  # guarded-by: InputStreamManager._lock
 
     def add_stream(self, spec: InputStreamSpec,
                    wrappers: Dict[str, Wrapper]) -> StreamRuntime:
         """Register an input stream; ``wrappers`` maps source alias to the
         wrapper instance serving it."""
-        if spec.name in self._streams:
-            raise StreamError(f"input stream {spec.name!r} already exists")
+        with self._lock:
+            if spec.name in self._streams:
+                raise StreamError(
+                    f"input stream {spec.name!r} already exists")
         sources = []
         for index, source_spec in enumerate(spec.sources):
             wrapper = wrappers[source_spec.alias]
@@ -310,11 +317,13 @@ class InputStreamManager:
             )
             sources.append(runtime)
         stream = StreamRuntime(spec, sources, started_at=self.clock.now())
-        self._streams[spec.name] = stream
+        with self._lock:
+            self._streams[spec.name] = stream
         return stream
 
     def remove_stream(self, name: str) -> None:
-        stream = self._streams.pop(name, None)
+        with self._lock:
+            stream = self._streams.pop(name, None)
         if stream is None:
             raise StreamError(f"no input stream {name!r}")
 
@@ -322,7 +331,8 @@ class InputStreamManager:
         def on_element(element: StreamElement) -> None:
             if not self._enabled:
                 return
-            stream = self._streams.get(stream_name)
+            with self._lock:
+                stream = self._streams.get(stream_name)
             if stream is None:
                 return
             if stream.expired(self.clock.now()):
@@ -337,9 +347,55 @@ class InputStreamManager:
                 stream.triggers_bounded += 1
                 return
             stream.triggers += 1
-            self.last_source = runtime
+            with self._lock:
+                self.last_source = runtime
             self._trigger(stream_name, admitted)
         return on_element
+
+    def ingest_batch(self, stream_name: str, alias: str,
+                     elements: Sequence[StreamElement]) -> int:
+        """Admit a batch of elements for one source, triggering at most
+        once.
+
+        The per-element path (:meth:`_listener`) evaluates the query on
+        every slide-allowed admission; this path amortizes that cost:
+        every element goes through the same quality/buffer/sampling/
+        window stages, but the trigger fires once with the *last*
+        slide-allowed element — after which the window holds exactly
+        what per-tuple delivery would have left, so the final evaluation
+        sees identical state.  Returns the number of admitted elements
+        (what survived sampling/quality, not what triggered).  This is
+        the hand-off target of the async ingestion gateway.
+        """
+        if not self._enabled:
+            return 0
+        with self._lock:
+            stream = self._streams.get(stream_name)
+        if stream is None:
+            raise StreamError(f"no input stream {stream_name!r}")
+        if stream.expired(self.clock.now()):
+            return 0
+        runtime = stream.source(alias)
+        last: Optional[StreamElement] = None
+        admitted = 0
+        for element in elements:
+            result = runtime.receive(element)
+            if result is None:
+                continue
+            admitted += 1
+            if runtime.slide_allows(result):
+                last = result
+        if last is None:
+            return admitted
+        if stream.rate_bounder is not None \
+                and not stream.rate_bounder.admit(last):
+            stream.triggers_bounded += 1
+            return admitted
+        stream.triggers += 1
+        with self._lock:
+            self.last_source = runtime
+        self._trigger(stream_name, last)
+        return admitted
 
     def pause(self) -> None:
         """Stop triggering (elements are still observed by wrappers but
@@ -351,15 +407,19 @@ class InputStreamManager:
 
     def stream(self, name: str) -> StreamRuntime:
         try:
-            return self._streams[name]
+            with self._lock:
+                return self._streams[name]
         except KeyError:
             raise StreamError(f"no input stream {name!r}") from None
 
     def streams(self) -> List[StreamRuntime]:
-        return list(self._streams.values())
+        with self._lock:
+            return list(self._streams.values())
 
     def status(self) -> dict:
         now = self.clock.now()
+        with self._lock:
+            streams = dict(self._streams)
         return {
             name: {
                 "rate": stream.spec.rate,
@@ -369,5 +429,5 @@ class InputStreamManager:
                 "expires_at": stream.expires_at,
                 "sources": [source.status() for source in stream.sources],
             }
-            for name, stream in self._streams.items()
+            for name, stream in streams.items()
         }

@@ -14,7 +14,9 @@ Paper, Section 3 — on each input-stream arrival:
 from __future__ import annotations
 
 import logging
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro.concurrency import new_lock
 from repro.descriptors.model import VirtualSensorDescriptor
@@ -207,6 +209,28 @@ class VirtualSensor:
     def resume(self) -> None:
         self.lifecycle.resume()
         self.ism.resume()
+
+    def ingest_batch(self, stream_name: str, alias: str,
+                     values: Sequence[Any]) -> int:
+        """Deliver a batch of tuples to one source, evaluating at most
+        once.
+
+        Accepts ready-made :class:`StreamElement`\\ s or plain mappings
+        (a ``"timed"`` key, when present, becomes the element
+        timestamp).  Used by the async ingestion gateway to amortize one
+        window-update + query evaluation over a whole batch; see
+        :meth:`InputStreamManager.ingest_batch` for the equivalence
+        argument.  Returns the number of admitted elements.
+        """
+        elements: List[StreamElement] = []
+        for value in values:
+            if isinstance(value, StreamElement):
+                elements.append(value)
+            else:
+                payload = dict(value)
+                timed = payload.pop("timed", None)
+                elements.append(StreamElement(payload, timed=timed))
+        return self.ism.ingest_batch(stream_name, alias, elements)
 
     def _unique_wrappers(self) -> List[Wrapper]:
         seen: Dict[int, Wrapper] = {}

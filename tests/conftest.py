@@ -6,7 +6,9 @@ import os
 
 import pytest
 
-from repro.analysis import crashwitness, lockwitness, racewitness
+from repro.analysis import (
+    crashwitness, lockwitness, loopwitness, racewitness,
+)
 from repro.container import GSNContainer
 from repro.datatypes import DataType
 from repro.descriptors.model import (
@@ -86,6 +88,30 @@ def thread_crash_witness():
         crashwitness.disable()
     unexpected = witness.unexpected()
     assert not unexpected, [crash.render() for crash in unexpected]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def loop_lag_witness():
+    """Run the whole suite under the event-loop lag witness.
+
+    Every event loop the runtime starts (the async ingest gateway arms
+    this automatically) runs a heartbeat task; a wake-up later than the
+    stall ceiling — the runtime shadow of a GSN901 finding — is
+    recorded and fails the suite at teardown. Opt out with
+    ``GSN_LOOP_WITNESS=0``; tune the ceiling (milliseconds) with
+    ``GSN_LOOP_WITNESS_MS``.
+    """
+    if os.environ.get("GSN_LOOP_WITNESS", "1") == "0":
+        yield None
+        return
+    ceiling = float(os.environ.get(
+        "GSN_LOOP_WITNESS_MS", loopwitness.DEFAULT_MAX_STALL_MS))
+    witness = loopwitness.enable(max_stall_ms=ceiling)
+    try:
+        yield witness
+    finally:
+        loopwitness.disable()
+    assert not witness.violations, [v.render() for v in witness.violations]
 
 
 @pytest.fixture

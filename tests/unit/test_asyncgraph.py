@@ -1,0 +1,408 @@
+"""Unit tests for the async-safety pass (GSN9xx)."""
+
+from __future__ import annotations
+
+import glob
+import textwrap
+
+from repro.analysis.asyncgraph import analyze_async
+from repro.analysis.cli import main as lint_main
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def run(tmp_path, source, name="mod.py"):
+    path = write(tmp_path, name, source)
+    report, analysis = analyze_async([path])
+    return report, analysis
+
+
+def rules(report):
+    return [f.rule_id for f in report.findings]
+
+
+class TestGSN901Blocking:
+    def test_direct_blocking_call_in_coroutine(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import time
+
+            async def handler():
+                time.sleep(1)
+        """)
+        assert rules(report) == ["GSN901"]
+
+    def test_blocking_reached_through_sync_helper(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import queue
+
+            class C:
+                def __init__(self):
+                    self._queue = queue.Queue(8)
+
+                async def pump(self):
+                    self._drain()
+
+                def _drain(self):
+                    self._queue.get(timeout=0.1)
+        """)
+        assert rules(report) == ["GSN901"]
+        assert "via coroutine C.pump" in report.findings[0].message
+
+    def test_sync_lock_acquire_on_loop_flagged(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def poke(self):
+                    with self._lock:
+                        pass
+        """)
+        assert rules(report) == ["GSN901"]
+
+    def test_awaited_calls_are_not_blocking(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self._event = asyncio.Event()
+
+                async def wait_for_it(self):
+                    await self._event.wait()
+                    await asyncio.sleep(0.1)
+        """)
+        assert report.ok
+        assert not report.findings
+
+    def test_loop_callback_is_loop_context(self, tmp_path):
+        # A sync callback registered via call_later runs on the loop and
+        # is judged exactly like a coroutine.
+        report, _ = run(tmp_path, """\
+            import time
+
+            class C:
+                def __init__(self, loop):
+                    self._loop = loop
+
+                async def arm(self):
+                    self._loop.call_later(0.1, self._tick)
+
+                def _tick(self):
+                    time.sleep(1)
+        """)
+        assert "GSN901" in rules(report)
+
+    def test_nowait_handoff_is_clean(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import queue
+
+            class C:
+                def __init__(self):
+                    self._queue = queue.Queue(8)
+
+                async def push(self, item):
+                    self._queue.put_nowait(item)
+        """)
+        assert report.ok
+        assert not report.findings
+
+    def test_blocking_in_plain_sync_code_not_flagged(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import time
+
+            def worker():
+                time.sleep(1)
+        """)
+        assert not report.findings
+
+
+class TestGSN902LockAcrossAwait:
+    def test_await_under_with_lock(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def update(self):
+                    with self._lock:
+                        await asyncio.sleep(0)
+        """)
+        assert "GSN902" in rules(report)
+
+    def test_requires_lock_coroutine_awaiting(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def _step(self):  # requires-lock: _lock
+                    await asyncio.sleep(0)
+        """)
+        assert "GSN902" in rules(report)
+
+    def test_asyncio_lock_is_fine(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self._gate = asyncio.Lock()
+
+                async def update(self):
+                    async with self._gate:
+                        await asyncio.sleep(0)
+        """)
+        assert "GSN902" not in rules(report)
+
+    def test_lock_released_before_await_is_fine(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0  # guarded-by: C._lock
+
+                async def update(self):
+                    with self._lock:
+                        self.value += 1
+                    await asyncio.sleep(0)
+        """)
+        assert "GSN902" not in rules(report)
+
+
+class TestGSN903FireAndForget:
+    def test_bare_create_task(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                async def work(self):
+                    pass
+
+                async def kick(self):
+                    asyncio.create_task(self.work())
+        """)
+        assert "GSN903" in rules(report)
+
+    def test_unawaited_coroutine_call(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            class C:
+                async def work(self):
+                    pass
+
+                def misfire(self):
+                    self.work()
+        """)
+        assert "GSN903" in rules(report)
+
+    def test_kept_task_is_fine(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                async def work(self):
+                    pass
+
+                async def kick(self):
+                    self._task = asyncio.create_task(self.work())
+                    self._task.add_done_callback(print)
+        """)
+        assert "GSN903" not in rules(report)
+
+    def test_awaited_call_is_fine(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            class C:
+                async def work(self):
+                    pass
+
+                async def run(self):
+                    await self.work()
+        """)
+        assert "GSN903" not in rules(report)
+
+
+class TestGSN904ThreadAffinity:
+    def test_loop_api_from_foreign_thread(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            class C:
+                def __init__(self, loop):
+                    self._loop = loop
+
+                def submit(self):
+                    self._loop.call_soon(print)
+        """)
+        assert rules(report) == ["GSN904"]
+
+    def test_threadsafe_variant_is_fine(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            class C:
+                def __init__(self, loop):
+                    self._loop = loop
+
+                def submit(self):
+                    self._loop.call_soon_threadsafe(print)
+        """)
+        assert not report.findings
+
+    def test_bootstrap_thread_may_drive_its_loop(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                async def _main(self):
+                    await asyncio.sleep(0)
+
+                def run(self):
+                    loop = asyncio.new_event_loop()
+                    loop.run_until_complete(self._main())
+                    loop.close()
+        """)
+        assert not report.findings
+
+    def test_loop_owned_write_from_foreign_thread(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self.pending = 0  # owned-by: loop
+
+                async def tick(self):
+                    self.pending += 1
+                    await asyncio.sleep(0)
+
+                def poke(self):
+                    self.pending += 1
+        """)
+        findings = [f for f in report.findings if f.rule_id == "GSN904"]
+        assert len(findings) == 1
+        assert "C.poke" in findings[0].location
+
+    def test_loop_owned_read_from_foreign_thread_is_fine(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self.pending = 0  # owned-by: loop
+
+                async def tick(self):
+                    self.pending += 1
+                    await asyncio.sleep(0)
+
+                def snapshot(self):
+                    return self.pending
+        """)
+        assert not report.findings
+
+
+class TestGSN905UnboundedQueue:
+    def test_unbounded_queue_warns(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self._inbox = asyncio.Queue()
+        """)
+        assert rules(report) == ["GSN905"]
+        assert report.ok  # warning, not error
+
+    def test_bounded_queue_is_fine(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self._inbox = asyncio.Queue(maxsize=128)
+                    self._other = asyncio.Queue(64)
+        """)
+        assert not report.findings
+
+    def test_zero_maxsize_warns(self, tmp_path):
+        report, _ = run(tmp_path, """\
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self._inbox = asyncio.Queue(maxsize=0)
+        """)
+        assert rules(report) == ["GSN905"]
+
+
+class TestSuppressionAndRaceHandshake:
+    def test_inline_suppression(self, tmp_path):
+        report, analysis = run(tmp_path, """\
+            import time
+
+            async def handler():
+                time.sleep(1)  # gsn-lint: disable=GSN901
+        """)
+        assert not report.findings
+        assert analysis.suppressed_count == 1
+
+    def test_race_pass_exempts_loop_owned_state(self, tmp_path):
+        from repro.analysis.racegraph import analyze_races
+        path = write(tmp_path, "mod.py", """\
+            import asyncio
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.pending = 0  # owned-by: loop
+                    self._thread = None
+
+                def start(self):
+                    self._thread = threading.Thread(
+                        target=self._boot, daemon=True)
+                    self._thread.start()
+
+                def _boot(self):
+                    loop = asyncio.new_event_loop()
+                    loop.run_until_complete(self._main())
+
+                async def _main(self):
+                    self.pending += 1
+                    await asyncio.sleep(0)
+        """)
+        report, _ = analyze_races([path])
+        assert not [f for f in report.findings
+                    if f.rule_id.startswith("GSN80")
+                    and "pending" in f.message]
+
+
+class TestSeededBadExamples:
+    def test_each_async_seed_is_rejected_strict(self):
+        seeds = sorted(glob.glob("examples/bad/gsn90*.py"))
+        assert len(seeds) == 5
+        for seed in seeds:
+            assert lint_main(
+                ["--async", "--strict-warnings", seed]) == 1, seed
+
+    def test_each_async_seed_names_its_rule(self, capsys):
+        for rule_id in ("GSN901", "GSN902", "GSN903", "GSN904", "GSN905"):
+            matches = glob.glob(
+                f"examples/bad/gsn{rule_id[3:]}_*.py")
+            assert len(matches) == 1, rule_id
+            lint_main(["--async", "--strict-warnings", matches[0]])
+            out = capsys.readouterr().out
+            assert rule_id in out, (rule_id, out)
+
+    def test_gateway_and_repro_are_async_clean(self):
+        assert lint_main(
+            ["--async", "--strict-warnings", "src/repro"]) == 0
